@@ -1,0 +1,56 @@
+//! Criterion benches for the control-plane simulation (Figure 1 / Figure 5
+//! ablation): the four driver strategies at fixed parameters, and the
+//! simulator kernel itself.
+
+// The `criterion_group!` macro expands to undocumented items.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csi_core::sim::Sim;
+use miniflink::yarn_driver::{run_driver, DriverMode, DriverRun};
+
+fn bench_driver_modes(c: &mut Criterion) {
+    let base = DriverRun {
+        target: 100,
+        interval_ms: 500,
+        alloc_service_ms: 50,
+        start_latency_ms: 5,
+        deadline_ms: 30_000,
+        mode: DriverMode::BuggySync,
+    };
+    let mut group = c.benchmark_group("figure5_ablation");
+    for (name, mode) in [
+        ("buggy_sync", DriverMode::BuggySync),
+        ("longer_interval", DriverMode::LongerInterval),
+        ("eager_remove", DriverMode::EagerRemove),
+        ("async_client", DriverMode::AsyncClient),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let stats = run_driver(DriverRun { mode, ..base });
+                std::hint::black_box(stats.total_requested)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_kernel(c: &mut Criterion) {
+    c.bench_function("sim/100k_chained_events", |b| {
+        b.iter(|| {
+            fn tick(count: &mut u64, ops: &mut csi_core::sim::Ops<u64>) {
+                *count += 1;
+                if *count < 100_000 {
+                    ops.schedule_in(1, tick);
+                }
+            }
+            let mut sim = Sim::new(0u64);
+            sim.schedule_in(1, tick);
+            sim.run();
+            std::hint::black_box(sim.state)
+        })
+    });
+}
+
+criterion_group!(benches, bench_driver_modes, bench_sim_kernel);
+criterion_main!(benches);

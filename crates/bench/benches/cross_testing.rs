@@ -1,0 +1,104 @@
+//! Criterion benches for the Section 8 cross-testing harness: per-plan
+//! write/read costs, serializer throughput, and oracle overhead.
+
+// The `criterion_group!` macro expands to undocumented items.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use csi_core::value::{DataType, StructField, Value};
+use csi_test::{generate_inputs, run_cross_test, CrossTestConfig, Experiment};
+use minihive::metastore::StorageFormat;
+
+fn bench_generator(c: &mut Criterion) {
+    c.bench_function("generator/full_catalogue", |b| {
+        b.iter(|| std::hint::black_box(generate_inputs().len()))
+    });
+}
+
+fn bench_single_experiment(c: &mut Criterion) {
+    // A focused slice: 16 inputs through the Spark-to-Hive plans.
+    let inputs: Vec<_> = generate_inputs().into_iter().take(16).collect();
+    let config = CrossTestConfig {
+        experiments: vec![Experiment::SparkToHive],
+        ..CrossTestConfig::default()
+    };
+    c.bench_function("harness/spark_to_hive_16_inputs", |b| {
+        b.iter(|| std::hint::black_box(run_cross_test(&inputs, &config).report.distinct()))
+    });
+}
+
+fn bench_serializers(c: &mut Criterion) {
+    let schema = vec![
+        StructField::new("a", DataType::Int),
+        StructField::new("b", DataType::String),
+        StructField::new("d", DataType::Decimal(10, 2)),
+    ];
+    let rows: Vec<Vec<Value>> = (0..256)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Str(format!("row-{i}")),
+                Value::Decimal(csi_core::value::Decimal::new(i as i128 * 100 + 50, 10, 2).unwrap()),
+            ]
+        })
+        .collect();
+    let config = minispark::SparkConfig::new();
+    let mut group = c.benchmark_group("serde");
+    for format in StorageFormat::ALL {
+        group.bench_function(format!("spark_write_256rows/{}", format.name()), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    minispark::serde_layer::write_file(format, &schema, &rows, &config)
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+        let bytes = minispark::serde_layer::write_file(format, &schema, &rows, &config).unwrap();
+        group.bench_function(format!("spark_read_256rows/{}", format.name()), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    minispark::serde_layer::read_file(format, &schema, &bytes, &config)
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_oracles(c: &mut Criterion) {
+    use csi_core::oracle::{check_differential, Observation, ReadOutcome, WriteOutcome};
+    let observations: Vec<Observation> = (0..512)
+        .map(|i| Observation {
+            input_id: i % 64,
+            plan: format!("plan-{}", i % 8),
+            format: "ORC".into(),
+            write: WriteOutcome {
+                result: Ok(()),
+                diagnostics: vec![],
+            },
+            read: Some(ReadOutcome {
+                result: Ok(vec![Value::Int((i % 3) as i32)]),
+                diagnostics: vec![],
+            }),
+        })
+        .collect();
+    c.bench_function("oracle/differential_512_observations", |b| {
+        b.iter_batched(
+            || observations.clone(),
+            |obs| std::hint::black_box(check_differential(&obs).len()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_generator,
+    bench_single_experiment,
+    bench_serializers,
+    bench_oracles
+);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Criterion benches for the substrate systems: HDFS namespace operations,
+//! Kafka log operations, and configuration-plane merges.
+
+// The `criterion_group!` macro expands to undocumented items.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use csi_core::config::{ConfigMap, MergePolicy};
+use minihdfs::{HdfsPath, MiniHdfs};
+use minikafka::{MiniKafka, PartitionId};
+
+fn bench_hdfs(c: &mut Criterion) {
+    c.bench_function("hdfs/create_and_stat_100_files", |b| {
+        b.iter(|| {
+            let mut fs = MiniHdfs::with_datanodes(3);
+            for i in 0..100 {
+                let p = HdfsPath::parse(&format!("/bench/dir{}/file{i}", i % 10)).unwrap();
+                fs.create(&p, b"payload bytes for the benchmark").unwrap();
+                std::hint::black_box(fs.get_file_status(&p).unwrap().len);
+            }
+        })
+    });
+    let mut fs = MiniHdfs::with_datanodes(3);
+    for i in 0..1000 {
+        let p = HdfsPath::parse(&format!("/flat/file{i}")).unwrap();
+        fs.create(&p, b"x").unwrap();
+    }
+    c.bench_function("hdfs/list_1000_entries", |b| {
+        let dir = HdfsPath::parse("/flat").unwrap();
+        b.iter(|| std::hint::black_box(fs.list_status(&dir).unwrap().len()))
+    });
+}
+
+fn bench_kafka(c: &mut Criterion) {
+    c.bench_function("kafka/produce_fetch_1000", |b| {
+        b.iter(|| {
+            let mut k = MiniKafka::new();
+            k.create_topic("bench", 1);
+            for i in 0..1000u32 {
+                k.produce(
+                    "bench",
+                    PartitionId(0),
+                    Some(&i.to_le_bytes()),
+                    Some(b"value"),
+                    i as u64,
+                )
+                .unwrap();
+            }
+            std::hint::black_box(
+                k.fetch("bench", PartitionId(0), 0, 1000)
+                    .unwrap()
+                    .records
+                    .len(),
+            )
+        })
+    });
+    c.bench_function("kafka/compact_1000_records_10_keys", |b| {
+        b.iter_batched(
+            || {
+                let mut k = MiniKafka::new();
+                k.create_topic("bench", 1);
+                for i in 0..1000u32 {
+                    let key = (i % 10).to_le_bytes();
+                    k.produce("bench", PartitionId(0), Some(&key), Some(b"v"), 0)
+                        .unwrap();
+                }
+                k
+            },
+            |mut k| std::hint::black_box(k.compact("bench", PartitionId(0)).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_config_plane(c: &mut Criterion) {
+    c.bench_function("config/merge_200_keys_with_provenance", |b| {
+        b.iter_batched(
+            || {
+                let mut ours = ConfigMap::new("spark");
+                let mut theirs = ConfigMap::new("hive");
+                for i in 0..200 {
+                    ours.set(format!("shared.key.{i}"), "ours", "spark-defaults");
+                    theirs.set(format!("shared.key.{i}"), "theirs", "hive-site");
+                }
+                (ours, theirs)
+            },
+            |(mut ours, theirs)| {
+                std::hint::black_box(
+                    ours.merge(&theirs, MergePolicy::OursWin, "bench")
+                        .ignored
+                        .len(),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_hbase(c: &mut Criterion) {
+    use minihbase::Region;
+    use minihdfs::MiniHdfs;
+    c.bench_function("hbase/put_500_cells_with_wal", |b| {
+        b.iter(|| {
+            let mut fs = MiniHdfs::with_datanodes(3);
+            let mut region = Region::open("bench", &mut fs).unwrap();
+            for i in 0..500u32 {
+                region
+                    .put(&i.to_le_bytes(), b"cf:v", b"value", &mut fs)
+                    .unwrap();
+            }
+            std::hint::black_box(region.wal_entries())
+        })
+    });
+    c.bench_function("hbase/wal_recovery_500_entries", |b| {
+        b.iter_batched(
+            || {
+                let mut fs = MiniHdfs::with_datanodes(3);
+                let mut region = Region::open("bench", &mut fs).unwrap();
+                for i in 0..500u32 {
+                    region
+                        .put(&i.to_le_bytes(), b"cf:v", b"value", &mut fs)
+                        .unwrap();
+                }
+                fs
+            },
+            |mut fs| {
+                // Recovery replays the whole WAL.
+                let region = Region::open("bench", &mut fs).unwrap();
+                std::hint::black_box(region.wal_entries())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("hbase/flush_then_open_500_cells", |b| {
+        b.iter_batched(
+            || {
+                let mut fs = MiniHdfs::with_datanodes(3);
+                let mut region = Region::open("bench", &mut fs).unwrap();
+                for i in 0..500u32 {
+                    region
+                        .put(&i.to_le_bytes(), b"cf:v", b"value", &mut fs)
+                        .unwrap();
+                }
+                region.flush(&mut fs).unwrap();
+                fs
+            },
+            |mut fs| {
+                // Post-flush opens read HFiles, not the WAL.
+                let region = Region::open("bench", &mut fs).unwrap();
+                std::hint::black_box(region.hfile_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hdfs,
+    bench_kafka,
+    bench_config_plane,
+    bench_hbase
+);
+criterion_main!(benches);

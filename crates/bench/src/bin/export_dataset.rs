@@ -1,0 +1,10 @@
+//! Exports the reconstructed 120-case dataset as JSON (artifact parity
+//! with the paper's CSV/notebook data release).
+
+fn main() {
+    let ds = csi_study::Dataset::load();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&ds).expect("dataset serializes")
+    );
+}

@@ -1,0 +1,58 @@
+//! Regenerates Figure 1 (and Figure 5): the FLINK-12342 container storm
+//! and its fixes, as a time series of requested/pending/started containers.
+
+use csi_bench::tables::{compare, header};
+use miniflink::yarn_driver::{run_driver, DriverMode, DriverRun};
+
+fn main() {
+    let base = DriverRun {
+        target: 200,
+        interval_ms: 500,
+        alloc_service_ms: 100,
+        start_latency_ms: 5,
+        deadline_ms: 60_000,
+        mode: DriverMode::BuggySync,
+    };
+    header("Figure 1: shipped (synchronous) request loop, C=200, 500 ms heartbeat");
+    let buggy = run_driver(base);
+    println!("  t(ms)    requested   pending   started");
+    for s in buggy.history.iter().step_by(6) {
+        println!(
+            "  {:>6}   {:>9}   {:>7}   {:>7}",
+            s.at_ms, s.total_requested, s.pending, s.started
+        );
+    }
+    compare(
+        "requests explode past 4000 (paper: '4000+ requested')",
+        "true",
+        buggy.total_requested > 4000,
+    );
+
+    header("Figure 5: the two workarounds and the async resolution");
+    for (label, mode) in [
+        (
+            "workaround #1: configurable (longer) interval",
+            DriverMode::LongerInterval,
+        ),
+        (
+            "workaround #2: eager request removal",
+            DriverMode::EagerRemove,
+        ),
+        ("resolution #3: NMClientAsync", DriverMode::AsyncClient),
+    ] {
+        let stats = run_driver(DriverRun { mode, ..base });
+        println!(
+            "  {label:<48} requested={:<6} max_pending={:<6} done_at={:?}",
+            stats.total_requested, stats.max_pending, stats.completed_at
+        );
+    }
+    let fixed = run_driver(DriverRun {
+        mode: DriverMode::AsyncClient,
+        ..base
+    });
+    compare(
+        "async client requests exactly C",
+        200,
+        fixed.total_requested,
+    );
+}

@@ -1,0 +1,36 @@
+//! Regenerates Figure 3: FLINK-19141 — Flink and YARN interpreting
+//! resource-allocation configuration inconsistently across schedulers.
+
+use csi_bench::tables::{compare, header};
+use miniflink::yarn_driver::{
+    capacity_scheduler, check_allocation_consistency, fair_scheduler, flink_predicted_allocation,
+};
+use miniyarn::config::default_yarn_config;
+use miniyarn::Resource;
+
+fn main() {
+    let conf = default_yarn_config();
+    let ask = Resource::new(1536, 1);
+    header("Figure 3: one ask, one configuration, two schedulers");
+    println!(
+        "  Flink predicts (from yarn.scheduler.minimum-allocation-*): {}",
+        flink_predicted_allocation(ask, &conf)
+    );
+    let capacity = check_allocation_consistency(ask, &conf, &capacity_scheduler());
+    println!("  CapacityScheduler deployment: {capacity:?}");
+    let fair = check_allocation_consistency(ask, &conf, &fair_scheduler());
+    match &fair {
+        Err(e) => println!("  FairScheduler deployment: {e}"),
+        Ok(r) => println!("  FairScheduler deployment: {r}"),
+    }
+    compare(
+        "capacity deployment is consistent",
+        "true",
+        capacity.is_ok(),
+    );
+    compare(
+        "fair deployment reproduces 'Could not allocate the required resource'",
+        "true",
+        matches!(&fair, Err(e) if e.to_string().contains("Could not allocate")),
+    );
+}

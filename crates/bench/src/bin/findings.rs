@@ -1,0 +1,15 @@
+//! Recomputes Findings 1–13 and the CBS comparison.
+
+fn main() {
+    let ds = csi_study::Dataset::load();
+    for f in csi_study::findings::all_findings(&ds) {
+        let verdict = if f.holds { "HOLDS" } else { "FAILS" };
+        println!("Finding {:>2} [{verdict}] {}", f.number, f.statement);
+        println!("            measured: {}", f.evidence);
+    }
+    println!("\n{}", csi_study::findings::cbs_comparison());
+    println!(
+        "Section 5.3: {}% of Spark's integration tests cross-test dependent systems",
+        csi_study::cbs::sampling::SPARK_CROSS_TEST_PERCENT
+    );
+}

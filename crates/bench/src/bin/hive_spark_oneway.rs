@@ -1,0 +1,6 @@
+//! Artifact parity: the `hive_spark_oneway.sh` experiment — HiveQL writes,
+//! Spark reads, with per-oracle `*failed.json` outputs.
+
+fn main() {
+    csi_bench::tables::run_artifact_experiment(csi_test::Experiment::HiveToSpark);
+}

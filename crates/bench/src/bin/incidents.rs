@@ -1,0 +1,36 @@
+//! Regenerates the Section 3 cloud-incident statistics.
+
+use csi_bench::tables::compare;
+use csi_study::incidents::{load_incidents, median_csi_duration};
+
+fn main() {
+    let incidents = load_incidents();
+    let csi: Vec<_> = incidents.iter().filter(|i| i.is_csi).collect();
+    for i in &csi {
+        println!(
+            "{:<12} {:?}  {:>5} min  cascading={:<5}  {}",
+            i.id,
+            i.provider,
+            i.duration_minutes.unwrap_or(0),
+            i.impaired_external,
+            &i.summary[..i.summary.len().min(80)]
+        );
+    }
+    compare("incidents studied", 55, incidents.len());
+    compare("CSI-failure-induced incidents", 11, csi.len());
+    compare(
+        "median CSI incident duration (min)",
+        106,
+        median_csi_duration(&incidents),
+    );
+    compare(
+        "CSI incidents impairing external services",
+        8,
+        csi.iter().filter(|i| i.impaired_external).count(),
+    );
+    compare(
+        "reports mentioning interaction code fixes",
+        4,
+        csi.iter().filter(|i| i.mentions_interaction_fix).count(),
+    );
+}

@@ -1,0 +1,6 @@
+//! Artifact parity: the `spark_e2e.sh` experiment — Spark-to-Spark plans
+//! only, with per-oracle `*failed.json` outputs.
+
+fn main() {
+    csi_bench::tables::run_artifact_experiment(csi_test::Experiment::SparkToSpark);
+}

@@ -1,0 +1,6 @@
+//! Artifact parity: the `spark_hive_oneway.sh` experiment — Spark writes,
+//! HiveQL reads, with per-oracle `*failed.json` outputs.
+
+fn main() {
+    csi_bench::tables::run_artifact_experiment(csi_test::Experiment::SparkToHive);
+}

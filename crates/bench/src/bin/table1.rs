@@ -1,0 +1,8 @@
+//! Regenerates Table 1: target systems, interactions, and CSI failure
+//! counts.
+
+fn main() {
+    let ds = csi_study::Dataset::load();
+    print!("{}", csi_study::render::table1(&ds));
+    csi_bench::tables::compare("total CSI failures", 120, ds.cases.len());
+}

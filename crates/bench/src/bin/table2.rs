@@ -1,0 +1,14 @@
+//! Regenerates Table 2: CSI failures by plane.
+
+use csi_bench::tables::compare;
+
+fn main() {
+    let ds = csi_study::Dataset::load();
+    print!("{}", csi_study::render::table2(&ds));
+    for ((plane, measured), paper) in csi_study::analyze::plane_table(&ds)
+        .into_iter()
+        .zip([20usize, 61, 39])
+    {
+        compare(&format!("{plane} plane failures"), paper, measured);
+    }
+}

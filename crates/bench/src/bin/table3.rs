@@ -1,0 +1,14 @@
+//! Regenerates Table 3: failure symptoms.
+
+use csi_bench::tables::compare;
+
+fn main() {
+    let ds = csi_study::Dataset::load();
+    print!("{}", csi_study::render::table3(&ds));
+    compare(
+        "crashing failures (Finding 3)",
+        89,
+        csi_study::analyze::crashing_count(&ds),
+    );
+    compare("total failures", 120, ds.cases.len());
+}

@@ -1,0 +1,20 @@
+//! Regenerates Table 6: data-plane discrepancy patterns.
+
+use csi_bench::tables::compare;
+
+fn main() {
+    let ds = csi_study::Dataset::load();
+    print!("{}", csi_study::render::table6(&ds));
+    let paper = [12usize, 15, 9, 7, 18];
+    for ((pattern, measured), paper) in csi_study::analyze::data_pattern_table(&ds)
+        .into_iter()
+        .zip(paper)
+    {
+        compare(&pattern.to_string(), paper, measured);
+    }
+    compare(
+        "serialization-rooted (Finding 6)",
+        15,
+        csi_study::analyze::serialization_rooted_count(&ds),
+    );
+}

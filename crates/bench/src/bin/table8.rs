@@ -1,0 +1,15 @@
+//! Regenerates Table 8: control-plane discrepancy patterns.
+
+use csi_bench::tables::compare;
+
+fn main() {
+    let ds = csi_study::Dataset::load();
+    print!("{}", csi_study::render::table8(&ds));
+    let (api, state, feature) = csi_study::analyze::control_pattern_table(&ds);
+    compare("API semantic violation", 13, api);
+    compare("state/resource inconsistency", 5, state);
+    compare("feature inconsistency", 2, feature);
+    let (implicit, context) = csi_study::analyze::api_misuse_split(&ds);
+    compare("  implicit-semantics misuse (Finding 11)", 8, implicit);
+    compare("  wrong-context misuse (Finding 11)", 5, context);
+}

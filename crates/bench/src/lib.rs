@@ -1,0 +1,6 @@
+//! `csi-bench` — benchmark and table/figure regeneration harness.
+//!
+//! One binary per paper table/figure (see DESIGN.md's per-experiment index)
+//! plus Criterion benches over the cross-testing harness and the simulators.
+
+pub mod tables;

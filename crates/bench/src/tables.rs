@@ -1,0 +1,64 @@
+//! Shared helpers for the table/figure regeneration binaries.
+
+/// Prints a "paper vs measured" comparison line.
+pub fn compare(label: &str, paper: impl std::fmt::Display, measured: impl std::fmt::Display) {
+    let p = paper.to_string();
+    let m = measured.to_string();
+    let verdict = if p == m { "MATCH" } else { "DIFFERS" };
+    println!("{label:<58} paper={p:<12} measured={m:<12} [{verdict}]");
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Runs one of the artifact's three experiments and writes per-oracle
+/// failure logs (`<exp>_wr_failed.json`, `<exp>_eh_failed.json`,
+/// `<exp>_difft_failed.json`) into `logs/<exp>/`, mirroring the artifact's
+/// `logs/<script_name>/<timestamp>` layout.
+pub fn run_artifact_experiment(experiment: csi_test::Experiment) {
+    use csi_core::oracle::OracleKind;
+    let inputs = csi_test::generate_inputs();
+    let config = csi_test::CrossTestConfig {
+        experiments: vec![experiment],
+        ..csi_test::CrossTestConfig::default()
+    };
+    let outcome = csi_test::run_cross_test(&inputs, &config);
+    let dir = std::path::PathBuf::from("logs").join(experiment.short());
+    std::fs::create_dir_all(&dir).expect("create log dir");
+    for (oracle, suffix) in [
+        (OracleKind::WriteRead, "wr"),
+        (OracleKind::ErrorHandling, "eh"),
+        (OracleKind::Differential, "difft"),
+    ] {
+        let failed: Vec<_> = outcome
+            .report
+            .raw_failures
+            .iter()
+            .filter(|f| f.oracle == oracle)
+            .collect();
+        let path = dir.join(format!("{}_{suffix}_failed.json", experiment.short()));
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&failed).expect("serialize"),
+        )
+        .expect("write log");
+        println!(
+            "{}: {} failures -> {}",
+            format_args!("{}_{suffix}", experiment.short()),
+            failed.len(),
+            path.display()
+        );
+    }
+    println!(
+        "{} distinct discrepancies in this experiment: {:?}",
+        outcome.report.distinct(),
+        outcome
+            .report
+            .discrepancies
+            .iter()
+            .map(|d| d.id.as_str())
+            .collect::<Vec<_>>()
+    );
+}

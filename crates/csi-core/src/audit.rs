@@ -1,0 +1,275 @@
+//! Cross-system configuration auditing.
+//!
+//! Section 6.2.1's implication: "a more fundamental problem is to build a
+//! consistent configuration plane across multiple systems … Traceability
+//! of how configuration values are applied across systems could be
+//! useful." The provenance-tracked [`crate::config::ConfigMap`] records
+//! what happened; this module turns those records into an *audit* that
+//! surfaces the Table 7 patterns before they become failures:
+//!
+//! - silently **ignored** values (SPARK-10181-shaped),
+//! - silently **overridden** values (SPARK-16901-shaped),
+//! - keys expected to be **coherent across systems** but holding
+//!   different values (FLINK-19141-shaped),
+//! - keys that were **set and never consumed** by the owning system.
+
+use crate::config::{ConfigAction, ConfigMap};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Severity of an audit finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AuditSeverity {
+    /// Worth a look.
+    Notice,
+    /// Likely to surprise an operator.
+    Warning,
+    /// Matches a known CSI failure pattern.
+    Critical,
+}
+
+/// One audit finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditFinding {
+    /// Severity.
+    pub severity: AuditSeverity,
+    /// Table 7 pattern name this matches.
+    pub pattern: &'static str,
+    /// The key involved.
+    pub key: String,
+    /// Description with the provenance evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:?}] {} on {:?}: {}",
+            self.severity, self.pattern, self.key, self.detail
+        )
+    }
+}
+
+/// A declared coherence requirement: these systems must agree on `key`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoherenceRule {
+    /// The configuration key (or a prefix ending in `.` to match a family).
+    pub key: String,
+    /// Human-readable reason, e.g. "both sides size containers from it".
+    pub why: String,
+}
+
+/// Audits a single system's configuration history for silent ignores and
+/// overrides.
+pub fn audit_history(config: &ConfigMap) -> Vec<AuditFinding> {
+    let mut findings = Vec::new();
+    for (key, _) in config.iter() {
+        for p in config.provenance(key) {
+            match &p.action {
+                ConfigAction::Ignored { incoming, kept } => findings.push(AuditFinding {
+                    severity: AuditSeverity::Critical,
+                    pattern: "Ignorance",
+                    key: key.to_string(),
+                    detail: format!(
+                        "value {incoming:?} from [{}] was silently dropped (kept {kept:?})",
+                        p.source
+                    ),
+                }),
+                ConfigAction::Overridden { old, new } => findings.push(AuditFinding {
+                    severity: AuditSeverity::Critical,
+                    pattern: "Unexpected override",
+                    key: key.to_string(),
+                    detail: format!(
+                        "[{}] overwrote {old:?} with {new:?} without operator involvement",
+                        p.source
+                    ),
+                }),
+                _ => {}
+            }
+        }
+    }
+    findings
+}
+
+/// Audits coherence across several systems' configurations.
+pub fn audit_coherence(configs: &[&ConfigMap], rules: &[CoherenceRule]) -> Vec<AuditFinding> {
+    let mut findings = Vec::new();
+    for rule in rules {
+        // Collect every key matched by the rule in any system.
+        let mut keys: BTreeSet<String> = BTreeSet::new();
+        for c in configs {
+            for (k, _) in c.iter() {
+                let matches = if rule.key.ends_with('.') {
+                    k.starts_with(&rule.key)
+                } else {
+                    k == rule.key
+                };
+                if matches {
+                    keys.insert(k.to_string());
+                }
+            }
+        }
+        for key in keys {
+            let values: Vec<(String, Option<String>)> = configs
+                .iter()
+                .map(|c| (c.name().to_string(), c.get(&key).map(str::to_string)))
+                .collect();
+            let distinct: BTreeSet<&String> =
+                values.iter().filter_map(|(_, v)| v.as_ref()).collect();
+            if distinct.len() > 1 {
+                findings.push(AuditFinding {
+                    severity: AuditSeverity::Critical,
+                    pattern: "Inconsistent context",
+                    key: key.clone(),
+                    detail: format!(
+                        "systems disagree ({}): {}",
+                        rule.why,
+                        values
+                            .iter()
+                            .map(|(s, v)| format!("{s}={v:?}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+            }
+            let missing: Vec<&str> = values
+                .iter()
+                .filter(|(_, v)| v.is_none())
+                .map(|(s, _)| s.as_str())
+                .collect();
+            if !missing.is_empty() && distinct.len() == 1 {
+                findings.push(AuditFinding {
+                    severity: AuditSeverity::Warning,
+                    pattern: "Inconsistent context",
+                    key,
+                    detail: format!(
+                        "declared coherent ({}) but unset in: {}",
+                        rule.why,
+                        missing.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Runs the full audit over a deployment.
+pub fn audit_deployment(configs: &[&ConfigMap], rules: &[CoherenceRule]) -> Vec<AuditFinding> {
+    let mut findings: Vec<AuditFinding> = configs.iter().flat_map(|c| audit_history(c)).collect();
+    findings.extend(audit_coherence(configs, rules));
+    findings.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.key.cmp(&b.key)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MergePolicy;
+
+    #[test]
+    fn history_audit_surfaces_silent_ignores_and_overrides() {
+        let mut spark = ConfigMap::new("spark");
+        spark.set("spark.sql.session.timeZone", "UTC", "spark-defaults");
+        let mut hive = ConfigMap::new("hive");
+        hive.set("spark.sql.session.timeZone", "PST", "hive-site.xml");
+        // SPARK-16901 shape: Spark silently overrides Hive's value.
+        hive.merge(&spark, MergePolicy::TheirsWin, "spark overlay");
+        let findings = audit_history(&hive);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].pattern, "Unexpected override");
+        assert_eq!(findings[0].severity, AuditSeverity::Critical);
+        // SPARK-10181 shape: an incoming Kerberos key is dropped.
+        let mut incoming = ConfigMap::new("user");
+        incoming.set("spark.sql.session.timeZone", "CET", "user conf");
+        let mut ours = spark.clone();
+        ours.merge(&incoming, MergePolicy::OursWin, "session merge");
+        let findings = audit_history(&ours);
+        assert_eq!(findings[0].pattern, "Ignorance");
+    }
+
+    #[test]
+    fn coherence_audit_flags_disagreement() {
+        // FLINK-19141 shape: Flink and YARN hold different views of the
+        // allocation step.
+        let mut flink = ConfigMap::new("flink");
+        flink.set("yarn.scheduler.minimum-allocation-mb", "1024", "flink-conf");
+        let mut yarn = ConfigMap::new("yarn");
+        yarn.set("yarn.scheduler.minimum-allocation-mb", "512", "yarn-site");
+        let rules = vec![CoherenceRule {
+            key: "yarn.scheduler.minimum-allocation-mb".into(),
+            why: "both sides size containers from it".into(),
+        }];
+        let findings = audit_coherence(&[&flink, &yarn], &rules);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].detail.contains("disagree"));
+    }
+
+    #[test]
+    fn coherence_audit_flags_missing_values_softly() {
+        let mut a = ConfigMap::new("a");
+        a.set("shared.key", "x", "init");
+        let b = ConfigMap::new("b");
+        let rules = vec![CoherenceRule {
+            key: "shared.key".into(),
+            why: "test".into(),
+        }];
+        let findings = audit_coherence(&[&a, &b], &rules);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, AuditSeverity::Warning);
+        assert!(findings[0].detail.contains("unset in: b"));
+    }
+
+    #[test]
+    fn prefix_rules_match_key_families() {
+        let mut a = ConfigMap::new("a");
+        a.set(
+            "yarn.resource-types.memory-mb.increment-allocation",
+            "512",
+            "a",
+        );
+        let mut b = ConfigMap::new("b");
+        b.set(
+            "yarn.resource-types.memory-mb.increment-allocation",
+            "256",
+            "b",
+        );
+        let rules = vec![CoherenceRule {
+            key: "yarn.resource-types.".into(),
+            why: "allocation rounding".into(),
+        }];
+        assert_eq!(audit_coherence(&[&a, &b], &rules).len(), 1);
+    }
+
+    #[test]
+    fn clean_deployment_audits_clean() {
+        let mut a = ConfigMap::new("a");
+        a.set("k", "same", "init");
+        let mut b = ConfigMap::new("b");
+        b.set("k", "same", "init");
+        let rules = vec![CoherenceRule {
+            key: "k".into(),
+            why: "test".into(),
+        }];
+        assert!(audit_deployment(&[&a, &b], &rules).is_empty());
+    }
+
+    #[test]
+    fn deployment_audit_sorts_critical_first() {
+        let mut a = ConfigMap::new("a");
+        a.set("x", "1", "init");
+        let mut other = ConfigMap::new("o");
+        other.set("x", "2", "init");
+        a.merge(&other, MergePolicy::OursWin, "m"); // Critical (ignore).
+        let b = ConfigMap::new("b");
+        let rules = vec![CoherenceRule {
+            key: "x".into(),
+            why: "test".into(),
+        }];
+        let findings = audit_deployment(&[&a, &b], &rules);
+        assert!(findings.len() >= 2);
+        assert_eq!(findings[0].severity, AuditSeverity::Critical);
+    }
+}

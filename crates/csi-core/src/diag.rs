@@ -1,0 +1,182 @@
+//! Capturable diagnostics emitted by the simulated systems.
+//!
+//! The error-handling oracle of Section 8 accepts an invalid write if the
+//! data is "rejected or corrected with feedback (e.g., log messages)". To
+//! observe that feedback, every simulated system writes warnings into a
+//! shared [`DiagSink`]; the harness drains the sink around each operation.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Level {
+    /// Informational.
+    Info,
+    /// A warning: something was coerced, defaulted, or ignored.
+    Warn,
+    /// An error that was logged but not propagated.
+    Error,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::Info => write!(f, "INFO"),
+            Level::Warn => write!(f, "WARN"),
+            Level::Error => write!(f, "ERROR"),
+        }
+    }
+}
+
+/// One diagnostic record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// The system that emitted the record.
+    pub system: String,
+    /// Severity.
+    pub level: Level,
+    /// Stable machine-readable code (e.g. `NOT_CASE_PRESERVING`).
+    pub code: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.level, self.system, self.code, self.message
+        )
+    }
+}
+
+/// A shared, thread-safe sink of diagnostics.
+///
+/// Cloning is cheap; clones observe the same buffer.
+///
+/// # Examples
+///
+/// ```
+/// use csi_core::diag::{DiagSink, Level};
+///
+/// let sink = DiagSink::new();
+/// let handle = sink.handle("minihive");
+/// handle.warn("COERCED_TO_NULL", "value out of range, wrote NULL");
+/// let drained = sink.drain();
+/// assert_eq!(drained.len(), 1);
+/// assert_eq!(drained[0].code, "COERCED_TO_NULL");
+/// assert!(sink.drain().is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DiagSink {
+    buf: Arc<Mutex<Vec<Diagnostic>>>,
+}
+
+impl DiagSink {
+    /// Creates an empty sink.
+    pub fn new() -> DiagSink {
+        DiagSink::default()
+    }
+
+    /// A handle bound to a system name, for convenient emission.
+    pub fn handle(&self, system: impl Into<String>) -> DiagHandle {
+        DiagHandle {
+            sink: self.clone(),
+            system: system.into(),
+        }
+    }
+
+    /// Appends a diagnostic.
+    pub fn push(&self, d: Diagnostic) {
+        self.buf.lock().push(d);
+    }
+
+    /// Removes and returns all buffered diagnostics.
+    pub fn drain(&self) -> Vec<Diagnostic> {
+        std::mem::take(&mut *self.buf.lock())
+    }
+
+    /// Returns a snapshot without draining.
+    pub fn snapshot(&self) -> Vec<Diagnostic> {
+        self.buf.lock().clone()
+    }
+
+    /// Number of buffered diagnostics.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Whether the sink is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().is_empty()
+    }
+}
+
+/// An emission handle bound to one system name.
+#[derive(Debug, Clone)]
+pub struct DiagHandle {
+    sink: DiagSink,
+    system: String,
+}
+
+impl DiagHandle {
+    /// Emits an informational record.
+    pub fn info(&self, code: impl Into<String>, message: impl Into<String>) {
+        self.emit(Level::Info, code, message);
+    }
+
+    /// Emits a warning.
+    pub fn warn(&self, code: impl Into<String>, message: impl Into<String>) {
+        self.emit(Level::Warn, code, message);
+    }
+
+    /// Emits a logged (non-propagated) error.
+    pub fn error(&self, code: impl Into<String>, message: impl Into<String>) {
+        self.emit(Level::Error, code, message);
+    }
+
+    /// The system name this handle is bound to.
+    pub fn system(&self) -> &str {
+        &self.system
+    }
+
+    fn emit(&self, level: Level, code: impl Into<String>, message: impl Into<String>) {
+        self.sink.push(Diagnostic {
+            system: self.system.clone(),
+            level,
+            code: code.into(),
+            message: message.into(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let sink = DiagSink::new();
+        let clone = sink.clone();
+        sink.handle("a").info("X", "hello");
+        assert_eq!(clone.len(), 1);
+        clone.handle("b").error("Y", "bad");
+        let all = sink.drain();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].system, "a");
+        assert_eq!(all[1].level, Level::Error);
+        assert!(clone.is_empty());
+    }
+
+    #[test]
+    fn snapshot_does_not_drain() {
+        let sink = DiagSink::new();
+        sink.handle("s").warn("W", "w");
+        assert_eq!(sink.snapshot().len(), 1);
+        assert_eq!(sink.snapshot().len(), 1);
+    }
+}

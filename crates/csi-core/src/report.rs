@@ -1,0 +1,248 @@
+//! Discrepancy reports produced by cross-system testing.
+//!
+//! The raw output of the oracles ([`crate::oracle::OracleFailure`]) contains
+//! many test failures per underlying discrepancy (Section 8.2: "There will
+//! be many more test failures produced than the ones listed, but they
+//! correspond to the same discrepancies"). A [`Discrepancy`] is the
+//! deduplicated unit the paper reports — 15 of them on the Spark–Hive data
+//! plane — and a [`DiscrepancyReport`] is the full run summary, serializable
+//! to JSON like the artifact's `*failed.json` files.
+
+use crate::oracle::OracleFailure;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The five problem categories of Section 8.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ProblemCategory {
+    /// "Cannot read what was written" (2/15).
+    CannotReadWritten,
+    /// "Type violations" (2/15).
+    TypeViolation,
+    /// "Exposing internal configurations of the downstream to the upstream"
+    /// (5/15).
+    InternalConfigExposure,
+    /// "Inconsistent error behavior across interfaces" (7/15).
+    InconsistentErrorBehavior,
+    /// "Relying on custom (non-default) configurations" (8/15).
+    CustomConfigReliance,
+}
+
+impl ProblemCategory {
+    /// All categories in the order used by Section 8.2.
+    pub const ALL: [ProblemCategory; 5] = [
+        ProblemCategory::CannotReadWritten,
+        ProblemCategory::TypeViolation,
+        ProblemCategory::InternalConfigExposure,
+        ProblemCategory::InconsistentErrorBehavior,
+        ProblemCategory::CustomConfigReliance,
+    ];
+}
+
+impl fmt::Display for ProblemCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProblemCategory::CannotReadWritten => "Cannot read what was written",
+            ProblemCategory::TypeViolation => "Type violations",
+            ProblemCategory::InternalConfigExposure => {
+                "Exposing internal configurations of the downstream to the upstream"
+            }
+            ProblemCategory::InconsistentErrorBehavior => {
+                "Inconsistent error behavior across interfaces"
+            }
+            ProblemCategory::CustomConfigReliance => {
+                "Relying on custom (non-default) configurations"
+            }
+        };
+        f.write_str(s)
+    }
+}
+
+/// One distinct discrepancy between the interacting systems.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Discrepancy {
+    /// Stable identifier, e.g. `"D01"`.
+    pub id: String,
+    /// The real-world issue key(s) this corresponds to, e.g. `SPARK-39075`.
+    pub issue_keys: Vec<String>,
+    /// One-line description.
+    pub title: String,
+    /// Problem categories (a discrepancy can belong to several).
+    pub categories: Vec<ProblemCategory>,
+    /// The test failures that evidence this discrepancy.
+    pub evidence: Vec<OracleFailure>,
+}
+
+impl Discrepancy {
+    /// Whether the discrepancy belongs to a category.
+    pub fn has_category(&self, c: ProblemCategory) -> bool {
+        self.categories.contains(&c)
+    }
+}
+
+/// Full result of a cross-testing run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DiscrepancyReport {
+    /// Total inputs exercised.
+    pub inputs_total: usize,
+    /// How many inputs were valid.
+    pub inputs_valid: usize,
+    /// How many inputs were invalid.
+    pub inputs_invalid: usize,
+    /// Total observations (input × plan × format runs).
+    pub observations: usize,
+    /// Raw oracle failures before deduplication.
+    pub raw_failures: Vec<OracleFailure>,
+    /// Distinct discrepancies after classification.
+    pub discrepancies: Vec<Discrepancy>,
+    /// Oracle failures the classifier could not attribute (should be empty
+    /// once the discrepancy catalogue is complete).
+    pub unattributed: Vec<OracleFailure>,
+}
+
+impl DiscrepancyReport {
+    /// Number of distinct discrepancies found.
+    pub fn distinct(&self) -> usize {
+        self.discrepancies.len()
+    }
+
+    /// Count of discrepancies per category (categories overlap).
+    pub fn category_counts(&self) -> Vec<(ProblemCategory, usize)> {
+        ProblemCategory::ALL
+            .iter()
+            .map(|&c| {
+                (
+                    c,
+                    self.discrepancies
+                        .iter()
+                        .filter(|d| d.has_category(c))
+                        .count(),
+                )
+            })
+            .collect()
+    }
+
+    /// All issue keys covered by the found discrepancies, sorted.
+    pub fn issue_keys(&self) -> Vec<String> {
+        let set: BTreeSet<String> = self
+            .discrepancies
+            .iter()
+            .flat_map(|d| d.issue_keys.iter().cloned())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cross-testing: {} inputs ({} valid, {} invalid), {} observations\n",
+            self.inputs_total, self.inputs_valid, self.inputs_invalid, self.observations
+        ));
+        out.push_str(&format!(
+            "{} raw oracle failures -> {} distinct discrepancies\n",
+            self.raw_failures.len(),
+            self.distinct()
+        ));
+        for d in &self.discrepancies {
+            out.push_str(&format!(
+                "  {} [{}] {} ({} failures)\n",
+                d.id,
+                d.issue_keys.join(", "),
+                d.title,
+                d.evidence.len()
+            ));
+        }
+        out.push_str("category totals:\n");
+        for (c, n) in self.category_counts() {
+            out.push_str(&format!("  {n:2} x {c}\n"));
+        }
+        if !self.unattributed.is_empty() {
+            out.push_str(&format!(
+                "WARNING: {} unattributed failures\n",
+                self.unattributed.len()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::OracleKind;
+
+    fn failure(input_id: usize) -> OracleFailure {
+        OracleFailure {
+            oracle: OracleKind::Differential,
+            input_id,
+            plans: vec!["A->B".into()],
+            formats: vec!["ORC".into()],
+            detail: "diverged".into(),
+        }
+    }
+
+    fn report() -> DiscrepancyReport {
+        DiscrepancyReport {
+            inputs_total: 10,
+            inputs_valid: 6,
+            inputs_invalid: 4,
+            observations: 240,
+            raw_failures: vec![failure(1), failure(2)],
+            discrepancies: vec![
+                Discrepancy {
+                    id: "D01".into(),
+                    issue_keys: vec!["SPARK-39075".into()],
+                    title: "BYTE/SHORT via Avro cannot be read back".into(),
+                    categories: vec![
+                        ProblemCategory::CannotReadWritten,
+                        ProblemCategory::InternalConfigExposure,
+                    ],
+                    evidence: vec![failure(1)],
+                },
+                Discrepancy {
+                    id: "D05".into(),
+                    issue_keys: vec!["SPARK-40439".into()],
+                    title: "decimal overflow: exception vs NULL".into(),
+                    categories: vec![
+                        ProblemCategory::InconsistentErrorBehavior,
+                        ProblemCategory::CustomConfigReliance,
+                    ],
+                    evidence: vec![failure(2)],
+                },
+            ],
+            unattributed: vec![],
+        }
+    }
+
+    #[test]
+    fn category_counts_allow_overlap() {
+        let r = report();
+        let counts: Vec<usize> = r.category_counts().iter().map(|(_, n)| *n).collect();
+        assert_eq!(counts, vec![1, 0, 1, 1, 1]);
+        assert_eq!(r.distinct(), 2);
+    }
+
+    #[test]
+    fn issue_keys_are_sorted_and_deduped() {
+        let r = report();
+        assert_eq!(r.issue_keys(), vec!["SPARK-39075", "SPARK-40439"]);
+    }
+
+    #[test]
+    fn render_mentions_every_discrepancy() {
+        let text = report().render();
+        assert!(text.contains("D01"));
+        assert!(text.contains("D05"));
+        assert!(text.contains("2 distinct discrepancies"));
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let r = report();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: DiscrepancyReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

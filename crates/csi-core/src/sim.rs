@@ -1,0 +1,292 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! Control-plane CSI failures are timing races: FLINK-12342 (Figure 1) only
+//! manifests when YARN's allocation latency exceeds Flink's 500 ms heartbeat.
+//! Reproducing such races on wall-clock time is flaky; this kernel provides a
+//! virtual clock so the failures replay deterministically and the benchmark
+//! harness can sweep latency parameters.
+//!
+//! The simulator is generic over a world state `S`. Events are closures that
+//! receive `&mut S` and an [`Ops`] handle through which they schedule further
+//! events. Events at equal timestamps fire in scheduling order (FIFO), which
+//! keeps runs reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use csi_core::sim::Sim;
+//!
+//! let mut sim = Sim::new(0u32);
+//! sim.schedule_in(10, |count, ops| {
+//!     *count += 1;
+//!     ops.schedule_in(5, |count, _| *count += 10);
+//! });
+//! sim.run();
+//! assert_eq!(sim.state, 11);
+//! assert_eq!(sim.now(), 15);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time, in milliseconds since simulation start.
+pub type Millis = u64;
+
+type Handler<S> = Box<dyn FnOnce(&mut S, &mut Ops<S>)>;
+
+struct Scheduled<S> {
+    at: Millis,
+    seq: u64,
+    handler: Handler<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Scheduling operations available to an event handler while it runs.
+pub struct Ops<S> {
+    now: Millis,
+    pending: Vec<(Millis, Handler<S>)>,
+    stop: bool,
+}
+
+impl<S> Ops<S> {
+    /// Current virtual time.
+    pub fn now(&self) -> Millis {
+        self.now
+    }
+
+    /// Schedules an event `delay` milliseconds from now.
+    pub fn schedule_in(
+        &mut self,
+        delay: Millis,
+        handler: impl FnOnce(&mut S, &mut Ops<S>) + 'static,
+    ) {
+        self.pending
+            .push((self.now.saturating_add(delay), Box::new(handler)));
+    }
+
+    /// Schedules an event at an absolute virtual time (clamped to now).
+    pub fn schedule_at(&mut self, at: Millis, handler: impl FnOnce(&mut S, &mut Ops<S>) + 'static) {
+        self.pending.push((at.max(self.now), Box::new(handler)));
+    }
+
+    /// Requests that the simulation stop after the current event.
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+/// A discrete-event simulation over world state `S`.
+pub struct Sim<S> {
+    /// The simulated world; freely inspectable between steps.
+    pub state: S,
+    now: Millis,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<S>>>,
+    events_fired: u64,
+    stopped: bool,
+}
+
+impl<S> Sim<S> {
+    /// Creates a simulation at time zero with the given initial state.
+    pub fn new(state: S) -> Sim<S> {
+        Sim {
+            state,
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            events_fired: 0,
+            stopped: false,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Millis {
+        self.now
+    }
+
+    /// Total number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.events_fired
+    }
+
+    /// Whether a handler requested a stop.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Number of events still queued.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event `delay` milliseconds from the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: Millis,
+        handler: impl FnOnce(&mut S, &mut Ops<S>) + 'static,
+    ) {
+        self.push(self.now.saturating_add(delay), Box::new(handler));
+    }
+
+    /// Schedules an event at an absolute virtual time (clamped to now).
+    pub fn schedule_at(&mut self, at: Millis, handler: impl FnOnce(&mut S, &mut Ops<S>) + 'static) {
+        self.push(at.max(self.now), Box::new(handler));
+    }
+
+    fn push(&mut self, at: Millis, handler: Handler<S>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, handler }));
+    }
+
+    /// Fires the next event; returns `false` if the queue was empty or the
+    /// simulation was stopped.
+    pub fn step(&mut self) -> bool {
+        if self.stopped {
+            return false;
+        }
+        let Some(Reverse(next)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = next.at;
+        let mut ops = Ops {
+            now: self.now,
+            pending: Vec::new(),
+            stop: false,
+        };
+        (next.handler)(&mut self.state, &mut ops);
+        self.events_fired += 1;
+        for (at, handler) in ops.pending {
+            self.push(at, handler);
+        }
+        if ops.stop {
+            self.stopped = true;
+        }
+        true
+    }
+
+    /// Runs until the event queue is empty or a handler calls
+    /// [`Ops::stop`]. Returns the final virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `u64::MAX` events, which indicates a runaway schedule.
+    pub fn run(&mut self) -> Millis {
+        while self.step() {}
+        self.now
+    }
+
+    /// Runs until virtual time reaches `deadline` (events at exactly
+    /// `deadline` still fire), the queue drains, or a handler stops the run.
+    /// The clock then advances to `deadline` even if the queue drained early.
+    pub fn run_until(&mut self, deadline: Millis) -> Millis {
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(next)) if next.at <= deadline && !self.stopped => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(deadline);
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new(Vec::<u32>::new());
+        sim.schedule_in(30, |v, _| v.push(3));
+        sim.schedule_in(10, |v, _| v.push(1));
+        sim.schedule_in(20, |v, _| v.push(2));
+        sim.run();
+        assert_eq!(sim.state, vec![1, 2, 3]);
+        assert_eq!(sim.now(), 30);
+        assert_eq!(sim.events_fired(), 3);
+    }
+
+    #[test]
+    fn equal_timestamps_fire_fifo() {
+        let mut sim = Sim::new(Vec::<u32>::new());
+        for i in 0..10 {
+            sim.schedule_in(5, move |v, _| v.push(i));
+        }
+        sim.run();
+        assert_eq!(sim.state, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_recursively() {
+        // A periodic tick that reschedules itself five times.
+        fn tick(count: &mut u32, ops: &mut Ops<u32>) {
+            *count += 1;
+            if *count < 5 {
+                ops.schedule_in(100, tick);
+            }
+        }
+        let mut sim = Sim::new(0u32);
+        sim.schedule_in(100, tick);
+        sim.run();
+        assert_eq!(sim.state, 5);
+        assert_eq!(sim.now(), 500);
+    }
+
+    #[test]
+    fn stop_halts_the_run() {
+        let mut sim = Sim::new(0u32);
+        sim.schedule_in(1, |s, ops| {
+            *s += 1;
+            ops.stop();
+        });
+        sim.schedule_in(2, |s, _| *s += 100);
+        sim.run();
+        assert_eq!(sim.state, 1);
+        assert!(sim.is_stopped());
+        assert_eq!(sim.pending_events(), 1);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Sim::new(Vec::<u64>::new());
+        for t in [10u64, 20, 30, 40] {
+            sim.schedule_in(t, move |v, _| v.push(t));
+        }
+        sim.run_until(25);
+        assert_eq!(sim.state, vec![10, 20]);
+        assert_eq!(sim.pending_events(), 2);
+        sim.run_until(100);
+        assert_eq!(sim.state, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn schedule_at_clamps_to_now() {
+        let mut sim = Sim::new(Vec::<u64>::new());
+        sim.schedule_in(50, |_, ops| {
+            // Scheduling in the past clamps to "now" rather than reordering
+            // history.
+            ops.schedule_at(10, |v, ops| v.push(ops.now()));
+        });
+        sim.run();
+        assert_eq!(sim.state, vec![50]);
+    }
+}

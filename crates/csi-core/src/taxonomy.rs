@@ -1,0 +1,547 @@
+//! The paper's CSI failure taxonomy: symptoms, root-cause discrepancy
+//! patterns, and fix patterns.
+//!
+//! Every enum in this module corresponds to a row dimension of one of the
+//! paper's tables:
+//!
+//! - [`Symptom`] / [`SymptomGroup`] — Table 3;
+//! - [`DataAbstraction`] and [`DataProperty`] — Tables 4 and 5;
+//! - [`DataPattern`] — Table 6;
+//! - [`ConfigPattern`] and [`ConfigScope`] — Table 7 and Finding 8;
+//! - [`MonitoringPattern`] — Section 6.2.2;
+//! - [`ControlPattern`] and [`ApiMisuse`] — Table 8 and Finding 11;
+//! - [`FixPattern`] and [`FixLocation`] — Table 9 and Finding 13.
+//!
+//! [`RootCause`] ties the per-plane dimensions together so a single failure
+//! record can be classified consistently across all tables.
+
+use crate::plane::Plane;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Grouping of failure symptoms used by Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SymptomGroup {
+    /// The whole system (or one of the interacting systems) is affected.
+    System,
+    /// A job or task is affected while the systems stay up.
+    JobTask,
+    /// The effect is on operation: observability, behavior, performance.
+    Operation,
+}
+
+impl fmt::Display for SymptomGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymptomGroup::System => write!(f, "System"),
+            SymptomGroup::JobTask => write!(f, "Job/Task"),
+            SymptomGroup::Operation => write!(f, "Operation"),
+        }
+    }
+}
+
+/// Failure symptom (impact) of a CSI failure, per Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Symptom {
+    /// System-level runtime crash or hang.
+    RuntimeCrashHang,
+    /// System fails to start.
+    StartupFailure,
+    /// System-level performance degradation.
+    SystemPerformance,
+    /// System-level data loss.
+    SystemDataLoss,
+    /// System-level unexpected behavior.
+    SystemUnexpectedBehavior,
+    /// A submitted job or task fails.
+    JobTaskFailure,
+    /// A job or task fails to start.
+    JobTaskStartupFailure,
+    /// A job or task completes with wrong results.
+    WrongResults,
+    /// Job-level data loss.
+    JobDataLoss,
+    /// Job-level performance issues.
+    JobPerformance,
+    /// Usability issue surfaced to the job owner.
+    UsabilityIssue,
+    /// A job or task crashes or hangs mid-run.
+    JobTaskCrashHang,
+    /// Metrics, logs, or status signals are lost or wrong.
+    ReducedObservability,
+    /// Operationally unexpected behavior.
+    OperationUnexpectedBehavior,
+    /// Operation-level performance issue.
+    OperationPerformance,
+}
+
+impl Symptom {
+    /// All symptoms in the order used by Table 3.
+    pub const ALL: [Symptom; 15] = [
+        Symptom::RuntimeCrashHang,
+        Symptom::StartupFailure,
+        Symptom::SystemPerformance,
+        Symptom::SystemDataLoss,
+        Symptom::SystemUnexpectedBehavior,
+        Symptom::JobTaskFailure,
+        Symptom::JobTaskStartupFailure,
+        Symptom::WrongResults,
+        Symptom::JobDataLoss,
+        Symptom::JobPerformance,
+        Symptom::UsabilityIssue,
+        Symptom::JobTaskCrashHang,
+        Symptom::ReducedObservability,
+        Symptom::OperationUnexpectedBehavior,
+        Symptom::OperationPerformance,
+    ];
+
+    /// The Table 3 group this symptom belongs to.
+    pub fn group(self) -> SymptomGroup {
+        match self {
+            Symptom::RuntimeCrashHang
+            | Symptom::StartupFailure
+            | Symptom::SystemPerformance
+            | Symptom::SystemDataLoss
+            | Symptom::SystemUnexpectedBehavior => SymptomGroup::System,
+            Symptom::JobTaskFailure
+            | Symptom::JobTaskStartupFailure
+            | Symptom::WrongResults
+            | Symptom::JobDataLoss
+            | Symptom::JobPerformance
+            | Symptom::UsabilityIssue => SymptomGroup::JobTask,
+            Symptom::JobTaskCrashHang
+            | Symptom::ReducedObservability
+            | Symptom::OperationUnexpectedBehavior
+            | Symptom::OperationPerformance => SymptomGroup::Operation,
+        }
+    }
+
+    /// Whether the paper counts this symptom as "crashing behavior"
+    /// (Finding 3: 89/120 failures crash).
+    pub fn is_crashing(self) -> bool {
+        matches!(
+            self,
+            Symptom::RuntimeCrashHang
+                | Symptom::StartupFailure
+                | Symptom::JobTaskFailure
+                | Symptom::JobTaskStartupFailure
+                | Symptom::JobTaskCrashHang
+        )
+    }
+}
+
+impl fmt::Display for Symptom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Symptom::RuntimeCrashHang => "Runtime crash/hang",
+            Symptom::StartupFailure => "Startup failure",
+            Symptom::SystemPerformance => "Performance issue",
+            Symptom::SystemDataLoss => "Data loss",
+            Symptom::SystemUnexpectedBehavior => "Unexpected behavior",
+            Symptom::JobTaskFailure => "Job/task failure",
+            Symptom::JobTaskStartupFailure => "Job/task startup failure",
+            Symptom::WrongResults => "Wrong results",
+            Symptom::JobDataLoss => "Data loss",
+            Symptom::JobPerformance => "Performance issues",
+            Symptom::UsabilityIssue => "Usability issue",
+            Symptom::JobTaskCrashHang => "Job/task crash/hang",
+            Symptom::ReducedObservability => "Reduced observability",
+            Symptom::OperationUnexpectedBehavior => "Unexpected behavior",
+            Symptom::OperationPerformance => "Performance issue",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Data abstraction in which a data-plane discrepancy is rooted (Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataAbstraction {
+    /// Structured tables (schemas, columns).
+    Table,
+    /// Files and file systems.
+    File,
+    /// Data streams.
+    Stream,
+    /// Key-value tuples.
+    KvTuple,
+}
+
+impl DataAbstraction {
+    /// All abstractions in Table 5 row order.
+    pub const ALL: [DataAbstraction; 4] = [
+        DataAbstraction::Table,
+        DataAbstraction::File,
+        DataAbstraction::Stream,
+        DataAbstraction::KvTuple,
+    ];
+}
+
+impl fmt::Display for DataAbstraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataAbstraction::Table => "Table",
+            DataAbstraction::File => "File",
+            DataAbstraction::Stream => "Stream",
+            DataAbstraction::KvTuple => "KV Tuple",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Data property in which a data-plane discrepancy is rooted (Tables 4 and 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataProperty {
+    /// Name, identifier, or address of the data.
+    Address,
+    /// Data schema: structure representation and serialization.
+    SchemaStructure,
+    /// Data schema: values and their interpretation (type, encoding).
+    SchemaValue,
+    /// Custom metadata explicitly defined by the data store
+    /// (e.g. `isCompressed`, `isPresentLocally`).
+    CustomProperty,
+    /// Data operation semantics (e.g. concurrency support, element ordering).
+    ApiSemantics,
+}
+
+impl DataProperty {
+    /// All properties in Table 5 column order.
+    pub const ALL: [DataProperty; 5] = [
+        DataProperty::Address,
+        DataProperty::SchemaStructure,
+        DataProperty::SchemaValue,
+        DataProperty::CustomProperty,
+        DataProperty::ApiSemantics,
+    ];
+
+    /// Whether the paper classifies this property as *metadata*
+    /// (Finding 4: 50/61 data-plane failures are metadata-caused).
+    pub fn is_metadata(self) -> bool {
+        !matches!(self, DataProperty::ApiSemantics)
+    }
+
+    /// Whether this is "typical" metadata (addresses/names and schemas) as
+    /// opposed to custom metadata (Finding 4: 42/61 vs 8/61).
+    pub fn is_typical_metadata(self) -> bool {
+        matches!(
+            self,
+            DataProperty::Address | DataProperty::SchemaStructure | DataProperty::SchemaValue
+        )
+    }
+}
+
+impl fmt::Display for DataProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataProperty::Address => "Address",
+            DataProperty::SchemaStructure => "Schema (structure)",
+            DataProperty::SchemaValue => "Schema (value)",
+            DataProperty::CustomProperty => "Custom property",
+            DataProperty::ApiSemantics => "API semantics",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Discrepancy pattern of a data-plane CSI failure (Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataPattern {
+    /// Data is serialized/deserialized or type-cast in conflicting ways by
+    /// the interacting systems (e.g. FLINK-17189).
+    TypeConfusion,
+    /// One of the interacting systems fails to support certain data
+    /// operations (e.g. SPARK-18910).
+    UnsupportedOperation,
+    /// The interacting systems use different conventions for data operation
+    /// (e.g. SPARK-21686).
+    UnspokenConvention,
+    /// Undefined values are interpreted differently (e.g. `-1` file length,
+    /// SPARK-27239).
+    UndefinedValue,
+    /// The data consumer makes wrong assumptions about the data operation
+    /// (e.g. SPARK-19361: Kafka offsets assumed contiguous).
+    WrongApiAssumption,
+}
+
+impl DataPattern {
+    /// All patterns in Table 6 row order.
+    pub const ALL: [DataPattern; 5] = [
+        DataPattern::TypeConfusion,
+        DataPattern::UnsupportedOperation,
+        DataPattern::UnspokenConvention,
+        DataPattern::UndefinedValue,
+        DataPattern::WrongApiAssumption,
+    ];
+}
+
+impl fmt::Display for DataPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataPattern::TypeConfusion => "Type confusion",
+            DataPattern::UnsupportedOperation => "Unsupported operations",
+            DataPattern::UnspokenConvention => "Unspoken convention",
+            DataPattern::UndefinedValue => "Undefined values",
+            DataPattern::WrongApiAssumption => "Wrong API assumptions",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Discrepancy pattern of a configuration-related CSI failure (Table 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ConfigPattern {
+    /// Configuration settings are incorrectly ignored (e.g. SPARK-10181).
+    Ignorance,
+    /// Configuration settings are incorrectly overruled (e.g. SPARK-16901).
+    UnexpectedOverride,
+    /// Configuration values are wrong in a CSI context but would be correct
+    /// in another context (e.g. FLINK-19141).
+    InconsistentContext,
+    /// Configuration errors break the CSI code itself (e.g. SPARK-15046).
+    MishandledValue,
+}
+
+impl ConfigPattern {
+    /// All patterns in Table 7 row order.
+    pub const ALL: [ConfigPattern; 4] = [
+        ConfigPattern::Ignorance,
+        ConfigPattern::UnexpectedOverride,
+        ConfigPattern::InconsistentContext,
+        ConfigPattern::MishandledValue,
+    ];
+}
+
+impl fmt::Display for ConfigPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConfigPattern::Ignorance => "Ignorance",
+            ConfigPattern::UnexpectedOverride => "Unexpected override",
+            ConfigPattern::InconsistentContext => "Inconsistent context",
+            ConfigPattern::MishandledValue => "Mishandling configuration values",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Scope of a configuration-related CSI failure (Finding 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConfigScope {
+    /// The issue concerns a specific configuration parameter.
+    Parameter,
+    /// The issue lies in the configuration-management components of the
+    /// involved systems (e.g. HIVE-11250).
+    Component,
+}
+
+/// Pattern of a monitoring-related CSI failure (Section 6.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MonitoringPattern {
+    /// Observability is impaired: metrics/logs/status not stored, not
+    /// propagated, or misreported (e.g. SPARK-10851, SPARK-3627).
+    ImpairedObservability,
+    /// Discrepant policies trigger cross-system monitoring *actions*
+    /// (e.g. FLINK-887: YARN's pmem monitor kills Flink's JobManager).
+    ActionTriggering,
+}
+
+/// Sub-pattern of control-plane API misuse (Finding 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ApiMisuse {
+    /// Violation of implicit API semantics: synchrony, ordering,
+    /// thread safety (e.g. FLINK-12342).
+    ImplicitSemantics,
+    /// API invoked in the wrong context (e.g. FLINK-5542, FLINK-4155).
+    WrongContext,
+}
+
+/// Discrepancy pattern of a control-plane CSI failure (Table 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControlPattern {
+    /// Upstream violates semantics of downstream APIs.
+    ApiSemanticViolation(ApiMisuse),
+    /// Interacting systems hold inconsistent views of states or resources
+    /// (e.g. HBASE-537: NameNode safe mode).
+    StateResourceInconsistency,
+    /// Upstream assumes feature consistency across downstream
+    /// versions/configurations (e.g. YARN-9724).
+    FeatureInconsistency,
+}
+
+impl fmt::Display for ControlPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ControlPattern::ApiSemanticViolation(_) => "API semantic violation",
+            ControlPattern::StateResourceInconsistency => "State/resource inconsistency",
+            ControlPattern::FeatureInconsistency => "Feature inconsistency",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Root cause of a CSI failure: the discrepancy, classified per plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RootCause {
+    /// Data-plane discrepancy (Section 6.1).
+    Data {
+        /// The abstraction the data takes (Table 5 rows).
+        abstraction: DataAbstraction,
+        /// The property in which the discrepancy lies (Table 5 columns).
+        property: DataProperty,
+        /// The discrepancy pattern (Table 6).
+        pattern: DataPattern,
+        /// Whether the failure is root-caused by ad-hoc data serialization
+        /// (Finding 6: 15/61).
+        serialization_rooted: bool,
+    },
+    /// Management-plane configuration discrepancy (Section 6.2.1).
+    Config {
+        /// The discrepancy pattern (Table 7).
+        pattern: ConfigPattern,
+        /// Parameter- vs component-scoped (Finding 8).
+        scope: ConfigScope,
+    },
+    /// Management-plane monitoring discrepancy (Section 6.2.2).
+    Monitoring {
+        /// The monitoring discrepancy pattern.
+        pattern: MonitoringPattern,
+    },
+    /// Control-plane discrepancy (Section 6.3).
+    Control {
+        /// The discrepancy pattern (Table 8).
+        pattern: ControlPattern,
+    },
+}
+
+impl RootCause {
+    /// The plane on which this root cause manifests.
+    pub fn plane(&self) -> Plane {
+        match self {
+            RootCause::Data { .. } => Plane::Data,
+            RootCause::Config { .. } | RootCause::Monitoring { .. } => Plane::Management,
+            RootCause::Control { .. } => Plane::Control,
+        }
+    }
+}
+
+/// Fix pattern applied to a CSI failure (Table 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FixPattern {
+    /// Check specific conditions to avoid CSI issues (e.g. SPARK-27239).
+    Checking,
+    /// Add or improve exception handling of CSI issues (e.g. FLINK-3081).
+    ErrorHandling,
+    /// Fix the cross-system interaction code itself (e.g. FLINK-12342).
+    Interaction,
+    /// No merged fix, or a documentation-only fix.
+    Other,
+}
+
+impl FixPattern {
+    /// All fix patterns in Table 9 row order.
+    pub const ALL: [FixPattern; 4] = [
+        FixPattern::Checking,
+        FixPattern::ErrorHandling,
+        FixPattern::Interaction,
+        FixPattern::Other,
+    ];
+}
+
+impl fmt::Display for FixPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FixPattern::Checking => "Checking",
+            FixPattern::ErrorHandling => "Error handling",
+            FixPattern::Interaction => "Interaction",
+            FixPattern::Other => "Others",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Where the fix landed (Finding 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FixLocation {
+    /// Upstream code specific to the downstream, inside a dedicated
+    /// connector/handler/client module (68/79 cases).
+    UpstreamConnector,
+    /// Upstream code specific to the downstream but not modularized
+    /// (11/79 cases).
+    UpstreamSpecific,
+    /// Upstream generic code shared across downstream systems
+    /// (36 cases, e.g. SPARK-10122).
+    UpstreamGeneric,
+    /// The downstream system fixed an API contract violation
+    /// (1 case: YARN-9724).
+    Downstream,
+    /// No merged code fix.
+    None,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symptom_groups_partition_all_symptoms() {
+        let mut by_group = [0usize; 3];
+        for s in Symptom::ALL {
+            match s.group() {
+                SymptomGroup::System => by_group[0] += 1,
+                SymptomGroup::JobTask => by_group[1] += 1,
+                SymptomGroup::Operation => by_group[2] += 1,
+            }
+        }
+        assert_eq!(by_group, [5, 6, 4]);
+    }
+
+    #[test]
+    fn crashing_symptoms_match_finding_3() {
+        let crashing: Vec<Symptom> = Symptom::ALL
+            .into_iter()
+            .filter(|s| s.is_crashing())
+            .collect();
+        assert_eq!(
+            crashing,
+            [
+                Symptom::RuntimeCrashHang,
+                Symptom::StartupFailure,
+                Symptom::JobTaskFailure,
+                Symptom::JobTaskStartupFailure,
+                Symptom::JobTaskCrashHang,
+            ]
+        );
+    }
+
+    #[test]
+    fn metadata_classification_matches_finding_4() {
+        assert!(DataProperty::Address.is_metadata());
+        assert!(DataProperty::Address.is_typical_metadata());
+        assert!(DataProperty::CustomProperty.is_metadata());
+        assert!(!DataProperty::CustomProperty.is_typical_metadata());
+        assert!(!DataProperty::ApiSemantics.is_metadata());
+    }
+
+    #[test]
+    fn root_cause_plane_mapping() {
+        let data = RootCause::Data {
+            abstraction: DataAbstraction::Table,
+            property: DataProperty::SchemaValue,
+            pattern: DataPattern::TypeConfusion,
+            serialization_rooted: true,
+        };
+        assert_eq!(data.plane(), Plane::Data);
+        let cfg = RootCause::Config {
+            pattern: ConfigPattern::Ignorance,
+            scope: ConfigScope::Parameter,
+        };
+        assert_eq!(cfg.plane(), Plane::Management);
+        let mon = RootCause::Monitoring {
+            pattern: MonitoringPattern::ActionTriggering,
+        };
+        assert_eq!(mon.plane(), Plane::Management);
+        let ctl = RootCause::Control {
+            pattern: ControlPattern::FeatureInconsistency,
+        };
+        assert_eq!(ctl.plane(), Plane::Control);
+    }
+}

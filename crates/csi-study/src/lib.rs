@@ -1,0 +1,19 @@
+//! `csi-study` — the failure-study dataset and analysis (Sections 3–7).
+//!
+//! Encodes the paper's three datasets — 55 cloud incident reports, the
+//! 120-case open-source CSI failure dataset, and the 105-issue CBS
+//! comparison sample — and regenerates every table (1–9) and finding (1–13).
+//!
+//! The paper's per-row labels are only public in aggregate; rows explicitly
+//! named in the paper carry their real issue keys and metadata, and the
+//! remainder are reconstructed (`synthetic: true`) so that all published
+//! aggregates hold exactly. See DESIGN.md for the reconstruction rules.
+
+pub mod analyze;
+pub mod cbs;
+pub mod findings;
+pub mod incidents;
+pub mod records;
+pub mod render;
+
+pub use records::{CsiCase, Dataset};

@@ -1,0 +1,1023 @@
+//! The 120-case open-source CSI failure dataset (Section 4).
+//!
+//! The paper's per-row labels are public only in aggregate form (the
+//! artifact repository is not reachable offline), so this module
+//! *reconstructs* the dataset: the ~25 issues the paper names explicitly
+//! carry their real keys and the classifications the paper gives them; the
+//! remaining rows are synthetic (`synthetic: true`) and are generated so
+//! that **every published aggregate holds exactly** — Table 1 (pairs),
+//! Table 2 (planes), Table 3 (symptoms), Tables 4–6 (data-plane root
+//! causes), Table 7 + Finding 8 (configuration), Table 8 + Finding 11
+//! (control plane), Table 9 + Finding 13 (fixes), and Findings 3–6.
+//!
+//! The reconstruction is validated by the `analyze` module's tests and by
+//! the integration suite, which assert each marginal against the paper.
+
+use csi_core::plane::{InteractionKind, Plane, SystemId};
+use csi_core::taxonomy::{
+    ApiMisuse, ConfigPattern, ConfigScope, ControlPattern, DataAbstraction, DataPattern,
+    DataProperty, FixLocation, FixPattern, MonitoringPattern, RootCause, Symptom,
+};
+use serde::Serialize;
+
+/// One CSI failure case.
+#[derive(Debug, Clone, Serialize)]
+pub struct CsiCase {
+    /// Issue key (`SPARK-27239`) or a synthetic id (`SYN-...`).
+    pub key: String,
+    /// The system initiating the interaction.
+    pub upstream: SystemId,
+    /// The system serving it.
+    pub downstream: SystemId,
+    /// The interaction channel (Table 1).
+    pub channel: InteractionKind,
+    /// Failure symptom (Table 3).
+    pub symptom: Symptom,
+    /// Root-cause discrepancy, classified per plane (Tables 4–8).
+    pub root_cause: RootCause,
+    /// Fix pattern (Table 9).
+    pub fix: FixPattern,
+    /// Where the fix landed (Finding 13).
+    pub fix_location: FixLocation,
+    /// Whether this row is reconstructed rather than paper-named.
+    pub synthetic: bool,
+    /// One-line description.
+    pub note: String,
+}
+
+impl CsiCase {
+    /// The failure plane.
+    pub fn plane(&self) -> Plane {
+        self.root_cause.plane()
+    }
+}
+
+/// The full dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct Dataset {
+    /// All 120 cases.
+    pub cases: Vec<CsiCase>,
+}
+
+/// What kind of case a slot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotKind {
+    DataTable,
+    DataFile,
+    DataStream,
+    Config,
+    Monitoring,
+    Control,
+}
+
+/// Per-pair slot allocation:
+/// (upstream, downstream, channel, table, file, stream, config, monitoring,
+/// control). Row order matches Table 1.
+const SLOTS: &[(
+    SystemId,
+    SystemId,
+    InteractionKind,
+    [usize; 6], // table, file, stream, config, monitoring, control
+)] = &[
+    (
+        SystemId::Spark,
+        SystemId::Hive,
+        InteractionKind::DataTables,
+        [24, 0, 0, 2, 0, 0],
+    ),
+    (
+        SystemId::Spark,
+        SystemId::Yarn,
+        InteractionKind::ControlResources,
+        [0, 0, 0, 7, 3, 9],
+    ),
+    (
+        SystemId::Spark,
+        SystemId::Hdfs,
+        InteractionKind::DataFiles,
+        [0, 7, 0, 1, 0, 0],
+    ),
+    (
+        SystemId::Spark,
+        SystemId::Kafka,
+        InteractionKind::DataStreaming,
+        [0, 0, 3, 2, 0, 0],
+    ),
+    (
+        SystemId::Flink,
+        SystemId::Kafka,
+        InteractionKind::DataStreaming,
+        [3, 0, 4, 4, 0, 1],
+    ),
+    (
+        SystemId::Flink,
+        SystemId::Yarn,
+        InteractionKind::ControlResources,
+        [0, 0, 0, 5, 3, 6],
+    ),
+    (
+        SystemId::Flink,
+        SystemId::Hive,
+        InteractionKind::DataTables,
+        [8, 0, 0, 0, 0, 0],
+    ),
+    (
+        SystemId::Flink,
+        SystemId::Hdfs,
+        InteractionKind::DataFiles,
+        [0, 3, 0, 0, 0, 0],
+    ),
+    (
+        SystemId::Hive,
+        SystemId::Spark,
+        InteractionKind::ControlCompute,
+        [0, 0, 0, 3, 2, 1],
+    ),
+    (
+        SystemId::Hive,
+        SystemId::HBase,
+        InteractionKind::DataKeyValue,
+        [0, 0, 0, 3, 0, 0],
+    ),
+    (
+        SystemId::Hive,
+        SystemId::Hdfs,
+        InteractionKind::DataFiles,
+        [0, 4, 0, 2, 0, 0],
+    ),
+    (
+        SystemId::Hive,
+        SystemId::Kafka,
+        InteractionKind::DataStreaming,
+        [0, 0, 1, 0, 0, 0],
+    ),
+    (
+        SystemId::Hive,
+        SystemId::Yarn,
+        InteractionKind::ControlResources,
+        [0, 0, 0, 0, 1, 1],
+    ),
+    (
+        SystemId::HBase,
+        SystemId::Hdfs,
+        InteractionKind::DataFiles,
+        [0, 2, 0, 0, 0, 2],
+    ),
+    (
+        SystemId::Yarn,
+        SystemId::Hdfs,
+        InteractionKind::DataFiles,
+        [0, 2, 0, 1, 0, 0],
+    ),
+];
+
+/// A data-plane attribute bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DataSpec {
+    property: DataProperty,
+    pattern: DataPattern,
+    serialization: bool,
+}
+
+struct Pools {
+    table: Vec<DataSpec>,
+    file: Vec<DataSpec>,
+    stream: Vec<DataSpec>,
+    config: Vec<(ConfigPattern, ConfigScope)>,
+    monitoring: Vec<MonitoringPattern>,
+    control: Vec<ControlPattern>,
+    symptoms: Vec<Symptom>,
+    fixes: Vec<(FixPattern, FixLocation)>,
+}
+
+fn repeat<T: Copy>(spec: &[(T, usize)]) -> Vec<T> {
+    let mut out = Vec::new();
+    for (item, n) in spec {
+        for _ in 0..*n {
+            out.push(*item);
+        }
+    }
+    out
+}
+
+fn data_spec(property: DataProperty, pattern: DataPattern, serialization: bool) -> DataSpec {
+    DataSpec {
+        property,
+        pattern,
+        serialization,
+    }
+}
+
+impl Pools {
+    /// Builds the attribute pools so that Tables 3–9 hold exactly.
+    fn new() -> Pools {
+        use DataPattern as DP;
+        use DataProperty as Pr;
+        // Table-abstraction cases (35): Table 5 row "Table" =
+        // Address 1, Struct 13, Value 16, API 5; Table 6 and Finding 6
+        // respected via the per-cell pattern/serialization mix.
+        let table = repeat(&[
+            (data_spec(Pr::SchemaValue, DP::TypeConfusion, true), 9),
+            (
+                data_spec(Pr::SchemaValue, DP::UnsupportedOperation, false),
+                4,
+            ),
+            (data_spec(Pr::SchemaValue, DP::UndefinedValue, false), 3),
+            (
+                data_spec(Pr::SchemaStructure, DP::UnspokenConvention, true),
+                4,
+            ),
+            (
+                data_spec(Pr::SchemaStructure, DP::UnspokenConvention, false),
+                3,
+            ),
+            (
+                data_spec(Pr::SchemaStructure, DP::UnsupportedOperation, false),
+                4,
+            ),
+            (data_spec(Pr::SchemaStructure, DP::TypeConfusion, false), 2),
+            (data_spec(Pr::Address, DP::UnspokenConvention, false), 1),
+            (
+                data_spec(Pr::ApiSemantics, DP::WrongApiAssumption, false),
+                5,
+            ),
+        ]);
+        // File-abstraction cases (18): Address 8, Custom 8, API 2.
+        let file = repeat(&[
+            (data_spec(Pr::Address, DP::UnspokenConvention, false), 1),
+            (data_spec(Pr::Address, DP::UnsupportedOperation, false), 4),
+            (data_spec(Pr::Address, DP::WrongApiAssumption, false), 3),
+            (data_spec(Pr::CustomProperty, DP::UndefinedValue, false), 4),
+            (
+                data_spec(Pr::CustomProperty, DP::WrongApiAssumption, false),
+                4,
+            ),
+            (
+                data_spec(Pr::ApiSemantics, DP::WrongApiAssumption, false),
+                2,
+            ),
+        ]);
+        // Stream-abstraction cases (8): Address 1, Struct 1, Value 2, API 4.
+        let stream = repeat(&[
+            (data_spec(Pr::Address, DP::UnsupportedOperation, false), 1),
+            (data_spec(Pr::SchemaStructure, DP::TypeConfusion, false), 1),
+            (
+                data_spec(Pr::SchemaValue, DP::UnsupportedOperation, true),
+                2,
+            ),
+            (
+                data_spec(Pr::ApiSemantics, DP::WrongApiAssumption, false),
+                4,
+            ),
+        ]);
+        // Configuration cases (30): Table 7 patterns 12/6/10/2 and
+        // Finding 8 scopes 21 parameter / 9 component.
+        let config = repeat(&[
+            ((ConfigPattern::Ignorance, ConfigScope::Parameter), 8),
+            ((ConfigPattern::Ignorance, ConfigScope::Component), 4),
+            (
+                (ConfigPattern::UnexpectedOverride, ConfigScope::Parameter),
+                5,
+            ),
+            (
+                (ConfigPattern::UnexpectedOverride, ConfigScope::Component),
+                1,
+            ),
+            (
+                (ConfigPattern::InconsistentContext, ConfigScope::Parameter),
+                7,
+            ),
+            (
+                (ConfigPattern::InconsistentContext, ConfigScope::Component),
+                3,
+            ),
+            ((ConfigPattern::MishandledValue, ConfigScope::Parameter), 1),
+            ((ConfigPattern::MishandledValue, ConfigScope::Component), 1),
+        ]);
+        // Monitoring cases (9): Section 6.2.2's two patterns.
+        let monitoring = repeat(&[
+            (MonitoringPattern::ImpairedObservability, 6),
+            (MonitoringPattern::ActionTriggering, 3),
+        ]);
+        // Control cases (20): Table 8 = 13 (8 implicit + 5 context) / 5 / 2.
+        let control = repeat(&[
+            (
+                ControlPattern::ApiSemanticViolation(ApiMisuse::ImplicitSemantics),
+                8,
+            ),
+            (
+                ControlPattern::ApiSemanticViolation(ApiMisuse::WrongContext),
+                5,
+            ),
+            (ControlPattern::StateResourceInconsistency, 5),
+            (ControlPattern::FeatureInconsistency, 2),
+        ]);
+        // Symptoms (120): Table 3. Two cell values ("Data loss" = 1 and
+        // "Performance issues" = 3 in the Job/Task group) are illegible in
+        // our source text and reconstructed so the published totals hold
+        // (120 cases, 89 crashing, group sums 20/61/39) — see DESIGN.md.
+        let symptoms = repeat(&[
+            (Symptom::RuntimeCrashHang, 8),
+            (Symptom::StartupFailure, 4),
+            (Symptom::SystemPerformance, 3),
+            (Symptom::SystemDataLoss, 2),
+            (Symptom::SystemUnexpectedBehavior, 3),
+            (Symptom::JobTaskFailure, 47),
+            (Symptom::JobTaskStartupFailure, 6),
+            (Symptom::WrongResults, 3),
+            (Symptom::JobDataLoss, 1),
+            (Symptom::JobPerformance, 3),
+            (Symptom::UsabilityIssue, 1),
+            (Symptom::JobTaskCrashHang, 24),
+            (Symptom::ReducedObservability, 8),
+            (Symptom::OperationUnexpectedBehavior, 5),
+            (Symptom::OperationPerformance, 2),
+        ]);
+        // Fixes (120): Table 9 patterns 38/8/69/5; Finding 13 locations
+        // 68 connector / 11 specific / 35 generic / 1 downstream / 5 none.
+        let fixes = repeat(&[
+            ((FixPattern::Checking, FixLocation::UpstreamConnector), 24),
+            ((FixPattern::Checking, FixLocation::UpstreamSpecific), 3),
+            ((FixPattern::Checking, FixLocation::UpstreamGeneric), 11),
+            (
+                (FixPattern::ErrorHandling, FixLocation::UpstreamConnector),
+                5,
+            ),
+            ((FixPattern::ErrorHandling, FixLocation::UpstreamGeneric), 3),
+            (
+                (FixPattern::Interaction, FixLocation::UpstreamConnector),
+                39,
+            ),
+            ((FixPattern::Interaction, FixLocation::UpstreamSpecific), 8),
+            ((FixPattern::Interaction, FixLocation::UpstreamGeneric), 21),
+            ((FixPattern::Interaction, FixLocation::Downstream), 1),
+            ((FixPattern::Other, FixLocation::None), 5),
+        ]);
+        Pools {
+            table,
+            file,
+            stream,
+            config,
+            monitoring,
+            control,
+            symptoms,
+            fixes,
+        }
+    }
+
+    fn take<T: PartialEq + Copy>(pool: &mut Vec<T>, wanted: T, what: &str) -> T {
+        let idx = pool
+            .iter()
+            .position(|x| *x == wanted)
+            .unwrap_or_else(|| panic!("pool exhausted for {what}"));
+        pool.remove(idx)
+    }
+}
+
+/// A paper-named case: full record except pair/channel (looked up from the
+/// slot table) and bookkeeping.
+struct RealCase {
+    key: &'static str,
+    upstream: SystemId,
+    downstream: SystemId,
+    kind: SlotKind,
+    symptom: Symptom,
+    data: Option<DataSpec>,
+    config: Option<(ConfigPattern, ConfigScope)>,
+    monitoring: Option<MonitoringPattern>,
+    control: Option<ControlPattern>,
+    fix: (FixPattern, FixLocation),
+    note: &'static str,
+}
+
+fn real_cases() -> Vec<RealCase> {
+    use ConfigPattern as CP;
+    use ConfigScope as CS;
+    use DataPattern as DP;
+    use DataProperty as Pr;
+    use FixLocation as FL;
+    use FixPattern as FP;
+    use SlotKind as K;
+    use SystemId::*;
+    vec![
+        RealCase {
+            key: "SPARK-27239",
+            upstream: Spark,
+            downstream: Hdfs,
+            kind: K::DataFile,
+            symptom: Symptom::JobTaskFailure,
+            data: Some(data_spec(Pr::CustomProperty, DP::UndefinedValue, false)),
+            config: None,
+            monitoring: None,
+            control: None,
+            fix: (FP::Checking, FL::UpstreamConnector),
+            note: "Spark asserts file length >= 0; HDFS reports -1 for compressed data (Fig. 2/4)",
+        },
+        RealCase {
+            key: "SPARK-18910",
+            upstream: Spark,
+            downstream: Hdfs,
+            kind: K::DataFile,
+            symptom: Symptom::JobTaskFailure,
+            data: Some(data_spec(Pr::Address, DP::UnsupportedOperation, false)),
+            config: None,
+            monitoring: None,
+            control: None,
+            fix: (FP::Interaction, FL::UpstreamConnector),
+            note: "Spark SQL did not support UDFs stored as jar files in HDFS",
+        },
+        RealCase {
+            key: "SPARK-21686",
+            upstream: Spark,
+            downstream: Hive,
+            kind: K::DataTable,
+            symptom: Symptom::JobTaskFailure,
+            data: Some(data_spec(Pr::SchemaStructure, DP::UnspokenConvention, true)),
+            config: None,
+            monitoring: None,
+            control: None,
+            fix: (FP::Interaction, FL::UpstreamConnector),
+            note: "Spark failed to read column names in ORC files written by Hive",
+        },
+        RealCase {
+            key: "SPARK-21150",
+            upstream: Spark,
+            downstream: Hive,
+            kind: K::DataTable,
+            symptom: Symptom::WrongResults,
+            data: Some(data_spec(Pr::SchemaStructure, DP::UnspokenConvention, false)),
+            config: None,
+            monitoring: None,
+            control: None,
+            fix: (FP::Checking, FL::UpstreamGeneric),
+            note: "A code change lost case sensitivity between the interacting systems",
+        },
+        RealCase {
+            key: "FLINK-17189",
+            upstream: Flink,
+            downstream: Hive,
+            kind: K::DataTable,
+            symptom: Symptom::JobTaskFailure,
+            data: Some(data_spec(Pr::SchemaValue, DP::TypeConfusion, true)),
+            config: None,
+            monitoring: None,
+            control: None,
+            fix: (FP::Interaction, FL::UpstreamConnector),
+            note: "Flink did not translate TIMESTAMP of Hive Catalog back to PROCTIME",
+        },
+        RealCase {
+            key: "SPARK-19361",
+            upstream: Spark,
+            downstream: Kafka,
+            kind: K::DataStream,
+            symptom: Symptom::JobTaskCrashHang,
+            data: Some(data_spec(Pr::ApiSemantics, DP::WrongApiAssumption, false)),
+            config: None,
+            monitoring: None,
+            control: None,
+            fix: (FP::Interaction, FL::UpstreamConnector),
+            note: "Spark assumed Kafka offsets always increment by 1 (compaction breaks it)",
+        },
+        RealCase {
+            key: "SPARK-10122",
+            upstream: Spark,
+            downstream: Kafka,
+            kind: K::DataStream,
+            symptom: Symptom::JobDataLoss,
+            data: Some(data_spec(Pr::SchemaValue, DP::UnsupportedOperation, true)),
+            config: None,
+            monitoring: None,
+            control: None,
+            fix: (FP::Interaction, FL::UpstreamGeneric),
+            note: "PySpark's core streaming module lost a data attribute during compaction",
+        },
+        RealCase {
+            key: "FLINK-3081",
+            upstream: Flink,
+            downstream: Kafka,
+            kind: K::DataStream,
+            symptom: Symptom::JobTaskCrashHang,
+            data: Some(data_spec(Pr::ApiSemantics, DP::WrongApiAssumption, false)),
+            config: None,
+            monitoring: None,
+            control: None,
+            fix: (FP::ErrorHandling, FL::UpstreamConnector),
+            note: "Added a try-catch block to capture exceptions thrown by CSI operations",
+        },
+        RealCase {
+            key: "FLINK-13758",
+            upstream: Flink,
+            downstream: Hdfs,
+            kind: K::DataFile,
+            symptom: Symptom::JobTaskFailure,
+            data: Some(data_spec(Pr::CustomProperty, DP::WrongApiAssumption, false)),
+            config: None,
+            monitoring: None,
+            control: None,
+            fix: (FP::Interaction, FL::UpstreamConnector),
+            note: "Upstream had to operate on local and remote files differently and did not",
+        },
+        RealCase {
+            key: "YARN-2790",
+            upstream: Yarn,
+            downstream: Hdfs,
+            kind: K::DataFile,
+            symptom: Symptom::JobTaskCrashHang,
+            data: Some(data_spec(Pr::ApiSemantics, DP::WrongApiAssumption, false)),
+            config: None,
+            monitoring: None,
+            control: None,
+            fix: (FP::Interaction, FL::UpstreamSpecific),
+            note: "Token renewal moved close to the HDFS operation to reduce expiration risk",
+        },
+        RealCase {
+            key: "SPARK-10181",
+            upstream: Spark,
+            downstream: Hive,
+            kind: K::Config,
+            symptom: Symptom::JobTaskFailure,
+            data: None,
+            config: Some((CP::Ignorance, CS::Parameter)),
+            monitoring: None,
+            control: None,
+            fix: (FP::Interaction, FL::UpstreamConnector),
+            note: "Spark's Hive client ignored Kerberos configuration (keytab and principal)",
+        },
+        RealCase {
+            key: "SPARK-16901",
+            upstream: Spark,
+            downstream: Hive,
+            kind: K::Config,
+            symptom: Symptom::OperationUnexpectedBehavior,
+            data: None,
+            config: Some((CP::UnexpectedOverride, CS::Parameter)),
+            monitoring: None,
+            control: None,
+            fix: (FP::Interaction, FL::UpstreamConnector),
+            note: "Spark incorrectly overwrote Hive's configuration when merging with Hadoop's",
+        },
+        RealCase {
+            key: "FLINK-19141",
+            upstream: Flink,
+            downstream: Yarn,
+            kind: K::Config,
+            symptom: Symptom::JobTaskStartupFailure,
+            data: None,
+            config: Some((CP::InconsistentContext, CS::Parameter)),
+            monitoring: None,
+            control: None,
+            fix: (FP::Interaction, FL::UpstreamConnector),
+            note: "Flink and YARN use inconsistent resource allocation configurations (Fig. 3)",
+        },
+        RealCase {
+            key: "SPARK-15046",
+            upstream: Spark,
+            downstream: Yarn,
+            kind: K::Config,
+            symptom: Symptom::StartupFailure,
+            data: None,
+            config: Some((CP::MishandledValue, CS::Parameter)),
+            monitoring: None,
+            control: None,
+            fix: (FP::Checking, FL::UpstreamConnector),
+            note: "Spark's ApplicationMaster treated an interval configuration as numeric",
+        },
+        RealCase {
+            key: "HIVE-11250",
+            upstream: Hive,
+            downstream: Spark,
+            kind: K::Config,
+            symptom: Symptom::OperationUnexpectedBehavior,
+            data: None,
+            config: Some((CP::Ignorance, CS::Component)),
+            monitoring: None,
+            control: None,
+            fix: (FP::Interaction, FL::UpstreamConnector),
+            note: "Hive ignored all Spark configuration updates via RemoteHiveSparkClient",
+        },
+        RealCase {
+            key: "SPARK-10851",
+            upstream: Spark,
+            downstream: Yarn,
+            kind: K::Monitoring,
+            symptom: Symptom::ReducedObservability,
+            data: None,
+            config: None,
+            monitoring: Some(MonitoringPattern::ImpairedObservability),
+            control: None,
+            fix: (FP::ErrorHandling, FL::UpstreamConnector),
+            note: "Spark's R runner exited silently instead of raising the right exception to YARN",
+        },
+        RealCase {
+            key: "SPARK-3627",
+            upstream: Spark,
+            downstream: Yarn,
+            kind: K::Monitoring,
+            symptom: Symptom::ReducedObservability,
+            data: None,
+            config: None,
+            monitoring: Some(MonitoringPattern::ImpairedObservability),
+            control: None,
+            fix: (FP::Interaction, FL::UpstreamConnector),
+            note: "Spark reported success for failed YARN jobs",
+        },
+        RealCase {
+            key: "FLINK-887",
+            upstream: Flink,
+            downstream: Yarn,
+            kind: K::Monitoring,
+            symptom: Symptom::JobTaskCrashHang,
+            data: None,
+            config: None,
+            monitoring: Some(MonitoringPattern::ActionTriggering),
+            control: None,
+            fix: (FP::Interaction, FL::UpstreamConnector),
+            note: "Flink's JobManager was killed by YARN's pmem monitor (JVM memory sizing)",
+        },
+        RealCase {
+            key: "FLINK-12342",
+            upstream: Flink,
+            downstream: Yarn,
+            kind: K::Control,
+            symptom: Symptom::RuntimeCrashHang,
+            data: None,
+            config: None,
+            monitoring: None,
+            control: Some(ControlPattern::ApiSemanticViolation(ApiMisuse::ImplicitSemantics)),
+            fix: (FP::Interaction, FL::UpstreamConnector),
+            note: "Flink used the container-request API as if synchronous; requests stormed YARN (Fig. 1/5)",
+        },
+        RealCase {
+            key: "FLINK-5542",
+            upstream: Flink,
+            downstream: Yarn,
+            kind: K::Control,
+            symptom: Symptom::JobTaskFailure,
+            data: None,
+            config: None,
+            monitoring: None,
+            control: Some(ControlPattern::ApiSemanticViolation(ApiMisuse::WrongContext)),
+            fix: (FP::Checking, FL::UpstreamConnector),
+            note: "A local-vcore API was used in a global context, misreporting available cores",
+        },
+        RealCase {
+            key: "FLINK-4155",
+            upstream: Flink,
+            downstream: Kafka,
+            kind: K::Control,
+            symptom: Symptom::JobTaskStartupFailure,
+            data: None,
+            config: None,
+            monitoring: None,
+            control: Some(ControlPattern::ApiSemanticViolation(ApiMisuse::WrongContext)),
+            fix: (FP::Interaction, FL::UpstreamConnector),
+            note: "Partition discovery invoked in the client context, which cannot reach Kafka",
+        },
+        RealCase {
+            key: "HBASE-537",
+            upstream: HBase,
+            downstream: Hdfs,
+            kind: K::Control,
+            symptom: Symptom::StartupFailure,
+            data: None,
+            config: None,
+            monitoring: None,
+            control: Some(ControlPattern::StateResourceInconsistency),
+            fix: (FP::Checking, FL::UpstreamSpecific),
+            note: "HBase wrongly assumed HDFS NameNode readiness while it was in safe mode",
+        },
+        RealCase {
+            key: "HBASE-16621",
+            upstream: HBase,
+            downstream: Hdfs,
+            kind: K::Control,
+            symptom: Symptom::RuntimeCrashHang,
+            data: None,
+            config: None,
+            monitoring: None,
+            control: Some(ControlPattern::StateResourceInconsistency),
+            fix: (FP::Checking, FL::UpstreamSpecific),
+            note: "Asynchrony-induced stale state from concurrent events",
+        },
+        RealCase {
+            key: "SPARK-2604",
+            upstream: Spark,
+            downstream: Yarn,
+            kind: K::Control,
+            symptom: Symptom::JobTaskStartupFailure,
+            data: None,
+            config: None,
+            monitoring: None,
+            control: Some(ControlPattern::StateResourceInconsistency),
+            fix: (FP::Checking, FL::UpstreamConnector),
+            note: "Spark validated executor memory without the overhead it actually requests",
+        },
+        RealCase {
+            key: "YARN-9724",
+            upstream: Spark,
+            downstream: Yarn,
+            kind: K::Control,
+            symptom: Symptom::JobTaskFailure,
+            data: None,
+            config: None,
+            monitoring: None,
+            control: Some(ControlPattern::FeatureInconsistency),
+            fix: (FP::Interaction, FL::Downstream),
+            note: "Spark assumed getYarnClusterMetrics is available in all YARN modes; \
+                   the downstream fixed the API contract violation",
+        },
+    ]
+}
+
+fn synthetic_note(kind: SlotKind, up: SystemId, down: SystemId, n: usize) -> String {
+    let theme = match kind {
+        SlotKind::DataTable => "table schema/value discrepancy",
+        SlotKind::DataFile => "file addressing/property discrepancy",
+        SlotKind::DataStream => "stream offset/record discrepancy",
+        SlotKind::Config => "cross-system configuration coherence failure",
+        SlotKind::Monitoring => "monitoring signal discrepancy",
+        SlotKind::Control => "control-plane API/state discrepancy",
+    };
+    format!(
+        "reconstructed case #{n}: {theme} between {up} and {down} \
+         (synthetic row satisfying the paper's aggregates)"
+    )
+}
+
+impl Dataset {
+    /// Builds the 120-case dataset.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let ds = csi_study::Dataset::load();
+    /// assert_eq!(ds.cases.len(), 120);
+    /// assert!(ds.cases.iter().any(|c| c.key == "SPARK-27239"));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal quota tables are inconsistent — the unit and
+    /// integration tests regenerate every published aggregate, so any drift
+    /// fails loudly.
+    pub fn load() -> Dataset {
+        let mut pools = Pools::new();
+        let mut cases: Vec<CsiCase> = Vec::with_capacity(120);
+        const KINDS: [SlotKind; 6] = [
+            SlotKind::DataTable,
+            SlotKind::DataFile,
+            SlotKind::DataStream,
+            SlotKind::Config,
+            SlotKind::Monitoring,
+            SlotKind::Control,
+        ];
+        // Remaining synthetic capacity per (slot group, kind).
+        let mut remaining: Vec<[usize; 6]> = SLOTS.iter().map(|(_, _, _, c)| *c).collect();
+        // Pass 1: place every paper-named case, consuming its published
+        // attributes from the pools (so synthetic fill cannot steal them).
+        for r in real_cases() {
+            let (slot_idx, kind_idx) = SLOTS
+                .iter()
+                .enumerate()
+                .find_map(|(si, (u, d, _, _))| {
+                    if *u == r.upstream && *d == r.downstream {
+                        let ki = KINDS.iter().position(|k| *k == r.kind)?;
+                        (remaining[si][ki] > 0).then_some((si, ki))
+                    } else {
+                        None
+                    }
+                })
+                .unwrap_or_else(|| panic!("no slot for real case {}", r.key));
+            remaining[slot_idx][kind_idx] -= 1;
+            let (upstream, downstream, channel, _) = SLOTS[slot_idx];
+            cases.push(materialize(r, upstream, downstream, channel, &mut pools));
+        }
+        // Pass 2: fill the remaining slots synthetically.
+        let mut syn_counter = 0usize;
+        for (slot_idx, (upstream, downstream, channel, _)) in SLOTS.iter().enumerate() {
+            for (kind_idx, kind) in KINDS.iter().enumerate() {
+                for _ in 0..remaining[slot_idx][kind_idx] {
+                    syn_counter += 1;
+                    cases.push(synthesize(
+                        *kind,
+                        *upstream,
+                        *downstream,
+                        *channel,
+                        syn_counter,
+                        &mut pools,
+                    ));
+                }
+            }
+        }
+        assert_eq!(cases.len(), 120, "dataset must have exactly 120 cases");
+        assert!(pools.symptoms.is_empty() && pools.fixes.is_empty());
+        Dataset { cases }
+    }
+
+    /// Only the paper-named (non-synthetic) cases.
+    pub fn named_cases(&self) -> impl Iterator<Item = &CsiCase> {
+        self.cases.iter().filter(|c| !c.synthetic)
+    }
+}
+
+fn data_pool_for(pools: &mut Pools, kind: SlotKind) -> &mut Vec<DataSpec> {
+    match kind {
+        SlotKind::DataTable => &mut pools.table,
+        SlotKind::DataFile => &mut pools.file,
+        SlotKind::DataStream => &mut pools.stream,
+        _ => unreachable!("not a data slot"),
+    }
+}
+
+fn abstraction_for(kind: SlotKind) -> DataAbstraction {
+    match kind {
+        SlotKind::DataTable => DataAbstraction::Table,
+        SlotKind::DataFile => DataAbstraction::File,
+        SlotKind::DataStream => DataAbstraction::Stream,
+        _ => unreachable!("not a data slot"),
+    }
+}
+
+fn materialize(
+    r: RealCase,
+    upstream: SystemId,
+    downstream: SystemId,
+    channel: InteractionKind,
+    pools: &mut Pools,
+) -> CsiCase {
+    let root_cause = match r.kind {
+        SlotKind::DataTable | SlotKind::DataFile | SlotKind::DataStream => {
+            let spec = r.data.expect("data slot needs a data spec");
+            let taken = Pools::take(data_pool_for(pools, r.kind), spec, r.key);
+            RootCause::Data {
+                abstraction: abstraction_for(r.kind),
+                property: taken.property,
+                pattern: taken.pattern,
+                serialization_rooted: taken.serialization,
+            }
+        }
+        SlotKind::Config => {
+            let spec = r.config.expect("config slot needs a config spec");
+            let (pattern, scope) = Pools::take(&mut pools.config, spec, r.key);
+            RootCause::Config { pattern, scope }
+        }
+        SlotKind::Monitoring => {
+            let spec = r.monitoring.expect("monitoring slot needs a spec");
+            let pattern = Pools::take(&mut pools.monitoring, spec, r.key);
+            RootCause::Monitoring { pattern }
+        }
+        SlotKind::Control => {
+            let spec = r.control.expect("control slot needs a spec");
+            let pattern = Pools::take(&mut pools.control, spec, r.key);
+            RootCause::Control { pattern }
+        }
+    };
+    let symptom = Pools::take(&mut pools.symptoms, r.symptom, r.key);
+    let fix = Pools::take(&mut pools.fixes, r.fix, r.key);
+    CsiCase {
+        key: r.key.to_string(),
+        upstream,
+        downstream,
+        channel,
+        symptom,
+        root_cause,
+        fix: fix.0,
+        fix_location: fix.1,
+        synthetic: false,
+        note: r.note.to_string(),
+    }
+}
+
+fn synthesize(
+    kind: SlotKind,
+    upstream: SystemId,
+    downstream: SystemId,
+    channel: InteractionKind,
+    n: usize,
+    pools: &mut Pools,
+) -> CsiCase {
+    let root_cause = match kind {
+        SlotKind::DataTable | SlotKind::DataFile | SlotKind::DataStream => {
+            let spec = data_pool_for(pools, kind).remove(0);
+            RootCause::Data {
+                abstraction: abstraction_for(kind),
+                property: spec.property,
+                pattern: spec.pattern,
+                serialization_rooted: spec.serialization,
+            }
+        }
+        SlotKind::Config => {
+            let (pattern, scope) = pools.config.remove(0);
+            RootCause::Config { pattern, scope }
+        }
+        SlotKind::Monitoring => {
+            let pattern = pools.monitoring.remove(0);
+            RootCause::Monitoring { pattern }
+        }
+        SlotKind::Control => {
+            let pattern = pools.control.remove(0);
+            RootCause::Control { pattern }
+        }
+    };
+    let symptom = pools.symptoms.remove(0);
+    let (fix, fix_location) = pools.fixes.remove(0);
+    CsiCase {
+        key: format!("SYN-{n:03}"),
+        upstream,
+        downstream,
+        channel,
+        symptom,
+        root_cause,
+        fix,
+        fix_location,
+        synthetic: true,
+        note: synthetic_note(kind, upstream, downstream, n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_loads_with_120_cases() {
+        let ds = Dataset::load();
+        assert_eq!(ds.cases.len(), 120);
+        assert_eq!(ds.named_cases().count(), 25);
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let ds = Dataset::load();
+        let mut keys: Vec<&str> = ds.cases.iter().map(|c| c.key.as_str()).collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before);
+    }
+
+    #[test]
+    fn named_cases_carry_their_published_classifications() {
+        let ds = Dataset::load();
+        let by_key = |k: &str| {
+            ds.cases
+                .iter()
+                .find(|c| c.key == k)
+                .unwrap_or_else(|| panic!("{k} missing"))
+        };
+        let spark_27239 = by_key("SPARK-27239");
+        assert_eq!(spark_27239.plane(), Plane::Data);
+        assert!(matches!(
+            spark_27239.root_cause,
+            RootCause::Data {
+                property: DataProperty::CustomProperty,
+                pattern: DataPattern::UndefinedValue,
+                ..
+            }
+        ));
+        assert_eq!(spark_27239.fix, FixPattern::Checking);
+
+        let flink_12342 = by_key("FLINK-12342");
+        assert_eq!(flink_12342.plane(), Plane::Control);
+        assert_eq!(flink_12342.fix, FixPattern::Interaction);
+
+        let flink_19141 = by_key("FLINK-19141");
+        assert_eq!(flink_19141.plane(), Plane::Management);
+
+        let yarn_9724 = by_key("YARN-9724");
+        assert_eq!(yarn_9724.fix_location, FixLocation::Downstream);
+        assert!(matches!(
+            yarn_9724.root_cause,
+            RootCause::Control {
+                pattern: ControlPattern::FeatureInconsistency
+            }
+        ));
+    }
+
+    #[test]
+    fn channels_match_table_1_pairs() {
+        let ds = Dataset::load();
+        let count = |u: SystemId, d: SystemId| {
+            ds.cases
+                .iter()
+                .filter(|c| c.upstream == u && c.downstream == d)
+                .count()
+        };
+        use SystemId::*;
+        assert_eq!(count(Spark, Hive), 26);
+        assert_eq!(count(Spark, Yarn), 19);
+        assert_eq!(count(Spark, Hdfs), 8);
+        assert_eq!(count(Spark, Kafka), 5);
+        assert_eq!(count(Flink, Kafka), 12);
+        assert_eq!(count(Flink, Yarn), 14);
+        assert_eq!(count(Flink, Hive), 8);
+        assert_eq!(count(Flink, Hdfs), 3);
+        assert_eq!(count(Hive, Spark), 6);
+        assert_eq!(count(Hive, HBase), 3);
+        assert_eq!(count(Hive, Hdfs), 6);
+        assert_eq!(count(Hive, Kafka), 1);
+        assert_eq!(count(Hive, Yarn), 2);
+        assert_eq!(count(HBase, Hdfs), 4);
+        assert_eq!(count(Yarn, Hdfs), 3);
+    }
+}

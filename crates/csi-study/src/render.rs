@@ -1,0 +1,207 @@
+//! ASCII rendering of the regenerated tables.
+
+use crate::analyze;
+use crate::records::Dataset;
+use csi_core::taxonomy::{DataAbstraction, DataProperty};
+
+/// Renders a simple two-column-plus table.
+pub fn ascii_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let rule: String = widths
+        .iter()
+        .map(|w| format!("+{}", "-".repeat(w + 2)))
+        .collect::<String>()
+        + "+";
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("| {:w$} ", c, w = widths[i]));
+        }
+        line.push('|');
+        line
+    };
+    let mut out = format!("{title}\n{rule}\n");
+    out.push_str(&render_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&rule);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out.push_str(&rule);
+    out.push('\n');
+    out
+}
+
+/// Renders Table 1.
+pub fn table1(ds: &Dataset) -> String {
+    let rows: Vec<Vec<String>> = analyze::table1(ds)
+        .iter()
+        .map(|(u, d, k, n)| vec![u.to_string(), d.to_string(), k.to_string(), n.to_string()])
+        .collect();
+    ascii_table(
+        "Table 1: target systems and their CSI failures",
+        &["Upstream", "Downstream", "Interaction", "# CSI failures"],
+        &rows,
+    )
+}
+
+/// Renders Table 2.
+pub fn table2(ds: &Dataset) -> String {
+    let rows: Vec<Vec<String>> = analyze::plane_table(ds)
+        .iter()
+        .map(|(p, n)| vec![p.to_string(), format!("{n} ({}%)", n * 100 / 120)])
+        .collect();
+    ascii_table(
+        "Table 2: failures by plane",
+        &["Plane", "# (%) Fail."],
+        &rows,
+    )
+}
+
+/// Renders Table 3.
+pub fn table3(ds: &Dataset) -> String {
+    let rows: Vec<Vec<String>> = analyze::symptom_table(ds)
+        .iter()
+        .map(|(g, s, n)| vec![g.to_string(), s.to_string(), n.to_string()])
+        .collect();
+    ascii_table(
+        "Table 3: failure symptoms",
+        &["Group", "Impact", "#"],
+        &rows,
+    )
+}
+
+/// Renders Table 5 (which subsumes Table 4's column totals).
+pub fn table5(ds: &Dataset) -> String {
+    let m = analyze::abstraction_matrix(ds);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (r, abstraction) in DataAbstraction::ALL.iter().enumerate() {
+        let mut row = vec![abstraction.to_string()];
+        row.extend(m[r].iter().map(|n| n.to_string()));
+        row.push(m[r].iter().sum::<usize>().to_string());
+        rows.push(row);
+    }
+    let mut totals = vec!["Total".to_string()];
+    for c in 0..m[0].len() {
+        totals.push(m.iter().map(|row| row[c]).sum::<usize>().to_string());
+    }
+    totals.push(m.iter().flatten().sum::<usize>().to_string());
+    rows.push(totals);
+    let headers: Vec<&str> = ["Abstraction"]
+        .into_iter()
+        .chain(["Address", "Struct.", "Value", "Custom", "API sem."])
+        .chain(["Total"])
+        .collect();
+    let _ = DataProperty::ALL;
+    ascii_table(
+        "Table 5: data abstractions x properties (Table 4 = column totals)",
+        &headers,
+        &rows,
+    )
+}
+
+/// Renders Table 6.
+pub fn table6(ds: &Dataset) -> String {
+    let rows: Vec<Vec<String>> = analyze::data_pattern_table(ds)
+        .iter()
+        .map(|(p, n)| vec![p.to_string(), n.to_string()])
+        .collect();
+    ascii_table(
+        "Table 6: data-plane discrepancy patterns",
+        &["Pattern", "# Fail."],
+        &rows,
+    )
+}
+
+/// Renders Table 7.
+pub fn table7(ds: &Dataset) -> String {
+    let rows: Vec<Vec<String>> = analyze::config_pattern_table(ds)
+        .iter()
+        .map(|(p, n)| vec![p.to_string(), n.to_string()])
+        .collect();
+    ascii_table(
+        "Table 7: configuration discrepancy patterns",
+        &["Pattern", "# Fail."],
+        &rows,
+    )
+}
+
+/// Renders Table 8.
+pub fn table8(ds: &Dataset) -> String {
+    let (api, state, feature) = analyze::control_pattern_table(ds);
+    let (implicit, context) = analyze::api_misuse_split(ds);
+    let rows = vec![
+        vec![
+            format!("API semantic violation ({implicit} implicit + {context} context)"),
+            api.to_string(),
+        ],
+        vec![
+            "State/resource inconsistency".to_string(),
+            state.to_string(),
+        ],
+        vec!["Feature inconsistency".to_string(), feature.to_string()],
+    ];
+    ascii_table(
+        "Table 8: control-plane discrepancy patterns",
+        &["Pattern", "# Fail."],
+        &rows,
+    )
+}
+
+/// Renders Table 9.
+pub fn table9(ds: &Dataset) -> String {
+    let rows: Vec<Vec<String>> = analyze::fix_table(ds)
+        .iter()
+        .map(|(p, n)| vec![p.to_string(), n.to_string()])
+        .collect();
+    ascii_table("Table 9: fix patterns", &["Fix pattern", "# Fail."], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_without_panicking() {
+        let ds = Dataset::load();
+        for text in [
+            table1(&ds),
+            table2(&ds),
+            table3(&ds),
+            table5(&ds),
+            table6(&ds),
+            table7(&ds),
+            table8(&ds),
+            table9(&ds),
+        ] {
+            assert!(text.contains('|'));
+            assert!(text.lines().count() > 4);
+        }
+    }
+
+    #[test]
+    fn table2_mentions_the_key_percentages() {
+        let ds = Dataset::load();
+        let t = table2(&ds);
+        assert!(t.contains("61 (50%)") || t.contains("61 (51%)"), "{t}");
+        assert!(t.contains("39 (32%)"), "{t}");
+    }
+
+    #[test]
+    fn ascii_table_is_aligned() {
+        let t = ascii_table("t", &["a", "bbbb"], &[vec!["xxxxx".into(), "y".into()]]);
+        let widths: Vec<usize> = t.lines().skip(1).map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{t}");
+    }
+}

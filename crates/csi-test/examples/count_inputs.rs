@@ -1,0 +1,14 @@
+//! Prints the generated input counts (used while tuning the catalogue).
+fn main() {
+    let inputs = csi_test::generate_inputs();
+    let valid = inputs
+        .iter()
+        .filter(|i| i.validity == csi_test::Validity::Valid)
+        .count();
+    println!(
+        "total={} valid={} invalid={}",
+        inputs.len(),
+        valid,
+        inputs.len() - valid
+    );
+}

@@ -1,0 +1,26 @@
+//! Dumps evidence for discrepancies that should resolve under the custom
+//! configuration (tuning aid).
+use csi_test::{generate_inputs, run_cross_test, CrossTestConfig};
+
+fn main() {
+    let inputs = generate_inputs();
+    let custom = CrossTestConfig {
+        spark_overrides: CrossTestConfig::custom_resolving_overrides(),
+        ..CrossTestConfig::default()
+    };
+    let run = run_cross_test(&inputs, &custom);
+    for d in &run.report.discrepancies {
+        if ["D09", "D10", "D11", "D12", "D13", "D15"].contains(&d.id.as_str()) {
+            println!("== {} evidence {}", d.id, d.evidence.len());
+            for f in d.evidence.iter().take(2) {
+                let input = &inputs[f.input_id];
+                println!(
+                    "  input {} ({}) oracle {:?}",
+                    f.input_id, input.label, f.oracle
+                );
+                println!("  plans {:?} formats {:?}", f.plans, f.formats);
+                println!("  detail: {}", &f.detail[..f.detail.len().min(220)]);
+            }
+        }
+    }
+}

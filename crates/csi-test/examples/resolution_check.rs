@@ -1,0 +1,29 @@
+//! Prints which discrepancies appear under default vs custom configuration.
+use csi_test::{generate_inputs, run_cross_test, CrossTestConfig};
+
+fn main() {
+    let inputs = generate_inputs();
+    let default_run = run_cross_test(&inputs, &CrossTestConfig::default());
+    let custom = CrossTestConfig {
+        spark_overrides: CrossTestConfig::custom_resolving_overrides(),
+        ..CrossTestConfig::default()
+    };
+    let custom_run = run_cross_test(&inputs, &custom);
+    let ids = |r: &csi_test::CrossTestOutcome| -> Vec<String> {
+        csi_test::classify::active_ids(&r.report)
+    };
+    println!("default:  {:?}", ids(&default_run));
+    println!("custom:   {:?}", ids(&custom_run));
+    println!(
+        "default unattributed: {}",
+        default_run.report.unattributed.len()
+    );
+    println!(
+        "custom unattributed:  {}",
+        custom_run.report.unattributed.len()
+    );
+    let d: Vec<_> = ids(&default_run);
+    let c: Vec<_> = ids(&custom_run);
+    let resolved: Vec<_> = d.iter().filter(|x| !c.contains(x)).collect();
+    println!("resolved by custom config: {resolved:?}");
+}

@@ -1,0 +1,215 @@
+//! Specification-driven cross-system checking.
+//!
+//! Bridges the harness to [`csi_core::spec`]: every observation of a valid
+//! input becomes a [`ChannelOutcome`] checked against a [`DataContract`]
+//! for its (writer, reader, format) channel.
+//!
+//! Two contract catalogues ship:
+//!
+//! - [`naive_contracts`]: what today's deployments implicitly assume —
+//!   every type round-trips exactly. Checking the real systems against it
+//!   reproduces the Section 8 discrepancy surface as *specification
+//!   violations*.
+//! - [`documented_contracts`]: the same channels with the systems'
+//!   *documented* behaviors written down (BYTE widens on SparkSQL DDL,
+//!   INTERVAL is unsupported, CHAR pads). Violations against this
+//!   catalogue are the residue that no documentation covers — the genuine
+//!   bugs.
+
+use crate::generator::{TestInput, Validity};
+use crate::plan::Experiment;
+use csi_core::oracle::Observation;
+use csi_core::spec::{check, ChannelOutcome, DataContract, SpecViolation, TypeRule};
+use csi_core::value::DataType;
+
+/// A catalogue: resolves the contract for a channel.
+pub type ContractCatalogue = fn(writer: &str, reader: &str, format: &str) -> DataContract;
+
+/// The naive catalogue: everything round-trips exactly.
+pub fn naive_contracts(writer: &str, reader: &str, format: &str) -> DataContract {
+    csi_core::spec::naive_contract(writer, reader, format)
+}
+
+/// The documented catalogue: each channel's known, *documented*
+/// conversions and restrictions written down as rules.
+pub fn documented_contracts(writer: &str, reader: &str, format: &str) -> DataContract {
+    let mut c = naive_contracts(writer, reader, format);
+    let set = |c: &mut DataContract, ty: DataType, rule: TypeRule| {
+        if let Some(slot) = c.rules.iter_mut().find(|(t, _)| *t == ty) {
+            slot.1 = rule;
+        }
+    };
+    // SparkSQL's Hive DDL widens small integers (documented in the
+    // migration guide): reads come back as INT.
+    if writer == "SparkSQL" {
+        set(
+            &mut c,
+            DataType::Byte,
+            TypeRule::Converts {
+                to: "widened to INT".into(),
+            },
+        );
+        set(
+            &mut c,
+            DataType::Short,
+            TypeRule::Converts {
+                to: "widened to INT".into(),
+            },
+        );
+    }
+    // INTERVAL has no Hive table type: SparkSQL and HiveQL must reject it;
+    // the DataFrame writer documents storage as STRING.
+    let interval_rule = if writer == "DataFrame" {
+        TypeRule::Converts {
+            to: "stored as STRING".into(),
+        }
+    } else {
+        TypeRule::Unsupported
+    };
+    set(&mut c, DataType::Interval, interval_rule);
+    // CHAR(n) is blank-padded by definition; reads legitimately differ
+    // from the unpadded input.
+    set(
+        &mut c,
+        DataType::Char(8),
+        TypeRule::Converts {
+            to: "blank-padded".into(),
+        },
+    );
+    // Decimals: the runtime-scale representation is documented Spark
+    // behavior, visible to any reader.
+    if writer == "DataFrame" {
+        set(
+            &mut c,
+            DataType::Decimal(10, 2),
+            TypeRule::Converts {
+                to: "runtime-scaled twos-complement".into(),
+            },
+        );
+    }
+    c
+}
+
+fn outcome_of(obs: &Observation) -> ChannelOutcome {
+    match (&obs.write.result, &obs.read) {
+        (Err(_), _) => ChannelOutcome::WriteRejected,
+        (Ok(()), Some(read)) => match &read.result {
+            Err(_) => ChannelOutcome::ReadFailed,
+            Ok(values) => match values.first() {
+                Some(v) => ChannelOutcome::ReadBack(v.clone()),
+                None => ChannelOutcome::ReadFailed,
+            },
+        },
+        (Ok(()), None) => ChannelOutcome::ReadFailed,
+    }
+}
+
+fn split_plan(plan: &str) -> Option<(String, String)> {
+    // Plans are tagged "ss:SparkSQL->HiveQL".
+    let (_, pair) = plan.split_once(':')?;
+    let (w, r) = pair.split_once("->")?;
+    Some((w.to_string(), r.to_string()))
+}
+
+/// Checks every valid-input observation against a contract catalogue.
+pub fn check_observations(
+    inputs: &[TestInput],
+    observations: &[(Experiment, Observation)],
+    catalogue: ContractCatalogue,
+) -> Vec<SpecViolation> {
+    let mut violations = Vec::new();
+    for (_, obs) in observations {
+        let Some(input) = inputs.iter().find(|i| i.id == obs.input_id) else {
+            continue;
+        };
+        if input.validity != Validity::Valid {
+            continue;
+        }
+        let Some((writer, reader)) = split_plan(&obs.plan) else {
+            continue;
+        };
+        let contract = catalogue(&writer, &reader, &obs.format);
+        if let Err(v) = check(
+            &contract,
+            &input.column_type,
+            input.expected(),
+            &outcome_of(obs),
+        ) {
+            violations.push(v);
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_cross_test, CrossTestConfig};
+    use csi_core::value::Value;
+
+    fn inputs() -> Vec<TestInput> {
+        vec![
+            TestInput {
+                id: 0,
+                column_type: DataType::Byte,
+                value: Value::Byte(5),
+                validity: Validity::Valid,
+                label: "byte".into(),
+                expected_back: None,
+            },
+            TestInput {
+                id: 1,
+                column_type: DataType::Int,
+                value: Value::Int(7),
+                validity: Validity::Valid,
+                label: "int".into(),
+                expected_back: None,
+            },
+            TestInput {
+                id: 2,
+                column_type: DataType::Interval,
+                value: Value::Interval {
+                    months: 3,
+                    micros: 0,
+                },
+                validity: Validity::Valid,
+                label: "interval".into(),
+                expected_back: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn naive_contracts_reproduce_the_discrepancy_surface() {
+        let inputs = inputs();
+        let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+        let naive = check_observations(&inputs, &outcome.observations, naive_contracts);
+        // The naive assumption is violated by bytes (widening/Avro) and
+        // intervals (rejections/stringification), never by plain ints.
+        assert!(!naive.is_empty());
+        assert!(
+            naive.iter().all(|v| v.data_type != DataType::Int),
+            "{naive:#?}"
+        );
+        assert!(naive.iter().any(|v| v.data_type == DataType::Byte));
+        assert!(naive.iter().any(|v| v.data_type == DataType::Interval));
+    }
+
+    #[test]
+    fn documented_contracts_filter_out_the_documented_conversions() {
+        let inputs = inputs();
+        let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+        let naive = check_observations(&inputs, &outcome.observations, naive_contracts);
+        let documented = check_observations(&inputs, &outcome.observations, documented_contracts);
+        // Documentation explains part of the surface; the remainder are
+        // genuine, undocumented discrepancies (the SPARK-39075 read
+        // failures on DataFrame-written Avro bytes survive).
+        assert!(documented.len() < naive.len());
+        assert!(
+            documented
+                .iter()
+                .any(|v| v.data_type == DataType::Byte && v.observed.contains("read failed")),
+            "{documented:#?}"
+        );
+    }
+}

@@ -1,0 +1,420 @@
+//! The cross-testing executor: Figure 6's deployment and run loop.
+//!
+//! For every (experiment, plan, format, input) combination the executor
+//! creates a one-column table through the *write* interface, inserts the
+//! input, reads it back through the *read* interface, and records an
+//! [`Observation`]. The write–read and error-handling oracles run per
+//! observation; the differential oracle runs per experiment across all of
+//! its plans *and* formats, matching the artifact's `ss/sh/hs_difft`
+//! structure.
+
+use crate::classify;
+use crate::generator::{TestInput, Validity};
+use crate::plan::{Experiment, Interface, TestPlan};
+use csi_core::diag::DiagSink;
+use csi_core::oracle::{
+    check_differential, check_error_handling, check_write_read, Observation, OracleFailure,
+    ReadOutcome, WriteOutcome,
+};
+use csi_core::report::DiscrepancyReport;
+use csi_core::sql::quote_string;
+use csi_core::value::{format_date, format_timestamp, Value};
+use csi_core::InteractionError;
+use minihdfs::MiniHdfs;
+use minihive::hiveql::HiveQl;
+use minihive::metastore::{Metastore, StorageFormat};
+use minispark::SparkSession;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Configuration of a cross-testing run.
+#[derive(Debug, Clone)]
+pub struct CrossTestConfig {
+    /// Experiments to run.
+    pub experiments: Vec<Experiment>,
+    /// Backend formats to exercise.
+    pub formats: Vec<StorageFormat>,
+    /// Spark configuration overrides applied to every deployment
+    /// ("testing under the deployment configuration").
+    pub spark_overrides: Vec<(String, String)>,
+}
+
+impl Default for CrossTestConfig {
+    fn default() -> CrossTestConfig {
+        CrossTestConfig {
+            experiments: Experiment::ALL.to_vec(),
+            formats: StorageFormat::ALL.to_vec(),
+            spark_overrides: Vec::new(),
+        }
+    }
+}
+
+impl CrossTestConfig {
+    /// The custom (non-default) configuration set that Section 8.2 reports
+    /// as resolving 8 of the 15 discrepancies.
+    pub fn custom_resolving_overrides() -> Vec<(String, String)> {
+        vec![
+            (
+                minispark::config::STORE_ASSIGNMENT_POLICY.into(),
+                "LEGACY".into(),
+            ),
+            (
+                minispark::config::CHAR_VARCHAR_AS_STRING.into(),
+                "true".into(),
+            ),
+            (minispark::config::INTERVAL_AS_STRING.into(), "true".into()),
+            (
+                minispark::config::DATAFRAME_DATE_RANGE_CHECK.into(),
+                "true".into(),
+            ),
+        ]
+    }
+}
+
+/// The full result of a run: the deduplicated report plus every raw
+/// observation (kept for the classifier and for ablation benches).
+#[derive(Debug, Clone)]
+pub struct CrossTestOutcome {
+    /// The discrepancy report.
+    pub report: DiscrepancyReport,
+    /// Every observation, tagged with its experiment.
+    pub observations: Vec<(Experiment, Observation)>,
+}
+
+struct Deployment {
+    sink: DiagSink,
+    spark: SparkSession,
+    hive: HiveQl,
+}
+
+impl Deployment {
+    fn new(overrides: &[(String, String)]) -> Deployment {
+        let sink = DiagSink::new();
+        let metastore = Arc::new(Mutex::new(Metastore::new()));
+        let fs = Arc::new(Mutex::new(MiniHdfs::with_datanodes(3)));
+        let mut spark =
+            SparkSession::connect(metastore.clone(), fs.clone(), sink.handle("minispark"));
+        for (k, v) in overrides {
+            spark.config.set(k, v);
+        }
+        let hive = HiveQl::new(metastore, fs, sink.handle("minihive"));
+        Deployment { sink, spark, hive }
+    }
+}
+
+/// Renders a harness value as a SQL literal understood by both SQL
+/// dialects.
+pub fn render_literal(value: &Value) -> String {
+    match value {
+        Value::Null => "NULL".into(),
+        Value::Boolean(b) => if *b { "TRUE" } else { "FALSE" }.into(),
+        Value::Byte(v) if *v == i8::MIN => format!("CAST('{v}' AS TINYINT)"),
+        Value::Byte(v) => format!("{v}Y"),
+        Value::Short(v) if *v == i16::MIN => format!("CAST('{v}' AS SMALLINT)"),
+        Value::Short(v) => format!("{v}S"),
+        Value::Int(v) if *v == i32::MIN => format!("CAST('{v}' AS INT)"),
+        Value::Int(v) => format!("{v}"),
+        Value::Long(v) if *v == i64::MIN => format!("CAST('{v}' AS BIGINT)"),
+        Value::Long(v) => format!("{v}L"),
+        Value::Float(v) => format!("CAST('{v}' AS FLOAT)"),
+        Value::Double(v) => format!("CAST('{v}' AS DOUBLE)"),
+        Value::Decimal(d) => format!("{d}BD"),
+        Value::Str(s) => quote_string(s),
+        Value::Binary(b) => {
+            let hex: String = b.iter().map(|x| format!("{x:02X}")).collect();
+            format!("X'{hex}'")
+        }
+        Value::Date(d) => format!("DATE {}", quote_string(&format_date(*d))),
+        Value::Timestamp(us) => format!("TIMESTAMP {}", quote_string(&format_timestamp(*us))),
+        Value::Interval { months, micros } => {
+            if *micros == 0 {
+                format!("INTERVAL {months} MONTH")
+            } else {
+                format!("INTERVAL {} SECOND", micros / 1_000_000)
+            }
+        }
+        Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(render_literal).collect();
+            format!("ARRAY({})", inner.join(", "))
+        }
+        Value::Map(pairs) => {
+            let inner: Vec<String> = pairs
+                .iter()
+                .flat_map(|(k, v)| [render_literal(k), render_literal(v)])
+                .collect();
+            format!("MAP({})", inner.join(", "))
+        }
+        Value::Struct(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .flat_map(|(n, v)| [quote_string(n), render_literal(v)])
+                .collect();
+            format!("NAMED_STRUCT({})", inner.join(", "))
+        }
+    }
+}
+
+fn write_via(
+    d: &Deployment,
+    interface: Interface,
+    table: &str,
+    input: &TestInput,
+    format: StorageFormat,
+) -> Result<(), InteractionError> {
+    match interface {
+        Interface::SparkSql => {
+            let create = format!(
+                "CREATE TABLE {table} (c {}) STORED AS {}",
+                input.column_type.sql_name(),
+                format.name()
+            );
+            d.spark.sql(&create).map_err(InteractionError::from)?;
+            let insert = format!(
+                "INSERT INTO {table} VALUES ({})",
+                render_literal(&input.value)
+            );
+            d.spark.sql(&insert).map_err(InteractionError::from)?;
+            Ok(())
+        }
+        Interface::DataFrame => {
+            let schema = vec![csi_core::value::StructField::new(
+                "c",
+                input.column_type.clone(),
+            )];
+            let df = d.spark.dataframe();
+            df.create_table(table, &schema, format)
+                .map_err(InteractionError::from)?;
+            df.insert_into(table, &[vec![input.value.clone()]])
+                .map_err(InteractionError::from)?;
+            Ok(())
+        }
+        Interface::HiveQl => {
+            let create = format!(
+                "CREATE TABLE {table} (c {}) STORED AS {}",
+                input.column_type.sql_name(),
+                format.name()
+            );
+            d.hive.execute(&create).map_err(InteractionError::from)?;
+            let insert = format!(
+                "INSERT INTO {table} VALUES ({})",
+                render_literal(&input.value)
+            );
+            d.hive.execute(&insert).map_err(InteractionError::from)?;
+            Ok(())
+        }
+    }
+}
+
+fn read_via(
+    d: &Deployment,
+    interface: Interface,
+    table: &str,
+) -> Result<Vec<Value>, InteractionError> {
+    let rows = match interface {
+        Interface::SparkSql => {
+            d.spark
+                .sql(&format!("SELECT * FROM {table}"))
+                .map_err(InteractionError::from)?
+                .rows
+        }
+        Interface::DataFrame => {
+            d.spark
+                .dataframe()
+                .read_table(table)
+                .map_err(InteractionError::from)?
+                .1
+        }
+        Interface::HiveQl => {
+            d.hive
+                .execute(&format!("SELECT * FROM {table}"))
+                .map_err(InteractionError::from)?
+                .rows
+        }
+    };
+    Ok(rows.into_iter().map(|mut r| r.remove(0)).collect())
+}
+
+fn run_one(
+    d: &Deployment,
+    experiment: Experiment,
+    plan: TestPlan,
+    format: StorageFormat,
+    input: &TestInput,
+) -> Observation {
+    let table = format!(
+        "t_{}_{}_{}_{}",
+        experiment.short(),
+        format!("{plan}")
+            .replace(['-', '>'], "")
+            .to_ascii_lowercase(),
+        format.extension(),
+        input.id
+    );
+    d.sink.drain();
+    let write_result = write_via(d, plan.write, &table, input, format);
+    let write = WriteOutcome {
+        result: write_result,
+        diagnostics: d.sink.drain(),
+    };
+    let read = if write.result.is_ok() {
+        let result = read_via(d, plan.read, &table);
+        Some(ReadOutcome {
+            result,
+            diagnostics: d.sink.drain(),
+        })
+    } else {
+        None
+    };
+    Observation {
+        input_id: input.id,
+        plan: format!("{}:{}", experiment.short(), plan),
+        format: format.name().to_string(),
+        write,
+        read,
+    }
+}
+
+/// Runs the full cross-test and classifies the failures.
+///
+/// # Examples
+///
+/// ```
+/// use csi_core::value::{DataType, Value};
+/// use csi_test::generator::{TestInput, Validity};
+/// use csi_test::{run_cross_test, CrossTestConfig};
+///
+/// let inputs = vec![TestInput {
+///     id: 0,
+///     column_type: DataType::Byte,
+///     value: Value::Byte(5),
+///     validity: Validity::Valid,
+///     label: "a tinyint".into(),
+///     expected_back: None,
+/// }];
+/// let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+/// // One BYTE input already reveals SPARK-39075 and HIVE-26533.
+/// assert!(outcome.report.distinct() >= 2);
+/// ```
+pub fn run_cross_test(inputs: &[TestInput], config: &CrossTestConfig) -> CrossTestOutcome {
+    let mut observations: Vec<(Experiment, Observation)> = Vec::new();
+    let mut failures: Vec<OracleFailure> = Vec::new();
+    for &experiment in &config.experiments {
+        let deployment = Deployment::new(&config.spark_overrides);
+        let mut exp_observations: Vec<Observation> = Vec::new();
+        for plan in experiment.plans() {
+            for &format in &config.formats {
+                for input in inputs {
+                    let obs = run_one(&deployment, experiment, plan, format, input);
+                    match input.validity {
+                        Validity::Valid => {
+                            if let Some(f) = check_write_read(input.expected(), &obs) {
+                                failures.push(f);
+                            }
+                        }
+                        Validity::Invalid => {
+                            if let Some(f) = check_error_handling(&input.value, &obs) {
+                                failures.push(f);
+                            }
+                        }
+                    }
+                    exp_observations.push(obs);
+                }
+            }
+        }
+        failures.extend(check_differential(&exp_observations));
+        observations.extend(exp_observations.into_iter().map(|o| (experiment, o)));
+    }
+    let report = classify::classify(inputs, &observations, failures);
+    CrossTestOutcome {
+        report,
+        observations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_inputs;
+    use csi_core::value::{DataType, Decimal};
+
+    fn one_input(column_type: DataType, value: Value, validity: Validity) -> Vec<TestInput> {
+        vec![TestInput {
+            id: 0,
+            column_type,
+            value,
+            validity,
+            label: "test".into(),
+            expected_back: None,
+        }]
+    }
+
+    #[test]
+    fn literal_rendering_round_trips_through_both_dialects() {
+        let cases = [
+            Value::Int(42),
+            Value::Byte(i8::MIN),
+            Value::Long(i64::MIN),
+            Value::Str("it's".into()),
+            Value::Decimal(Decimal::parse("-1.50").unwrap()),
+            Value::Binary(vec![0xCA, 0xFE]),
+            Value::Date(0),
+            Value::Interval {
+                months: -3,
+                micros: 0,
+            },
+        ];
+        for v in cases {
+            let lit = render_literal(&v);
+            let stmt = format!("INSERT INTO t VALUES ({lit})");
+            assert!(
+                csi_core::sql::parse(&stmt).is_ok(),
+                "literal {lit} does not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn happy_path_int_is_clean_everywhere() {
+        let inputs = one_input(DataType::Int, Value::Int(7), Validity::Valid);
+        let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+        assert!(
+            outcome.report.raw_failures.is_empty(),
+            "unexpected failures: {:#?}",
+            outcome.report.raw_failures
+        );
+        // 3 experiments x plans x 3 formats observations.
+        assert_eq!(outcome.observations.len(), (4 + 2 + 2) * 3);
+    }
+
+    #[test]
+    fn byte_input_reveals_d01_and_d03() {
+        let inputs = one_input(DataType::Byte, Value::Byte(5), Validity::Valid);
+        let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+        let ids: Vec<&str> = outcome
+            .report
+            .discrepancies
+            .iter()
+            .map(|d| d.id.as_str())
+            .collect();
+        assert!(ids.contains(&"D01"), "found {ids:?}");
+        assert!(ids.contains(&"D03"), "found {ids:?}");
+        assert!(outcome.report.unattributed.is_empty());
+    }
+
+    #[test]
+    fn full_catalogue_runs_clean_of_unattributed_failures() {
+        let inputs = generate_inputs();
+        let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+        assert!(
+            outcome.report.unattributed.is_empty(),
+            "unattributed: {:#?}",
+            outcome
+                .report
+                .unattributed
+                .iter()
+                .take(5)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(outcome.report.distinct(), 15);
+    }
+}

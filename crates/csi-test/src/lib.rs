@@ -1,0 +1,20 @@
+//! `csi-test` — the cross-system testing tool of Section 8.
+//!
+//! Composes `minispark` and `minihive` into the test setup of Figure 6:
+//! inputs generated per data type (valid and invalid), written and read back
+//! through every interface pair (SparkSQL, DataFrame, HiveQL) and storage
+//! format (ORC, Parquet, Avro), checked by the write–read, error-handling,
+//! and differential oracles, and classified into distinct discrepancies.
+
+pub mod classify;
+pub mod contracts;
+pub mod exec;
+pub mod generator;
+pub mod plan;
+pub mod tolerate;
+
+pub use classify::active_ids;
+pub use exec::{run_cross_test, CrossTestConfig, CrossTestOutcome};
+pub use generator::{generate_inputs, TestInput, Validity};
+pub use plan::{Experiment, Interface, TestPlan};
+pub use tolerate::{redundant_read, ReadPath, RedundantRead};

@@ -1,0 +1,150 @@
+//! Test plans: the interface matrix of Figure 6.
+
+use std::fmt;
+
+/// A data-plane interface of the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interface {
+    /// Spark's SQL interface.
+    SparkSql,
+    /// Spark's DataFrame interface.
+    DataFrame,
+    /// Hive's HiveQL interface.
+    HiveQl,
+}
+
+impl fmt::Display for Interface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Interface::SparkSql => "SparkSQL",
+            Interface::DataFrame => "DataFrame",
+            Interface::HiveQl => "HiveQL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One write-interface/read-interface pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TestPlan {
+    /// The interface that creates the table and writes the value.
+    pub write: Interface,
+    /// The interface that reads it back.
+    pub read: Interface,
+}
+
+impl fmt::Display for TestPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.write, self.read)
+    }
+}
+
+/// The three experiments of the artifact (`spark_e2e`,
+/// `spark_hive_oneway`, `hive_spark_oneway`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Experiment {
+    /// Spark to Spark: SparkSQL/DataFrame × SparkSQL/DataFrame.
+    SparkToSpark,
+    /// Spark to Hive: SparkSQL/DataFrame → HiveQL.
+    SparkToHive,
+    /// Hive to Spark: HiveQL → SparkSQL/DataFrame.
+    HiveToSpark,
+}
+
+impl Experiment {
+    /// All experiments.
+    pub const ALL: [Experiment; 3] = [
+        Experiment::SparkToSpark,
+        Experiment::SparkToHive,
+        Experiment::HiveToSpark,
+    ];
+
+    /// The artifact's short name.
+    pub fn short(&self) -> &'static str {
+        match self {
+            Experiment::SparkToSpark => "ss",
+            Experiment::SparkToHive => "sh",
+            Experiment::HiveToSpark => "hs",
+        }
+    }
+
+    /// The plans this experiment runs (Figure 6's right column).
+    pub fn plans(&self) -> Vec<TestPlan> {
+        use Interface::*;
+        match self {
+            Experiment::SparkToSpark => vec![
+                TestPlan {
+                    write: SparkSql,
+                    read: SparkSql,
+                },
+                TestPlan {
+                    write: SparkSql,
+                    read: DataFrame,
+                },
+                TestPlan {
+                    write: DataFrame,
+                    read: SparkSql,
+                },
+                TestPlan {
+                    write: DataFrame,
+                    read: DataFrame,
+                },
+            ],
+            Experiment::SparkToHive => vec![
+                TestPlan {
+                    write: SparkSql,
+                    read: HiveQl,
+                },
+                TestPlan {
+                    write: DataFrame,
+                    read: HiveQl,
+                },
+            ],
+            Experiment::HiveToSpark => vec![
+                TestPlan {
+                    write: HiveQl,
+                    read: SparkSql,
+                },
+                TestPlan {
+                    write: HiveQl,
+                    read: DataFrame,
+                },
+            ],
+        }
+    }
+}
+
+impl fmt::Display for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Experiment::SparkToSpark => "Spark to Spark",
+            Experiment::SparkToHive => "Spark to Hive",
+            Experiment::HiveToSpark => "Hive to Spark",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_6_has_eight_plans() {
+        let total: usize = Experiment::ALL.iter().map(|e| e.plans().len()).sum();
+        assert_eq!(total, 8);
+        assert_eq!(Experiment::SparkToSpark.plans().len(), 4);
+        assert_eq!(Experiment::SparkToHive.plans().len(), 2);
+        assert_eq!(Experiment::HiveToSpark.plans().len(), 2);
+    }
+
+    #[test]
+    fn plan_display_matches_artifact_style() {
+        let p = TestPlan {
+            write: Interface::SparkSql,
+            read: Interface::HiveQl,
+        };
+        assert_eq!(p.to_string(), "SparkSQL->HiveQL");
+        assert_eq!(Experiment::SparkToHive.short(), "sh");
+    }
+}

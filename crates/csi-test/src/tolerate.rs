@@ -1,0 +1,159 @@
+//! CSI fault tolerance through interface redundancy.
+//!
+//! Section 10 ("CSI fault tolerance"): "the downstream systems are well
+//! available. A potential direction is to leverage the diversity of
+//! existing interfaces to build interaction redundancy across systems."
+//!
+//! This module implements that idea for the Spark–Hive data plane: a
+//! [`redundant_read`] that first reads through Spark's own deserializer
+//! stack and, when that fails with a *discrepancy-shaped* error (not an
+//! availability error), retries through the HiveQL interface — whose
+//! independent serde layer tolerates several of the conditions Spark's
+//! does not (widened small integers without annotations, foreign decimal
+//! scales). The result records which path served the read, so operators
+//! can see the interaction redundancy working.
+
+use csi_core::value::Value;
+use csi_core::InteractionError;
+use minihive::hiveql::HiveQl;
+use minispark::{SparkError, SparkSession};
+
+/// Which interface ultimately served a redundant read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPath {
+    /// Spark's own reader worked.
+    Primary,
+    /// Spark failed with a discrepancy; HiveQL served the data.
+    HiveFallback,
+}
+
+/// Result of a redundant read.
+#[derive(Debug, Clone)]
+pub struct RedundantRead {
+    /// The rows, one value per column per row.
+    pub rows: Vec<Vec<Value>>,
+    /// The path that produced them.
+    pub path: ReadPath,
+    /// The primary-path error, when the fallback was used.
+    pub primary_error: Option<InteractionError>,
+}
+
+/// Whether a Spark read error is a cross-system discrepancy (worth
+/// retrying through another interface) rather than an availability or
+/// user error (not worth retrying).
+pub fn is_discrepancy_shaped(e: &SparkError) -> bool {
+    matches!(
+        e.code(),
+        "INCOMPATIBLE_SCHEMA" | "SERDE_ERROR" | "FORMAT_ERROR" | "DECIMAL_DECODE"
+    )
+}
+
+/// Reads a table with interface redundancy.
+///
+/// # Examples
+///
+/// See `tests/fault_tolerance.rs`, which tolerates the SPARK-39075 (D01)
+/// and SPARK-39158 (D02) discrepancies end to end.
+pub fn redundant_read(
+    spark: &SparkSession,
+    hive: &HiveQl,
+    table: &str,
+) -> Result<RedundantRead, InteractionError> {
+    match spark.sql(&format!("SELECT * FROM {table}")) {
+        Ok(result) => Ok(RedundantRead {
+            rows: result.rows,
+            path: ReadPath::Primary,
+            primary_error: None,
+        }),
+        Err(primary) if is_discrepancy_shaped(&primary) => {
+            let fallback = hive
+                .execute(&format!("SELECT * FROM {table}"))
+                .map_err(InteractionError::from)?;
+            Ok(RedundantRead {
+                rows: fallback.rows,
+                path: ReadPath::HiveFallback,
+                primary_error: Some(primary.into()),
+            })
+        }
+        Err(other) => Err(other.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csi_core::diag::DiagSink;
+    use csi_core::value::{DataType, Decimal, StructField};
+    use minihdfs::MiniHdfs;
+    use minihive::metastore::{Metastore, StorageFormat};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn deployment() -> (SparkSession, HiveQl) {
+        let sink = DiagSink::new();
+        let ms = Arc::new(Mutex::new(Metastore::new()));
+        let fs = Arc::new(Mutex::new(MiniHdfs::with_datanodes(3)));
+        let spark = SparkSession::connect(ms.clone(), fs.clone(), sink.handle("minispark"));
+        let hive = HiveQl::new(ms, fs, sink.handle("minihive"));
+        (spark, hive)
+    }
+
+    #[test]
+    fn healthy_tables_read_through_the_primary_path() {
+        let (spark, hive) = deployment();
+        spark.sql("CREATE TABLE t (a INT)").unwrap();
+        spark.sql("INSERT INTO t VALUES (7)").unwrap();
+        let r = redundant_read(&spark, &hive, "t").unwrap();
+        assert_eq!(r.path, ReadPath::Primary);
+        assert_eq!(r.rows, vec![vec![Value::Int(7)]]);
+        assert!(r.primary_error.is_none());
+    }
+
+    #[test]
+    fn d01_is_tolerated_through_the_hive_fallback() {
+        // SPARK-39075: Spark cannot read its own Avro BYTE file...
+        let (spark, hive) = deployment();
+        let df = spark.dataframe();
+        df.create_table(
+            "b",
+            &[StructField::new("c", DataType::Byte)],
+            StorageFormat::Avro,
+        )
+        .unwrap();
+        df.insert_into("b", &[vec![Value::Byte(5)]]).unwrap();
+        // ... but the redundant reader still serves the data.
+        let r = redundant_read(&spark, &hive, "b").unwrap();
+        assert_eq!(r.path, ReadPath::HiveFallback);
+        assert_eq!(r.rows, vec![vec![Value::Byte(5)]]);
+        assert_eq!(
+            r.primary_error.as_ref().map(|e| e.code.as_str()),
+            Some("INCOMPATIBLE_SCHEMA")
+        );
+    }
+
+    #[test]
+    fn d02_decimal_is_not_hive_recoverable_and_errors_cleanly() {
+        // The D02 direction is inverted (Hive is the side that fails), so
+        // the fallback cannot help; the reader must not mask that.
+        let (spark, hive) = deployment();
+        let df = spark.dataframe();
+        df.create_table(
+            "d",
+            &[StructField::new("c", DataType::Decimal(10, 2))],
+            StorageFormat::Orc,
+        )
+        .unwrap();
+        df.insert_into("d", &[vec![Value::Decimal(Decimal::parse("1.5").unwrap())]])
+            .unwrap();
+        // Spark reads fine: primary path.
+        let r = redundant_read(&spark, &hive, "d").unwrap();
+        assert_eq!(r.path, ReadPath::Primary);
+    }
+
+    #[test]
+    fn availability_errors_are_not_retried() {
+        let (spark, hive) = deployment();
+        let err = redundant_read(&spark, &hive, "missing").unwrap_err();
+        assert_eq!(err.code, "HIVE_METASTORE");
+    }
+}

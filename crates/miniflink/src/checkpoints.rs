@@ -1,0 +1,215 @@
+//! Flink's checkpoint coordinator, writing snapshots to HDFS.
+//!
+//! Another cross-system seam: Flink's fault tolerance *depends on* the
+//! downstream DFS being writable. When the namenode enters safe mode, every
+//! checkpoint fails; Flink's documented behavior is to tolerate a
+//! configured number of consecutive checkpoint failures
+//! (`execution.checkpointing.tolerable-failed-checkpoints`) and then fail
+//! the whole job — a correct policy on each side that composes into a
+//! job-killing interaction when a routine HDFS maintenance window outlasts
+//! the tolerance budget.
+
+use minihdfs::{HdfsError, HdfsPath, MiniHdfs};
+
+/// Identifier of a completed checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CheckpointId(pub u64);
+
+/// Outcome of one checkpoint attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointOutcome {
+    /// Snapshot durable in the DFS.
+    Completed(CheckpointId),
+    /// The attempt failed but the tolerance budget still holds.
+    Failed {
+        /// The DFS error.
+        reason: String,
+        /// Consecutive failures so far.
+        consecutive: u32,
+    },
+    /// The tolerance budget is exhausted: the job fails.
+    JobFailed {
+        /// Consecutive failures that exhausted the budget.
+        consecutive: u32,
+    },
+}
+
+/// The checkpoint coordinator for one job.
+#[derive(Debug)]
+pub struct CheckpointCoordinator {
+    job: String,
+    next_id: u64,
+    completed: Vec<CheckpointId>,
+    tolerable_failures: u32,
+    consecutive_failures: u32,
+    retained: usize,
+}
+
+impl CheckpointCoordinator {
+    /// Creates a coordinator with Flink's defaults: zero tolerable
+    /// failures, one retained checkpoint.
+    pub fn new(job: &str) -> CheckpointCoordinator {
+        CheckpointCoordinator {
+            job: job.to_string(),
+            next_id: 1,
+            completed: Vec::new(),
+            tolerable_failures: 0,
+            consecutive_failures: 0,
+            retained: 1,
+        }
+    }
+
+    /// Sets `execution.checkpointing.tolerable-failed-checkpoints`.
+    pub fn with_tolerable_failures(mut self, n: u32) -> CheckpointCoordinator {
+        self.tolerable_failures = n;
+        self
+    }
+
+    /// Sets the number of retained checkpoints.
+    pub fn with_retained(mut self, n: usize) -> CheckpointCoordinator {
+        self.retained = n.max(1);
+        self
+    }
+
+    fn dir(&self) -> HdfsPath {
+        HdfsPath::parse("/flink/checkpoints")
+            .expect("static path")
+            .join(&self.job)
+    }
+
+    fn path(&self, id: CheckpointId) -> HdfsPath {
+        self.dir().join(&format!("chk-{:08}", id.0))
+    }
+
+    /// Triggers one checkpoint with the given serialized state.
+    pub fn trigger(&mut self, fs: &mut MiniHdfs, state: &[u8]) -> CheckpointOutcome {
+        let id = CheckpointId(self.next_id);
+        let write = fs
+            .mkdirs(&self.dir())
+            .and_then(|()| fs.create(&self.path(id), state));
+        match write {
+            Ok(()) => {
+                self.next_id += 1;
+                self.consecutive_failures = 0;
+                self.completed.push(id);
+                // Retention: drop the oldest beyond the retained budget.
+                while self.completed.len() > self.retained {
+                    let old = self.completed.remove(0);
+                    let _ = fs.delete(&self.path(old), false);
+                }
+                CheckpointOutcome::Completed(id)
+            }
+            Err(e) => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures > self.tolerable_failures {
+                    CheckpointOutcome::JobFailed {
+                        consecutive: self.consecutive_failures,
+                    }
+                } else {
+                    CheckpointOutcome::Failed {
+                        reason: e.to_string(),
+                        consecutive: self.consecutive_failures,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The latest completed checkpoint's state, for recovery.
+    pub fn restore_latest(&self, fs: &MiniHdfs) -> Result<Option<Vec<u8>>, HdfsError> {
+        match self.completed.last() {
+            None => Ok(None),
+            Some(id) => Ok(Some(fs.read(&self.path(*id))?.to_vec())),
+        }
+    }
+
+    /// Completed checkpoints currently retained.
+    pub fn retained_checkpoints(&self) -> &[CheckpointId] {
+        &self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoints_complete_and_restore() {
+        let mut fs = MiniHdfs::with_datanodes(3);
+        let mut cc = CheckpointCoordinator::new("job").with_retained(2);
+        assert_eq!(cc.restore_latest(&fs).unwrap(), None);
+        assert_eq!(
+            cc.trigger(&mut fs, b"state-1"),
+            CheckpointOutcome::Completed(CheckpointId(1))
+        );
+        cc.trigger(&mut fs, b"state-2");
+        assert_eq!(
+            cc.restore_latest(&fs).unwrap().as_deref(),
+            Some(b"state-2".as_ref())
+        );
+    }
+
+    #[test]
+    fn retention_deletes_old_snapshots() {
+        let mut fs = MiniHdfs::with_datanodes(1);
+        let mut cc = CheckpointCoordinator::new("job").with_retained(2);
+        for i in 0..5u8 {
+            cc.trigger(&mut fs, &[i]);
+        }
+        assert_eq!(cc.retained_checkpoints().len(), 2);
+        // Only the two newest files survive in the DFS.
+        let dir = HdfsPath::parse("/flink/checkpoints/job").unwrap();
+        assert_eq!(fs.list_status(&dir).unwrap().len(), 2);
+        assert_eq!(
+            cc.restore_latest(&fs).unwrap().as_deref(),
+            Some([4u8].as_ref())
+        );
+    }
+
+    #[test]
+    fn safe_mode_outage_exhausts_the_tolerance_budget() {
+        // The cross-system composition: an HDFS maintenance window longer
+        // than the tolerance budget kills the Flink job.
+        let mut fs = MiniHdfs::with_datanodes(1);
+        let mut cc = CheckpointCoordinator::new("job").with_tolerable_failures(2);
+        cc.trigger(&mut fs, b"ok");
+        fs.set_safe_mode(true);
+        assert!(matches!(
+            cc.trigger(&mut fs, b"x"),
+            CheckpointOutcome::Failed { consecutive: 1, .. }
+        ));
+        assert!(matches!(
+            cc.trigger(&mut fs, b"x"),
+            CheckpointOutcome::Failed { consecutive: 2, .. }
+        ));
+        assert_eq!(
+            cc.trigger(&mut fs, b"x"),
+            CheckpointOutcome::JobFailed { consecutive: 3 }
+        );
+        // A short window is survivable: the counter resets on success.
+        let mut fs2 = MiniHdfs::with_datanodes(1);
+        let mut cc2 = CheckpointCoordinator::new("job2").with_tolerable_failures(2);
+        fs2.set_safe_mode(true);
+        cc2.trigger(&mut fs2, b"x");
+        fs2.set_safe_mode(false);
+        assert!(matches!(
+            cc2.trigger(&mut fs2, b"y"),
+            CheckpointOutcome::Completed(_)
+        ));
+        assert!(matches!(
+            cc2.trigger(&mut fs2, b"z"),
+            CheckpointOutcome::Completed(_)
+        ));
+    }
+
+    #[test]
+    fn default_tolerance_is_zero() {
+        let mut fs = MiniHdfs::with_datanodes(1);
+        let mut cc = CheckpointCoordinator::new("strict");
+        fs.set_safe_mode(true);
+        assert!(matches!(
+            cc.trigger(&mut fs, b"x"),
+            CheckpointOutcome::JobFailed { consecutive: 1 }
+        ));
+    }
+}

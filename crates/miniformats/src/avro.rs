@@ -1,0 +1,68 @@
+//! The Avro-like container format.
+//!
+//! Per the Avro specification, this format has **no 8- or 16-bit integer
+//! types** (writers must widen to `int`) and **map keys are always
+//! strings**. Both constraints are enforced at encode time; they are the
+//! format-level facts behind SPARK-39075 and HIVE-26531.
+
+use crate::physical::{FileSchema, PhysicalValue};
+use crate::wire::{self, FormatRules};
+use crate::FormatError;
+
+/// Avro format rules.
+pub const RULES: FormatRules = FormatRules {
+    name: "avro-sim",
+    magic: b"AVR1",
+    allows_small_ints: false,
+    allows_non_string_map_keys: false,
+};
+
+/// Encodes an Avro file.
+pub fn encode(schema: &FileSchema, rows: &[Vec<PhysicalValue>]) -> Result<Vec<u8>, FormatError> {
+    wire::encode(&RULES, schema, rows)
+}
+
+/// Decodes an Avro file.
+pub fn decode(data: &[u8]) -> Result<(FileSchema, Vec<Vec<PhysicalValue>>), FormatError> {
+    wire::decode(&RULES, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::PhysicalType;
+
+    #[test]
+    fn avro_rejects_small_ints() {
+        let schema = FileSchema::of(vec![("b", PhysicalType::Int8)]);
+        assert!(matches!(
+            encode(&schema, &[]),
+            Err(FormatError::UnsupportedType { .. })
+        ));
+    }
+
+    #[test]
+    fn avro_rejects_non_string_map_keys() {
+        let schema = FileSchema::of(vec![(
+            "m",
+            PhysicalType::Map(Box::new(PhysicalType::Int32), Box::new(PhysicalType::Utf8)),
+        )]);
+        assert!(encode(&schema, &[]).is_err());
+        // String keys are fine.
+        let ok = FileSchema::of(vec![(
+            "m",
+            PhysicalType::Map(Box::new(PhysicalType::Utf8), Box::new(PhysicalType::Int32)),
+        )]);
+        assert!(encode(&ok, &[]).is_ok());
+    }
+
+    #[test]
+    fn avro_round_trip() {
+        let schema = FileSchema::of(vec![("x", PhysicalType::Int32)]);
+        let rows = vec![vec![PhysicalValue::Int32(42)]];
+        let bytes = encode(&schema, &rows).unwrap();
+        let (s, r) = decode(&bytes).unwrap();
+        assert_eq!(s, schema);
+        assert_eq!(r, rows);
+    }
+}

@@ -1,0 +1,60 @@
+//! The ORC-like container format.
+//!
+//! Supports the full physical type lattice, including 8/16-bit integers and
+//! non-string map keys.
+
+use crate::physical::{FileSchema, PhysicalValue};
+use crate::wire::{self, FormatRules};
+use crate::FormatError;
+
+/// ORC format rules.
+pub const RULES: FormatRules = FormatRules {
+    name: "orc-sim",
+    magic: b"ORC1",
+    allows_small_ints: true,
+    allows_non_string_map_keys: true,
+};
+
+/// Encodes an ORC file.
+pub fn encode(schema: &FileSchema, rows: &[Vec<PhysicalValue>]) -> Result<Vec<u8>, FormatError> {
+    wire::encode(&RULES, schema, rows)
+}
+
+/// Decodes an ORC file.
+pub fn decode(data: &[u8]) -> Result<(FileSchema, Vec<Vec<PhysicalValue>>), FormatError> {
+    wire::decode(&RULES, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::PhysicalType;
+
+    #[test]
+    fn orc_supports_small_ints_and_any_map_keys() {
+        let schema = FileSchema::of(vec![
+            ("b", PhysicalType::Int8),
+            (
+                "m",
+                PhysicalType::Map(Box::new(PhysicalType::Int32), Box::new(PhysicalType::Utf8)),
+            ),
+        ]);
+        let rows = vec![vec![
+            PhysicalValue::Int8(-3),
+            PhysicalValue::Map(vec![(
+                PhysicalValue::Int32(1),
+                PhysicalValue::Utf8("x".into()),
+            )]),
+        ]];
+        let bytes = encode(&schema, &rows).unwrap();
+        let (_, back) = decode(&bytes).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn orc_and_avro_magic_differ() {
+        let schema = FileSchema::of(vec![("x", PhysicalType::Int32)]);
+        let bytes = encode(&schema, &[]).unwrap();
+        assert!(crate::avro::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! The Parquet-like container format.
+//!
+//! Supports the full physical type lattice. The file-metadata key
+//! [`TIMESTAMP_REBASE_KEY`] is where a writer records which calendar its
+//! timestamps use; readers that ignore it (as Spark's legacy path does)
+//! read shifted values for pre-Gregorian instants — the mechanic behind the
+//! HIVE-26528-family discrepancy D07.
+
+use crate::physical::{FileSchema, PhysicalValue};
+use crate::wire::{self, FormatRules};
+use crate::FormatError;
+
+/// Parquet format rules.
+pub const RULES: FormatRules = FormatRules {
+    name: "parquet-sim",
+    magic: b"PAR1",
+    allows_small_ints: true,
+    allows_non_string_map_keys: true,
+};
+
+/// File-metadata key declaring the calendar used for stored timestamps:
+/// `"julian"` (hybrid calendar with rebase) or `"proleptic"`.
+pub const TIMESTAMP_REBASE_KEY: &str = "timestamp.calendar";
+
+/// Encodes a Parquet file.
+pub fn encode(schema: &FileSchema, rows: &[Vec<PhysicalValue>]) -> Result<Vec<u8>, FormatError> {
+    wire::encode(&RULES, schema, rows)
+}
+
+/// Decodes a Parquet file.
+pub fn decode(data: &[u8]) -> Result<(FileSchema, Vec<Vec<PhysicalValue>>), FormatError> {
+    wire::decode(&RULES, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::PhysicalType;
+
+    #[test]
+    fn parquet_rejects_foreign_magic() {
+        let schema = FileSchema::of(vec![("x", PhysicalType::Int32)]);
+        let orc_bytes = crate::orc::encode(&schema, &[]).unwrap();
+        let avro_bytes = crate::avro::encode(&schema, &[]).unwrap();
+        assert!(decode(&orc_bytes).is_err());
+        assert!(decode(&avro_bytes).is_err());
+        let own = encode(&schema, &[]).unwrap();
+        assert!(decode(&own).is_ok());
+    }
+
+    #[test]
+    fn metadata_survives_round_trip() {
+        let mut schema = FileSchema::of(vec![("ts", PhysicalType::Int64)]);
+        schema
+            .meta
+            .insert(TIMESTAMP_REBASE_KEY.into(), "julian".into());
+        let bytes = encode(&schema, &[]).unwrap();
+        let (back, _) = decode(&bytes).unwrap();
+        assert_eq!(
+            back.meta.get(TIMESTAMP_REBASE_KEY).map(String::as_str),
+            Some("julian")
+        );
+    }
+}

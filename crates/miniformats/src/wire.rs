@@ -1,0 +1,619 @@
+//! Low-level binary encoding shared by the three container formats.
+//!
+//! Each format file is: 4 magic bytes, a format version byte, the encoded
+//! [`FileSchema`], a row count, the rows, and the magic again as a footer.
+//! Integers use zig-zag varints; strings and byte arrays are
+//! length-prefixed. The formats differ in magic bytes and in which physical
+//! types they admit ([`FormatRules`]).
+
+use crate::physical::{value_matches, FileSchema, PhysicalColumn, PhysicalType, PhysicalValue};
+use crate::FormatError;
+
+/// Which physical types a format admits.
+#[derive(Debug, Clone, Copy)]
+pub struct FormatRules {
+    /// Format name for error messages.
+    pub name: &'static str,
+    /// 4-byte magic.
+    pub magic: &'static [u8; 4],
+    /// Whether 8/16-bit integers exist in this format.
+    pub allows_small_ints: bool,
+    /// Whether map keys may be non-string.
+    pub allows_non_string_map_keys: bool,
+}
+
+impl FormatRules {
+    /// Validates a physical type against the format's rules.
+    pub fn check_type(&self, ty: &PhysicalType, context: &str) -> Result<(), FormatError> {
+        match ty {
+            PhysicalType::Int8 | PhysicalType::Int16 if !self.allows_small_ints => {
+                Err(FormatError::UnsupportedType {
+                    format: self.name,
+                    ty: ty.clone(),
+                    context: context.to_string(),
+                })
+            }
+            PhysicalType::List(e) => self.check_type(e, context),
+            PhysicalType::Map(k, v) => {
+                if !self.allows_non_string_map_keys && **k != PhysicalType::Utf8 {
+                    return Err(FormatError::UnsupportedType {
+                        format: self.name,
+                        ty: (**k).clone(),
+                        context: format!("{context}: map keys must be strings"),
+                    });
+                }
+                self.check_type(k, context)?;
+                self.check_type(v, context)
+            }
+            PhysicalType::Struct(fields) => {
+                for (fname, fty) in fields {
+                    self.check_type(fty, &format!("{context}.{fname}"))?;
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn varint(&mut self, v: i128) {
+        // Zig-zag then LEB128.
+        let mut z = ((v << 1) ^ (v >> 127)) as u128;
+        loop {
+            let byte = (z & 0x7f) as u8;
+            z >>= 7;
+            if z == 0 {
+                self.buf.push(byte);
+                break;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    fn len(&mut self, v: usize) {
+        self.varint(v as i128);
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.len(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, FormatError> {
+        let b = *self
+            .data
+            .get(self.pos)
+            .ok_or_else(|| FormatError::Corrupt("unexpected end of file".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<i128, FormatError> {
+        let mut z: u128 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            z |= ((byte & 0x7f) as u128) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift > 126 {
+                return Err(FormatError::Corrupt("varint too long".into()));
+            }
+        }
+        Ok(((z >> 1) as i128) ^ -((z & 1) as i128))
+    }
+
+    fn len(&mut self) -> Result<usize, FormatError> {
+        let v = self.varint()?;
+        usize::try_from(v).map_err(|_| FormatError::Corrupt("negative length".into()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, FormatError> {
+        let n = self.len()?;
+        if self.pos + n > self.data.len() {
+            return Err(FormatError::Corrupt("byte run past end".into()));
+        }
+        let out = self.data[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn str(&mut self) -> Result<String, FormatError> {
+        String::from_utf8(self.bytes()?).map_err(|_| FormatError::Corrupt("invalid UTF-8".into()))
+    }
+}
+
+fn write_type(w: &mut Writer, ty: &PhysicalType) {
+    match ty {
+        PhysicalType::Bool => w.u8(1),
+        PhysicalType::Int8 => w.u8(2),
+        PhysicalType::Int16 => w.u8(3),
+        PhysicalType::Int32 => w.u8(4),
+        PhysicalType::Int64 => w.u8(5),
+        PhysicalType::Float32 => w.u8(6),
+        PhysicalType::Float64 => w.u8(7),
+        PhysicalType::Decimal => w.u8(8),
+        PhysicalType::Utf8 => w.u8(9),
+        PhysicalType::Bytes => w.u8(10),
+        PhysicalType::List(e) => {
+            w.u8(11);
+            write_type(w, e);
+        }
+        PhysicalType::Map(k, v) => {
+            w.u8(12);
+            write_type(w, k);
+            write_type(w, v);
+        }
+        PhysicalType::Struct(fields) => {
+            w.u8(13);
+            w.len(fields.len());
+            for (name, fty) in fields {
+                w.str(name);
+                write_type(w, fty);
+            }
+        }
+    }
+}
+
+fn read_type(r: &mut Reader) -> Result<PhysicalType, FormatError> {
+    Ok(match r.u8()? {
+        1 => PhysicalType::Bool,
+        2 => PhysicalType::Int8,
+        3 => PhysicalType::Int16,
+        4 => PhysicalType::Int32,
+        5 => PhysicalType::Int64,
+        6 => PhysicalType::Float32,
+        7 => PhysicalType::Float64,
+        8 => PhysicalType::Decimal,
+        9 => PhysicalType::Utf8,
+        10 => PhysicalType::Bytes,
+        11 => PhysicalType::List(Box::new(read_type(r)?)),
+        12 => {
+            let k = read_type(r)?;
+            let v = read_type(r)?;
+            PhysicalType::Map(Box::new(k), Box::new(v))
+        }
+        13 => {
+            let n = r.len()?;
+            let mut fields = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = r.str()?;
+                let fty = read_type(r)?;
+                fields.push((name, fty));
+            }
+            PhysicalType::Struct(fields)
+        }
+        t => return Err(FormatError::Corrupt(format!("unknown type tag {t}"))),
+    })
+}
+
+fn write_value(w: &mut Writer, v: &PhysicalValue) {
+    match v {
+        PhysicalValue::Null => w.u8(0),
+        PhysicalValue::Bool(b) => {
+            w.u8(1);
+            w.u8(*b as u8);
+        }
+        PhysicalValue::Int8(x) => {
+            w.u8(2);
+            w.varint(*x as i128);
+        }
+        PhysicalValue::Int16(x) => {
+            w.u8(3);
+            w.varint(*x as i128);
+        }
+        PhysicalValue::Int32(x) => {
+            w.u8(4);
+            w.varint(*x as i128);
+        }
+        PhysicalValue::Int64(x) => {
+            w.u8(5);
+            w.varint(*x as i128);
+        }
+        PhysicalValue::Float32(x) => {
+            w.u8(6);
+            w.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        PhysicalValue::Float64(x) => {
+            w.u8(7);
+            w.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        PhysicalValue::Decimal { unscaled, scale } => {
+            w.u8(8);
+            w.varint(*unscaled);
+            w.u8(*scale);
+        }
+        PhysicalValue::Utf8(s) => {
+            w.u8(9);
+            w.str(s);
+        }
+        PhysicalValue::Bytes(b) => {
+            w.u8(10);
+            w.bytes(b);
+        }
+        PhysicalValue::List(items) => {
+            w.u8(11);
+            w.len(items.len());
+            for item in items {
+                write_value(w, item);
+            }
+        }
+        PhysicalValue::Map(pairs) => {
+            w.u8(12);
+            w.len(pairs.len());
+            for (k, val) in pairs {
+                write_value(w, k);
+                write_value(w, val);
+            }
+        }
+        PhysicalValue::Struct(fields) => {
+            w.u8(13);
+            w.len(fields.len());
+            for (name, val) in fields {
+                w.str(name);
+                write_value(w, val);
+            }
+        }
+    }
+}
+
+fn read_value(r: &mut Reader) -> Result<PhysicalValue, FormatError> {
+    Ok(match r.u8()? {
+        0 => PhysicalValue::Null,
+        1 => PhysicalValue::Bool(r.u8()? != 0),
+        2 => PhysicalValue::Int8(
+            i8::try_from(r.varint()?)
+                .map_err(|_| FormatError::Corrupt("int8 out of range".into()))?,
+        ),
+        3 => PhysicalValue::Int16(
+            i16::try_from(r.varint()?)
+                .map_err(|_| FormatError::Corrupt("int16 out of range".into()))?,
+        ),
+        4 => PhysicalValue::Int32(
+            i32::try_from(r.varint()?)
+                .map_err(|_| FormatError::Corrupt("int32 out of range".into()))?,
+        ),
+        5 => PhysicalValue::Int64(
+            i64::try_from(r.varint()?)
+                .map_err(|_| FormatError::Corrupt("int64 out of range".into()))?,
+        ),
+        6 => {
+            let mut b = [0u8; 4];
+            for slot in &mut b {
+                *slot = r.u8()?;
+            }
+            PhysicalValue::Float32(f32::from_bits(u32::from_le_bytes(b)))
+        }
+        7 => {
+            let mut b = [0u8; 8];
+            for slot in &mut b {
+                *slot = r.u8()?;
+            }
+            PhysicalValue::Float64(f64::from_bits(u64::from_le_bytes(b)))
+        }
+        8 => {
+            let unscaled = r.varint()?;
+            let scale = r.u8()?;
+            PhysicalValue::Decimal { unscaled, scale }
+        }
+        9 => PhysicalValue::Utf8(r.str()?),
+        10 => PhysicalValue::Bytes(r.bytes()?),
+        11 => {
+            let n = r.len()?;
+            let mut items = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                items.push(read_value(r)?);
+            }
+            PhysicalValue::List(items)
+        }
+        12 => {
+            let n = r.len()?;
+            let mut pairs = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let k = read_value(r)?;
+                let v = read_value(r)?;
+                pairs.push((k, v));
+            }
+            PhysicalValue::Map(pairs)
+        }
+        13 => {
+            let n = r.len()?;
+            let mut fields = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let name = r.str()?;
+                let v = read_value(r)?;
+                fields.push((name, v));
+            }
+            PhysicalValue::Struct(fields)
+        }
+        t => return Err(FormatError::Corrupt(format!("unknown value tag {t}"))),
+    })
+}
+
+const VERSION: u8 = 1;
+
+/// Encodes a file under the given format rules.
+pub fn encode(
+    rules: &FormatRules,
+    schema: &FileSchema,
+    rows: &[Vec<PhysicalValue>],
+) -> Result<Vec<u8>, FormatError> {
+    for col in &schema.columns {
+        rules.check_type(&col.ty, &format!("column {}", col.name))?;
+    }
+    for row in rows {
+        if row.len() != schema.columns.len() {
+            return Err(FormatError::Corrupt(format!(
+                "row has {} values for {} columns",
+                row.len(),
+                schema.columns.len()
+            )));
+        }
+        for (col, value) in schema.columns.iter().zip(row) {
+            if !value_matches(&col.ty, value) {
+                return Err(FormatError::TypeMismatch {
+                    column: col.name.clone(),
+                    declared: col.ty.clone(),
+                    found: format!("{value:?}"),
+                });
+            }
+        }
+    }
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(rules.magic);
+    w.u8(VERSION);
+    w.len(schema.columns.len());
+    for col in &schema.columns {
+        w.str(&col.name);
+        write_type(&mut w, &col.ty);
+        match &col.logical {
+            Some(l) => {
+                w.u8(1);
+                w.str(l);
+            }
+            None => w.u8(0),
+        }
+    }
+    w.len(schema.meta.len());
+    for (k, v) in &schema.meta {
+        w.str(k);
+        w.str(v);
+    }
+    w.len(rows.len());
+    for row in rows {
+        for value in row {
+            write_value(&mut w, value);
+        }
+    }
+    w.buf.extend_from_slice(rules.magic);
+    Ok(w.buf)
+}
+
+/// Decodes a file under the given format rules.
+pub fn decode(
+    rules: &FormatRules,
+    data: &[u8],
+) -> Result<(FileSchema, Vec<Vec<PhysicalValue>>), FormatError> {
+    if data.len() < 8 || &data[..4] != rules.magic {
+        return Err(FormatError::WrongMagic {
+            expected: std::str::from_utf8(rules.magic).unwrap_or("????"),
+        });
+    }
+    if &data[data.len() - 4..] != rules.magic {
+        return Err(FormatError::Corrupt("missing footer magic".into()));
+    }
+    let mut r = Reader {
+        data: &data[..data.len() - 4],
+        pos: 4,
+    };
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(FormatError::Corrupt(format!("unknown version {version}")));
+    }
+    let ncols = r.len()?;
+    let mut columns = Vec::with_capacity(ncols.min(1 << 12));
+    for _ in 0..ncols {
+        let name = r.str()?;
+        let ty = read_type(&mut r)?;
+        let logical = if r.u8()? == 1 { Some(r.str()?) } else { None };
+        columns.push(PhysicalColumn { name, ty, logical });
+    }
+    let nmeta = r.len()?;
+    let mut meta = crate::physical::FileMeta::new();
+    for _ in 0..nmeta {
+        let k = r.str()?;
+        let v = r.str()?;
+        meta.insert(k, v);
+    }
+    let nrows = r.len()?;
+    let mut rows = Vec::with_capacity(nrows.min(1 << 20));
+    for _ in 0..nrows {
+        let mut row = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            row.push(read_value(&mut r)?);
+        }
+        rows.push(row);
+    }
+    Ok((FileSchema { columns, meta }, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: FormatRules = FormatRules {
+        name: "test",
+        magic: b"TST1",
+        allows_small_ints: true,
+        allows_non_string_map_keys: true,
+    };
+
+    fn sample_schema() -> FileSchema {
+        let mut s = FileSchema::of(vec![
+            ("a", PhysicalType::Int32),
+            ("b", PhysicalType::Utf8),
+            (
+                "m",
+                PhysicalType::Map(Box::new(PhysicalType::Int32), Box::new(PhysicalType::Utf8)),
+            ),
+        ]);
+        s.columns[0].logical = Some("tinyint".into());
+        s.meta.insert("writer".into(), "test".into());
+        s
+    }
+
+    fn sample_rows() -> Vec<Vec<PhysicalValue>> {
+        vec![
+            vec![
+                PhysicalValue::Int32(5),
+                PhysicalValue::Utf8("hi".into()),
+                PhysicalValue::Map(vec![(
+                    PhysicalValue::Int32(1),
+                    PhysicalValue::Utf8("one".into()),
+                )]),
+            ],
+            vec![
+                PhysicalValue::Null,
+                PhysicalValue::Null,
+                PhysicalValue::Null,
+            ],
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let bytes = encode(&RULES, &sample_schema(), &sample_rows()).unwrap();
+        let (schema, rows) = decode(&RULES, &bytes).unwrap();
+        assert_eq!(schema, sample_schema());
+        assert_eq!(rows, sample_rows());
+    }
+
+    #[test]
+    fn varint_extremes_round_trip() {
+        let schema = FileSchema::of(vec![("x", PhysicalType::Decimal)]);
+        let rows = vec![
+            vec![PhysicalValue::Decimal {
+                unscaled: i128::MAX / 2,
+                scale: 38,
+            }],
+            vec![PhysicalValue::Decimal {
+                unscaled: i128::MIN / 2,
+                scale: 0,
+            }],
+        ];
+        let bytes = encode(&RULES, &schema, &rows).unwrap();
+        let (_, back) = decode(&RULES, &bytes).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn float_bit_patterns_survive() {
+        let schema = FileSchema::of(vec![("f", PhysicalType::Float64)]);
+        let rows = vec![
+            vec![PhysicalValue::Float64(f64::NAN)],
+            vec![PhysicalValue::Float64(-0.0)],
+            vec![PhysicalValue::Float64(f64::INFINITY)],
+        ];
+        let bytes = encode(&RULES, &schema, &rows).unwrap();
+        let (_, back) = decode(&RULES, &bytes).unwrap();
+        match &back[0][0] {
+            PhysicalValue::Float64(v) => assert!(v.is_nan()),
+            other => panic!("{other:?}"),
+        }
+        match &back[1][0] {
+            PhysicalValue::Float64(v) => assert!(v.is_sign_negative() && *v == 0.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn encode_rejects_type_mismatches() {
+        let schema = FileSchema::of(vec![("a", PhysicalType::Int32)]);
+        let rows = vec![vec![PhysicalValue::Utf8("oops".into())]];
+        assert!(matches!(
+            encode(&RULES, &schema, &rows),
+            Err(FormatError::TypeMismatch { .. })
+        ));
+        let short = vec![vec![]];
+        assert!(matches!(
+            encode(&RULES, &schema, &short),
+            Err(FormatError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rules_reject_unsupported_types() {
+        let strict = FormatRules {
+            name: "strict",
+            magic: b"STR1",
+            allows_small_ints: false,
+            allows_non_string_map_keys: false,
+        };
+        let schema = FileSchema::of(vec![("a", PhysicalType::Int8)]);
+        assert!(matches!(
+            encode(&strict, &schema, &[]),
+            Err(FormatError::UnsupportedType { .. })
+        ));
+        let schema = FileSchema::of(vec![(
+            "m",
+            PhysicalType::Map(Box::new(PhysicalType::Int32), Box::new(PhysicalType::Utf8)),
+        )]);
+        let err = encode(&strict, &schema, &[]).unwrap_err();
+        assert!(matches!(err, FormatError::UnsupportedType { .. }));
+        assert!(err.to_string().contains("map keys must be strings"));
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let bytes = encode(&RULES, &sample_schema(), &sample_rows()).unwrap();
+        // Wrong magic.
+        assert!(matches!(
+            decode(&RULES, b"XXXXrest"),
+            Err(FormatError::WrongMagic { .. })
+        ));
+        // Truncated body.
+        assert!(decode(&RULES, &bytes[..bytes.len() / 2]).is_err());
+        // Footer clipped.
+        let mut clipped = bytes.clone();
+        clipped.pop();
+        assert!(decode(&RULES, &clipped).is_err());
+    }
+
+    #[test]
+    fn deeply_nested_values_round_trip() {
+        let inner = PhysicalType::Struct(vec![(
+            "xs".into(),
+            PhysicalType::List(Box::new(PhysicalType::Int8)),
+        )]);
+        let schema = FileSchema::of(vec![("s", inner)]);
+        let rows = vec![vec![PhysicalValue::Struct(vec![(
+            "xs".into(),
+            PhysicalValue::List(vec![PhysicalValue::Int8(-5), PhysicalValue::Null]),
+        )])]];
+        let bytes = encode(&RULES, &schema, &rows).unwrap();
+        let (_, back) = decode(&RULES, &bytes).unwrap();
+        assert_eq!(back, rows);
+    }
+}

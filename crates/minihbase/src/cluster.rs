@@ -1,0 +1,211 @@
+//! Region assignment and the stale-location-cache discrepancy
+//! (HBASE-16621).
+//!
+//! Clients cache region→server locations to avoid a master round-trip per
+//! request. When a region moves while a cached entry is live, the client's
+//! next request lands on a server that no longer serves the region —
+//! "asynchrony-induced stale states due to concurrent events" (Table 8).
+//! Neither side is buggy: the cache is a documented optimization, the move
+//! is a documented operation; the composition needs the retry protocol the
+//! shipped code lacked.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A region server identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServerId(pub u32);
+
+/// The error a server returns for a region it does not serve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotServingRegion {
+    /// The region asked for.
+    pub region: String,
+    /// The server that was asked.
+    pub asked: ServerId,
+}
+
+impl fmt::Display for NotServingRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NotServingRegionException: {} is not served by server {}",
+            self.region, self.asked.0
+        )
+    }
+}
+
+impl std::error::Error for NotServingRegion {}
+
+/// The master's authoritative region assignment.
+#[derive(Debug, Default)]
+pub struct ClusterState {
+    assignment: BTreeMap<String, ServerId>,
+    moves: u64,
+}
+
+impl ClusterState {
+    /// Creates an empty cluster.
+    pub fn new() -> ClusterState {
+        ClusterState::default()
+    }
+
+    /// Assigns (or moves) a region to a server.
+    pub fn assign(&mut self, region: &str, server: ServerId) {
+        if self.assignment.insert(region.to_string(), server).is_some() {
+            self.moves += 1;
+        }
+    }
+
+    /// Authoritative lookup (a master round-trip).
+    pub fn locate(&self, region: &str) -> Option<ServerId> {
+        self.assignment.get(region).copied()
+    }
+
+    /// Whether `server` currently serves `region`.
+    pub fn serves(&self, region: &str, server: ServerId) -> bool {
+        self.locate(region) == Some(server)
+    }
+
+    /// Region moves performed so far.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+}
+
+/// Client retry behavior on `NotServingRegionException`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryPolicy {
+    /// Shipped: trust the cache; surface the error (HBASE-16621).
+    TrustCache,
+    /// Fixed: invalidate the cache entry and retry via the master.
+    RefreshAndRetry,
+}
+
+/// A location-caching client.
+#[derive(Debug, Default)]
+pub struct HBaseClient {
+    cache: BTreeMap<String, ServerId>,
+    master_lookups: u64,
+}
+
+impl HBaseClient {
+    /// Creates a client with an empty cache.
+    pub fn new() -> HBaseClient {
+        HBaseClient::default()
+    }
+
+    /// Routes one request for `region`, returning the server that actually
+    /// handled it.
+    pub fn route(
+        &mut self,
+        cluster: &ClusterState,
+        region: &str,
+        policy: RetryPolicy,
+    ) -> Result<ServerId, NotServingRegion> {
+        let cached = match self.cache.get(region) {
+            Some(s) => *s,
+            None => {
+                self.master_lookups += 1;
+                let s = cluster.locate(region).ok_or(NotServingRegion {
+                    region: region.to_string(),
+                    asked: ServerId(u32::MAX),
+                })?;
+                self.cache.insert(region.to_string(), s);
+                s
+            }
+        };
+        if cluster.serves(region, cached) {
+            return Ok(cached);
+        }
+        // The cached location is stale.
+        match policy {
+            RetryPolicy::TrustCache => Err(NotServingRegion {
+                region: region.to_string(),
+                asked: cached,
+            }),
+            RetryPolicy::RefreshAndRetry => {
+                self.cache.remove(region);
+                self.master_lookups += 1;
+                let fresh = cluster.locate(region).ok_or(NotServingRegion {
+                    region: region.to_string(),
+                    asked: cached,
+                })?;
+                self.cache.insert(region.to_string(), fresh);
+                Ok(fresh)
+            }
+        }
+    }
+
+    /// Master round-trips performed (the cost the cache amortizes).
+    pub fn master_lookups(&self) -> u64 {
+        self.master_lookups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_amortizes_master_lookups() {
+        let mut cluster = ClusterState::new();
+        cluster.assign("t,region-0", ServerId(1));
+        let mut client = HBaseClient::new();
+        for _ in 0..10 {
+            let s = client
+                .route(&cluster, "t,region-0", RetryPolicy::TrustCache)
+                .unwrap();
+            assert_eq!(s, ServerId(1));
+        }
+        assert_eq!(client.master_lookups(), 1);
+    }
+
+    #[test]
+    fn hbase_16621_stale_cache_fails_under_shipped_policy() {
+        let mut cluster = ClusterState::new();
+        cluster.assign("t,region-0", ServerId(1));
+        let mut client = HBaseClient::new();
+        client
+            .route(&cluster, "t,region-0", RetryPolicy::TrustCache)
+            .unwrap();
+        // The region moves concurrently.
+        cluster.assign("t,region-0", ServerId(2));
+        assert_eq!(cluster.moves(), 1);
+        let err = client
+            .route(&cluster, "t,region-0", RetryPolicy::TrustCache)
+            .unwrap_err();
+        assert_eq!(err.asked, ServerId(1));
+        assert!(err.to_string().contains("NotServingRegionException"));
+    }
+
+    #[test]
+    fn refresh_and_retry_heals_the_stale_cache() {
+        let mut cluster = ClusterState::new();
+        cluster.assign("t,region-0", ServerId(1));
+        let mut client = HBaseClient::new();
+        client
+            .route(&cluster, "t,region-0", RetryPolicy::RefreshAndRetry)
+            .unwrap();
+        cluster.assign("t,region-0", ServerId(2));
+        let s = client
+            .route(&cluster, "t,region-0", RetryPolicy::RefreshAndRetry)
+            .unwrap();
+        assert_eq!(s, ServerId(2));
+        // The refreshed entry is cached again.
+        let s = client
+            .route(&cluster, "t,region-0", RetryPolicy::TrustCache)
+            .unwrap();
+        assert_eq!(s, ServerId(2));
+        assert_eq!(client.master_lookups(), 2);
+    }
+
+    #[test]
+    fn unknown_regions_error_cleanly() {
+        let cluster = ClusterState::new();
+        let mut client = HBaseClient::new();
+        assert!(client
+            .route(&cluster, "nope", RetryPolicy::RefreshAndRetry)
+            .is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! `minihbase` — a key-value store substrate modeled on Apache HBase.
+//!
+//! A log-structured store built *on top of `minihdfs`*, the way HBase is
+//! built on HDFS: every mutation is appended to a write-ahead log in the
+//! DFS, buffered in a memstore, flushed to immutable HFiles, and compacted.
+//! Region opening replays the WAL.
+//!
+//! Two studied control-plane CSI failures live at this crate's seams:
+//!
+//! - **HBASE-537**: the region server "wrongly assumed HDFS NameNode
+//!   readiness when it was in safe mode" — [`Region::open`][region::Region::open] fails
+//!   when the namenode is in safe mode, and the shipped caller treats that
+//!   as fatal instead of retrying;
+//! - **HBASE-16621**: asynchrony-induced stale state — a client caching
+//!   region locations keeps serving from its cache after the region moved
+//!   ([`cluster`]), getting `NotServingRegionException` until it refreshes.
+//!
+//! Notably, Table 5 of the paper reports **zero** data-plane CSI failures
+//! on key-value tuples — the simple data abstraction is the safe one — and
+//! this substrate honors that: its data path has no discrepancy mechanics
+//! at all.
+
+pub mod cluster;
+pub mod region;
+
+pub use cluster::{ClusterState, HBaseClient, NotServingRegion, ServerId};
+pub use region::{HBaseError, Region};

@@ -1,0 +1,142 @@
+//! Errors raised by the minihdfs namenode and datanodes.
+
+use crate::path::HdfsPath;
+use csi_core::{ErrorKind, InteractionError};
+use std::fmt;
+
+/// Error type of all minihdfs operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HdfsError {
+    /// The path does not exist.
+    FileNotFound(HdfsPath),
+    /// Create without overwrite on an existing path.
+    AlreadyExists(HdfsPath),
+    /// A path component is a file, not a directory.
+    NotADirectory(HdfsPath),
+    /// The operation needs a file but the path is a directory.
+    IsADirectory(HdfsPath),
+    /// The path string is malformed.
+    InvalidPath(String),
+    /// The namenode is in safe mode; mutations are refused.
+    SafeMode,
+    /// The presented delegation token is expired or unknown.
+    TokenInvalid {
+        /// Why the token was refused.
+        reason: String,
+    },
+    /// A directory namespace or space quota was exceeded.
+    QuotaExceeded {
+        /// The directory whose quota tripped.
+        dir: HdfsPath,
+        /// Human-readable quota description.
+        detail: String,
+    },
+    /// Not enough live datanodes to satisfy the replication factor.
+    InsufficientReplication {
+        /// Requested replication.
+        wanted: u32,
+        /// Live datanodes available.
+        live: usize,
+    },
+    /// The caller lacks permission.
+    PermissionDenied {
+        /// The path.
+        path: HdfsPath,
+        /// The user that was refused.
+        user: String,
+    },
+    /// Attempt to delete a non-empty directory without `recursive`.
+    DirectoryNotEmpty(HdfsPath),
+}
+
+impl fmt::Display for HdfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdfsError::FileNotFound(p) => write!(f, "no such file or directory: {p}"),
+            HdfsError::AlreadyExists(p) => write!(f, "path already exists: {p}"),
+            HdfsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            HdfsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            HdfsError::InvalidPath(s) => write!(f, "invalid path: {s:?}"),
+            HdfsError::SafeMode => write!(f, "namenode is in safe mode"),
+            HdfsError::TokenInvalid { reason } => write!(f, "delegation token invalid: {reason}"),
+            HdfsError::QuotaExceeded { dir, detail } => {
+                write!(f, "quota exceeded on {dir}: {detail}")
+            }
+            HdfsError::InsufficientReplication { wanted, live } => write!(
+                f,
+                "cannot place {wanted} replicas with only {live} live datanodes"
+            ),
+            HdfsError::PermissionDenied { path, user } => {
+                write!(f, "permission denied for user {user} on {path}")
+            }
+            HdfsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for HdfsError {}
+
+impl HdfsError {
+    /// Stable machine-readable code for interaction-boundary reporting.
+    pub fn code(&self) -> &'static str {
+        match self {
+            HdfsError::FileNotFound(_) => "FILE_NOT_FOUND",
+            HdfsError::AlreadyExists(_) => "ALREADY_EXISTS",
+            HdfsError::NotADirectory(_) => "NOT_A_DIRECTORY",
+            HdfsError::IsADirectory(_) => "IS_A_DIRECTORY",
+            HdfsError::InvalidPath(_) => "INVALID_PATH",
+            HdfsError::SafeMode => "SAFE_MODE",
+            HdfsError::TokenInvalid { .. } => "TOKEN_INVALID",
+            HdfsError::QuotaExceeded { .. } => "QUOTA_EXCEEDED",
+            HdfsError::InsufficientReplication { .. } => "INSUFFICIENT_REPLICATION",
+            HdfsError::PermissionDenied { .. } => "PERMISSION_DENIED",
+            HdfsError::DirectoryNotEmpty(_) => "DIRECTORY_NOT_EMPTY",
+        }
+    }
+}
+
+impl From<HdfsError> for InteractionError {
+    fn from(e: HdfsError) -> InteractionError {
+        let kind = match &e {
+            HdfsError::SafeMode => ErrorKind::Unavailable,
+            HdfsError::TokenInvalid { .. } | HdfsError::PermissionDenied { .. } => {
+                ErrorKind::Rejected
+            }
+            HdfsError::InsufficientReplication { .. } => ErrorKind::Unavailable,
+            _ => ErrorKind::Rejected,
+        };
+        InteractionError::new("minihdfs", kind, e.code(), e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct_for_key_variants() {
+        let p = HdfsPath::parse("/a").unwrap();
+        let errors = [
+            HdfsError::FileNotFound(p.clone()),
+            HdfsError::SafeMode,
+            HdfsError::TokenInvalid {
+                reason: "expired".into(),
+            },
+            HdfsError::QuotaExceeded {
+                dir: p,
+                detail: "x".into(),
+            },
+        ];
+        let codes: Vec<&str> = errors.iter().map(|e| e.code()).collect();
+        let mut dedup = codes.clone();
+        dedup.dedup();
+        assert_eq!(codes, dedup);
+    }
+
+    #[test]
+    fn safe_mode_maps_to_unavailable() {
+        let ie: InteractionError = HdfsError::SafeMode.into();
+        assert_eq!(ie.kind, ErrorKind::Unavailable);
+        assert_eq!(ie.system, "minihdfs");
+    }
+}

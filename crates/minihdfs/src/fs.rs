@@ -1,0 +1,971 @@
+//! The minihdfs namenode and datanode fleet.
+
+use crate::error::HdfsError;
+use crate::path::HdfsPath;
+use crate::token::{DelegationToken, TokenCheck, TokenId, TokenRegistry};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a simulated datanode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DataNodeId(pub u32);
+
+/// Where a file's bytes physically live, from the cluster's point of view.
+///
+/// Cloud storage systems extend POSIX with such properties; FLINK-13758 is a
+/// CSI failure where the upstream had to treat local and remote files
+/// differently and did not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Locality {
+    /// Stored on datanodes of this cluster.
+    Local,
+    /// Stored in a remote tier (e.g. archival or cloud storage).
+    Remote,
+}
+
+/// Custom (non-POSIX) file properties exposed by the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileProperties {
+    /// Whether the file content is transparently compressed.
+    ///
+    /// For compressed files the namenode reports a length of `-1`
+    /// (SPARK-27239, Figure 2): the real length is only known after
+    /// decompression, and `-1` is the store's documented sentinel.
+    pub compressed: bool,
+    /// Whether the file is encrypted at rest.
+    pub encrypted: bool,
+    /// Physical locality.
+    pub locality: Locality,
+}
+
+impl Default for FileProperties {
+    fn default() -> FileProperties {
+        FileProperties {
+            compressed: false,
+            encrypted: false,
+            locality: Locality::Local,
+        }
+    }
+}
+
+/// Status record returned by [`MiniHdfs::get_file_status`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileStatus {
+    /// Absolute path.
+    pub path: HdfsPath,
+    /// Whether the node is a directory.
+    pub is_dir: bool,
+    /// Reported length in bytes.
+    ///
+    /// **Careful**: this is `-1` for compressed files — a valid value per
+    /// this store's specification, and the undefined-value discrepancy
+    /// behind SPARK-27239. Use [`MiniHdfs::stored_length`] for the physical
+    /// length.
+    pub len: i64,
+    /// Replication factor of the file (0 for directories).
+    pub replication: u32,
+    /// Modification time (namenode clock, ms).
+    pub modification_time: u64,
+    /// Owner name.
+    pub owner: String,
+    /// POSIX-style permission bits.
+    pub permissions: u16,
+    /// Custom properties.
+    pub properties: FileProperties,
+}
+
+/// One block of a file and its replica locations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockInfo {
+    /// Block id, unique within the namenode.
+    pub id: u64,
+    /// Bytes in this block.
+    pub len: u64,
+    /// Datanodes currently holding a replica.
+    pub replicas: Vec<DataNodeId>,
+}
+
+#[derive(Debug, Clone)]
+struct Quota {
+    max_namespace: Option<u64>,
+    max_space: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+enum INode {
+    Dir {
+        quota: Option<Quota>,
+        mtime: u64,
+    },
+    File {
+        data: Bytes,
+        props: FileProperties,
+        replication: u32,
+        blocks: Vec<BlockInfo>,
+        mtime: u64,
+        owner: String,
+        permissions: u16,
+    },
+}
+
+/// The in-memory HDFS cluster: one namenode plus registered datanodes.
+///
+/// Time does not advance on its own; callers (or the discrete-event
+/// simulator) drive the clock via [`MiniHdfs::advance_clock`], which keeps
+/// token-expiry scenarios deterministic.
+#[derive(Debug)]
+pub struct MiniHdfs {
+    nodes: BTreeMap<Vec<String>, INode>,
+    datanodes: BTreeMap<DataNodeId, bool>, // true = live
+    tokens: TokenRegistry,
+    clock_ms: u64,
+    safe_mode: bool,
+    min_live_datanodes: usize,
+    block_size: u64,
+    default_replication: u32,
+    next_block_id: u64,
+}
+
+impl Default for MiniHdfs {
+    fn default() -> MiniHdfs {
+        MiniHdfs::new()
+    }
+}
+
+impl MiniHdfs {
+    /// Creates a cluster with no datanodes, in safe mode.
+    pub fn new() -> MiniHdfs {
+        let mut nodes = BTreeMap::new();
+        nodes.insert(
+            Vec::new(),
+            INode::Dir {
+                quota: None,
+                mtime: 0,
+            },
+        );
+        MiniHdfs {
+            nodes,
+            datanodes: BTreeMap::new(),
+            tokens: TokenRegistry::default(),
+            clock_ms: 0,
+            safe_mode: true,
+            min_live_datanodes: 1,
+            block_size: 128,
+            default_replication: 3,
+            next_block_id: 0,
+        }
+    }
+
+    /// Creates a ready-to-use cluster with `n` datanodes, out of safe mode.
+    pub fn with_datanodes(n: u32) -> MiniHdfs {
+        let mut fs = MiniHdfs::new();
+        for i in 0..n {
+            fs.register_datanode(DataNodeId(i));
+        }
+        fs
+    }
+
+    /// Current namenode clock (ms).
+    pub fn now(&self) -> u64 {
+        self.clock_ms
+    }
+
+    /// Advances the namenode clock.
+    pub fn advance_clock(&mut self, ms: u64) {
+        self.clock_ms += ms;
+    }
+
+    /// Registers (or revives) a datanode; may leave safe mode.
+    pub fn register_datanode(&mut self, id: DataNodeId) {
+        self.datanodes.insert(id, true);
+        if self.live_datanodes() >= self.min_live_datanodes {
+            self.safe_mode = false;
+        }
+    }
+
+    /// Marks a datanode dead; its replicas become unavailable.
+    pub fn kill_datanode(&mut self, id: DataNodeId) {
+        if let Some(live) = self.datanodes.get_mut(&id) {
+            *live = false;
+        }
+        for node in self.nodes.values_mut() {
+            if let INode::File { blocks, .. } = node {
+                for b in blocks {
+                    b.replicas.retain(|r| *r != id);
+                }
+            }
+        }
+    }
+
+    /// Number of live datanodes.
+    pub fn live_datanodes(&self) -> usize {
+        self.datanodes.values().filter(|l| **l).count()
+    }
+
+    /// Whether the namenode is in safe mode.
+    pub fn in_safe_mode(&self) -> bool {
+        self.safe_mode
+    }
+
+    /// Manually toggles safe mode (like `hdfs dfsadmin -safemode`).
+    pub fn set_safe_mode(&mut self, on: bool) {
+        self.safe_mode = on;
+    }
+
+    fn check_mutable(&self) -> Result<(), HdfsError> {
+        if self.safe_mode {
+            Err(HdfsError::SafeMode)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn key(path: &HdfsPath) -> Vec<String> {
+        path.without_authority().components().to_vec()
+    }
+
+    /// Creates a directory and any missing ancestors.
+    pub fn mkdirs(&mut self, path: &HdfsPath) -> Result<(), HdfsError> {
+        self.check_mutable()?;
+        let comps = Self::key(path);
+        for depth in 1..=comps.len() {
+            let prefix = comps[..depth].to_vec();
+            match self.nodes.get(&prefix) {
+                Some(INode::Dir { .. }) => {}
+                Some(INode::File { .. }) => {
+                    return Err(HdfsError::NotADirectory(partial(&prefix)));
+                }
+                None => {
+                    self.check_namespace_quota(&prefix)?;
+                    self.nodes.insert(
+                        prefix,
+                        INode::Dir {
+                            quota: None,
+                            mtime: self.clock_ms,
+                        },
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes a whole file with default properties, creating parents.
+    pub fn create(&mut self, path: &HdfsPath, data: &[u8]) -> Result<(), HdfsError> {
+        self.create_with(path, data, FileProperties::default(), "hdfs", 0o644)
+    }
+
+    /// Writes a compressed file: content stored as-is, but the status
+    /// reports length `-1`.
+    pub fn create_compressed(&mut self, path: &HdfsPath, data: &[u8]) -> Result<(), HdfsError> {
+        self.create_with(
+            path,
+            data,
+            FileProperties {
+                compressed: true,
+                ..FileProperties::default()
+            },
+            "hdfs",
+            0o644,
+        )
+    }
+
+    /// Writes a whole file with explicit properties, owner, and permissions.
+    pub fn create_with(
+        &mut self,
+        path: &HdfsPath,
+        data: &[u8],
+        props: FileProperties,
+        owner: &str,
+        permissions: u16,
+    ) -> Result<(), HdfsError> {
+        self.check_mutable()?;
+        if path.is_root() {
+            return Err(HdfsError::IsADirectory(path.clone()));
+        }
+        let comps = Self::key(path);
+        if let Some(existing) = self.nodes.get(&comps) {
+            match existing {
+                INode::Dir { .. } => return Err(HdfsError::IsADirectory(path.clone())),
+                INode::File { .. } => return Err(HdfsError::AlreadyExists(path.clone())),
+            }
+        }
+        if self.live_datanodes() == 0 {
+            return Err(HdfsError::InsufficientReplication {
+                wanted: self.default_replication,
+                live: 0,
+            });
+        }
+        if let Some(parent) = path.parent() {
+            self.mkdirs(&parent)?;
+        }
+        self.check_namespace_quota(&comps)?;
+        self.check_space_quota(&comps, data.len() as u64)?;
+        let blocks = self.allocate_blocks(data.len() as u64);
+        self.nodes.insert(
+            comps,
+            INode::File {
+                data: Bytes::copy_from_slice(data),
+                props,
+                replication: self.default_replication,
+                blocks,
+                mtime: self.clock_ms,
+                owner: owner.to_string(),
+                permissions,
+            },
+        );
+        Ok(())
+    }
+
+    fn allocate_blocks(&mut self, len: u64) -> Vec<BlockInfo> {
+        let live: Vec<DataNodeId> = self
+            .datanodes
+            .iter()
+            .filter(|(_, l)| **l)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut blocks = Vec::new();
+        let mut remaining = len;
+        let mut cursor = 0usize;
+        loop {
+            let this_len = remaining.min(self.block_size);
+            let id = self.next_block_id;
+            self.next_block_id += 1;
+            // Round-robin placement across live datanodes, up to the
+            // replication factor.
+            let mut replicas = Vec::new();
+            for k in 0..(self.default_replication as usize).min(live.len()) {
+                replicas.push(live[(cursor + k) % live.len()]);
+            }
+            cursor += 1;
+            blocks.push(BlockInfo {
+                id,
+                len: this_len,
+                replicas,
+            });
+            if remaining <= self.block_size {
+                break;
+            }
+            remaining -= self.block_size;
+        }
+        blocks
+    }
+
+    /// Appends bytes to an existing file, extending its block layout.
+    pub fn append(&mut self, path: &HdfsPath, data: &[u8]) -> Result<(), HdfsError> {
+        self.check_mutable()?;
+        let comps = Self::key(path);
+        match self.nodes.get(&comps) {
+            None => return Err(HdfsError::FileNotFound(path.clone())),
+            Some(INode::Dir { .. }) => return Err(HdfsError::IsADirectory(path.clone())),
+            Some(INode::File { .. }) => {}
+        }
+        self.check_space_quota(&comps, data.len() as u64)?;
+        let new_blocks = self.allocate_blocks(data.len() as u64);
+        let now = self.clock_ms;
+        let Some(INode::File {
+            data: existing,
+            blocks,
+            mtime,
+            ..
+        }) = self.nodes.get_mut(&comps)
+        else {
+            unreachable!("checked above");
+        };
+        let mut combined = existing.to_vec();
+        combined.extend_from_slice(data);
+        *existing = Bytes::from(combined);
+        // Drop a trailing empty block left by an empty create.
+        if blocks.len() == 1 && blocks[0].len == 0 && !data.is_empty() {
+            blocks.clear();
+        }
+        blocks.extend(new_blocks);
+        *mtime = now;
+        Ok(())
+    }
+
+    /// Re-replicates under-replicated blocks onto live datanodes that do
+    /// not yet hold them; returns the number of new replicas placed.
+    pub fn replicate_under_replicated(&mut self) -> usize {
+        let live: Vec<DataNodeId> = self
+            .datanodes
+            .iter()
+            .filter(|(_, l)| **l)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut placed = 0;
+        for node in self.nodes.values_mut() {
+            if let INode::File {
+                blocks,
+                replication,
+                ..
+            } = node
+            {
+                for b in blocks {
+                    let target = (*replication as usize).min(live.len());
+                    for candidate in &live {
+                        if b.replicas.len() >= target {
+                            break;
+                        }
+                        if !b.replicas.contains(candidate) {
+                            b.replicas.push(*candidate);
+                            placed += 1;
+                        }
+                    }
+                }
+            }
+        }
+        placed
+    }
+
+    /// Reads a whole file.
+    pub fn read(&self, path: &HdfsPath) -> Result<Bytes, HdfsError> {
+        match self.nodes.get(&Self::key(path)) {
+            None => Err(HdfsError::FileNotFound(path.clone())),
+            Some(INode::Dir { .. }) => Err(HdfsError::IsADirectory(path.clone())),
+            Some(INode::File { data, .. }) => Ok(data.clone()),
+        }
+    }
+
+    /// Reads a whole file, verifying a delegation token first.
+    pub fn read_with_token(&self, path: &HdfsPath, token: TokenId) -> Result<Bytes, HdfsError> {
+        match self.tokens.check(token, self.clock_ms) {
+            TokenCheck::Valid => self.read(path),
+            TokenCheck::Expired { expired_at } => Err(HdfsError::TokenInvalid {
+                reason: format!(
+                    "token expired at t={expired_at}ms (now t={}ms)",
+                    self.clock_ms
+                ),
+            }),
+            TokenCheck::Unknown => Err(HdfsError::TokenInvalid {
+                reason: "unknown or cancelled token".to_string(),
+            }),
+        }
+    }
+
+    /// Returns the status of a path.
+    pub fn get_file_status(&self, path: &HdfsPath) -> Result<FileStatus, HdfsError> {
+        match self.nodes.get(&Self::key(path)) {
+            None => Err(HdfsError::FileNotFound(path.clone())),
+            Some(INode::Dir { mtime, .. }) => Ok(FileStatus {
+                path: path.without_authority(),
+                is_dir: true,
+                len: 0,
+                replication: 0,
+                modification_time: *mtime,
+                owner: "hdfs".to_string(),
+                permissions: 0o755,
+                properties: FileProperties::default(),
+            }),
+            Some(INode::File {
+                data,
+                props,
+                replication,
+                mtime,
+                owner,
+                permissions,
+                ..
+            }) => Ok(FileStatus {
+                path: path.without_authority(),
+                is_dir: false,
+                // The documented sentinel: compressed files report -1.
+                len: if props.compressed {
+                    -1
+                } else {
+                    data.len() as i64
+                },
+                replication: *replication,
+                modification_time: *mtime,
+                owner: owner.clone(),
+                permissions: *permissions,
+                properties: *props,
+            }),
+        }
+    }
+
+    /// The physical stored length, regardless of compression — the custom
+    /// API an informed upstream must use instead of [`FileStatus::len`].
+    pub fn stored_length(&self, path: &HdfsPath) -> Result<u64, HdfsError> {
+        match self.nodes.get(&Self::key(path)) {
+            None => Err(HdfsError::FileNotFound(path.clone())),
+            Some(INode::Dir { .. }) => Err(HdfsError::IsADirectory(path.clone())),
+            Some(INode::File { data, .. }) => Ok(data.len() as u64),
+        }
+    }
+
+    /// Lists the immediate children of a directory.
+    pub fn list_status(&self, path: &HdfsPath) -> Result<Vec<FileStatus>, HdfsError> {
+        let comps = Self::key(path);
+        match self.nodes.get(&comps) {
+            None => return Err(HdfsError::FileNotFound(path.clone())),
+            Some(INode::File { .. }) => return Err(HdfsError::NotADirectory(path.clone())),
+            Some(INode::Dir { .. }) => {}
+        }
+        let mut out = Vec::new();
+        for key in self.nodes.keys() {
+            if key.len() == comps.len() + 1 && key[..comps.len()] == comps[..] {
+                out.push(self.get_file_status(&partial(key))?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether a path exists.
+    pub fn exists(&self, path: &HdfsPath) -> bool {
+        self.nodes.contains_key(&Self::key(path))
+    }
+
+    /// Renames a file or directory (and its subtree).
+    pub fn rename(&mut self, from: &HdfsPath, to: &HdfsPath) -> Result<(), HdfsError> {
+        self.check_mutable()?;
+        let from_key = Self::key(from);
+        let to_key = Self::key(to);
+        if !self.nodes.contains_key(&from_key) {
+            return Err(HdfsError::FileNotFound(from.clone()));
+        }
+        if self.nodes.contains_key(&to_key) {
+            return Err(HdfsError::AlreadyExists(to.clone()));
+        }
+        if let Some(parent) = to.parent() {
+            self.mkdirs(&parent)?;
+        }
+        let moved: Vec<(Vec<String>, INode)> = self
+            .nodes
+            .iter()
+            .filter(|(k, _)| k.len() >= from_key.len() && k[..from_key.len()] == from_key[..])
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        for (k, _) in &moved {
+            self.nodes.remove(k);
+        }
+        for (k, v) in moved {
+            let mut new_key = to_key.clone();
+            new_key.extend_from_slice(&k[from_key.len()..]);
+            self.nodes.insert(new_key, v);
+        }
+        Ok(())
+    }
+
+    /// Deletes a path; directories require `recursive` unless empty.
+    pub fn delete(&mut self, path: &HdfsPath, recursive: bool) -> Result<(), HdfsError> {
+        self.check_mutable()?;
+        let comps = Self::key(path);
+        match self.nodes.get(&comps) {
+            None => return Err(HdfsError::FileNotFound(path.clone())),
+            Some(INode::File { .. }) => {
+                self.nodes.remove(&comps);
+                return Ok(());
+            }
+            Some(INode::Dir { .. }) => {}
+        }
+        let children: Vec<Vec<String>> = self
+            .nodes
+            .keys()
+            .filter(|k| k.len() > comps.len() && k[..comps.len()] == comps[..])
+            .cloned()
+            .collect();
+        if !children.is_empty() && !recursive {
+            return Err(HdfsError::DirectoryNotEmpty(path.clone()));
+        }
+        for k in children {
+            self.nodes.remove(&k);
+        }
+        if !comps.is_empty() {
+            self.nodes.remove(&comps);
+        }
+        Ok(())
+    }
+
+    /// Sets a namespace/space quota on a directory.
+    pub fn set_quota(
+        &mut self,
+        dir: &HdfsPath,
+        max_namespace: Option<u64>,
+        max_space: Option<u64>,
+    ) -> Result<(), HdfsError> {
+        match self.nodes.get_mut(&Self::key(dir)) {
+            None => Err(HdfsError::FileNotFound(dir.clone())),
+            Some(INode::File { .. }) => Err(HdfsError::NotADirectory(dir.clone())),
+            Some(INode::Dir { quota, .. }) => {
+                *quota = Some(Quota {
+                    max_namespace,
+                    max_space,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn check_namespace_quota(&self, new_key: &[String]) -> Result<(), HdfsError> {
+        for depth in 0..new_key.len() {
+            let prefix = &new_key[..depth];
+            if let Some(INode::Dir {
+                quota:
+                    Some(Quota {
+                        max_namespace: Some(max),
+                        ..
+                    }),
+                ..
+            }) = self.nodes.get(prefix)
+            {
+                let count = self
+                    .nodes
+                    .keys()
+                    .filter(|k| k.len() > prefix.len() && k[..prefix.len()] == prefix[..])
+                    .count() as u64;
+                if count + 1 > *max {
+                    return Err(HdfsError::QuotaExceeded {
+                        dir: partial(prefix),
+                        detail: format!("namespace quota {max} reached"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_space_quota(&self, new_key: &[String], add_bytes: u64) -> Result<(), HdfsError> {
+        for depth in 0..new_key.len() {
+            let prefix = &new_key[..depth];
+            if let Some(INode::Dir {
+                quota:
+                    Some(Quota {
+                        max_space: Some(max),
+                        ..
+                    }),
+                ..
+            }) = self.nodes.get(prefix)
+            {
+                let used: u64 = self
+                    .nodes
+                    .iter()
+                    .filter(|(k, _)| k.len() > prefix.len() && k[..prefix.len()] == prefix[..])
+                    .map(|(_, v)| match v {
+                        INode::File { data, .. } => data.len() as u64,
+                        INode::Dir { .. } => 0,
+                    })
+                    .sum();
+                if used + add_bytes > *max {
+                    return Err(HdfsError::QuotaExceeded {
+                        dir: partial(prefix),
+                        detail: format!("space quota {max} bytes would be exceeded"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Block layout of a file.
+    pub fn blocks(&self, path: &HdfsPath) -> Result<Vec<BlockInfo>, HdfsError> {
+        match self.nodes.get(&Self::key(path)) {
+            None => Err(HdfsError::FileNotFound(path.clone())),
+            Some(INode::Dir { .. }) => Err(HdfsError::IsADirectory(path.clone())),
+            Some(INode::File { blocks, .. }) => Ok(blocks.clone()),
+        }
+    }
+
+    /// Number of blocks whose live replica count is below the achievable
+    /// target (the replication factor, capped by live datanodes).
+    pub fn under_replicated_blocks(&self) -> usize {
+        let live = self.live_datanodes() as u32;
+        self.nodes
+            .values()
+            .filter_map(|n| match n {
+                INode::File {
+                    blocks,
+                    replication,
+                    ..
+                } => {
+                    let target = (*replication).min(live);
+                    Some(
+                        blocks
+                            .iter()
+                            .filter(|b| (b.replicas.len() as u32) < target)
+                            .count(),
+                    )
+                }
+                INode::Dir { .. } => None,
+            })
+            .sum()
+    }
+
+    /// Issues a delegation token for `owner`.
+    pub fn issue_token(
+        &mut self,
+        owner: &str,
+        renew_interval_ms: u64,
+        max_lifetime_ms: u64,
+    ) -> DelegationToken {
+        self.tokens
+            .issue(owner, self.clock_ms, renew_interval_ms, max_lifetime_ms)
+    }
+
+    /// Renews a delegation token; returns the new expiry.
+    pub fn renew_token(&mut self, id: TokenId, renew_interval_ms: u64) -> Option<u64> {
+        self.tokens.renew(id, self.clock_ms, renew_interval_ms)
+    }
+
+    /// Cancels a delegation token.
+    pub fn cancel_token(&mut self, id: TokenId) -> bool {
+        self.tokens.cancel(id)
+    }
+}
+
+fn partial(components: &[String]) -> HdfsPath {
+    let mut p = HdfsPath::root();
+    for c in components {
+        p = p.join(c);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> HdfsPath {
+        HdfsPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn starts_in_safe_mode_until_datanodes_register() {
+        let mut fs = MiniHdfs::new();
+        assert!(fs.in_safe_mode());
+        assert_eq!(fs.create(&p("/a"), b"x"), Err(HdfsError::SafeMode));
+        fs.register_datanode(DataNodeId(0));
+        assert!(!fs.in_safe_mode());
+        assert!(fs.create(&p("/a"), b"x").is_ok());
+    }
+
+    #[test]
+    fn create_read_round_trip() {
+        let mut fs = MiniHdfs::with_datanodes(3);
+        fs.create(&p("/data/file.txt"), b"hello world").unwrap();
+        assert_eq!(
+            fs.read(&p("/data/file.txt")).unwrap().as_ref(),
+            b"hello world"
+        );
+        let st = fs.get_file_status(&p("/data/file.txt")).unwrap();
+        assert_eq!(st.len, 11);
+        assert!(!st.is_dir);
+        // Parents are created implicitly.
+        assert!(fs.get_file_status(&p("/data")).unwrap().is_dir);
+    }
+
+    #[test]
+    fn compressed_files_report_minus_one_length() {
+        let mut fs = MiniHdfs::with_datanodes(1);
+        fs.create_compressed(&p("/logs/app.gz"), b"compressed payload")
+            .unwrap();
+        let st = fs.get_file_status(&p("/logs/app.gz")).unwrap();
+        assert_eq!(st.len, -1);
+        assert!(st.properties.compressed);
+        // The custom API reveals the physical length.
+        assert_eq!(fs.stored_length(&p("/logs/app.gz")).unwrap(), 18);
+        // And the content is still readable.
+        assert_eq!(
+            fs.read(&p("/logs/app.gz")).unwrap().as_ref(),
+            b"compressed payload"
+        );
+    }
+
+    #[test]
+    fn create_rejects_duplicates_and_dirs() {
+        let mut fs = MiniHdfs::with_datanodes(1);
+        fs.create(&p("/a/b"), b"1").unwrap();
+        assert!(matches!(
+            fs.create(&p("/a/b"), b"2"),
+            Err(HdfsError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            fs.create(&p("/a"), b"3"),
+            Err(HdfsError::IsADirectory(_))
+        ));
+        assert!(matches!(
+            fs.mkdirs(&p("/a/b/c")),
+            Err(HdfsError::NotADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn list_status_returns_children_only() {
+        let mut fs = MiniHdfs::with_datanodes(1);
+        fs.create(&p("/d/x"), b"1").unwrap();
+        fs.create(&p("/d/y"), b"22").unwrap();
+        fs.create(&p("/d/sub/z"), b"333").unwrap();
+        let names: Vec<String> = fs
+            .list_status(&p("/d"))
+            .unwrap()
+            .iter()
+            .map(|s| s.path.name().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["sub", "x", "y"]);
+    }
+
+    #[test]
+    fn rename_moves_subtrees() {
+        let mut fs = MiniHdfs::with_datanodes(1);
+        fs.create(&p("/src/a/b"), b"1").unwrap();
+        fs.rename(&p("/src"), &p("/dst")).unwrap();
+        assert!(!fs.exists(&p("/src/a/b")));
+        assert_eq!(fs.read(&p("/dst/a/b")).unwrap().as_ref(), b"1");
+        assert!(matches!(
+            fs.rename(&p("/nope"), &p("/x")),
+            Err(HdfsError::FileNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn delete_requires_recursive_for_nonempty_dirs() {
+        let mut fs = MiniHdfs::with_datanodes(1);
+        fs.create(&p("/d/x"), b"1").unwrap();
+        assert!(matches!(
+            fs.delete(&p("/d"), false),
+            Err(HdfsError::DirectoryNotEmpty(_))
+        ));
+        fs.delete(&p("/d"), true).unwrap();
+        assert!(!fs.exists(&p("/d")));
+        assert!(!fs.exists(&p("/d/x")));
+    }
+
+    #[test]
+    fn namespace_quota_is_enforced() {
+        let mut fs = MiniHdfs::with_datanodes(1);
+        fs.mkdirs(&p("/q")).unwrap();
+        fs.set_quota(&p("/q"), Some(2), None).unwrap();
+        fs.create(&p("/q/a"), b"1").unwrap();
+        fs.create(&p("/q/b"), b"2").unwrap();
+        assert!(matches!(
+            fs.create(&p("/q/c"), b"3"),
+            Err(HdfsError::QuotaExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn space_quota_is_enforced() {
+        let mut fs = MiniHdfs::with_datanodes(1);
+        fs.mkdirs(&p("/q")).unwrap();
+        fs.set_quota(&p("/q"), None, Some(10)).unwrap();
+        fs.create(&p("/q/a"), b"12345").unwrap();
+        assert!(matches!(
+            fs.create(&p("/q/b"), b"123456"),
+            Err(HdfsError::QuotaExceeded { .. })
+        ));
+        fs.create(&p("/q/b"), b"12345").unwrap();
+    }
+
+    #[test]
+    fn blocks_split_by_block_size_and_replicate() {
+        let mut fs = MiniHdfs::with_datanodes(3);
+        let data = vec![7u8; 300];
+        fs.create(&p("/big"), &data).unwrap();
+        let blocks = fs.blocks(&p("/big")).unwrap();
+        assert_eq!(blocks.len(), 3); // 128 + 128 + 44.
+        assert_eq!(blocks[0].len, 128);
+        assert_eq!(blocks[2].len, 44);
+        for b in &blocks {
+            assert_eq!(b.replicas.len(), 3);
+        }
+    }
+
+    #[test]
+    fn killing_a_datanode_loses_replicas() {
+        let mut fs = MiniHdfs::with_datanodes(2);
+        fs.create(&p("/f"), b"data").unwrap();
+        fs.kill_datanode(DataNodeId(0));
+        let blocks = fs.blocks(&p("/f")).unwrap();
+        assert!(blocks.iter().all(|b| !b.replicas.contains(&DataNodeId(0))));
+        assert_eq!(fs.live_datanodes(), 1);
+    }
+
+    #[test]
+    fn empty_file_has_one_empty_block() {
+        let mut fs = MiniHdfs::with_datanodes(1);
+        fs.create(&p("/empty"), b"").unwrap();
+        let blocks = fs.blocks(&p("/empty")).unwrap();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].len, 0);
+        assert_eq!(fs.get_file_status(&p("/empty")).unwrap().len, 0);
+    }
+
+    #[test]
+    fn append_extends_content_and_blocks() {
+        let mut fs = MiniHdfs::with_datanodes(3);
+        fs.create(&p("/log"), b"first ").unwrap();
+        fs.append(&p("/log"), b"second").unwrap();
+        assert_eq!(fs.read(&p("/log")).unwrap().as_ref(), b"first second");
+        assert_eq!(fs.get_file_status(&p("/log")).unwrap().len, 12);
+        // Appending to a missing file or a directory fails cleanly.
+        assert!(matches!(
+            fs.append(&p("/nope"), b"x"),
+            Err(HdfsError::FileNotFound(_))
+        ));
+        fs.mkdirs(&p("/dir")).unwrap();
+        assert!(matches!(
+            fs.append(&p("/dir"), b"x"),
+            Err(HdfsError::IsADirectory(_))
+        ));
+        // Appending past a block boundary allocates more blocks.
+        let big = vec![1u8; 200];
+        fs.append(&p("/log"), &big).unwrap();
+        assert!(fs.blocks(&p("/log")).unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn append_respects_space_quota() {
+        let mut fs = MiniHdfs::with_datanodes(1);
+        fs.mkdirs(&p("/q")).unwrap();
+        fs.set_quota(&p("/q"), None, Some(10)).unwrap();
+        fs.create(&p("/q/f"), b"12345").unwrap();
+        assert!(fs.append(&p("/q/f"), b"12345").is_ok());
+        assert!(matches!(
+            fs.append(&p("/q/f"), b"x"),
+            Err(HdfsError::QuotaExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn re_replication_heals_lost_replicas() {
+        // Four nodes: replicas land on three of them; killing one leaves
+        // the block under-replicated even though three nodes are live.
+        let mut fs = MiniHdfs::with_datanodes(4);
+        fs.create(&p("/f"), b"replicated data").unwrap();
+        assert_eq!(fs.under_replicated_blocks(), 0);
+        fs.kill_datanode(DataNodeId(1));
+        assert!(fs.under_replicated_blocks() > 0);
+        // A new node joins and the namenode re-replicates.
+        fs.register_datanode(DataNodeId(9));
+        let placed = fs.replicate_under_replicated();
+        assert!(placed > 0);
+        assert_eq!(fs.under_replicated_blocks(), 0);
+        // Idempotent once healthy.
+        assert_eq!(fs.replicate_under_replicated(), 0);
+    }
+
+    #[test]
+    fn token_gated_read_honors_expiry() {
+        let mut fs = MiniHdfs::with_datanodes(1);
+        fs.create(&p("/secure"), b"secret").unwrap();
+        let token = fs.issue_token("spark", 1000, 5000);
+        assert!(fs.read_with_token(&p("/secure"), token.id).is_ok());
+        fs.advance_clock(1500);
+        assert!(matches!(
+            fs.read_with_token(&p("/secure"), token.id),
+            Err(HdfsError::TokenInvalid { .. })
+        ));
+        // Renewal restores access (YARN-2790's intended flow).
+        fs.renew_token(token.id, 1000).unwrap();
+        assert!(fs.read_with_token(&p("/secure"), token.id).is_ok());
+        fs.cancel_token(token.id);
+        assert!(fs.read_with_token(&p("/secure"), token.id).is_err());
+    }
+
+    #[test]
+    fn uri_and_plain_paths_address_the_same_file() {
+        let mut fs = MiniHdfs::with_datanodes(1);
+        fs.create(&p("hdfs://nn:9000/x/y"), b"1").unwrap();
+        assert_eq!(fs.read(&p("/x/y")).unwrap().as_ref(), b"1");
+    }
+}

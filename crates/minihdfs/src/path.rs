@@ -1,0 +1,223 @@
+//! HDFS path and URI handling.
+//!
+//! Table 5 of the paper attributes 8 of 18 file-abstraction CSI failures to
+//! *addressing*: heterogeneous file-path and URI conventions between
+//! upstream and downstream systems. This module implements the downstream
+//! (HDFS) convention precisely: paths are absolute, `/`-separated, with an
+//! optional `hdfs://authority` prefix. Relative paths, empty components, and
+//! other schemes are rejected — upstreams that assume laxer conventions
+//! experience exactly the addressing discrepancies the study describes.
+
+use crate::error::HdfsError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validated, normalized HDFS path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HdfsPath {
+    authority: Option<String>,
+    components: Vec<String>,
+}
+
+impl HdfsPath {
+    /// Parses a path like `/user/hive/warehouse` or
+    /// `hdfs://nn:9000/user/hive/warehouse`.
+    ///
+    /// Rejects relative paths, empty components (`//`), `.`/`..` traversal,
+    /// and non-`hdfs` schemes.
+    pub fn parse(raw: &str) -> Result<HdfsPath, HdfsError> {
+        let (authority, rest) = if let Some(after) = raw.strip_prefix("hdfs://") {
+            match after.find('/') {
+                Some(idx) => {
+                    let (auth, path) = after.split_at(idx);
+                    if auth.is_empty() {
+                        return Err(HdfsError::InvalidPath(raw.to_string()));
+                    }
+                    (Some(auth.to_string()), path)
+                }
+                None => return Err(HdfsError::InvalidPath(raw.to_string())),
+            }
+        } else if raw.contains("://") {
+            // file://, s3a://, viewfs:// ... are not this filesystem.
+            return Err(HdfsError::InvalidPath(raw.to_string()));
+        } else {
+            (None, raw)
+        };
+        if !rest.starts_with('/') {
+            return Err(HdfsError::InvalidPath(raw.to_string()));
+        }
+        let mut components = Vec::new();
+        for part in rest.split('/') {
+            if part.is_empty() {
+                continue; // Leading slash and a single trailing slash.
+            }
+            if part == "." || part == ".." || part.contains(':') {
+                return Err(HdfsError::InvalidPath(raw.to_string()));
+            }
+            components.push(part.to_string());
+        }
+        // `//` in the middle produced consecutive empties which we silently
+        // skipped above; HDFS rejects them, so re-check the raw string.
+        if rest.contains("//") {
+            return Err(HdfsError::InvalidPath(raw.to_string()));
+        }
+        Ok(HdfsPath {
+            authority,
+            components,
+        })
+    }
+
+    /// The root path `/`.
+    pub fn root() -> HdfsPath {
+        HdfsPath {
+            authority: None,
+            components: Vec::new(),
+        }
+    }
+
+    /// The authority (`host:port`) if the path was written as a full URI.
+    pub fn authority(&self) -> Option<&str> {
+        self.authority.as_deref()
+    }
+
+    /// The path components.
+    pub fn components(&self) -> &[String] {
+        &self.components
+    }
+
+    /// Whether this is the root.
+    pub fn is_root(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Final component, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.components.last().map(String::as_str)
+    }
+
+    /// The parent path; `None` for the root.
+    pub fn parent(&self) -> Option<HdfsPath> {
+        if self.is_root() {
+            return None;
+        }
+        Some(HdfsPath {
+            authority: self.authority.clone(),
+            components: self.components[..self.components.len() - 1].to_vec(),
+        })
+    }
+
+    /// Appends a child component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `child` contains `/`; join single components only.
+    pub fn join(&self, child: &str) -> HdfsPath {
+        assert!(
+            !child.contains('/') && !child.is_empty(),
+            "join takes a single non-empty component"
+        );
+        let mut components = self.components.clone();
+        components.push(child.to_string());
+        HdfsPath {
+            authority: self.authority.clone(),
+            components,
+        }
+    }
+
+    /// Whether `self` is `other` or a descendant of `other` (ignoring
+    /// authority).
+    pub fn starts_with(&self, other: &HdfsPath) -> bool {
+        self.components.len() >= other.components.len()
+            && self.components[..other.components.len()] == other.components[..]
+    }
+
+    /// The same path without its authority, as stored in the namespace.
+    pub fn without_authority(&self) -> HdfsPath {
+        HdfsPath {
+            authority: None,
+            components: self.components.clone(),
+        }
+    }
+}
+
+impl fmt::Display for HdfsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(a) = &self.authority {
+            write!(f, "hdfs://{a}")?;
+        }
+        if self.components.is_empty() {
+            return write!(f, "/");
+        }
+        for c in &self.components {
+            write!(f, "/{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_and_uri_paths() {
+        let p = HdfsPath::parse("/user/hive/warehouse").unwrap();
+        assert_eq!(p.components().len(), 3);
+        assert_eq!(p.authority(), None);
+        assert_eq!(p.to_string(), "/user/hive/warehouse");
+
+        let q = HdfsPath::parse("hdfs://nn:9000/data/x").unwrap();
+        assert_eq!(q.authority(), Some("nn:9000"));
+        assert_eq!(q.to_string(), "hdfs://nn:9000/data/x");
+        assert_eq!(q.without_authority().to_string(), "/data/x");
+    }
+
+    #[test]
+    fn rejects_bad_paths() {
+        for raw in [
+            "relative/path",
+            "",
+            "hdfs://",
+            "hdfs://nn:9000", // No path part.
+            "s3a://bucket/x",
+            "/a//b",
+            "/a/./b",
+            "/a/../b",
+        ] {
+            assert!(HdfsPath::parse(raw).is_err(), "{raw:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn trailing_slash_is_tolerated() {
+        let p = HdfsPath::parse("/a/b/").unwrap();
+        assert_eq!(p.to_string(), "/a/b");
+    }
+
+    #[test]
+    fn parent_and_join_round_trip() {
+        let p = HdfsPath::parse("/a/b/c").unwrap();
+        let parent = p.parent().unwrap();
+        assert_eq!(parent.to_string(), "/a/b");
+        assert_eq!(parent.join("c"), p);
+        assert_eq!(HdfsPath::root().parent(), None);
+        assert_eq!(p.name(), Some("c"));
+    }
+
+    #[test]
+    fn starts_with_checks_prefix() {
+        let base = HdfsPath::parse("/a/b").unwrap();
+        let deep = HdfsPath::parse("/a/b/c/d").unwrap();
+        let other = HdfsPath::parse("/a/bx").unwrap();
+        assert!(deep.starts_with(&base));
+        assert!(base.starts_with(&base));
+        assert!(!other.starts_with(&base));
+        assert!(!base.starts_with(&deep));
+    }
+
+    #[test]
+    #[should_panic(expected = "single non-empty component")]
+    fn join_rejects_slashes() {
+        HdfsPath::root().join("a/b");
+    }
+}

@@ -1,0 +1,87 @@
+//! Errors raised by the minikafka broker.
+
+use csi_core::{ErrorKind, InteractionError};
+use std::fmt;
+
+/// Error type of minikafka operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KafkaError {
+    /// The topic does not exist.
+    UnknownTopic(String),
+    /// The partition index is out of range for the topic.
+    UnknownPartition {
+        /// Topic name.
+        topic: String,
+        /// Requested partition.
+        partition: u32,
+    },
+    /// A fetch named an offset below the log start (e.g. deleted by
+    /// retention) or beyond the end.
+    OffsetOutOfRange {
+        /// Requested offset.
+        requested: i64,
+        /// First valid offset.
+        log_start: i64,
+        /// One past the last record.
+        log_end: i64,
+    },
+    /// The consumer group is unknown.
+    UnknownGroup(String),
+    /// A transactional operation was used without an open transaction.
+    NoOpenTransaction,
+    /// A group commit carried a stale generation (the member missed a
+    /// rebalance).
+    IllegalGeneration {
+        /// Generation the member presented.
+        presented: u64,
+        /// The group's current generation.
+        current: u64,
+    },
+}
+
+impl fmt::Display for KafkaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KafkaError::UnknownTopic(t) => write!(f, "unknown topic {t:?}"),
+            KafkaError::UnknownPartition { topic, partition } => {
+                write!(f, "unknown partition {topic}-{partition}")
+            }
+            KafkaError::OffsetOutOfRange {
+                requested,
+                log_start,
+                log_end,
+            } => write!(
+                f,
+                "offset {requested} out of range [{log_start}, {log_end})"
+            ),
+            KafkaError::UnknownGroup(g) => write!(f, "unknown consumer group {g:?}"),
+            KafkaError::NoOpenTransaction => write!(f, "no open transaction"),
+            KafkaError::IllegalGeneration { presented, current } => write!(
+                f,
+                "ILLEGAL_GENERATION: presented generation {presented}, group is at {current}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KafkaError {}
+
+impl KafkaError {
+    /// Stable machine-readable code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            KafkaError::UnknownTopic(_) => "UNKNOWN_TOPIC",
+            KafkaError::UnknownPartition { .. } => "UNKNOWN_PARTITION",
+            KafkaError::OffsetOutOfRange { .. } => "OFFSET_OUT_OF_RANGE",
+            KafkaError::UnknownGroup(_) => "UNKNOWN_GROUP",
+            KafkaError::NoOpenTransaction => "NO_OPEN_TRANSACTION",
+            KafkaError::IllegalGeneration { .. } => "ILLEGAL_GENERATION",
+        }
+    }
+}
+
+impl From<KafkaError> for InteractionError {
+    fn from(e: KafkaError) -> InteractionError {
+        InteractionError::new("minikafka", ErrorKind::Rejected, e.code(), e.to_string())
+    }
+}

@@ -1,0 +1,207 @@
+//! Consumer-group membership, rebalancing, and generation fencing.
+//!
+//! Kafka fences group commits with a *generation* number: every rebalance
+//! bumps it, and a member that missed the rebalance (a paused Spark
+//! micro-batch, a checkpointing Flink task) gets `ILLEGAL_GENERATION` on
+//! its next commit. Upstream connectors that treat the commit as
+//! infallible exhibit exactly the wrong-API-assumption pattern of Table 6.
+
+use crate::broker::{MiniKafka, PartitionId};
+use crate::error::KafkaError;
+use std::collections::BTreeMap;
+
+/// A member's view after joining: its generation and assigned partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership {
+    /// The group generation this assignment belongs to.
+    pub generation: u64,
+    /// Partitions assigned to this member.
+    pub partitions: Vec<PartitionId>,
+}
+
+/// One consumer group, bound to a topic.
+#[derive(Debug, Default)]
+pub struct ConsumerGroup {
+    topic: String,
+    members: Vec<String>,
+    generation: u64,
+    assignment: BTreeMap<String, Vec<PartitionId>>,
+}
+
+/// The group coordinator.
+#[derive(Debug, Default)]
+pub struct GroupCoordinator {
+    groups: BTreeMap<String, ConsumerGroup>,
+}
+
+impl GroupCoordinator {
+    /// Creates an empty coordinator.
+    pub fn new() -> GroupCoordinator {
+        GroupCoordinator::default()
+    }
+
+    /// Joins (or re-joins) a member to a group on a topic, triggering a
+    /// rebalance: the generation bumps and partitions are redistributed
+    /// round-robin over the sorted member list.
+    pub fn join(
+        &mut self,
+        broker: &MiniKafka,
+        group: &str,
+        topic: &str,
+        member: &str,
+    ) -> Result<Membership, KafkaError> {
+        let partitions = broker.partition_count(topic)?;
+        let g = self.groups.entry(group.to_string()).or_default();
+        g.topic = topic.to_string();
+        if !g.members.iter().any(|m| m == member) {
+            g.members.push(member.to_string());
+            g.members.sort();
+        }
+        Self::rebalance(g, partitions);
+        Ok(Membership {
+            generation: g.generation,
+            partitions: g.assignment.get(member).cloned().unwrap_or_default(),
+        })
+    }
+
+    /// Removes a member, triggering a rebalance among the rest.
+    pub fn leave(
+        &mut self,
+        broker: &MiniKafka,
+        group: &str,
+        member: &str,
+    ) -> Result<(), KafkaError> {
+        let g = self
+            .groups
+            .get_mut(group)
+            .ok_or_else(|| KafkaError::UnknownGroup(group.to_string()))?;
+        g.members.retain(|m| m != member);
+        let partitions = broker.partition_count(&g.topic)?;
+        Self::rebalance(g, partitions);
+        Ok(())
+    }
+
+    fn rebalance(g: &mut ConsumerGroup, partitions: u32) {
+        g.generation += 1;
+        g.assignment.clear();
+        if g.members.is_empty() {
+            return;
+        }
+        for p in 0..partitions {
+            let member = &g.members[p as usize % g.members.len()];
+            g.assignment
+                .entry(member.clone())
+                .or_default()
+                .push(PartitionId(p));
+        }
+    }
+
+    /// The group's current generation.
+    pub fn generation(&self, group: &str) -> Option<u64> {
+        self.groups.get(group).map(|g| g.generation)
+    }
+
+    /// Commits an offset on behalf of a member, fencing on the generation.
+    pub fn commit_fenced(
+        &self,
+        broker: &mut MiniKafka,
+        group: &str,
+        generation: u64,
+        partition: PartitionId,
+        offset: i64,
+    ) -> Result<(), KafkaError> {
+        let g = self
+            .groups
+            .get(group)
+            .ok_or_else(|| KafkaError::UnknownGroup(group.to_string()))?;
+        if generation != g.generation {
+            return Err(KafkaError::IllegalGeneration {
+                presented: generation,
+                current: g.generation,
+            });
+        }
+        broker.commit_group_offset(group, &g.topic, partition, offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn broker() -> MiniKafka {
+        let mut k = MiniKafka::new();
+        k.create_topic("t", 4);
+        k
+    }
+
+    #[test]
+    fn join_assigns_all_partitions() {
+        let k = broker();
+        let mut gc = GroupCoordinator::new();
+        let m = gc.join(&k, "g", "t", "a").unwrap();
+        assert_eq!(m.generation, 1);
+        assert_eq!(m.partitions.len(), 4);
+    }
+
+    #[test]
+    fn rebalance_splits_partitions_and_bumps_generation() {
+        let k = broker();
+        let mut gc = GroupCoordinator::new();
+        let a1 = gc.join(&k, "g", "t", "a").unwrap();
+        assert_eq!(a1.generation, 1);
+        // A second member joins: generation bumps, A's view is now stale.
+        let b = gc.join(&k, "g", "t", "b").unwrap();
+        assert_eq!(b.generation, 2);
+        assert_eq!(b.partitions.len(), 2);
+        // A re-joins and the two fresh views partition the topic exactly.
+        let a2 = gc.join(&k, "g", "t", "a").unwrap();
+        assert_eq!(a2.generation, 3);
+        let b2 = gc.join(&k, "g", "t", "b").unwrap();
+        assert_eq!(b2.generation, 4);
+        let mut all: Vec<u32> = a2.partitions.iter().map(|p| p.0).collect();
+        // A's generation-3 assignment equals its generation-4 assignment
+        // (membership did not change between them), so the union holds.
+        all.extend(b2.partitions.iter().map(|p| p.0));
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn stale_generation_commits_are_fenced() {
+        let mut k = broker();
+        k.produce("t", PartitionId(0), None, Some(b"x"), 0).unwrap();
+        let mut gc = GroupCoordinator::new();
+        let a = gc.join(&k, "g", "t", "a").unwrap();
+        gc.commit_fenced(&mut k, "g", a.generation, PartitionId(0), 1)
+            .unwrap();
+        // A second member joins; A's generation is now stale.
+        gc.join(&k, "g", "t", "b").unwrap();
+        let err = gc
+            .commit_fenced(&mut k, "g", a.generation, PartitionId(0), 1)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            KafkaError::IllegalGeneration {
+                presented: 1,
+                current: 2
+            }
+        ));
+        // After rejoining, commits work again.
+        let a2 = gc.join(&k, "g", "t", "a").unwrap();
+        gc.commit_fenced(&mut k, "g", a2.generation, PartitionId(0), 1)
+            .unwrap();
+        assert_eq!(k.committed_offset("g", "t", PartitionId(0)), Some(1));
+    }
+
+    #[test]
+    fn leave_rebalances_the_remainder() {
+        let k = broker();
+        let mut gc = GroupCoordinator::new();
+        gc.join(&k, "g", "t", "a").unwrap();
+        gc.join(&k, "g", "t", "b").unwrap();
+        gc.leave(&k, "g", "b").unwrap();
+        let a = gc.join(&k, "g", "t", "a").unwrap();
+        assert_eq!(a.partitions.len(), 4);
+        assert!(gc.leave(&k, "nope", "x").is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Spark's Hive client connector: configuration forwarding.
+//!
+//! Carries the SPARK-10181 discrepancy: Spark's Hive client "ignored
+//! Kerberos configuration (keytab and principal)" — security settings set
+//! on the Spark side were silently absent from the Hive client it built.
+//! Both the shipped and fixed forwarding paths are provided, and the
+//! provenance-tracked [`ConfigMap`] makes the silent drop observable.
+
+use crate::config::{SparkConfig, YARN_KEYTAB, YARN_PRINCIPAL};
+use csi_core::config::ConfigMap;
+
+/// Which forwarding behavior to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardingMode {
+    /// Forward only `hive.*` keys; Kerberos settings are dropped
+    /// (the shipped SPARK-10181 behavior).
+    Shipped,
+    /// Also translate the Spark-side Kerberos settings into the Hive
+    /// client configuration (the fix).
+    Fixed,
+}
+
+/// Builds the configuration Spark hands to its embedded Hive client.
+pub fn build_hive_client_config(spark: &SparkConfig, mode: ForwardingMode) -> ConfigMap {
+    let mut out = ConfigMap::new("hive-client");
+    for (k, v) in spark.map().iter() {
+        if k.starts_with("hive.") {
+            out.set(k, v, "spark->hive forwarding");
+        }
+    }
+    if mode == ForwardingMode::Fixed {
+        if let Some(keytab) = spark.get(YARN_KEYTAB) {
+            out.set(
+                "hive.metastore.kerberos.keytab.file",
+                keytab,
+                "SPARK-10181 fix",
+            );
+        }
+        if let Some(principal) = spark.get(YARN_PRINCIPAL) {
+            out.set(
+                "hive.metastore.kerberos.principal",
+                principal,
+                "SPARK-10181 fix",
+            );
+        }
+    }
+    out
+}
+
+/// Whether a Hive client configuration can authenticate to a Kerberized
+/// metastore.
+pub fn can_authenticate(hive_client: &ConfigMap) -> bool {
+    hive_client
+        .get("hive.metastore.kerberos.keytab.file")
+        .is_some()
+        && hive_client
+            .get("hive.metastore.kerberos.principal")
+            .is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kerberized_spark() -> SparkConfig {
+        let mut c = SparkConfig::new();
+        c.set(YARN_KEYTAB, "/etc/security/spark.keytab");
+        c.set(YARN_PRINCIPAL, "spark/host@REALM");
+        c.set("hive.metastore.uris", "thrift://ms:9083");
+        c
+    }
+
+    #[test]
+    fn shipped_forwarding_silently_drops_kerberos() {
+        // SPARK-10181: the user configured Kerberos, the client cannot
+        // authenticate, and nothing was logged.
+        let spark = kerberized_spark();
+        let client = build_hive_client_config(&spark, ForwardingMode::Shipped);
+        assert_eq!(client.get("hive.metastore.uris"), Some("thrift://ms:9083"));
+        assert!(!can_authenticate(&client));
+    }
+
+    #[test]
+    fn fixed_forwarding_translates_the_settings() {
+        let spark = kerberized_spark();
+        let client = build_hive_client_config(&spark, ForwardingMode::Fixed);
+        assert!(can_authenticate(&client));
+        assert_eq!(
+            client.get("hive.metastore.kerberos.principal"),
+            Some("spark/host@REALM")
+        );
+    }
+
+    #[test]
+    fn unkerberized_spark_is_unaffected_by_mode() {
+        let spark = SparkConfig::new();
+        for mode in [ForwardingMode::Shipped, ForwardingMode::Fixed] {
+            let client = build_hive_client_config(&spark, mode);
+            assert!(!can_authenticate(&client));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! `minispark` — a compute-engine substrate modeled on Apache Spark.
+//!
+//! Provides the upstream half of the cross-system study: a session with a
+//! Spark-style configuration plane, a case-*sensitive* Catalyst-like type
+//! system, two data-plane interfaces (SparkSQL and DataFrame), its own
+//! ORC/Parquet/Avro serializers with Spark-specific read optimizations, and
+//! connectors to `minihive`, `minihdfs`, `minikafka`, and `miniyarn`.
+//!
+//! The connectors carry the upstream halves of the studied discrepancies:
+//! the HDFS connector asserts non-negative file lengths (SPARK-27239), the
+//! Kafka connector assumes contiguous offsets (SPARK-19361), the Hive
+//! writer widens BYTE/SHORT and folds identifier case (HIVE-26533), and the
+//! Avro serializer lacks the INT-to-BYTE narrowing path (SPARK-39075).
+
+pub mod config;
+pub mod connectors;
+pub mod dataframe;
+pub mod error;
+pub mod serde_layer;
+pub mod session;
+pub mod sparksql;
+pub mod types;
+
+pub use config::SparkConfig;
+pub use dataframe::DataFrameApi;
+pub use error::SparkError;
+pub use session::SparkSession;
+pub use sparksql::{SparkSql, SqlResult};

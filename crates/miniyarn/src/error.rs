@@ -1,0 +1,99 @@
+//! Errors raised by the miniyarn ResourceManager.
+
+use crate::resource::Resource;
+use csi_core::{ErrorKind, InteractionError};
+use std::fmt;
+
+/// Error type of miniyarn operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YarnError {
+    /// A container request exceeds the cluster's maximum allocation.
+    InvalidResourceRequest {
+        /// What was asked.
+        ask: Resource,
+        /// The configured maximum.
+        max: Resource,
+    },
+    /// The application id is not registered.
+    UnknownApplication(u64),
+    /// The operation is not supported in the current deployment mode
+    /// (YARN-9724).
+    UnsupportedInMode {
+        /// The operation name.
+        op: &'static str,
+        /// The mode in which it was invoked.
+        mode: &'static str,
+    },
+    /// The container id is unknown or already completed.
+    UnknownContainer(u64),
+    /// A required configuration value failed to parse.
+    BadConfig(String),
+}
+
+impl fmt::Display for YarnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            YarnError::InvalidResourceRequest { ask, max } => write!(
+                f,
+                "Invalid resource request: {ask} exceeds maximum allocation {max}. \
+                 Could not allocate the required resource."
+            ),
+            YarnError::UnknownApplication(id) => write!(f, "unknown application {id}"),
+            YarnError::UnsupportedInMode { op, mode } => {
+                write!(f, "{op} is not supported in {mode} mode")
+            }
+            YarnError::UnknownContainer(id) => write!(f, "unknown container {id}"),
+            YarnError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for YarnError {}
+
+impl YarnError {
+    /// Stable machine-readable code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            YarnError::InvalidResourceRequest { .. } => "INVALID_RESOURCE_REQUEST",
+            YarnError::UnknownApplication(_) => "UNKNOWN_APPLICATION",
+            YarnError::UnsupportedInMode { .. } => "UNSUPPORTED_IN_MODE",
+            YarnError::UnknownContainer(_) => "UNKNOWN_CONTAINER",
+            YarnError::BadConfig(_) => "BAD_CONFIG",
+        }
+    }
+}
+
+impl From<YarnError> for InteractionError {
+    fn from(e: YarnError) -> InteractionError {
+        let kind = match &e {
+            YarnError::UnsupportedInMode { .. } => ErrorKind::Unsupported,
+            _ => ErrorKind::Rejected,
+        };
+        InteractionError::new("miniyarn", kind, e.code(), e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsupported_mode_maps_to_unsupported_kind() {
+        let e = YarnError::UnsupportedInMode {
+            op: "getClusterMetrics",
+            mode: "federation",
+        };
+        let ie: InteractionError = e.into();
+        assert_eq!(ie.kind, ErrorKind::Unsupported);
+        assert_eq!(ie.code, "UNSUPPORTED_IN_MODE");
+    }
+
+    #[test]
+    fn invalid_request_mentions_required_resource() {
+        let e = YarnError::InvalidResourceRequest {
+            ask: Resource::new(16384, 4),
+            max: Resource::new(8192, 8),
+        };
+        assert!(e.to_string().contains("Could not allocate"));
+    }
+}

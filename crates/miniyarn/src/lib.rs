@@ -1,0 +1,33 @@
+//! `miniyarn` — a resource-manager substrate modeled on Hadoop YARN.
+//!
+//! Implements the control- and management-plane surfaces that the studied
+//! CSI failures exercise:
+//!
+//! - an AM–RM heartbeat protocol with an explicit **allocation latency
+//!   model**, so the sync-vs-async discrepancy of FLINK-12342 (Figure 1)
+//!   reproduces deterministically;
+//! - two schedulers — [`scheduler::CapacityScheduler`] and
+//!   [`scheduler::FairScheduler`] — that normalize container requests using
+//!   **different configuration keys with inconsistent semantics**, the
+//!   discrepancy of FLINK-19141 (Figure 3);
+//! - a **pmem monitor** that kills containers exceeding their allocation,
+//!   the monitoring-triggered action of FLINK-887;
+//! - a cluster-metrics API that is **unavailable in some deployment modes**,
+//!   the feature inconsistency of YARN-9724.
+//!
+//! As everywhere in this workspace, each behavior is correct per YARN's own
+//! specification; CSI failures arise only from upstream assumptions.
+
+pub mod config;
+pub mod error;
+pub mod resource;
+pub mod rm;
+pub mod scheduler;
+
+pub use error::YarnError;
+pub use resource::Resource;
+pub use rm::{
+    AllocateResponse, AmFinalStatus, AppLifecycle, ApplicationId, ApplicationReport,
+    ClusterMetrics, Container, ContainerId, ContainerState, NodeId, ResourceManager, RmMode,
+};
+pub use scheduler::{CapacityScheduler, FairScheduler, Scheduler, SchedulerKind};

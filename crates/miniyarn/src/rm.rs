@@ -1,0 +1,792 @@
+//! The ResourceManager: applications, nodes, the allocation pipeline, and
+//! the pmem monitor.
+
+use crate::config::{self, default_yarn_config};
+use crate::error::YarnError;
+use crate::resource::Resource;
+use crate::scheduler::{scheduler_from_config, Scheduler, SchedulerKind};
+use csi_core::config::ConfigMap;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Identifier of a registered application (application master).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ApplicationId(pub u64);
+
+/// Identifier of a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContainerId(pub u64);
+
+/// Identifier of a NodeManager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Deployment mode of the ResourceManager.
+///
+/// Some client APIs are unavailable outside the classic mode; YARN-9724 is
+/// the CSI failure where an upstream assumed `getClusterMetrics` worked in
+/// every mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmMode {
+    /// A single classic ResourceManager.
+    Classic,
+    /// A federated deployment, where some client APIs are not implemented.
+    Federation,
+}
+
+/// Lifecycle state of a container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerState {
+    /// Allocated but not yet started by the AM.
+    Allocated,
+    /// Started and running.
+    Running,
+    /// Completed normally.
+    Completed,
+    /// Killed by the platform.
+    Killed {
+        /// Why the platform killed it (e.g. the pmem monitor).
+        reason: String,
+    },
+}
+
+/// A container handed to an application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Container {
+    /// Container id.
+    pub id: ContainerId,
+    /// Owning application.
+    pub app: ApplicationId,
+    /// Node hosting the container.
+    pub node: NodeId,
+    /// Allocated resource (post-normalization).
+    pub resource: Resource,
+    /// Current state.
+    pub state: ContainerState,
+    /// Last reported physical memory use, MB.
+    pub pmem_used_mb: u64,
+}
+
+/// One heartbeat response of the AM–RM protocol.
+#[derive(Debug, Clone, Default)]
+pub struct AllocateResponse {
+    /// Containers newly allocated since the previous heartbeat.
+    pub allocated: Vec<Container>,
+    /// Containers that completed or were killed since the previous
+    /// heartbeat.
+    pub completed: Vec<(ContainerId, ContainerState)>,
+    /// Number of this application's asks still pending at the RM.
+    pub num_pending: usize,
+}
+
+/// Cluster-level metrics (YARN's `getYarnClusterMetrics`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterMetrics {
+    /// Registered NodeManagers.
+    pub num_node_managers: usize,
+    /// Total cluster capacity.
+    pub total: Resource,
+    /// Capacity not currently allocated.
+    pub available: Resource,
+    /// Containers currently allocated or running.
+    pub containers_active: usize,
+    /// Asks waiting in the allocation pipeline.
+    pub containers_pending: usize,
+}
+
+#[derive(Debug)]
+struct Node {
+    capacity: Resource,
+    used: Resource,
+}
+
+/// Final status an ApplicationMaster registers when unregistering —
+/// YARN's view of how the job ended, which monitoring consumers act on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AmFinalStatus {
+    /// The AM never registered a status (or is still running).
+    #[default]
+    Undefined,
+    /// Registered SUCCEEDED.
+    Succeeded,
+    /// Registered FAILED.
+    Failed,
+}
+
+/// Lifecycle state of an application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AppLifecycle {
+    /// Registered and running.
+    #[default]
+    Running,
+    /// Unregistered.
+    Finished,
+}
+
+/// The report `getApplicationReport` returns to monitoring consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplicationReport {
+    /// Lifecycle state.
+    pub state: AppLifecycle,
+    /// The AM-registered final status.
+    pub final_status: AmFinalStatus,
+    /// Containers still held.
+    pub live_containers: usize,
+}
+
+#[derive(Debug, Default)]
+struct AppState {
+    #[allow(dead_code)]
+    name: String,
+    ready: Vec<ContainerId>,
+    completed: Vec<(ContainerId, ContainerState)>,
+    lifecycle: AppLifecycle,
+    final_status: AmFinalStatus,
+}
+
+struct PendingAsk {
+    app: ApplicationId,
+    resource: Resource,
+}
+
+/// The miniyarn ResourceManager.
+///
+/// Time is driven externally via [`ResourceManager::advance_clock`]; the
+/// allocation pipeline serves one ask every `alloc_service_ms` of virtual
+/// time, which is the latency at the heart of FLINK-12342.
+pub struct ResourceManager {
+    config: ConfigMap,
+    scheduler: Box<dyn Scheduler + Send>,
+    mode: RmMode,
+    nodes: BTreeMap<NodeId, Node>,
+    apps: BTreeMap<ApplicationId, AppState>,
+    containers: BTreeMap<ContainerId, Container>,
+    pending: VecDeque<PendingAsk>,
+    clock_ms: u64,
+    pipeline_free_at: u64,
+    alloc_service_ms: u64,
+    next_app: u64,
+    next_container: u64,
+    total_requested: u64,
+    total_allocated: u64,
+}
+
+impl ResourceManager {
+    /// Creates an RM with the given configuration and deployment mode.
+    pub fn new(config: ConfigMap, mode: RmMode) -> ResourceManager {
+        let scheduler = scheduler_from_config(&config);
+        ResourceManager {
+            config,
+            scheduler,
+            mode,
+            nodes: BTreeMap::new(),
+            apps: BTreeMap::new(),
+            containers: BTreeMap::new(),
+            pending: VecDeque::new(),
+            clock_ms: 0,
+            pipeline_free_at: 0,
+            alloc_service_ms: 10,
+            next_app: 0,
+            next_container: 0,
+            total_requested: 0,
+            total_allocated: 0,
+        }
+    }
+
+    /// Creates a classic-mode RM with default configuration and `n` nodes of
+    /// the given capacity.
+    pub fn with_nodes(n: u32, capacity: Resource) -> ResourceManager {
+        let mut rm = ResourceManager::new(default_yarn_config(), RmMode::Classic);
+        for i in 0..n {
+            rm.add_node(NodeId(i), capacity);
+        }
+        rm
+    }
+
+    /// The active scheduler kind.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.scheduler.kind()
+    }
+
+    /// The RM's configuration.
+    pub fn config(&self) -> &ConfigMap {
+        &self.config
+    }
+
+    /// Sets the per-container allocation service time (ms of virtual time).
+    pub fn set_alloc_service_ms(&mut self, ms: u64) {
+        self.alloc_service_ms = ms.max(1);
+    }
+
+    /// Registers a NodeManager.
+    pub fn add_node(&mut self, id: NodeId, capacity: Resource) {
+        self.nodes.insert(
+            id,
+            Node {
+                capacity,
+                used: Resource::default(),
+            },
+        );
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.clock_ms
+    }
+
+    /// Advances virtual time, letting the allocation pipeline make progress.
+    pub fn advance_clock(&mut self, ms: u64) {
+        self.clock_ms += ms;
+        self.process_pipeline();
+    }
+
+    /// Registers an application master.
+    pub fn register_application(&mut self, name: &str) -> ApplicationId {
+        self.next_app += 1;
+        let id = ApplicationId(self.next_app);
+        self.apps.insert(
+            id,
+            AppState {
+                name: name.to_string(),
+                ..AppState::default()
+            },
+        );
+        id
+    }
+
+    /// Adds one container ask. The ask is normalized by the deployed
+    /// scheduler and queued; the container arrives via a later
+    /// [`ResourceManager::allocate`] heartbeat.
+    ///
+    /// Returns the *normalized* resource the cluster will actually allocate.
+    pub fn add_container_request(
+        &mut self,
+        app: ApplicationId,
+        ask: Resource,
+    ) -> Result<Resource, YarnError> {
+        if !self.apps.contains_key(&app) {
+            return Err(YarnError::UnknownApplication(app.0));
+        }
+        let normalized = self.scheduler.normalize(ask, &self.config)?;
+        self.pending.push_back(PendingAsk {
+            app,
+            resource: normalized,
+        });
+        self.total_requested += 1;
+        Ok(normalized)
+    }
+
+    /// Removes up to `n` of this application's pending asks (oldest first),
+    /// returning how many were removed. This is workaround #2 of Figure 5:
+    /// "remove the container requests as fast as possible".
+    pub fn remove_container_requests(&mut self, app: ApplicationId, n: usize) -> usize {
+        let mut removed = 0;
+        self.pending.retain(|ask| {
+            if ask.app == app && removed < n {
+                removed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// The AM–RM heartbeat: returns containers allocated and completed since
+    /// the application's previous heartbeat.
+    pub fn allocate(&mut self, app: ApplicationId) -> Result<AllocateResponse, YarnError> {
+        self.process_pipeline();
+        let num_pending = self.pending.iter().filter(|a| a.app == app).count();
+        let state = self
+            .apps
+            .get_mut(&app)
+            .ok_or(YarnError::UnknownApplication(app.0))?;
+        let ready = std::mem::take(&mut state.ready);
+        let completed = std::mem::take(&mut state.completed);
+        let allocated = ready
+            .iter()
+            .filter_map(|id| self.containers.get(id).cloned())
+            .collect();
+        Ok(AllocateResponse {
+            allocated,
+            completed,
+            num_pending,
+        })
+    }
+
+    /// Effective per-ask service time: the pipeline degrades as the backlog
+    /// grows, the overload effect of Figure 1.
+    fn effective_service_ms(&self) -> u64 {
+        let backlog_factor = 1 + (self.pending.len() as u64) / 1000;
+        self.alloc_service_ms * backlog_factor
+    }
+
+    fn process_pipeline(&mut self) {
+        loop {
+            if self.pending.is_empty() {
+                break;
+            }
+            let service = self.effective_service_ms();
+            let start = self.pipeline_free_at;
+            let done_at = start + service;
+            if done_at > self.clock_ms {
+                break;
+            }
+            let ask = self.pending.front().expect("checked non-empty");
+            match self.place(ask.resource) {
+                Some(node) => {
+                    let ask = self.pending.pop_front().expect("checked non-empty");
+                    self.pipeline_free_at = done_at;
+                    self.next_container += 1;
+                    let id = ContainerId(self.next_container);
+                    let container = Container {
+                        id,
+                        app: ask.app,
+                        node,
+                        resource: ask.resource,
+                        state: ContainerState::Allocated,
+                        pmem_used_mb: 0,
+                    };
+                    self.nodes.get_mut(&node).expect("node exists").used += ask.resource;
+                    self.containers.insert(id, container);
+                    self.total_allocated += 1;
+                    if let Some(app) = self.apps.get_mut(&ask.app) {
+                        app.ready.push(id);
+                    }
+                }
+                None => {
+                    // Head-of-line blocking: no node can currently host the
+                    // ask; the pipeline stalls until resources free up.
+                    break;
+                }
+            }
+        }
+    }
+
+    fn place(&self, resource: Resource) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .find(|(_, n)| resource.fits_in(&n.capacity.saturating_sub(&n.used)))
+            .map(|(id, _)| *id)
+    }
+
+    /// Marks an allocated container as started (NMClient `startContainer`).
+    pub fn start_container(&mut self, id: ContainerId) -> Result<(), YarnError> {
+        match self.containers.get_mut(&id) {
+            Some(c) if c.state == ContainerState::Allocated => {
+                c.state = ContainerState::Running;
+                Ok(())
+            }
+            Some(_) => Err(YarnError::UnknownContainer(id.0)),
+            None => Err(YarnError::UnknownContainer(id.0)),
+        }
+    }
+
+    /// Releases a container back to the cluster.
+    pub fn release_container(&mut self, id: ContainerId) -> Result<(), YarnError> {
+        let c = self
+            .containers
+            .get_mut(&id)
+            .ok_or(YarnError::UnknownContainer(id.0))?;
+        if matches!(
+            c.state,
+            ContainerState::Completed | ContainerState::Killed { .. }
+        ) {
+            return Ok(());
+        }
+        c.state = ContainerState::Completed;
+        let (node, res, app) = (c.node, c.resource, c.app);
+        if let Some(n) = self.nodes.get_mut(&node) {
+            n.used -= res;
+        }
+        if let Some(a) = self.apps.get_mut(&app) {
+            a.completed.push((id, ContainerState::Completed));
+        }
+        Ok(())
+    }
+
+    /// Reports the physical memory a container's process tree uses (the
+    /// NodeManager's pmem sampling).
+    pub fn report_container_pmem(&mut self, id: ContainerId, mb: u64) -> Result<(), YarnError> {
+        let c = self
+            .containers
+            .get_mut(&id)
+            .ok_or(YarnError::UnknownContainer(id.0))?;
+        c.pmem_used_mb = mb;
+        Ok(())
+    }
+
+    /// Runs the pmem monitor: kills every running container whose reported
+    /// physical memory exceeds its allocation (FLINK-887). Returns the
+    /// killed container ids.
+    pub fn enforce_pmem(&mut self) -> Vec<ContainerId> {
+        let enabled = matches!(
+            self.config.get_bool(config::PMEM_CHECK_ENABLED),
+            Some(Ok(true))
+        );
+        if !enabled {
+            return Vec::new();
+        }
+        let mut killed = Vec::new();
+        let victims: Vec<ContainerId> = self
+            .containers
+            .values()
+            .filter(|c| {
+                matches!(c.state, ContainerState::Running | ContainerState::Allocated)
+                    && c.pmem_used_mb > c.resource.memory_mb
+            })
+            .map(|c| c.id)
+            .collect();
+        for id in victims {
+            let c = self.containers.get_mut(&id).expect("victim exists");
+            let reason = format!(
+                "Container {} is running beyond physical memory limits. \
+                 Current usage: {} MB of {} MB physical memory used. Killing container.",
+                id.0, c.pmem_used_mb, c.resource.memory_mb
+            );
+            c.state = ContainerState::Killed {
+                reason: reason.clone(),
+            };
+            let (node, res, app) = (c.node, c.resource, c.app);
+            if let Some(n) = self.nodes.get_mut(&node) {
+                n.used -= res;
+            }
+            if let Some(a) = self.apps.get_mut(&app) {
+                a.completed.push((id, ContainerState::Killed { reason }));
+            }
+            killed.push(id);
+        }
+        killed
+    }
+
+    /// Unregisters an application with its final status: all its pending
+    /// asks are dropped and its containers released.
+    pub fn unregister_application(
+        &mut self,
+        app: ApplicationId,
+        final_status: AmFinalStatus,
+    ) -> Result<(), YarnError> {
+        if !self.apps.contains_key(&app) {
+            return Err(YarnError::UnknownApplication(app.0));
+        }
+        self.pending.retain(|a| a.app != app);
+        let held: Vec<ContainerId> = self
+            .containers
+            .values()
+            .filter(|c| {
+                c.app == app
+                    && matches!(c.state, ContainerState::Allocated | ContainerState::Running)
+            })
+            .map(|c| c.id)
+            .collect();
+        for id in held {
+            self.release_container(id)?;
+        }
+        let state = self.apps.get_mut(&app).expect("checked above");
+        state.lifecycle = AppLifecycle::Finished;
+        state.final_status = final_status;
+        Ok(())
+    }
+
+    /// The application report monitoring consumers read
+    /// (`getApplicationReport`).
+    pub fn application_report(&self, app: ApplicationId) -> Result<ApplicationReport, YarnError> {
+        let state = self
+            .apps
+            .get(&app)
+            .ok_or(YarnError::UnknownApplication(app.0))?;
+        Ok(ApplicationReport {
+            state: state.lifecycle,
+            final_status: state.final_status,
+            live_containers: self
+                .containers
+                .values()
+                .filter(|c| {
+                    c.app == app
+                        && matches!(c.state, ContainerState::Allocated | ContainerState::Running)
+                })
+                .count(),
+        })
+    }
+
+    /// Cluster metrics, available only in classic mode (YARN-9724).
+    pub fn get_cluster_metrics(&self) -> Result<ClusterMetrics, YarnError> {
+        if self.mode == RmMode::Federation {
+            return Err(YarnError::UnsupportedInMode {
+                op: "getClusterMetrics",
+                mode: "federation",
+            });
+        }
+        let total = self
+            .nodes
+            .values()
+            .fold(Resource::default(), |acc, n| acc + n.capacity);
+        let used = self
+            .nodes
+            .values()
+            .fold(Resource::default(), |acc, n| acc + n.used);
+        Ok(ClusterMetrics {
+            num_node_managers: self.nodes.len(),
+            total,
+            available: total.saturating_sub(&used),
+            containers_active: self
+                .containers
+                .values()
+                .filter(|c| matches!(c.state, ContainerState::Allocated | ContainerState::Running))
+                .count(),
+            containers_pending: self.pending.len(),
+        })
+    }
+
+    /// Looks up a container.
+    pub fn container(&self, id: ContainerId) -> Option<&Container> {
+        self.containers.get(&id)
+    }
+
+    /// Total asks ever submitted (the "4000+ requested" counter of Figure 1).
+    pub fn total_requested(&self) -> u64 {
+        self.total_requested
+    }
+
+    /// Total containers ever allocated.
+    pub fn total_allocated(&self) -> u64 {
+        self.total_allocated
+    }
+
+    /// Asks currently waiting in the pipeline.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rm() -> ResourceManager {
+        let mut rm = ResourceManager::with_nodes(4, Resource::new(16384, 16));
+        rm.set_alloc_service_ms(10);
+        rm
+    }
+
+    #[test]
+    fn allocation_takes_service_time() {
+        let mut rm = rm();
+        let app = rm.register_application("flink");
+        rm.add_container_request(app, Resource::new(1024, 1))
+            .unwrap();
+        // Immediately: nothing allocated yet.
+        let r = rm.allocate(app).unwrap();
+        assert!(r.allocated.is_empty());
+        assert_eq!(r.num_pending, 1);
+        // After the service time the container arrives.
+        rm.advance_clock(10);
+        let r = rm.allocate(app).unwrap();
+        assert_eq!(r.allocated.len(), 1);
+        assert_eq!(r.num_pending, 0);
+        assert_eq!(r.allocated[0].resource, Resource::new(1024, 1));
+    }
+
+    #[test]
+    fn heartbeat_drains_each_container_once() {
+        let mut rm = rm();
+        let app = rm.register_application("a");
+        for _ in 0..3 {
+            rm.add_container_request(app, Resource::new(1024, 1))
+                .unwrap();
+        }
+        rm.advance_clock(100);
+        assert_eq!(rm.allocate(app).unwrap().allocated.len(), 3);
+        assert_eq!(rm.allocate(app).unwrap().allocated.len(), 0);
+    }
+
+    #[test]
+    fn normalization_applies_to_allocated_containers() {
+        let mut rm = rm();
+        let app = rm.register_application("a");
+        let normalized = rm
+            .add_container_request(app, Resource::new(1500, 1))
+            .unwrap();
+        assert_eq!(normalized, Resource::new(2048, 1)); // Capacity scheduler.
+        rm.advance_clock(50);
+        let r = rm.allocate(app).unwrap();
+        assert_eq!(r.allocated[0].resource, Resource::new(2048, 1));
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_up_front() {
+        let mut rm = rm();
+        let app = rm.register_application("a");
+        assert!(matches!(
+            rm.add_container_request(app, Resource::new(1_000_000, 1)),
+            Err(YarnError::InvalidResourceRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_container_requests_cancels_pending() {
+        let mut rm = rm();
+        let app = rm.register_application("a");
+        for _ in 0..5 {
+            rm.add_container_request(app, Resource::new(1024, 1))
+                .unwrap();
+        }
+        assert_eq!(rm.remove_container_requests(app, 3), 3);
+        assert_eq!(rm.pending_count(), 2);
+        rm.advance_clock(1000);
+        assert_eq!(rm.allocate(app).unwrap().allocated.len(), 2);
+    }
+
+    #[test]
+    fn pipeline_stalls_when_cluster_is_full() {
+        let mut rm = ResourceManager::with_nodes(1, Resource::new(2048, 2));
+        rm.set_alloc_service_ms(1);
+        let app = rm.register_application("a");
+        for _ in 0..3 {
+            rm.add_container_request(app, Resource::new(1024, 1))
+                .unwrap();
+        }
+        rm.advance_clock(1000);
+        let r = rm.allocate(app).unwrap();
+        assert_eq!(r.allocated.len(), 2); // Node holds 2 x (1024 MB, 1 core).
+        assert_eq!(r.num_pending, 1);
+        // Releasing a container unblocks the stalled ask.
+        let released = r.allocated[0].id;
+        rm.release_container(released).unwrap();
+        rm.advance_clock(1000);
+        let r = rm.allocate(app).unwrap();
+        assert_eq!(r.allocated.len(), 1);
+        // The earlier release is reported as completed.
+        assert!(r.completed.iter().any(|(id, _)| *id == released));
+    }
+
+    #[test]
+    fn pmem_monitor_kills_over_limit_containers() {
+        let mut rm = rm();
+        let app = rm.register_application("flink-jm");
+        rm.add_container_request(app, Resource::new(1024, 1))
+            .unwrap();
+        rm.advance_clock(50);
+        let c = rm.allocate(app).unwrap().allocated[0].clone();
+        rm.start_container(c.id).unwrap();
+        // The JVM inside uses more physical memory than the container size.
+        rm.report_container_pmem(c.id, 1500).unwrap();
+        let killed = rm.enforce_pmem();
+        assert_eq!(killed, vec![c.id]);
+        let state = &rm.container(c.id).unwrap().state;
+        assert!(
+            matches!(state, ContainerState::Killed { reason } if reason.contains("beyond physical memory limits"))
+        );
+        // The kill is visible on the next heartbeat.
+        let r = rm.allocate(app).unwrap();
+        assert_eq!(r.completed.len(), 1);
+    }
+
+    #[test]
+    fn pmem_monitor_respects_config() {
+        let mut cfg = default_yarn_config();
+        cfg.set(config::PMEM_CHECK_ENABLED, "false", "test");
+        let mut rm = ResourceManager::new(cfg, RmMode::Classic);
+        rm.add_node(NodeId(0), Resource::new(16384, 16));
+        let app = rm.register_application("a");
+        rm.add_container_request(app, Resource::new(1024, 1))
+            .unwrap();
+        rm.advance_clock(100);
+        let c = rm.allocate(app).unwrap().allocated[0].clone();
+        rm.report_container_pmem(c.id, 9999).unwrap();
+        assert!(rm.enforce_pmem().is_empty());
+    }
+
+    #[test]
+    fn cluster_metrics_unavailable_in_federation_mode() {
+        let rm_classic = rm();
+        assert!(rm_classic.get_cluster_metrics().is_ok());
+        let rm_fed = ResourceManager::new(default_yarn_config(), RmMode::Federation);
+        assert!(matches!(
+            rm_fed.get_cluster_metrics(),
+            Err(YarnError::UnsupportedInMode { .. })
+        ));
+    }
+
+    #[test]
+    fn metrics_track_usage() {
+        let mut rm = rm();
+        let app = rm.register_application("a");
+        rm.add_container_request(app, Resource::new(1024, 1))
+            .unwrap();
+        rm.advance_clock(50);
+        rm.allocate(app).unwrap();
+        let m = rm.get_cluster_metrics().unwrap();
+        assert_eq!(m.num_node_managers, 4);
+        assert_eq!(m.total, Resource::new(4 * 16384, 64));
+        assert_eq!(m.available, Resource::new(4 * 16384 - 1024, 63));
+        assert_eq!(m.containers_active, 1);
+    }
+
+    #[test]
+    fn unknown_application_is_rejected() {
+        let mut rm = rm();
+        assert!(matches!(
+            rm.allocate(ApplicationId(999)),
+            Err(YarnError::UnknownApplication(999))
+        ));
+        assert!(rm
+            .add_container_request(ApplicationId(999), Resource::new(1024, 1))
+            .is_err());
+    }
+
+    #[test]
+    fn unregister_releases_everything_and_reports_status() {
+        let mut rm = rm();
+        let app = rm.register_application("spark-job");
+        for _ in 0..3 {
+            rm.add_container_request(app, Resource::new(1024, 1))
+                .unwrap();
+        }
+        rm.advance_clock(50);
+        let allocated = rm.allocate(app).unwrap().allocated;
+        assert_eq!(allocated.len(), 3);
+        let report = rm.application_report(app).unwrap();
+        assert_eq!(report.state, AppLifecycle::Running);
+        assert_eq!(report.final_status, AmFinalStatus::Undefined);
+        assert_eq!(report.live_containers, 3);
+        rm.unregister_application(app, AmFinalStatus::Failed)
+            .unwrap();
+        let report = rm.application_report(app).unwrap();
+        assert_eq!(report.state, AppLifecycle::Finished);
+        assert_eq!(report.final_status, AmFinalStatus::Failed);
+        assert_eq!(report.live_containers, 0);
+        // The cluster capacity is fully returned.
+        let m = rm.get_cluster_metrics().unwrap();
+        assert_eq!(m.available, m.total);
+    }
+
+    #[test]
+    fn unregister_drops_pending_asks() {
+        let mut rm = rm();
+        let app = rm.register_application("a");
+        for _ in 0..5 {
+            rm.add_container_request(app, Resource::new(1024, 1))
+                .unwrap();
+        }
+        rm.unregister_application(app, AmFinalStatus::Succeeded)
+            .unwrap();
+        assert_eq!(rm.pending_count(), 0);
+        assert!(rm.application_report(ApplicationId(999)).is_err());
+    }
+
+    #[test]
+    fn backlog_degrades_service_time() {
+        // With 2000 pending asks, each allocation takes 3x the base time.
+        let mut rm = ResourceManager::with_nodes(64, Resource::new(1 << 20, 1 << 10));
+        rm.set_alloc_service_ms(10);
+        let app = rm.register_application("a");
+        for _ in 0..2000 {
+            rm.add_container_request(app, Resource::new(1024, 1))
+                .unwrap();
+        }
+        rm.advance_clock(30);
+        // Base service would have allocated 3 containers; degraded service
+        // (30ms each at backlog 2000) allocates exactly 1.
+        assert_eq!(rm.total_allocated(), 1);
+    }
+}

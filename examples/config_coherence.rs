@@ -1,0 +1,74 @@
+//! Management-plane CSI failures end to end: FLINK-19141's inconsistent
+//! scheduler configuration (Figure 3), SPARK-16901's silent configuration
+//! override made visible by the provenance-tracking config plane, and
+//! FLINK-887's monitoring-triggered kill.
+//!
+//! Run with `cargo run --example config_coherence`.
+
+use csi::core::config::ConfigMap;
+use csi::flink::jobmanager::{launch_jobmanager, JobManagerSpec, MemoryModel, SizingPolicy};
+use csi::flink::yarn_driver::{capacity_scheduler, check_allocation_consistency, fair_scheduler};
+use csi::spark::SparkConfig;
+use csi::yarn::config::default_yarn_config;
+use csi::yarn::{Resource, ResourceManager};
+
+fn main() {
+    println!("== FLINK-19141 (Figure 3): same keys, different schedulers ==");
+    let yarn_conf = default_yarn_config();
+    let ask = Resource::new(1536, 1);
+    println!(
+        "  CapacityScheduler: {:?}",
+        check_allocation_consistency(ask, &yarn_conf, &capacity_scheduler())
+    );
+    match check_allocation_consistency(ask, &yarn_conf, &fair_scheduler()) {
+        Err(e) => println!("  FairScheduler:     {e}"),
+        Ok(r) => println!("  FairScheduler:     {r}"),
+    }
+
+    println!("\n== SPARK-16901: the silent override, made traceable ==");
+    let mut hive_site = ConfigMap::new("hive");
+    hive_site.set("hive.exec.scratchdir", "/tmp/hive", "hive-site.xml");
+    hive_site.set(
+        "spark.sql.session.timeZone",
+        "America/Los_Angeles",
+        "hive-site.xml",
+    );
+    let spark = SparkConfig::new();
+    let report = spark.overlay_onto_hive_site(&mut hive_site);
+    println!(
+        "  keys silently overridden by Spark: {:?}",
+        report.overridden
+    );
+    println!("  provenance trail of the victim key:");
+    for line in hive_site.trace("spark.sql.session.timeZone").lines() {
+        println!("    {line}");
+    }
+
+    println!("== FLINK-887: YARN's pmem monitor kills the JobManager ==");
+    let mut rm = ResourceManager::with_nodes(2, Resource::new(16384, 16));
+    let app = rm.register_application("flink-session");
+    let memory = MemoryModel {
+        heap_mb: 2048,
+        off_heap_mb: 256,
+    };
+    for policy in [SizingPolicy::HeapOnly, SizingPolicy::ProcessSizeWithCutoff] {
+        let spec = JobManagerSpec {
+            memory,
+            policy,
+            vcores: 1,
+        };
+        println!(
+            "  sizing {:?}: container ask = {}",
+            policy,
+            spec.container_request()
+        );
+        match launch_jobmanager(&mut rm, app, &spec).expect("launch") {
+            csi::flink::LaunchOutcome::Running(id) => {
+                println!("    -> running in container {id:?}");
+            }
+            csi::flink::LaunchOutcome::KilledByPmemMonitor { reason, .. } => {
+                println!("    -> KILLED: {reason}");
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates the full failure study: every table and all 13 findings.
+//!
+//! Run with `cargo run --example study_report`.
+
+use csi::study::{analyze, findings, render, Dataset};
+
+fn main() {
+    let ds = Dataset::load();
+    print!("{}", render::table1(&ds));
+    print!("{}", render::table2(&ds));
+    print!("{}", render::table3(&ds));
+    print!("{}", render::table5(&ds));
+    print!("{}", render::table6(&ds));
+    print!("{}", render::table7(&ds));
+    print!("{}", render::table8(&ds));
+    print!("{}", render::table9(&ds));
+
+    println!("\nFindings:");
+    for f in findings::all_findings(&ds) {
+        println!(
+            "  {:>2}. [{}] {}",
+            f.number,
+            if f.holds { "HOLDS" } else { "FAILS" },
+            f.statement
+        );
+        println!("      {}", f.evidence);
+    }
+    println!("\n{}", findings::cbs_comparison());
+    let loc = analyze::fix_locations(&ds);
+    println!(
+        "connector concentration: {} of {} fixed cases patched dedicated connector modules",
+        loc.in_connectors, loc.fixed
+    );
+    println!(
+        "paper-named rows: {} of {} (the rest are reconstructed; see DESIGN.md)",
+        ds.named_cases().count(),
+        ds.cases.len()
+    );
+}

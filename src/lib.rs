@@ -1,0 +1,15 @@
+//! Umbrella crate for the CSI-failures reproduction workspace.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency. See the README for the architecture overview.
+
+pub use csi_core as core;
+pub use csi_study as study;
+pub use csi_test as cross_test;
+pub use miniflink as flink;
+pub use minihbase as hbase;
+pub use minihdfs as hdfs;
+pub use minihive as hive;
+pub use minikafka as kafka;
+pub use minispark as spark;
+pub use miniyarn as yarn;

@@ -1,0 +1,325 @@
+//! Integration tests: control- and management-plane failures end to end,
+//! across the substrate crates (Figures 1, 3, 5 and the named control-plane
+//! cases of Tables 7 and 8).
+
+use csi::flink::jobmanager::{
+    launch_jobmanager, JobManagerSpec, LaunchOutcome, MemoryModel, SizingPolicy,
+};
+use csi::flink::kafka_source::{connector_discover, DiscoveryMode, Reachability};
+use csi::flink::yarn_driver::{
+    capacity_scheduler, check_allocation_consistency, fair_scheduler, run_driver, DriverMode,
+    DriverRun,
+};
+use csi::hdfs::{HdfsError, HdfsPath, MiniHdfs};
+use csi::kafka::MiniKafka;
+use csi::spark::config::EXECUTOR_MEMORY_MB;
+use csi::spark::connectors::yarn::{validate_executor_sizing, SizingCheck};
+use csi::spark::SparkConfig;
+use csi::yarn::rm::RmMode;
+use csi::yarn::{Resource, ResourceManager};
+
+#[test]
+fn figure_1_storm_and_figure_5_fixes() {
+    let base = DriverRun {
+        target: 200,
+        interval_ms: 500,
+        alloc_service_ms: 100,
+        start_latency_ms: 5,
+        deadline_ms: 60_000,
+        mode: DriverMode::BuggySync,
+    };
+    let buggy = run_driver(base);
+    assert!(
+        buggy.total_requested > 4000,
+        "storm: {}",
+        buggy.total_requested
+    );
+    let longer = run_driver(DriverRun {
+        mode: DriverMode::LongerInterval,
+        ..base
+    });
+    let eager = run_driver(DriverRun {
+        mode: DriverMode::EagerRemove,
+        ..base
+    });
+    let fixed = run_driver(DriverRun {
+        mode: DriverMode::AsyncClient,
+        ..base
+    });
+    // The final fix is strictly the best: it asks for exactly C containers.
+    assert_eq!(fixed.total_requested, 200);
+    assert_eq!(fixed.started, 200);
+    // Workarounds lie between the bug and the fix.
+    assert!(longer.total_requested <= buggy.total_requested);
+    assert!(eager.max_pending <= buggy.max_pending);
+    // Without the latency inversion there is no storm at all.
+    let benign = run_driver(DriverRun {
+        alloc_service_ms: 1,
+        ..base
+    });
+    assert_eq!(benign.total_requested, 200);
+}
+
+#[test]
+fn figure_3_scheduler_config_discrepancy() {
+    let conf = csi::yarn::config::default_yarn_config();
+    let ask = Resource::new(1536, 1);
+    assert!(check_allocation_consistency(ask, &conf, &capacity_scheduler()).is_ok());
+    let err = check_allocation_consistency(ask, &conf, &fair_scheduler()).unwrap_err();
+    assert!(err
+        .to_string()
+        .contains("Could not allocate the required resource"));
+}
+
+#[test]
+fn flink_887_pmem_kill_and_fix() {
+    let mut rm = ResourceManager::with_nodes(2, Resource::new(16384, 16));
+    let app = rm.register_application("flink");
+    let memory = MemoryModel {
+        heap_mb: 4096,
+        off_heap_mb: 512,
+    };
+    let shipped = JobManagerSpec {
+        memory,
+        policy: SizingPolicy::HeapOnly,
+        vcores: 1,
+    };
+    assert!(matches!(
+        launch_jobmanager(&mut rm, app, &shipped).unwrap(),
+        LaunchOutcome::KilledByPmemMonitor { .. }
+    ));
+    let fixed = JobManagerSpec {
+        memory,
+        policy: SizingPolicy::ProcessSizeWithCutoff,
+        vcores: 1,
+    };
+    assert!(matches!(
+        launch_jobmanager(&mut rm, app, &fixed).unwrap(),
+        LaunchOutcome::Running(_)
+    ));
+}
+
+#[test]
+fn yarn_9724_metrics_unavailable_in_federation() {
+    let rm = ResourceManager::new(csi::yarn::config::default_yarn_config(), RmMode::Federation);
+    let err = csi::spark::connectors::yarn::cluster_metrics(&rm).unwrap_err();
+    assert!(err.to_string().contains("not supported in federation mode"));
+}
+
+#[test]
+fn spark_2604_sizing_check_inconsistency() {
+    let mut config = SparkConfig::new();
+    config.set(EXECUTOR_MEMORY_MB, "8000");
+    let max = Resource::new(8192, 8);
+    // Shipped validation passes...
+    validate_executor_sizing(&config, max, SizingCheck::Shipped).unwrap();
+    // ... but YARN rejects the actual (overhead-inclusive) ask.
+    let mut rm = ResourceManager::with_nodes(4, Resource::new(8192, 8));
+    let app = rm.register_application("spark");
+    let ask = csi::spark::connectors::yarn::executor_container_request(&config);
+    assert!(rm.add_container_request(app, ask).is_err());
+    // The fixed validation catches it before submission.
+    assert!(validate_executor_sizing(&config, max, SizingCheck::Fixed).is_err());
+}
+
+#[test]
+fn flink_4155_partition_discovery_context() {
+    let mut kafka = MiniKafka::new();
+    kafka.create_topic("orders", 8);
+    let net = Reachability::default();
+    assert!(connector_discover(&kafka, "orders", DiscoveryMode::Shipped, net).is_err());
+    let parts = connector_discover(&kafka, "orders", DiscoveryMode::Fixed, net).unwrap();
+    assert_eq!(parts.len(), 8);
+}
+
+#[test]
+fn hbase_537_safe_mode_assumption() {
+    // HBase assumed the NameNode was ready; it was in safe mode.
+    let mut fs = MiniHdfs::new();
+    assert!(fs.in_safe_mode());
+    let root = HdfsPath::parse("/hbase").unwrap();
+    assert!(matches!(fs.mkdirs(&root), Err(HdfsError::SafeMode)));
+    // Once datanodes register, the same call succeeds.
+    fs.register_datanode(csi::hdfs::DataNodeId(0));
+    fs.mkdirs(&root).unwrap();
+}
+
+#[test]
+fn hbase_on_hdfs_full_lifecycle_with_failures() {
+    use csi::hbase::{HBaseError, Region};
+    // Startup races HDFS safe mode (HBASE-537), then the region runs a
+    // full WAL/flush/compact lifecycle over the shared DFS, surviving a
+    // datanode loss in the middle.
+    let mut fs = MiniHdfs::new();
+    assert!(matches!(
+        Region::open("orders", &mut fs),
+        Err(HBaseError::NameNodeNotReady)
+    ));
+    for i in 0..3 {
+        fs.register_datanode(csi::hdfs::DataNodeId(i));
+    }
+    let mut region = Region::open("orders", &mut fs).unwrap();
+    for i in 0..20u8 {
+        region
+            .put(format!("row{}", i % 5).as_bytes(), b"cf:v", &[i], &mut fs)
+            .unwrap();
+    }
+    region.flush(&mut fs).unwrap();
+    fs.kill_datanode(csi::hdfs::DataNodeId(1));
+    fs.replicate_under_replicated();
+    region
+        .put(b"row0", b"cf:v", b"after-failure", &mut fs)
+        .unwrap();
+    region.compact(&mut fs).unwrap();
+    // Crash-recover: reopen and verify both flushed and WAL'd data.
+    let recovered = Region::open("orders", &mut fs).unwrap();
+    assert_eq!(
+        recovered.get(b"row0", b"cf:v").as_deref(),
+        Some(b"after-failure".as_ref())
+    );
+    assert_eq!(
+        recovered.get(b"row4", b"cf:v").as_deref(),
+        Some([19u8].as_ref())
+    );
+}
+
+#[test]
+fn hbase_16621_stale_location_cache() {
+    use csi::hbase::cluster::{ClusterState, HBaseClient, RetryPolicy, ServerId};
+    let mut cluster = ClusterState::new();
+    cluster.assign("orders,0", ServerId(1));
+    let mut client = HBaseClient::new();
+    client
+        .route(&cluster, "orders,0", RetryPolicy::TrustCache)
+        .unwrap();
+    // A concurrent balancer move invalidates the client's view.
+    cluster.assign("orders,0", ServerId(7));
+    assert!(client
+        .route(&cluster, "orders,0", RetryPolicy::TrustCache)
+        .is_err());
+    assert_eq!(
+        client
+            .route(&cluster, "orders,0", RetryPolicy::RefreshAndRetry)
+            .unwrap(),
+        ServerId(7)
+    );
+}
+
+#[test]
+fn yarn_2790_token_expiry_between_renewal_and_use() {
+    let mut fs = MiniHdfs::with_datanodes(1);
+    let path = HdfsPath::parse("/staging/job.xml").unwrap();
+    fs.create(&path, b"job config").unwrap();
+    // YARN renews early; the job consumes the token much later.
+    let token = fs.issue_token("yarn-rm", 1_000, 86_400_000);
+    fs.advance_clock(5_000);
+    assert!(matches!(
+        fs.read_with_token(&path, token.id),
+        Err(HdfsError::TokenInvalid { .. })
+    ));
+    // The fix renews adjacent to the use.
+    fs.renew_token(token.id, 1_000).unwrap();
+    assert_eq!(
+        fs.read_with_token(&path, token.id).unwrap().as_ref(),
+        b"job config"
+    );
+}
+
+#[test]
+fn spark_19361_offset_gap_assumption() {
+    use csi::kafka::PartitionId;
+    use csi::spark::connectors::kafka::{consume_range, plan_range, OffsetModel};
+    let mut kafka = MiniKafka::new();
+    kafka.create_topic("events", 1);
+    for i in 0..10u8 {
+        kafka
+            .produce("events", PartitionId(0), Some(&[i % 3]), Some(&[i]), 0)
+            .unwrap();
+    }
+    kafka.compact("events", PartitionId(0)).unwrap();
+    let range = plan_range(&kafka, "events", PartitionId(0), 0).unwrap();
+    assert!(consume_range(
+        &kafka,
+        "events",
+        PartitionId(0),
+        range,
+        OffsetModel::AssumeContiguous
+    )
+    .is_err());
+    let records = consume_range(
+        &kafka,
+        "events",
+        PartitionId(0),
+        range,
+        OffsetModel::TolerateGaps,
+    )
+    .unwrap();
+    assert_eq!(records.len(), 3); // One survivor per key.
+}
+
+#[test]
+fn spark_10181_kerberos_forwarding() {
+    use csi::spark::connectors::hive::{
+        build_hive_client_config, can_authenticate, ForwardingMode,
+    };
+    let mut spark = SparkConfig::new();
+    spark.set(csi::spark::config::YARN_KEYTAB, "/keytabs/spark.keytab");
+    spark.set(csi::spark::config::YARN_PRINCIPAL, "spark@REALM");
+    assert!(!can_authenticate(&build_hive_client_config(
+        &spark,
+        ForwardingMode::Shipped
+    )));
+    assert!(can_authenticate(&build_hive_client_config(
+        &spark,
+        ForwardingMode::Fixed
+    )));
+}
+
+#[test]
+fn spark_3627_monitoring_discrepancy_through_yarn() {
+    use csi::spark::connectors::yarn::{
+        register_final_status, FinalStatus, JobOutcome, StatusReporting,
+    };
+    use csi::yarn::{AmFinalStatus, AppLifecycle};
+    let mut rm = ResourceManager::with_nodes(2, Resource::new(8192, 8));
+    let app = rm.register_application("spark-etl");
+    rm.add_container_request(app, Resource::new(1024, 1))
+        .unwrap();
+    rm.advance_clock(50);
+    rm.allocate(app).unwrap();
+    // The Spark job fails, but the shipped AM registers SUCCEEDED.
+    let registered = match register_final_status(JobOutcome::Failed, StatusReporting::Shipped) {
+        FinalStatus::Succeeded => AmFinalStatus::Succeeded,
+        FinalStatus::Failed => AmFinalStatus::Failed,
+        FinalStatus::Undefined => AmFinalStatus::Undefined,
+    };
+    rm.unregister_application(app, registered).unwrap();
+    // Every monitoring consumer downstream of YARN now sees success.
+    let report = rm.application_report(app).unwrap();
+    assert_eq!(report.state, AppLifecycle::Finished);
+    assert_eq!(report.final_status, AmFinalStatus::Succeeded); // The lie.
+                                                               // Under the fix, YARN's view matches reality.
+    let app2 = rm.register_application("spark-etl-2");
+    let registered = match register_final_status(JobOutcome::Failed, StatusReporting::Fixed) {
+        FinalStatus::Failed => AmFinalStatus::Failed,
+        other => panic!("unexpected {other:?}"),
+    };
+    rm.unregister_application(app2, registered).unwrap();
+    assert_eq!(
+        rm.application_report(app2).unwrap().final_status,
+        AmFinalStatus::Failed
+    );
+}
+
+#[test]
+fn flink_17189_proctime_round_trip() {
+    use csi::flink::hive_catalog::{load_table, store_table, CatalogMode, FlinkSchema, FlinkType};
+    let schema = FlinkSchema {
+        columns: vec![("ts".into(), FlinkType::ProcTime)],
+    };
+    let mut ms = csi::hive::Metastore::new();
+    store_table(&mut ms, "shipped", &schema, CatalogMode::Shipped).unwrap();
+    assert_ne!(load_table(&ms, "shipped").unwrap(), schema);
+    store_table(&mut ms, "fixed", &schema, CatalogMode::Fixed).unwrap();
+    assert_eq!(load_table(&ms, "fixed").unwrap(), schema);
+}

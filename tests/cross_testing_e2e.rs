@@ -1,0 +1,140 @@
+//! Integration tests: the Section 8 cross-testing case study end to end
+//! (the C2/E2 claims of the artifact appendix).
+
+use csi::core::report::ProblemCategory;
+use csi::cross_test::{active_ids, generate_inputs, run_cross_test, CrossTestConfig, Validity};
+
+#[test]
+fn input_catalogue_matches_section_8_1() {
+    let inputs = generate_inputs();
+    let valid = inputs
+        .iter()
+        .filter(|i| i.validity == Validity::Valid)
+        .count();
+    assert_eq!((inputs.len(), valid, inputs.len() - valid), (422, 210, 212));
+}
+
+#[test]
+fn claim_c2_fifteen_discrepancies_with_paper_category_totals() {
+    let inputs = generate_inputs();
+    let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+    let report = &outcome.report;
+    assert_eq!(report.distinct(), 15, "{}", report.render());
+    assert!(report.unattributed.is_empty());
+    // Section 8.2's category totals: 2 / 2 / 5 / 7 / 8.
+    let counts: Vec<(ProblemCategory, usize)> = report.category_counts();
+    let get = |c: ProblemCategory| counts.iter().find(|(cc, _)| *cc == c).unwrap().1;
+    assert_eq!(get(ProblemCategory::CannotReadWritten), 2);
+    assert_eq!(get(ProblemCategory::TypeViolation), 2);
+    assert_eq!(get(ProblemCategory::InternalConfigExposure), 5);
+    assert_eq!(get(ProblemCategory::InconsistentErrorBehavior), 7);
+    assert_eq!(get(ProblemCategory::CustomConfigReliance), 8);
+    // The issue keys the paper's artifact appendix names.
+    let keys = report.issue_keys();
+    for key in [
+        "SPARK-39075",
+        "SPARK-39158",
+        "HIVE-26533",
+        "HIVE-26531",
+        "SPARK-40439",
+    ] {
+        assert!(
+            keys.contains(&key.to_string()),
+            "{key} missing from {keys:?}"
+        );
+    }
+    // Every observation was executed: 422 inputs x (4+2+2 plans) x 3 formats.
+    assert_eq!(outcome.observations.len(), 422 * 8 * 3);
+}
+
+#[test]
+fn custom_configuration_resolves_exactly_the_eight_paper_discrepancies() {
+    let inputs = generate_inputs();
+    let default_run = run_cross_test(&inputs, &CrossTestConfig::default());
+    let custom_run = run_cross_test(
+        &inputs,
+        &CrossTestConfig {
+            spark_overrides: CrossTestConfig::custom_resolving_overrides(),
+            ..CrossTestConfig::default()
+        },
+    );
+    let before = active_ids(&default_run.report);
+    let after = active_ids(&custom_run.report);
+    assert_eq!(
+        before,
+        (1..=15).map(|i| format!("D{i:02}")).collect::<Vec<_>>()
+    );
+    let resolved: Vec<String> = before
+        .iter()
+        .filter(|d| !after.contains(d))
+        .cloned()
+        .collect();
+    assert_eq!(
+        resolved,
+        vec!["D05", "D08", "D09", "D10", "D11", "D12", "D13", "D15"],
+        "custom configuration must resolve exactly the paper's 8"
+    );
+    // And the unresolvable ones remain active.
+    for d in ["D01", "D02", "D03", "D04", "D06", "D07", "D14"] {
+        assert!(
+            after.contains(&d.to_string()),
+            "{d} should persist, got {after:?}"
+        );
+    }
+}
+
+#[test]
+fn each_oracle_contributes_failures() {
+    use csi::core::oracle::OracleKind;
+    let inputs = generate_inputs();
+    let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+    for kind in [
+        OracleKind::WriteRead,
+        OracleKind::ErrorHandling,
+        OracleKind::Differential,
+    ] {
+        assert!(
+            outcome.report.raw_failures.iter().any(|f| f.oracle == kind),
+            "no failures from oracle {kind}"
+        );
+    }
+}
+
+#[test]
+fn happy_path_values_are_clean_across_all_plans() {
+    use csi::core::value::{DataType, Value};
+    use csi::cross_test::generator::TestInput;
+    // A sanity slice of obviously portable values: no oracle should fire.
+    let inputs = vec![
+        TestInput {
+            id: 0,
+            column_type: DataType::Int,
+            value: Value::Int(12345),
+            validity: Validity::Valid,
+            label: "int".into(),
+            expected_back: None,
+        },
+        TestInput {
+            id: 1,
+            column_type: DataType::String,
+            value: Value::Str("plain".into()),
+            validity: Validity::Valid,
+            label: "string".into(),
+            expected_back: None,
+        },
+        TestInput {
+            id: 2,
+            column_type: DataType::Double,
+            value: Value::Double(2.5),
+            validity: Validity::Valid,
+            label: "double".into(),
+            expected_back: None,
+        },
+    ];
+    let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+    assert!(
+        outcome.report.raw_failures.is_empty(),
+        "{:#?}",
+        outcome.report.raw_failures
+    );
+}

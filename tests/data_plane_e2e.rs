@@ -1,0 +1,242 @@
+//! Integration tests: data-plane failures end to end through the real
+//! substrate stacks (Figure 2/4 and the serde-level discrepancies).
+
+use csi::core::diag::DiagSink;
+use csi::core::value::{parse_timestamp, DataType, Decimal, StructField, Value};
+use csi::hdfs::{HdfsPath, MiniHdfs};
+use csi::hive::hiveql::HiveQl;
+use csi::hive::metastore::{Metastore, StorageFormat};
+use csi::spark::connectors::hdfs::{read_file, LengthCheck};
+use csi::spark::SparkSession;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+type SharedFs = Arc<Mutex<MiniHdfs>>;
+
+fn deployment() -> (SparkSession, HiveQl, DiagSink, SharedFs) {
+    let sink = DiagSink::new();
+    let metastore = Arc::new(Mutex::new(Metastore::new()));
+    let fs: SharedFs = Arc::new(Mutex::new(MiniHdfs::with_datanodes(3)));
+    let spark = SparkSession::connect(metastore.clone(), fs.clone(), sink.handle("minispark"));
+    let hive = HiveQl::new(metastore, fs.clone(), sink.handle("minihive"));
+    (spark, hive, sink, fs)
+}
+
+#[test]
+fn figure_2_and_4_compressed_file_length() {
+    let mut fs = MiniHdfs::with_datanodes(1);
+    let path = HdfsPath::parse("/data/part.gz").unwrap();
+    fs.create_compressed(&path, b"payload").unwrap();
+    assert_eq!(fs.get_file_status(&path).unwrap().len, -1);
+    let err = read_file(&fs, &path, LengthCheck::Shipped).unwrap_err();
+    assert!(err.to_string().contains("length (-1) cannot be negative"));
+    assert_eq!(
+        read_file(&fs, &path, LengthCheck::Fixed).unwrap().as_ref(),
+        b"payload"
+    );
+}
+
+#[test]
+fn spark_and_hive_share_one_warehouse() {
+    // A plain interoperable table: written by SparkSQL, read by HiveQL.
+    let (spark, hive, _, _) = deployment();
+    spark
+        .sql("CREATE TABLE shared (a INT, b STRING) STORED AS ORC")
+        .unwrap();
+    spark
+        .sql("INSERT INTO shared VALUES (1, 'from spark')")
+        .unwrap();
+    hive.execute("INSERT INTO shared VALUES (2, 'from hive')")
+        .unwrap();
+    let spark_view = spark.sql("SELECT * FROM shared").unwrap();
+    let hive_view = hive.execute("SELECT * FROM shared").unwrap();
+    assert_eq!(spark_view.rows.len(), 2);
+    assert_eq!(spark_view.rows, hive_view.rows);
+}
+
+#[test]
+fn d01_spark_avro_byte_round_trip_fails_but_hive_reads_it() {
+    let (spark, hive, _, _) = deployment();
+    let df = spark.dataframe();
+    df.create_table(
+        "b",
+        &[StructField::new("c", DataType::Byte)],
+        StorageFormat::Avro,
+    )
+    .unwrap();
+    df.insert_into("b", &[vec![Value::Byte(5)]]).unwrap();
+    // Spark cannot read its own file back (SPARK-39075)...
+    let err = df.read_table("b").unwrap_err();
+    assert!(err.to_string().contains("IncompatibleSchema"), "{err}");
+    // ... while Hive narrows the widened int happily.
+    let r = hive.execute("SELECT * FROM b").unwrap();
+    assert_eq!(r.rows[0][0], Value::Byte(5));
+}
+
+#[test]
+fn d02_dataframe_decimal_unreadable_from_hiveql() {
+    let (spark, hive, _, _) = deployment();
+    let df = spark.dataframe();
+    df.create_table(
+        "d",
+        &[StructField::new("c", DataType::Decimal(10, 2))],
+        StorageFormat::Orc,
+    )
+    .unwrap();
+    df.insert_into("d", &[vec![Value::Decimal(Decimal::parse("1.5").unwrap())]])
+        .unwrap();
+    // Spark reads its own runtime-scaled decimal back fine...
+    let (_, rows) = df.read_table("d").unwrap();
+    assert!(rows[0][0].canonical_eq(&Value::Decimal(Decimal::parse("1.5").unwrap())));
+    // ... but HiveQL validates the declared scale and fails (SPARK-39158).
+    let err = hive.execute("SELECT * FROM d").unwrap_err();
+    assert!(err.to_string().contains("scale"), "{err}");
+    // SparkSQL's ANSI path rescales on write, which Hive reads fine.
+    spark.sql("INSERT INTO d VALUES (2.5)").unwrap();
+    let err2 = hive.execute("SELECT * FROM d").unwrap_err();
+    // (Still fails on the first file, demonstrating the poisoned table.)
+    assert!(err2.to_string().contains("scale"));
+}
+
+#[test]
+fn d07_julian_rebase_shift_through_parquet() {
+    let (spark, hive, _, _) = deployment();
+    hive.execute("CREATE TABLE ancient (ts TIMESTAMP) STORED AS PARQUET")
+        .unwrap();
+    hive.execute("INSERT INTO ancient VALUES (TIMESTAMP '1500-06-01 00:00:00')")
+        .unwrap();
+    // Hive round-trips its own rebase.
+    let hv = hive.execute("SELECT * FROM ancient").unwrap();
+    let want = parse_timestamp("1500-06-01 00:00:00").unwrap();
+    assert_eq!(hv.rows[0][0], Value::Timestamp(want));
+    // Spark (CORRECTED mode) reads the raw Julian value: 10 days off.
+    let sv = spark.sql("SELECT * FROM ancient").unwrap();
+    assert_eq!(sv.rows[0][0], Value::Timestamp(want - 10 * 86_400_000_000));
+    // The LEGACY rebase mode closes the gap for the same session.
+    let mut legacy = spark;
+    legacy
+        .config
+        .set(csi::spark::config::PARQUET_REBASE_MODE, "LEGACY");
+    let lv = legacy.sql("SELECT * FROM ancient").unwrap();
+    assert_eq!(lv.rows[0][0], Value::Timestamp(want));
+}
+
+#[test]
+fn d14_struct_case_fold_between_interfaces() {
+    let (spark, hive, _, _) = deployment();
+    let df = spark.dataframe();
+    let ty = DataType::Struct(vec![StructField::new("Inner", DataType::Int)]);
+    df.create_table("s", &[StructField::new("c", ty)], StorageFormat::Orc)
+        .unwrap();
+    df.insert_into(
+        "s",
+        &[vec![Value::Struct(vec![("Inner".into(), Value::Int(3))])]],
+    )
+    .unwrap();
+    // DataFrame sees its case-preserved field...
+    let (_, rows) = df.read_table("s").unwrap();
+    assert_eq!(
+        rows[0][0],
+        Value::Struct(vec![("Inner".into(), Value::Int(3))])
+    );
+    // ... HiveQL reports its lowercase schema.
+    let r = hive.execute("SELECT * FROM s").unwrap();
+    assert_eq!(
+        r.rows[0][0],
+        Value::Struct(vec![("inner".into(), Value::Int(3))])
+    );
+}
+
+#[test]
+fn inconsistent_error_behavior_d05_at_the_api_level() {
+    let (spark, _, sink, _) = deployment();
+    spark
+        .sql("CREATE TABLE t (c DECIMAL(10,2)) STORED AS ORC")
+        .unwrap();
+    // SparkSQL raises...
+    let err = spark.sql("INSERT INTO t VALUES (123.456)").unwrap_err();
+    assert_eq!(err.code(), "CAST_OVERFLOW");
+    // ... the DataFrame writer silently writes NULL.
+    sink.drain();
+    spark
+        .dataframe()
+        .insert_into(
+            "t",
+            &[vec![Value::Decimal(Decimal::parse("123.456").unwrap())]],
+        )
+        .unwrap();
+    // The legacy coercion is silent: the only diagnostics are the schema
+    // fallback warnings, never a word about the value written as NULL.
+    let diags = sink.drain();
+    assert!(
+        diags.iter().all(|d| d.code == "NOT_CASE_PRESERVING"),
+        "{diags:?}"
+    );
+    let r = spark.sql("SELECT * FROM t").unwrap();
+    assert_eq!(r.rows[0][0], Value::Null);
+}
+
+#[test]
+fn schema_evolution_goes_stale_in_the_cached_spark_schema() {
+    // Software-evolution hazard (Section 10 "change analysis"): Hive adds
+    // a column; Spark's cached case-preserving schema predates it.
+    let (spark, hive, _, _) = deployment();
+    let df = spark.dataframe();
+    df.create_table(
+        "e",
+        &[StructField::new("a", DataType::Int)],
+        StorageFormat::Orc,
+    )
+    .unwrap();
+    df.insert_into("e", &[vec![Value::Int(1)]]).unwrap();
+    spark
+        .metastore()
+        .lock()
+        .add_column("default", "e", "b", csi::hive::HiveType::Str)
+        .unwrap();
+    hive.execute("INSERT INTO e VALUES (2, 'two')").unwrap();
+    // Hive sees both columns; old files fill the new one with NULL.
+    let hv = hive.execute("SELECT * FROM e").unwrap();
+    assert_eq!(hv.columns, vec!["a", "b"]);
+    assert_eq!(hv.rows[0], vec![Value::Int(1), Value::Null]);
+    assert_eq!(hv.rows[1], vec![Value::Int(2), Value::Str("two".into())]);
+    // Spark still resolves through its *stale* cached property schema and
+    // does not see the new column at all — neither side is buggy, but
+    // their views of the same table have diverged.
+    let sv = spark.sql("SELECT * FROM e").unwrap();
+    assert_eq!(sv.columns, vec!["a"]);
+    assert_eq!(sv.rows.len(), 2);
+}
+
+#[test]
+fn where_clause_literal_casting_diverges_between_engines() {
+    // The same query, two engines: Hive's lenient literal coercion matches
+    // nothing on garbage, Spark's ANSI cast raises — the inconsistent-error
+    // pattern extends to the query path, not just inserts.
+    let (spark, hive, _, _) = deployment();
+    spark.sql("CREATE TABLE q (a INT)").unwrap();
+    spark.sql("INSERT INTO q VALUES (1), (2), (3)").unwrap();
+    let same = "SELECT * FROM q WHERE a > 1";
+    assert_eq!(spark.sql(same).unwrap().rows.len(), 2);
+    assert_eq!(hive.execute(same).unwrap().rows.len(), 2);
+    let garbage = "SELECT * FROM q WHERE a = 'junk'";
+    assert!(hive.execute(garbage).unwrap().rows.is_empty()); // Lenient.
+    assert!(spark.sql(garbage).is_err()); // ANSI raises.
+}
+
+#[test]
+fn safe_mode_blocks_both_engines_writes_but_not_reads() {
+    // A cross-cutting scenario: the shared filesystem enters safe mode;
+    // both engines' writes fail while their reads keep working.
+    let (spark, hive, _, fs) = deployment();
+    spark.sql("CREATE TABLE t (a INT)").unwrap();
+    spark.sql("INSERT INTO t VALUES (1)").unwrap();
+    fs.lock().set_safe_mode(true);
+    assert!(spark.sql("INSERT INTO t VALUES (2)").is_err());
+    assert!(hive.execute("INSERT INTO t VALUES (3)").is_err());
+    assert_eq!(spark.sql("SELECT * FROM t").unwrap().rows.len(), 1);
+    assert_eq!(hive.execute("SELECT * FROM t").unwrap().rows.len(), 1);
+    fs.lock().set_safe_mode(false);
+    spark.sql("INSERT INTO t VALUES (2)").unwrap();
+    assert_eq!(hive.execute("SELECT * FROM t").unwrap().rows.len(), 2);
+}

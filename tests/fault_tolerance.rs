@@ -1,0 +1,138 @@
+//! Integration tests for the Section 10 directions implemented as library
+//! features: interface-redundant reads, configuration audits, and
+//! machine-checkable data contracts.
+
+use csi::core::audit::{audit_deployment, AuditSeverity, CoherenceRule};
+use csi::core::config::{ConfigMap, MergePolicy};
+use csi::core::diag::DiagSink;
+use csi::core::value::{DataType, StructField, Value};
+use csi::cross_test::{redundant_read, ReadPath};
+use csi::hdfs::MiniHdfs;
+use csi::hive::hiveql::HiveQl;
+use csi::hive::metastore::{Metastore, StorageFormat};
+use csi::spark::SparkSession;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn deployment() -> (SparkSession, HiveQl) {
+    let sink = DiagSink::new();
+    let ms = Arc::new(Mutex::new(Metastore::new()));
+    let fs = Arc::new(Mutex::new(MiniHdfs::with_datanodes(3)));
+    let spark = SparkSession::connect(ms.clone(), fs.clone(), sink.handle("minispark"));
+    let hive = HiveQl::new(ms, fs, sink.handle("minihive"));
+    (spark, hive)
+}
+
+#[test]
+fn interface_redundancy_tolerates_spark_39075() {
+    // The D01 situation: a DataFrame-written Avro table with BYTE data
+    // that Spark itself cannot read back. The redundant reader serves it
+    // through the (independently implemented) HiveQL interface.
+    let (spark, hive) = deployment();
+    let df = spark.dataframe();
+    df.create_table(
+        "events",
+        &[StructField::new("code", DataType::Byte)],
+        StorageFormat::Avro,
+    )
+    .unwrap();
+    df.insert_into("events", &[vec![Value::Byte(42)], vec![Value::Byte(-1)]])
+        .unwrap();
+    assert!(
+        spark.sql("SELECT * FROM events").is_err(),
+        "primary path must fail"
+    );
+    let read = redundant_read(&spark, &hive, "events").unwrap();
+    assert_eq!(read.path, ReadPath::HiveFallback);
+    assert_eq!(
+        read.rows,
+        vec![vec![Value::Byte(42)], vec![Value::Byte(-1)]]
+    );
+}
+
+#[test]
+fn config_audit_catches_the_three_table_7_shapes_predeployment() {
+    // Build the configurations of a Spark+Hive+YARN deployment with all
+    // three coherence problems present, then audit.
+    let mut spark = ConfigMap::new("spark");
+    spark.set("spark.sql.session.timeZone", "UTC", "spark-defaults.conf");
+    spark.set(
+        "spark.yarn.keytab",
+        "/keytabs/spark.keytab",
+        "spark-defaults.conf",
+    );
+    spark.set(
+        "yarn.scheduler.minimum-allocation-mb",
+        "1024",
+        "spark-defaults.conf",
+    );
+
+    let mut hive = ConfigMap::new("hive");
+    hive.set("spark.sql.session.timeZone", "PST", "hive-site.xml");
+    // SPARK-16901 shape: Spark's overlay silently overrides Hive's value.
+    hive.merge(&spark, MergePolicy::TheirsWin, "spark overlay");
+
+    let mut yarn = ConfigMap::new("yarn");
+    yarn.set(
+        "yarn.scheduler.minimum-allocation-mb",
+        "512",
+        "yarn-site.xml",
+    );
+    // SPARK-10181 shape: an operator's update is silently dropped.
+    let mut operator = ConfigMap::new("operator");
+    operator.set(
+        "spark.yarn.keytab",
+        "/keytabs/rotated.keytab",
+        "ops runbook",
+    );
+    spark.merge(&operator, MergePolicy::OursWin, "session merge");
+
+    let rules = vec![CoherenceRule {
+        key: "yarn.scheduler.minimum-allocation-mb".into(),
+        // FLINK-19141 shape: both sides size containers from this key.
+        why: "upstream predicts container sizes from it".into(),
+    }];
+    let findings = audit_deployment(&[&spark, &hive, &yarn], &rules);
+    let patterns: Vec<&str> = findings.iter().map(|f| f.pattern).collect();
+    assert!(patterns.contains(&"Ignorance"), "{patterns:?}");
+    assert!(patterns.contains(&"Unexpected override"), "{patterns:?}");
+    assert!(patterns.contains(&"Inconsistent context"), "{patterns:?}");
+    assert!(findings.iter().all(|f| f.severity >= AuditSeverity::Notice));
+    // The ranking puts the failure-shaped findings first.
+    assert_eq!(findings[0].severity, AuditSeverity::Critical);
+}
+
+#[test]
+fn contracts_distinguish_documented_conversions_from_bugs() {
+    use csi::cross_test::contracts::{check_observations, documented_contracts, naive_contracts};
+    use csi::cross_test::generator::{TestInput, Validity};
+    use csi::cross_test::{run_cross_test, CrossTestConfig};
+    let inputs = vec![
+        TestInput {
+            id: 0,
+            column_type: DataType::Byte,
+            value: Value::Byte(9),
+            validity: Validity::Valid,
+            label: "byte".into(),
+            expected_back: None,
+        },
+        TestInput {
+            id: 1,
+            column_type: DataType::Char(8),
+            value: Value::Str("ab".into()),
+            validity: Validity::Valid,
+            label: "char".into(),
+            expected_back: None,
+        },
+    ];
+    let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+    let naive = check_observations(&inputs, &outcome.observations, naive_contracts);
+    let documented = check_observations(&inputs, &outcome.observations, documented_contracts);
+    // CHAR padding and BYTE widening are documented; the Avro read failure
+    // is not.
+    assert!(documented.len() < naive.len());
+    assert!(documented
+        .iter()
+        .all(|v| v.observed.contains("read failed") || v.observed.contains("value changed")));
+    assert!(documented.iter().any(|v| v.data_type == DataType::Byte));
+}

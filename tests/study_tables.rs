@@ -1,0 +1,127 @@
+//! Integration tests: the failure-study datasets regenerate every table and
+//! finding the paper publishes (the C1/E1 claims of the artifact appendix).
+
+use csi::core::plane::Plane;
+use csi::study::{analyze, cbs, findings, incidents, Dataset};
+
+#[test]
+fn claim_c1_all_thirteen_findings_hold() {
+    let ds = Dataset::load();
+    let all = findings::all_findings(&ds);
+    assert_eq!(all.len(), 13);
+    let failing: Vec<u32> = all.iter().filter(|f| !f.holds).map(|f| f.number).collect();
+    assert!(failing.is_empty(), "findings failing: {failing:?}");
+}
+
+#[test]
+fn finding_1_incident_statistics() {
+    let incidents = incidents::load_incidents();
+    assert_eq!(incidents.len(), 55);
+    let csi: Vec<_> = incidents.iter().filter(|i| i.is_csi).collect();
+    assert_eq!(csi.len(), 11);
+    assert_eq!(incidents::median_csi_duration(&incidents), 106);
+    assert_eq!(csi.iter().filter(|i| i.impaired_external).count(), 8);
+}
+
+#[test]
+fn table_2_planes() {
+    let ds = Dataset::load();
+    assert_eq!(
+        analyze::plane_table(&ds),
+        vec![
+            (Plane::Control, 20),
+            (Plane::Data, 61),
+            (Plane::Management, 39)
+        ]
+    );
+}
+
+#[test]
+fn tables_4_5_6_data_plane_root_causes() {
+    let ds = Dataset::load();
+    let m = analyze::abstraction_matrix(&ds);
+    assert_eq!(m[0], [1, 13, 16, 0, 5], "Table row");
+    assert_eq!(m[1], [8, 0, 0, 8, 2], "File row");
+    assert_eq!(m[2], [1, 1, 2, 0, 4], "Stream row");
+    assert_eq!(m[3], [0, 0, 0, 0, 0], "KV row");
+    assert_eq!(analyze::metadata_split(&ds), (50, 42, 8, 11));
+    assert_eq!(analyze::serialization_rooted_count(&ds), 15);
+    let patterns: Vec<usize> = analyze::data_pattern_table(&ds)
+        .into_iter()
+        .map(|(_, n)| n)
+        .collect();
+    assert_eq!(patterns, vec![12, 15, 9, 7, 18]);
+}
+
+#[test]
+fn tables_7_8_9_management_control_fixes() {
+    let ds = Dataset::load();
+    let config: Vec<usize> = analyze::config_pattern_table(&ds)
+        .into_iter()
+        .map(|(_, n)| n)
+        .collect();
+    assert_eq!(config, vec![12, 6, 10, 2]);
+    assert_eq!(analyze::config_scope_split(&ds), (21, 9));
+    assert_eq!(analyze::control_pattern_table(&ds), (13, 5, 2));
+    assert_eq!(analyze::api_misuse_split(&ds), (8, 5));
+    let fixes: Vec<usize> = analyze::fix_table(&ds)
+        .into_iter()
+        .map(|(_, n)| n)
+        .collect();
+    assert_eq!(fixes, vec![38, 8, 69, 5]);
+    let loc = analyze::fix_locations(&ds);
+    assert_eq!(
+        (
+            loc.fixed,
+            loc.upstream_specific,
+            loc.in_connectors,
+            loc.downstream
+        ),
+        (115, 79, 68, 1)
+    );
+}
+
+#[test]
+fn cbs_comparison_shares() {
+    let sample = cbs::load_cbs_sample();
+    assert_eq!(sample.len(), 105);
+    assert_eq!(cbs::cbs_control_plane_percent(&sample), 69);
+}
+
+#[test]
+fn every_named_case_appears_exactly_once() {
+    let ds = Dataset::load();
+    for key in [
+        "SPARK-27239",
+        "FLINK-12342",
+        "FLINK-19141",
+        "FLINK-17189",
+        "SPARK-18910",
+        "SPARK-21686",
+        "SPARK-19361",
+        "SPARK-10181",
+        "SPARK-16901",
+        "SPARK-15046",
+        "HIVE-11250",
+        "SPARK-10851",
+        "SPARK-3627",
+        "FLINK-887",
+        "HBASE-537",
+        "HBASE-16621",
+        "SPARK-2604",
+        "YARN-9724",
+        "FLINK-5542",
+        "FLINK-4155",
+        "FLINK-13758",
+        "FLINK-3081",
+        "YARN-2790",
+        "SPARK-10122",
+        "SPARK-21150",
+    ] {
+        assert_eq!(
+            ds.cases.iter().filter(|c| c.key == key).count(),
+            1,
+            "{key} should appear exactly once"
+        );
+    }
+}
