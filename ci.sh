@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: lint clean, build clean, full test suite, and the
+# serial/parallel determinism suite (the parallel campaign executor must
+# reproduce the serial DiscrepancyReport byte-for-byte).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> release build"
+cargo build --release --workspace
+
+echo "==> tests"
+cargo test -q --workspace
+
+echo "==> determinism (serial vs parallel campaign)"
+cargo test -q -p csi-test --test determinism
+
+echo "CI OK"

@@ -6,8 +6,12 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use csi_core::value::{DataType, StructField, Value};
-use csi_test::{generate_inputs, run_cross_test, CrossTestConfig, Experiment};
+use csi_test::{
+    generate_inputs, run_cross_test, run_cross_test_parallel, CrossTestConfig, Experiment,
+    ParallelConfig,
+};
 use minihive::metastore::StorageFormat;
+use std::time::Duration;
 
 fn bench_generator(c: &mut Criterion) {
     c.bench_function("generator/full_catalogue", |b| {
@@ -94,11 +98,45 @@ fn bench_oracles(c: &mut Criterion) {
     });
 }
 
+fn bench_full_campaign(c: &mut Criterion) {
+    // The full 422-input catalogue through all three experiments; a single
+    // iteration takes seconds, so sample sparsely.
+    let inputs = generate_inputs();
+    let serial_config = CrossTestConfig::default();
+    // Campaign mode: worker pool plus drop-after-observe recycling, the
+    // configuration the `campaign` binary reports on.
+    let campaign_config = CrossTestConfig {
+        recycle_tables: true,
+        ..CrossTestConfig::default()
+    };
+    let mut group = c.benchmark_group("harness");
+    group.sample_size(2).measurement_time(Duration::from_millis(1));
+    group.bench_function("full_campaign_serial", |b| {
+        b.iter(|| std::hint::black_box(run_cross_test(&inputs, &serial_config).report.distinct()))
+    });
+    let parallel = ParallelConfig {
+        workers: 0,
+        chunk_size: 32,
+    };
+    group.bench_function("full_campaign_parallel", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                run_cross_test_parallel(&inputs, &campaign_config, &parallel)
+                    .outcome
+                    .report
+                    .distinct(),
+            )
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_generator,
     bench_single_experiment,
     bench_serializers,
-    bench_oracles
+    bench_oracles,
+    bench_full_campaign
 );
 criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Campaign perf summary: runs the full 422-input cross-testing campaign
+//! once on the legacy serial executor and once on the parallel sharded
+//! executor in its campaign mode (deployment pooling + table recycling),
+//! checks the two reports agree byte-for-byte, and prints a JSON
+//! performance summary (wall times, observations/sec, speedup, per-worker
+//! utilization).
+//!
+//! Usage: `campaign [workers] [chunk_size]` — `workers` defaults to the
+//! machine's available parallelism (0 keeps that default).
+
+use csi_test::{
+    generate_inputs, run_cross_test, run_cross_test_parallel, CrossTestConfig, ParallelConfig,
+};
+use serde::Serialize;
+use std::time::Instant;
+
+/// The JSON document this binary prints.
+#[derive(Serialize)]
+struct Summary {
+    /// Catalogue size.
+    inputs: usize,
+    /// Observations per run (identical serial and parallel).
+    observations: usize,
+    /// Distinct discrepancies (must be 15).
+    distinct_discrepancies: usize,
+    /// Whether the parallel report serialized identically to the serial one.
+    reports_identical: bool,
+    /// Whether the parallel campaign ran with table recycling.
+    recycle_tables: bool,
+    /// Serial campaign wall time in microseconds.
+    serial_micros: u64,
+    /// Serial observations per second.
+    serial_obs_per_sec: f64,
+    /// Parallel end-to-end wall time in microseconds.
+    parallel_micros: u64,
+    /// Parallel observations per second (execute phase).
+    parallel_obs_per_sec: f64,
+    /// Serial wall time over parallel wall time.
+    speedup: f64,
+    /// The parallel executor's own metrics.
+    campaign: csi_test::CampaignMetrics,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+    let chunk_size: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
+
+    let inputs = generate_inputs();
+
+    // Baseline: the serial executor exactly as it always ran (tables
+    // accumulate in the deployment for the experiment's lifetime).
+    let serial_started = Instant::now();
+    let serial = run_cross_test(&inputs, &CrossTestConfig::default());
+    let serial_micros = serial_started.elapsed().as_micros() as u64;
+
+    // Campaign mode: sharded worker pool with per-worker deployments and
+    // drop-after-observe table recycling. The determinism suite proves the
+    // report is identical to the baseline's; this binary re-checks it.
+    let campaign_config = CrossTestConfig {
+        recycle_tables: true,
+        ..CrossTestConfig::default()
+    };
+    let parallel = run_cross_test_parallel(
+        &inputs,
+        &campaign_config,
+        &ParallelConfig {
+            workers,
+            chunk_size,
+        },
+    );
+    let metrics = parallel.metrics;
+
+    let serial_json = serde_json::to_string(&serial.report).expect("serial report");
+    let parallel_json = serde_json::to_string(&parallel.outcome.report).expect("parallel report");
+
+    let summary = Summary {
+        inputs: inputs.len(),
+        observations: metrics.observations,
+        distinct_discrepancies: parallel.outcome.report.distinct(),
+        reports_identical: serial_json == parallel_json,
+        recycle_tables: campaign_config.recycle_tables,
+        serial_micros,
+        serial_obs_per_sec: serial.observations.len() as f64
+            / (serial_micros.max(1) as f64 / 1_000_000.0),
+        parallel_micros: metrics.total_micros,
+        parallel_obs_per_sec: metrics.observations_per_sec,
+        speedup: serial_micros as f64 / metrics.total_micros.max(1) as f64,
+        campaign: metrics,
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&summary).expect("summary serializes")
+    );
+    assert!(summary.reports_identical, "parallel report diverged");
+    assert_eq!(summary.distinct_discrepancies, 15);
+}

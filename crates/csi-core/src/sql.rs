@@ -60,6 +60,120 @@ pub enum IntervalUnit {
     Second,
 }
 
+/// One `<magnitude> <unit>` term of an `INTERVAL` literal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalPart {
+    /// The magnitude, as written (may carry a sign and, for `SECOND`, a
+    /// fractional part of up to microsecond precision).
+    pub value: String,
+    /// The unit keyword.
+    pub unit: IntervalUnit,
+}
+
+impl IntervalPart {
+    /// Convenience constructor.
+    pub fn new(value: impl Into<String>, unit: IntervalUnit) -> IntervalPart {
+        IntervalPart {
+            value: value.into(),
+            unit,
+        }
+    }
+}
+
+/// Evaluates the terms of an `INTERVAL` literal to the canonical
+/// `(months, micros)` pair shared by both SQL dialects.
+///
+/// `YEAR`/`MONTH` terms accumulate into months; `DAY`/`HOUR`/`MINUTE`/
+/// `SECOND` terms into microseconds. Only `SECOND` magnitudes may carry a
+/// fraction, of at most six digits (microsecond precision); every other
+/// unit requires an integer. On failure the error carries the offending
+/// magnitude, for the dialects to wrap in their own parse-error types.
+///
+/// # Examples
+///
+/// ```
+/// use csi_core::sql::{eval_interval_parts, IntervalPart, IntervalUnit};
+///
+/// let parts = [
+///     IntervalPart::new("1", IntervalUnit::Day),
+///     IntervalPart::new("2", IntervalUnit::Hour),
+///     IntervalPart::new("0.5", IntervalUnit::Second),
+/// ];
+/// assert_eq!(
+///     eval_interval_parts(&parts),
+///     Ok((0, 86_400_000_000 + 2 * 3_600_000_000 + 500_000))
+/// );
+/// ```
+pub fn eval_interval_parts(parts: &[IntervalPart]) -> Result<(i32, i64), String> {
+    let mut months: i64 = 0;
+    let mut micros: i64 = 0;
+    let bad = |value: &str| format!("interval magnitude {value:?}");
+    for part in parts {
+        let raw = part.value.trim();
+        let micros_per: i64 = match part.unit {
+            IntervalUnit::Year | IntervalUnit::Month => {
+                let n: i64 = raw.parse().map_err(|_| bad(&part.value))?;
+                let m = if part.unit == IntervalUnit::Year {
+                    n.checked_mul(12).ok_or_else(|| bad(&part.value))?
+                } else {
+                    n
+                };
+                months = months.checked_add(m).ok_or_else(|| bad(&part.value))?;
+                continue;
+            }
+            IntervalUnit::Day => 86_400_000_000,
+            IntervalUnit::Hour => 3_600_000_000,
+            IntervalUnit::Minute => 60_000_000,
+            IntervalUnit::Second => 1_000_000,
+        };
+        let us = if part.unit == IntervalUnit::Second {
+            parse_seconds_micros(raw).ok_or_else(|| bad(&part.value))?
+        } else {
+            let n: i64 = raw.parse().map_err(|_| bad(&part.value))?;
+            n.checked_mul(micros_per).ok_or_else(|| bad(&part.value))?
+        };
+        micros = micros.checked_add(us).ok_or_else(|| bad(&part.value))?;
+    }
+    let months = i32::try_from(months).map_err(|_| bad("months out of range"))?;
+    Ok((months, micros))
+}
+
+/// Parses a `SECOND` magnitude — optionally signed, optionally fractional
+/// with up to six digits — to exact microseconds. No floating point is
+/// involved, so sub-second values survive unchanged.
+fn parse_seconds_micros(raw: &str) -> Option<i64> {
+    let (negative, body) = match raw.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, raw),
+    };
+    let (whole, frac) = match body.split_once('.') {
+        Some((w, f)) => (w, f),
+        None => (body, ""),
+    };
+    if whole.is_empty() && frac.is_empty() {
+        return None;
+    }
+    if frac.len() > 6 || !frac.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let seconds: i64 = if whole.is_empty() {
+        0
+    } else {
+        whole.parse().ok().filter(|_| {
+            whole.bytes().all(|b| b.is_ascii_digit())
+        })?
+    };
+    let mut sub: i64 = 0;
+    if !frac.is_empty() {
+        sub = frac.parse().ok()?;
+        for _ in frac.len()..6 {
+            sub *= 10;
+        }
+    }
+    let magnitude = seconds.checked_mul(1_000_000)?.checked_add(sub)?;
+    Some(if negative { -magnitude } else { magnitude })
+}
+
 /// A parsed literal expression.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Expr {
@@ -79,12 +193,12 @@ pub enum Expr {
     DateLit(String),
     /// `TIMESTAMP '...'`.
     TimestampLit(String),
-    /// `INTERVAL <n> <unit>` or `INTERVAL '<n>' <unit>`.
+    /// `INTERVAL <n> <unit> [<n> <unit> ...]` — one or more terms, each
+    /// `INTERVAL 3 MONTH`-style; compound literals (`INTERVAL 1 DAY 2 HOURS`)
+    /// carry several terms.
     IntervalLit {
-        /// The magnitude, as written.
-        value: String,
-        /// The unit keyword.
-        unit: IntervalUnit,
+        /// The terms, in source order.
+        parts: Vec<IntervalPart>,
     },
     /// `CAST(expr AS type)`.
     Cast(Box<Expr>, DataType),
@@ -560,39 +674,54 @@ impl Parser {
                     "DATE" => Ok(Expr::DateLit(self.expect_string()?)),
                     "TIMESTAMP" => Ok(Expr::TimestampLit(self.expect_string()?)),
                     "INTERVAL" => {
-                        let (value, neg) = match self.next() {
-                            Some(Token::Str(s)) => (s, false),
-                            Some(Token::Number(n)) => (n, false),
-                            Some(Token::Symbol('-')) => match self.next() {
-                                Some(Token::Number(n)) => (n, true),
+                        let mut parts = Vec::new();
+                        loop {
+                            let (value, neg) = match self.next() {
+                                Some(Token::Str(s)) => (s, false),
+                                Some(Token::Number(n)) => (n, false),
+                                Some(Token::Symbol('-')) => match self.next() {
+                                    Some(Token::Number(n)) => (n, true),
+                                    other => {
+                                        return Err(ParseError::new(format!(
+                                            "expected interval magnitude, found {other:?}"
+                                        )))
+                                    }
+                                },
                                 other => {
                                     return Err(ParseError::new(format!(
                                         "expected interval magnitude, found {other:?}"
                                     )))
                                 }
-                            },
-                            other => {
-                                return Err(ParseError::new(format!(
-                                    "expected interval magnitude, found {other:?}"
-                                )))
+                            };
+                            let unit_name = self.expect_ident()?.to_ascii_uppercase();
+                            let unit = match unit_name.trim_end_matches('S') {
+                                "YEAR" => IntervalUnit::Year,
+                                "MONTH" => IntervalUnit::Month,
+                                "DAY" => IntervalUnit::Day,
+                                "HOUR" => IntervalUnit::Hour,
+                                "MINUTE" => IntervalUnit::Minute,
+                                "SECOND" => IntervalUnit::Second,
+                                other => {
+                                    return Err(ParseError::new(format!(
+                                        "unknown interval unit {other}"
+                                    )))
+                                }
+                            };
+                            let value = if neg { format!("-{value}") } else { value };
+                            parts.push(IntervalPart { value, unit });
+                            // Another magnitude token continues the compound
+                            // literal (`INTERVAL 1 DAY 2 HOURS`); this grammar
+                            // has no infix arithmetic, so a trailing `-` can
+                            // only start a negative next term.
+                            let more = matches!(
+                                self.peek(),
+                                Some(Token::Str(_)) | Some(Token::Number(_)) | Some(Token::Symbol('-'))
+                            );
+                            if !more {
+                                break;
                             }
-                        };
-                        let unit_name = self.expect_ident()?.to_ascii_uppercase();
-                        let unit = match unit_name.trim_end_matches('S') {
-                            "YEAR" => IntervalUnit::Year,
-                            "MONTH" => IntervalUnit::Month,
-                            "DAY" => IntervalUnit::Day,
-                            "HOUR" => IntervalUnit::Hour,
-                            "MINUTE" => IntervalUnit::Minute,
-                            "SECOND" => IntervalUnit::Second,
-                            other => {
-                                return Err(ParseError::new(format!(
-                                    "unknown interval unit {other}"
-                                )))
-                            }
-                        };
-                        let value = if neg { format!("-{value}") } else { value };
-                        Ok(Expr::IntervalLit { value, unit })
+                        }
+                        Ok(Expr::IntervalLit { parts })
                     }
                     "CAST" => {
                         self.expect_symbol('(')?;
@@ -914,23 +1043,56 @@ mod tests {
         assert_eq!(
             rows[0][0],
             Expr::IntervalLit {
-                value: "3".into(),
-                unit: IntervalUnit::Month
+                parts: vec![IntervalPart::new("3", IntervalUnit::Month)]
             }
         );
         assert_eq!(
             rows[0][1],
             Expr::IntervalLit {
-                value: "7".into(),
-                unit: IntervalUnit::Day
+                parts: vec![IntervalPart::new("7", IntervalUnit::Day)]
             }
         );
         assert_eq!(
             rows[0][2],
             Expr::IntervalLit {
-                value: "-2".into(),
-                unit: IntervalUnit::Hour
+                parts: vec![IntervalPart::new("-2", IntervalUnit::Hour)]
             }
+        );
+    }
+
+    #[test]
+    fn parses_compound_intervals() {
+        let stmt = parse(
+            "INSERT INTO t VALUES (INTERVAL 1 DAY 2 HOURS, INTERVAL 3 MONTH '4.5' SECONDS)",
+        )
+        .unwrap();
+        let Statement::Insert { rows, .. } = stmt else {
+            panic!()
+        };
+        assert_eq!(
+            rows[0][0],
+            Expr::IntervalLit {
+                parts: vec![
+                    IntervalPart::new("1", IntervalUnit::Day),
+                    IntervalPart::new("2", IntervalUnit::Hour),
+                ]
+            }
+        );
+        assert_eq!(
+            rows[0][1],
+            Expr::IntervalLit {
+                parts: vec![
+                    IntervalPart::new("3", IntervalUnit::Month),
+                    IntervalPart::new("4.5", IntervalUnit::Second),
+                ]
+            }
+        );
+        assert_eq!(
+            eval_interval_parts(&[
+                IntervalPart::new("3", IntervalUnit::Month),
+                IntervalPart::new("4.5", IntervalUnit::Second),
+            ]),
+            Ok((3, 4_500_000))
         );
     }
 

@@ -37,6 +37,10 @@ pub struct CrossTestConfig {
     /// Spark configuration overrides applied to every deployment
     /// ("testing under the deployment configuration").
     pub spark_overrides: Vec<(String, String)>,
+    /// Drop each table right after its observation is recorded, keeping the
+    /// metastore and filesystem footprint bounded by one table per worker
+    /// instead of one per (plan, format, input) combination.
+    pub recycle_tables: bool,
 }
 
 impl Default for CrossTestConfig {
@@ -45,6 +49,7 @@ impl Default for CrossTestConfig {
             experiments: Experiment::ALL.to_vec(),
             formats: StorageFormat::ALL.to_vec(),
             spark_overrides: Vec::new(),
+            recycle_tables: false,
         }
     }
 }
@@ -81,14 +86,18 @@ pub struct CrossTestOutcome {
     pub observations: Vec<(Experiment, Observation)>,
 }
 
-struct Deployment {
-    sink: DiagSink,
-    spark: SparkSession,
-    hive: HiveQl,
+/// One full Metastore/MiniHdfs/SparkSession/HiveQl stack plus its
+/// diagnostics sink. The serial executor creates one per experiment; the
+/// parallel executor in [`crate::shard`] gives each worker its own pool of
+/// these so workers never contend on engine state.
+pub(crate) struct Deployment {
+    pub(crate) sink: DiagSink,
+    pub(crate) spark: SparkSession,
+    pub(crate) hive: HiveQl,
 }
 
 impl Deployment {
-    fn new(overrides: &[(String, String)]) -> Deployment {
+    pub(crate) fn new(overrides: &[(String, String)]) -> Deployment {
         let sink = DiagSink::new();
         let metastore = Arc::new(Mutex::new(Metastore::new()));
         let fs = Arc::new(Mutex::new(MiniHdfs::with_datanodes(3)));
@@ -99,6 +108,13 @@ impl Deployment {
         }
         let hive = HiveQl::new(metastore, fs, sink.handle("minihive"));
         Deployment { sink, spark, hive }
+    }
+
+    /// Drops `table` (best effort) and discards the diagnostics the drop
+    /// produced, so recycling never leaks into the next observation.
+    pub(crate) fn recycle(&self, table: &str) {
+        let _ = self.spark.sql(&format!("DROP TABLE IF EXISTS {table}"));
+        self.sink.drain();
     }
 }
 
@@ -127,11 +143,44 @@ pub fn render_literal(value: &Value) -> String {
         Value::Date(d) => format!("DATE {}", quote_string(&format_date(*d))),
         Value::Timestamp(us) => format!("TIMESTAMP {}", quote_string(&format_timestamp(*us))),
         Value::Interval { months, micros } => {
-            if *micros == 0 {
-                format!("INTERVAL {months} MONTH")
-            } else {
-                format!("INTERVAL {} SECOND", micros / 1_000_000)
+            // Render at full precision: months plus a day-time decomposition
+            // whose components all carry the day-time sign, with sub-second
+            // micros as a fractional SECOND magnitude (quoted, since the
+            // grammar takes string magnitudes). `i128` keeps `i64::MIN` safe.
+            let mut terms = Vec::new();
+            if *months != 0 {
+                terms.push(format!("{months} MONTH"));
             }
+            let mut rest = i128::from(*micros);
+            for (per, unit) in [
+                (86_400_000_000i128, "DAY"),
+                (3_600_000_000, "HOUR"),
+                (60_000_000, "MINUTE"),
+            ] {
+                let n = rest / per;
+                rest %= per;
+                if n != 0 {
+                    terms.push(format!("{n} {unit}"));
+                }
+            }
+            if rest % 1_000_000 == 0 {
+                if rest != 0 {
+                    terms.push(format!("{} SECOND", rest / 1_000_000));
+                }
+            } else {
+                let sign = if rest < 0 { "-" } else { "" };
+                let abs = rest.unsigned_abs();
+                let frac = format!("{:06}", abs % 1_000_000);
+                terms.push(format!(
+                    "'{sign}{}.{}' SECOND",
+                    abs / 1_000_000,
+                    frac.trim_end_matches('0')
+                ));
+            }
+            if terms.is_empty() {
+                terms.push("0 SECOND".to_string());
+            }
+            format!("INTERVAL {}", terms.join(" "))
         }
         Value::Array(items) => {
             let inner: Vec<String> = items.iter().map(render_literal).collect();
@@ -234,12 +283,13 @@ fn read_via(
     Ok(rows.into_iter().map(|mut r| r.remove(0)).collect())
 }
 
-fn run_one(
+pub(crate) fn run_one(
     d: &Deployment,
     experiment: Experiment,
     plan: TestPlan,
     format: StorageFormat,
     input: &TestInput,
+    recycle: bool,
 ) -> Observation {
     let table = format!(
         "t_{}_{}_{}_{}",
@@ -265,12 +315,27 @@ fn run_one(
     } else {
         None
     };
-    Observation {
+    let obs = Observation {
         input_id: input.id,
         plan: format!("{}:{}", experiment.short(), plan),
         format: format.name().to_string(),
         write,
         read,
+    };
+    if recycle {
+        d.recycle(&table);
+    }
+    obs
+}
+
+/// Runs the per-observation oracle for `input`: write–read for valid
+/// inputs, error-handling for invalid ones. Shared between the serial
+/// executor and the parallel merger so both evaluate observations
+/// identically.
+pub(crate) fn check_observation(input: &TestInput, obs: &Observation) -> Option<OracleFailure> {
+    match input.validity {
+        Validity::Valid => check_write_read(input.expected(), obs),
+        Validity::Invalid => check_error_handling(&input.value, obs),
     }
 }
 
@@ -304,18 +369,16 @@ pub fn run_cross_test(inputs: &[TestInput], config: &CrossTestConfig) -> CrossTe
         for plan in experiment.plans() {
             for &format in &config.formats {
                 for input in inputs {
-                    let obs = run_one(&deployment, experiment, plan, format, input);
-                    match input.validity {
-                        Validity::Valid => {
-                            if let Some(f) = check_write_read(input.expected(), &obs) {
-                                failures.push(f);
-                            }
-                        }
-                        Validity::Invalid => {
-                            if let Some(f) = check_error_handling(&input.value, &obs) {
-                                failures.push(f);
-                            }
-                        }
+                    let obs = run_one(
+                        &deployment,
+                        experiment,
+                        plan,
+                        format,
+                        input,
+                        config.recycle_tables,
+                    );
+                    if let Some(f) = check_observation(input, &obs) {
+                        failures.push(f);
                     }
                     exp_observations.push(obs);
                 }
@@ -369,6 +432,41 @@ mod tests {
             assert!(
                 csi_core::sql::parse(&stmt).is_ok(),
                 "literal {lit} does not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn render_literal_preserves_full_interval_precision() {
+        use csi_core::sql::{eval_interval_parts, Expr, Statement};
+        let cases = [
+            (0, 0),
+            (3, 0),
+            (0, 604_800_000_000),        // 7 days
+            (0, 1_500_000),              // 1.5 s: sub-second fraction
+            (0, -500_000),               // -0.5 s: negative pure fraction
+            (2, 90_061_000_001),         // mixed: months AND day-time
+            (-3, -3_600_000_000),        // negative mixed
+            (1, -1),                     // months with -1 µs
+            (0, i64::MIN + 1),
+            (0, i64::MAX),
+        ];
+        for (months, micros) in cases {
+            let v = Value::Interval { months, micros };
+            let lit = render_literal(&v);
+            let stmt = format!("INSERT INTO t VALUES ({lit})");
+            let parsed = csi_core::sql::parse(&stmt)
+                .unwrap_or_else(|e| panic!("literal {lit} does not parse: {e:?}"));
+            let Statement::Insert { rows, .. } = parsed else {
+                panic!("not an insert: {lit}");
+            };
+            let Expr::IntervalLit { parts } = &rows[0][0] else {
+                panic!("not an interval literal: {lit}");
+            };
+            assert_eq!(
+                eval_interval_parts(parts),
+                Ok((months, micros)),
+                "literal {lit} lost precision"
             );
         }
     }

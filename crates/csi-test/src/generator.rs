@@ -92,7 +92,18 @@ fn ts(s: &str) -> Value {
 }
 
 /// Generates the full input catalogue: 422 inputs, 210 valid, 212 invalid.
+///
+/// The catalogue is deterministic, so it is built once per process and
+/// cached; every call clones the cached vector. Benchmarks and the
+/// parallel executor's worker threads can therefore call this freely
+/// without re-running the generators.
 pub fn generate_inputs() -> Vec<TestInput> {
+    static CATALOGUE: std::sync::OnceLock<Vec<TestInput>> = std::sync::OnceLock::new();
+    CATALOGUE.get_or_init(build_catalogue).clone()
+}
+
+/// Builds the catalogue from scratch; [`generate_inputs`] caches this.
+fn build_catalogue() -> Vec<TestInput> {
     let mut g = Gen { inputs: Vec::new() };
     integers(&mut g);
     floats(&mut g);

@@ -11,10 +11,14 @@ pub mod contracts;
 pub mod exec;
 pub mod generator;
 pub mod plan;
+pub mod shard;
 pub mod tolerate;
 
 pub use classify::active_ids;
 pub use exec::{run_cross_test, CrossTestConfig, CrossTestOutcome};
 pub use generator::{generate_inputs, TestInput, Validity};
 pub use plan::{Experiment, Interface, TestPlan};
+pub use shard::{
+    run_cross_test_parallel, CampaignMetrics, ParallelConfig, ParallelOutcome, WorkerStats,
+};
 pub use tolerate::{redundant_read, ReadPath, RedundantRead};

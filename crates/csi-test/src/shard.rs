@@ -1,0 +1,412 @@
+//! Parallel sharded campaign executor.
+//!
+//! The serial executor in [`crate::exec`] walks the (experiment, plan,
+//! format, input) space one observation at a time; a full-catalogue
+//! campaign is embarrassingly parallel but single-threaded. This module
+//! shards that space into (experiment, plan, format, input-chunk) work
+//! units and drains them with a worker pool:
+//!
+//! - **Deployment pooling** — each worker owns its *own*
+//!   Metastore/MiniHdfs/SparkSession/HiveQl stack (one per experiment,
+//!   created lazily, mirroring the serial executor's
+//!   fresh-deployment-per-experiment discipline), so workers never contend
+//!   on engine locks.
+//! - **Deterministic merge** — workers only *record* observations, tagged
+//!   with their shard index. The merger restores canonical (experiment,
+//!   plan, format, input-id) order and only then runs the write–read,
+//!   error-handling, and differential oracles, so failures are produced in
+//!   exactly the serial order and the resulting [`DiscrepancyReport`] is
+//!   byte-identical to [`crate::run_cross_test`]'s.
+//! - **Campaign metrics** — observations/sec, per-phase wall time, and
+//!   per-worker utilization are surfaced in [`CampaignMetrics`] for the
+//!   `campaign` bench binary.
+//!
+//! [`DiscrepancyReport`]: csi_core::report::DiscrepancyReport
+
+use crate::classify;
+use crate::exec::{check_observation, run_one, CrossTestConfig, CrossTestOutcome, Deployment};
+use crate::generator::TestInput;
+use crate::plan::{Experiment, TestPlan};
+use csi_core::oracle::{check_differential, Observation, OracleFailure};
+use minihive::metastore::StorageFormat;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Configuration of the parallel campaign executor.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Worker-pool size; `0` uses [`std::thread::available_parallelism`].
+    pub workers: usize,
+    /// Maximum number of inputs per shard. Smaller chunks balance better
+    /// across workers; larger chunks amortize queue traffic.
+    pub chunk_size: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig {
+            workers: 0,
+            chunk_size: 64,
+        }
+    }
+}
+
+/// Execution statistics for one worker of the pool.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkerStats {
+    /// Worker index within the pool.
+    pub worker: usize,
+    /// Shards this worker executed.
+    pub shards: usize,
+    /// Observations this worker recorded.
+    pub observations: usize,
+    /// Time spent executing shards, in microseconds.
+    pub busy_micros: u64,
+    /// `busy` as a fraction of the worker's lifetime (0.0–1.0).
+    pub utilization: f64,
+}
+
+/// Wall-time and throughput metrics for one parallel campaign.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignMetrics {
+    /// Workers in the pool.
+    pub workers: usize,
+    /// Work units the campaign was sharded into.
+    pub shards: usize,
+    /// Total observations recorded.
+    pub observations: usize,
+    /// Wall time of the parallel execute phase, in microseconds.
+    pub execute_micros: u64,
+    /// Wall time of the merge phase (oracles + classification) — the
+    /// campaign's oracle overhead, in microseconds.
+    pub oracle_micros: u64,
+    /// End-to-end wall time, in microseconds.
+    pub total_micros: u64,
+    /// Observations recorded per second of execute-phase wall time.
+    pub observations_per_sec: f64,
+    /// Per-worker breakdown.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+/// The result of [`run_cross_test_parallel`]: the same outcome the serial
+/// executor produces, plus campaign metrics.
+#[derive(Debug, Clone)]
+pub struct ParallelOutcome {
+    /// Report and observations, identical to the serial run's.
+    pub outcome: CrossTestOutcome,
+    /// Throughput and utilization metrics.
+    pub metrics: CampaignMetrics,
+}
+
+/// One work unit: a contiguous slice of the input catalogue under a fixed
+/// (experiment, plan, format). Shards are generated in canonical executor
+/// order, so a shard's position in the vector *is* its merge position.
+struct Shard {
+    experiment_idx: usize,
+    experiment: Experiment,
+    plan: TestPlan,
+    format: StorageFormat,
+    lo: usize,
+    hi: usize,
+}
+
+/// Enumerates shards in the serial executor's canonical nesting order:
+/// experiment, then plan, then format, then input chunks.
+fn build_shards(inputs_len: usize, config: &CrossTestConfig, chunk_size: usize) -> Vec<Shard> {
+    let mut shards = Vec::new();
+    for (experiment_idx, &experiment) in config.experiments.iter().enumerate() {
+        for plan in experiment.plans() {
+            for &format in &config.formats {
+                let mut lo = 0;
+                while lo < inputs_len {
+                    let hi = (lo + chunk_size).min(inputs_len);
+                    shards.push(Shard {
+                        experiment_idx,
+                        experiment,
+                        plan,
+                        format,
+                        lo,
+                        hi,
+                    });
+                    lo = hi;
+                }
+            }
+        }
+    }
+    shards
+}
+
+/// Runs the full cross-test on a worker pool and merges the shard results
+/// back into canonical order.
+///
+/// The returned [`CrossTestOutcome`] — observations, failure ordering, and
+/// the classified [`DiscrepancyReport`] — is identical to what
+/// [`crate::run_cross_test`] produces for the same `inputs` and `config`;
+/// only the wall time differs. See the module docs for how the merge
+/// guarantees this.
+///
+/// [`DiscrepancyReport`]: csi_core::report::DiscrepancyReport
+///
+/// # Examples
+///
+/// ```
+/// use csi_test::{run_cross_test_parallel, CrossTestConfig, ParallelConfig};
+/// use csi_test::generator::{TestInput, Validity};
+/// use csi_core::value::{DataType, Value};
+///
+/// let inputs = vec![TestInput {
+///     id: 0,
+///     column_type: DataType::Byte,
+///     value: Value::Byte(5),
+///     validity: Validity::Valid,
+///     label: "a tinyint".into(),
+///     expected_back: None,
+/// }];
+/// let out = run_cross_test_parallel(
+///     &inputs,
+///     &CrossTestConfig::default(),
+///     &ParallelConfig { workers: 2, chunk_size: 1 },
+/// );
+/// assert!(out.outcome.report.distinct() >= 2);
+/// assert_eq!(out.metrics.observations, out.outcome.observations.len());
+/// ```
+pub fn run_cross_test_parallel(
+    inputs: &[TestInput],
+    config: &CrossTestConfig,
+    parallel: &ParallelConfig,
+) -> ParallelOutcome {
+    let campaign_started = Instant::now();
+    let chunk_size = parallel.chunk_size.max(1);
+    let shards = build_shards(inputs.len(), config, chunk_size);
+    let workers = if parallel.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        parallel.workers
+    }
+    .clamp(1, shards.len().max(1));
+
+    // Shared work queue (a bump counter over the shard list) and one result
+    // slot per shard, so workers never serialize on a single collection
+    // lock while another worker is storing a large batch.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Vec<Observation>>>> =
+        shards.iter().map(|_| Mutex::new(None)).collect();
+    let stats: Mutex<Vec<WorkerStats>> = Mutex::new(Vec::with_capacity(workers));
+
+    {
+        let shards = &shards;
+        let slots = &slots;
+        let next = &next;
+        let stats = &stats;
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                scope.spawn(move || {
+                    let worker_started = Instant::now();
+                    let mut busy_micros = 0u64;
+                    let mut my_shards = 0usize;
+                    let mut my_observations = 0usize;
+                    // Deployment pool: one lazily-created stack per
+                    // experiment, so observations come from a deployment
+                    // that only ever served that experiment (as in the
+                    // serial executor).
+                    let mut pool: Vec<Option<Deployment>> =
+                        config.experiments.iter().map(|_| None).collect();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= shards.len() {
+                            break;
+                        }
+                        let shard = &shards[i];
+                        let shard_started = Instant::now();
+                        let deployment = pool[shard.experiment_idx]
+                            .get_or_insert_with(|| Deployment::new(&config.spark_overrides));
+                        let mut batch = Vec::with_capacity(shard.hi - shard.lo);
+                        for input in &inputs[shard.lo..shard.hi] {
+                            batch.push(run_one(
+                                deployment,
+                                shard.experiment,
+                                shard.plan,
+                                shard.format,
+                                input,
+                                config.recycle_tables,
+                            ));
+                        }
+                        my_shards += 1;
+                        my_observations += batch.len();
+                        *slots[i].lock() = Some(batch);
+                        busy_micros += shard_started.elapsed().as_micros() as u64;
+                    }
+                    let lifetime_micros = worker_started.elapsed().as_micros().max(1) as u64;
+                    stats.lock().push(WorkerStats {
+                        worker,
+                        shards: my_shards,
+                        observations: my_observations,
+                        busy_micros,
+                        utilization: busy_micros as f64 / lifetime_micros as f64,
+                    });
+                });
+            }
+        });
+    }
+
+    let execute_micros = campaign_started.elapsed().as_micros() as u64;
+    let merge_started = Instant::now();
+
+    // Deterministic merge: slot order is canonical shard order, so walking
+    // the slots replays the serial executor's observation sequence; the
+    // oracles then fire in exactly the serial order.
+    let mut batches: Vec<Vec<Observation>> = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every shard was executed"))
+        .collect();
+    let mut observations: Vec<(Experiment, Observation)> = Vec::new();
+    let mut failures: Vec<OracleFailure> = Vec::new();
+    let mut cursor = 0;
+    for (experiment_idx, &experiment) in config.experiments.iter().enumerate() {
+        let mut exp_observations: Vec<Observation> = Vec::new();
+        while cursor < shards.len() && shards[cursor].experiment_idx == experiment_idx {
+            let shard = &shards[cursor];
+            let batch = std::mem::take(&mut batches[cursor]);
+            for (input, obs) in inputs[shard.lo..shard.hi].iter().zip(&batch) {
+                if let Some(f) = check_observation(input, obs) {
+                    failures.push(f);
+                }
+            }
+            exp_observations.extend(batch);
+            cursor += 1;
+        }
+        failures.extend(check_differential(&exp_observations));
+        observations.extend(exp_observations.into_iter().map(|o| (experiment, o)));
+    }
+    let report = classify::classify(inputs, &observations, failures);
+
+    let oracle_micros = merge_started.elapsed().as_micros() as u64;
+    let total_micros = campaign_started.elapsed().as_micros() as u64;
+    let mut per_worker = stats.into_inner();
+    per_worker.sort_by_key(|w| w.worker);
+    let metrics = CampaignMetrics {
+        workers,
+        shards: shards.len(),
+        observations: observations.len(),
+        execute_micros,
+        oracle_micros,
+        total_micros,
+        observations_per_sec: observations.len() as f64
+            / (execute_micros.max(1) as f64 / 1_000_000.0),
+        per_worker,
+    };
+    ParallelOutcome {
+        outcome: CrossTestOutcome {
+            report,
+            observations,
+        },
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_cross_test;
+    use crate::generator::Validity;
+    use csi_core::value::{DataType, Value};
+
+    fn small_inputs() -> Vec<TestInput> {
+        [
+            (DataType::Byte, Value::Byte(5), Validity::Valid),
+            (DataType::Int, Value::Int(7), Validity::Valid),
+            (DataType::Byte, Value::Int(4096), Validity::Invalid),
+            (DataType::String, Value::Str("x".into()), Validity::Valid),
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(id, (column_type, value, validity))| TestInput {
+            id,
+            column_type,
+            value,
+            validity,
+            label: format!("input {id}"),
+            expected_back: None,
+        })
+        .collect()
+    }
+
+    #[test]
+    fn shards_cover_the_space_in_canonical_order() {
+        let config = CrossTestConfig::default();
+        let shards = build_shards(10, &config, 3);
+        // 8 plans x 3 formats x ceil(10 / 3) chunks.
+        assert_eq!(shards.len(), 8 * 3 * 4);
+        let mut prev = (0, 0);
+        let mut covered = 0;
+        for s in &shards {
+            assert!((s.experiment_idx, s.lo) >= (prev.0, 0));
+            prev = (s.experiment_idx, s.lo);
+            assert!(s.lo < s.hi && s.hi <= 10);
+            covered += s.hi - s.lo;
+        }
+        assert_eq!(covered, 8 * 3 * 10);
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_small_catalogue() {
+        let inputs = small_inputs();
+        let config = CrossTestConfig::default();
+        let serial = run_cross_test(&inputs, &config);
+        for workers in [1, 3] {
+            let out = run_cross_test_parallel(
+                &inputs,
+                &config,
+                &ParallelConfig {
+                    workers,
+                    chunk_size: 2,
+                },
+            );
+            assert_eq!(out.outcome.observations, serial.observations);
+            assert_eq!(out.outcome.report, serial.report);
+            assert_eq!(out.metrics.workers, workers);
+            assert_eq!(out.metrics.observations, serial.observations.len());
+            let by_worker: usize = out.metrics.per_worker.iter().map(|w| w.observations).sum();
+            assert_eq!(by_worker, serial.observations.len());
+        }
+    }
+
+    #[test]
+    fn recycling_does_not_change_the_report() {
+        let inputs = small_inputs();
+        let plain = run_cross_test(&inputs, &CrossTestConfig::default());
+        let recycled = run_cross_test_parallel(
+            &inputs,
+            &CrossTestConfig {
+                recycle_tables: true,
+                ..CrossTestConfig::default()
+            },
+            &ParallelConfig {
+                workers: 2,
+                chunk_size: 1,
+            },
+        );
+        assert_eq!(recycled.outcome.report, plain.report);
+        assert_eq!(recycled.outcome.observations, plain.observations);
+    }
+
+    #[test]
+    fn metrics_are_serializable_to_json() {
+        let inputs = small_inputs();
+        let out = run_cross_test_parallel(
+            &inputs,
+            &CrossTestConfig::default(),
+            &ParallelConfig {
+                workers: 2,
+                chunk_size: 2,
+            },
+        );
+        let json = serde_json::to_string(&out.metrics).expect("metrics serialize");
+        assert!(json.contains("\"observations_per_sec\""));
+        assert!(json.contains("\"per_worker\""));
+    }
+}

@@ -1,0 +1,91 @@
+//! Serial/parallel determinism: the parallel campaign executor must
+//! produce a byte-identical `DiscrepancyReport` — same observations, same
+//! failure ordering, same classification — as the serial executor on the
+//! full 422-input catalogue.
+//!
+//! Comparisons go through the serialized form: `Value` floats follow IEEE
+//! `NaN != NaN` semantics under `PartialEq`, so direct struct equality
+//! would reject even two identical serial runs of the NaN inputs. The JSON
+//! rendering is canonical (NaN serializes as the string `"NaN"`), making
+//! "byte-identical" literal.
+
+use csi_test::{
+    generate_inputs, run_cross_test, run_cross_test_parallel, CrossTestConfig, ParallelConfig,
+};
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("serializable")
+}
+
+#[test]
+fn full_catalogue_parallel_report_is_identical_to_serial() {
+    let inputs = generate_inputs();
+    let config = CrossTestConfig::default();
+    let serial = run_cross_test(&inputs, &config);
+    let parallel = run_cross_test_parallel(
+        &inputs,
+        &config,
+        &ParallelConfig {
+            workers: 4,
+            chunk_size: 32,
+        },
+    );
+
+    assert_eq!(
+        serial.observations.len(),
+        parallel.outcome.observations.len(),
+        "observation counts diverge"
+    );
+    for (i, (s, p)) in serial
+        .observations
+        .iter()
+        .zip(&parallel.outcome.observations)
+        .enumerate()
+    {
+        assert_eq!(s.0, p.0, "experiment tag diverges at observation {i}");
+        assert_eq!(json(&s.1), json(&p.1), "observation {i} diverges");
+    }
+    assert_eq!(
+        json(&serial.report),
+        json(&parallel.outcome.report),
+        "discrepancy reports diverge"
+    );
+    assert_eq!(parallel.outcome.report.distinct(), 15);
+    assert_eq!(
+        parallel.metrics.observations,
+        parallel.outcome.observations.len()
+    );
+}
+
+#[test]
+fn full_catalogue_recycling_preserves_the_report() {
+    let inputs = generate_inputs();
+    let baseline = run_cross_test(&inputs, &CrossTestConfig::default());
+    let recycled_config = CrossTestConfig {
+        recycle_tables: true,
+        ..CrossTestConfig::default()
+    };
+    let serial_recycled = run_cross_test(&inputs, &recycled_config);
+    assert_eq!(json(&serial_recycled.report), json(&baseline.report));
+    let parallel_recycled = run_cross_test_parallel(
+        &inputs,
+        &recycled_config,
+        &ParallelConfig {
+            workers: 3,
+            chunk_size: 50,
+        },
+    );
+    assert_eq!(json(&parallel_recycled.outcome.report), json(&baseline.report));
+    assert_eq!(
+        parallel_recycled.outcome.observations.len(),
+        baseline.observations.len()
+    );
+    for ((se, so), (pe, po)) in baseline
+        .observations
+        .iter()
+        .zip(&parallel_recycled.outcome.observations)
+    {
+        assert_eq!(se, pe);
+        assert_eq!(json(so), json(po));
+    }
+}

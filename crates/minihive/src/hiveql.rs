@@ -12,7 +12,7 @@ use crate::serde_layer;
 use crate::types::HiveType;
 use crate::value::{coerce, render};
 use csi_core::diag::DiagHandle;
-use csi_core::sql::{self, Expr, IntervalUnit, NumSuffix, SelectCols, Statement};
+use csi_core::sql::{self, eval_interval_parts, Expr, NumSuffix, SelectCols, Statement};
 use csi_core::value::{parse_date, parse_timestamp, Decimal, Value};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -293,36 +293,10 @@ impl HiveQl {
                     Value::Null
                 }
             },
-            Expr::IntervalLit { value, unit } => {
-                let n: i64 = value
-                    .parse()
-                    .map_err(|_| HiveError::Parse(format!("interval magnitude {value:?}")))?;
-                match unit {
-                    IntervalUnit::Year => Value::Interval {
-                        months: (n * 12) as i32,
-                        micros: 0,
-                    },
-                    IntervalUnit::Month => Value::Interval {
-                        months: n as i32,
-                        micros: 0,
-                    },
-                    IntervalUnit::Day => Value::Interval {
-                        months: 0,
-                        micros: n * 86_400_000_000,
-                    },
-                    IntervalUnit::Hour => Value::Interval {
-                        months: 0,
-                        micros: n * 3_600_000_000,
-                    },
-                    IntervalUnit::Minute => Value::Interval {
-                        months: 0,
-                        micros: n * 60_000_000,
-                    },
-                    IntervalUnit::Second => Value::Interval {
-                        months: 0,
-                        micros: n * 1_000_000,
-                    },
-                }
+            Expr::IntervalLit { parts } => {
+                let (months, micros) =
+                    eval_interval_parts(parts).map_err(HiveError::Parse)?;
+                Value::Interval { months, micros }
             }
             Expr::Cast(inner, ty) => {
                 let v = self.eval(inner)?;

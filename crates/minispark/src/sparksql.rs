@@ -10,7 +10,7 @@ use crate::config::StoreAssignmentPolicy;
 use crate::error::SparkError;
 use crate::session::{DdlPath, SparkSession};
 use crate::types::{render, store_assign, CastOptions};
-use csi_core::sql::{self, Expr, IntervalUnit, NumSuffix, SelectCols, Statement};
+use csi_core::sql::{self, eval_interval_parts, Expr, NumSuffix, SelectCols, Statement};
 use csi_core::value::{parse_date, parse_timestamp, Decimal, StructField, Value};
 
 /// Result of a SparkSQL statement.
@@ -240,36 +240,10 @@ impl<'a> SparkSql<'a> {
                     ))
                 }
             },
-            Expr::IntervalLit { value, unit } => {
-                let n: i64 = value
-                    .parse()
-                    .map_err(|_| SparkError::Parse(format!("interval magnitude {value:?}")))?;
-                match unit {
-                    IntervalUnit::Year => Value::Interval {
-                        months: (n * 12) as i32,
-                        micros: 0,
-                    },
-                    IntervalUnit::Month => Value::Interval {
-                        months: n as i32,
-                        micros: 0,
-                    },
-                    IntervalUnit::Day => Value::Interval {
-                        months: 0,
-                        micros: n * 86_400_000_000,
-                    },
-                    IntervalUnit::Hour => Value::Interval {
-                        months: 0,
-                        micros: n * 3_600_000_000,
-                    },
-                    IntervalUnit::Minute => Value::Interval {
-                        months: 0,
-                        micros: n * 60_000_000,
-                    },
-                    IntervalUnit::Second => Value::Interval {
-                        months: 0,
-                        micros: n * 1_000_000,
-                    },
-                }
+            Expr::IntervalLit { parts } => {
+                let (months, micros) =
+                    eval_interval_parts(parts).map_err(SparkError::Parse)?;
+                Value::Interval { months, micros }
             }
             Expr::Cast(inner, ty) => {
                 let v = self.eval(inner)?;

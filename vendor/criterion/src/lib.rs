@@ -1,0 +1,232 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the subset of the criterion API this workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! simple wall-clock loop (warmup + timed iterations until the measurement
+//! window closes) reporting mean time per iteration on stdout — enough to
+//! compare executors on the same machine, without the statistical machinery
+//! of the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, like the real crate provides.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; the stand-in times the routine
+/// in isolation regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// Benchmark driver: holds the measurement settings benches run under.
+pub struct Criterion {
+    measurement_time: Duration,
+    min_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(500),
+            min_iters: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the wall-clock budget for each benchmark's measurement loop.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the minimum number of timed iterations (the real crate's
+    /// statistical sample count; here a floor on loop iterations).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.min_iters = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one benchmark closure under this driver's settings.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            min_iters: self.min_iters,
+            sample: None,
+        };
+        f(&mut b);
+        report(&id.into(), b.sample);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            min_iters: self.min_iters,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    min_iters: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the group's measurement window.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Overrides the group's minimum iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.min_iters = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            min_iters: self.min_iters,
+            sample: None,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into()), b.sample);
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+struct Sample {
+    total: Duration,
+    iters: u64,
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    measurement_time: Duration,
+    min_iters: u64,
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement window closes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warmup
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if iters >= self.min_iters && start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.sample = Some(Sample {
+            total: start.elapsed(),
+            iters,
+        });
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup cost.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warmup
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let window = Instant::now();
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+            if iters >= self.min_iters && window.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.sample = Some(Sample { total, iters });
+    }
+}
+
+fn report(id: &str, sample: Option<Sample>) {
+    match sample {
+        Some(s) if s.iters > 0 => {
+            let per_iter = s.total / u32::try_from(s.iters).unwrap_or(u32::MAX).max(1);
+            println!("{id:<48} time: {per_iter:>12.2?}/iter  ({} iters)", s.iters);
+        }
+        _ => println!("{id:<48} time: <no measurement>"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring the real macro's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_a_sample() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(1));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .measurement_time(Duration::from_millis(1))
+            .bench_function("batched", |b| {
+                b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+            });
+        g.finish();
+    }
+}

@@ -1,0 +1,685 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a miniature property-testing harness with the same API shape:
+//! [`Strategy`](strategy::Strategy) values generate inputs from a
+//! deterministic RNG, and the [`proptest!`] macro expands each property into
+//! an ordinary `#[test]` that loops over generated cases. There is no
+//! shrinking and no persistence — failures report the generated values via
+//! the assertion message, which is enough for a deterministic, offline test
+//! suite.
+//!
+//! Deliberate deviations from real proptest, chosen for determinism:
+//! the RNG is fixed-seed (every run sees the same cases), and
+//! `any::<f32/f64>()` generates decimal-friendly finite values rather than
+//! arbitrary bit patterns.
+
+pub mod test_runner {
+    //! Test configuration and the deterministic RNG cases are drawn from.
+
+    /// Per-block configuration; only `cases` is meaningful here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A fixed-seed xorshift64* generator: every test run sees the same
+    /// sequence, so failures are always reproducible.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The RNG every property test starts from.
+        pub fn deterministic() -> TestRng {
+            TestRng {
+                state: 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform value in `0..n` (`0` when `n == 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the strategy's concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe core of [`Strategy`], used by [`BoxedStrategy`].
+    trait DynStrategy {
+        type Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// `strategy.prop_map(f)`.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Chooses among boxed alternatives, optionally weighted; the expansion
+    /// target of [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Equal-probability alternatives.
+        pub fn uniform(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            Union::weighted(arms.into_iter().map(|a| (1, a)).collect())
+        }
+
+        /// Weighted alternatives.
+        pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total_weight > 0, "prop_oneof! needs at least one arm");
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total_weight);
+            for (w, arm) in &self.arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return arm.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights sum to total_weight")
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    let off = (rng.next_u64() as i128).rem_euclid(span);
+                    (self.start as i128 + off) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128) - (start as i128) + 1;
+                    let off = (rng.next_u64() as i128).rem_euclid(span);
+                    (start as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+    }
+
+    /// String literals act as generation patterns (a small regex subset:
+    /// literal chars, `[...]` classes with ranges, `\PC` for printable
+    /// chars, and `{n}` / `{m,n}` repetition).
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    //! Pattern-string generation for `&str` strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// Printable pool backing `\PC`: ASCII printables plus a few multibyte
+    /// characters so UTF-8 handling gets exercised.
+    fn printable_pool() -> Vec<char> {
+        let mut pool: Vec<char> = (0x20u8..0x7F).map(|b| b as char).collect();
+        pool.extend(['é', 'ß', 'λ', '中', '½', '😀']);
+        pool
+    }
+
+    enum Atom {
+        Choice(Vec<char>),
+        Literal(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut options = Vec::new();
+                    loop {
+                        match chars.next() {
+                            Some(']') => break,
+                            Some('\\') => {
+                                // Only `\PC` appears in this workspace.
+                                let p = chars.next();
+                                let c2 = chars.next();
+                                assert_eq!(
+                                    (p, c2),
+                                    (Some('P'), Some('C')),
+                                    "unsupported escape in class of {pattern:?}"
+                                );
+                                options.extend(printable_pool());
+                            }
+                            Some(lo) => {
+                                if chars.peek() == Some(&'-') {
+                                    let mut look = chars.clone();
+                                    look.next(); // the '-'
+                                    match look.peek() {
+                                        Some(&hi) if hi != ']' => {
+                                            chars.next();
+                                            chars.next();
+                                            options.extend((lo..=hi).filter(|c| c.is_ascii()));
+                                            continue;
+                                        }
+                                        _ => {}
+                                    }
+                                }
+                                options.push(lo);
+                            }
+                            None => panic!("unterminated class in {pattern:?}"),
+                        }
+                    }
+                    Atom::Choice(options)
+                }
+                '\\' => {
+                    let p = chars.next();
+                    let c2 = chars.next();
+                    assert_eq!(
+                        (p, c2),
+                        (Some('P'), Some('C')),
+                        "unsupported escape in {pattern:?}"
+                    );
+                    Atom::Choice(printable_pool())
+                }
+                lit => Atom::Literal(lit),
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut min_txt = String::new();
+                let mut max_txt = String::new();
+                let mut in_max = false;
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(',') => in_max = true,
+                        Some(d) if d.is_ascii_digit() => {
+                            if in_max {
+                                max_txt.push(d);
+                            } else {
+                                min_txt.push(d);
+                            }
+                        }
+                        other => panic!("bad repetition {other:?} in {pattern:?}"),
+                    }
+                }
+                let min: usize = min_txt.parse().expect("repetition min");
+                let max: usize = if in_max {
+                    max_txt.parse().expect("repetition max")
+                } else {
+                    min
+                };
+                (min, max)
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count =
+                piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Choice(options) => {
+                        out.push(options[rng.below(options.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the [`Arbitrary`] trait backing it.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical generation strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    // Floats are decimal-friendly finite values (exactly representable in
+    // few decimal digits) so they survive every text round-trip the tests
+    // push them through; a few fixed anchors keep edge cases in the mix.
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            match rng.below(16) {
+                0 => 0.0,
+                1 => 1.0,
+                2 => -1.0,
+                3 => 1e15,
+                _ => {
+                    let mantissa = rng.below(2_000_000_001) as i64 - 1_000_000_000;
+                    let scale = 10f64.powi(rng.below(7) as i32);
+                    mantissa as f64 / scale
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            match rng.below(16) {
+                0 => 0.0,
+                1 => 1.0,
+                2 => -1.0,
+                3 => 1e7,
+                _ => {
+                    let mantissa = rng.below(2_000_001) as i32 - 1_000_000;
+                    let scale = 10f32.powi(rng.below(4) as i32);
+                    mantissa as f32 / scale
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(rng.below(0xD800) as u32).unwrap_or('a')
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`, `btree_map`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// A `Vec` whose length is drawn from `size` (half-open, like the real
+    /// crate's range syntax) and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `BTreeMap` with up to `size.end - 1` entries (duplicate keys
+    /// merge, as with the real crate).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    /// Strategy returned by [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let entries = self.size.start + rng.below(span as u64) as usize;
+            let mut out = BTreeMap::new();
+            for _ in 0..entries {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod sample {
+    //! Choosing from a fixed set of options.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniformly picks one of `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob import real proptest users write: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::{any, Any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Property assertion; identical to `assert!` in this stand-in.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion; identical to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property inequality assertion; identical to `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Chooses among alternative strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($arm))),+
+        ])
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::uniform(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Expands property functions into plain `#[test]`s that loop over
+/// deterministically generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic();
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (bool, String)> {
+        prop_oneof![
+            any::<bool>().prop_map(|b| (b, "fixed".to_string())),
+            "[a-z]{1,4}".prop_map(|s| (true, s)),
+        ]
+    }
+
+    #[test]
+    fn patterns_respect_classes_and_counts() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..200 {
+            let s = crate::string::generate_from_pattern("[a-z][a-z0-9]{0,8}", &mut rng);
+            assert!((1..=9).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..200 {
+            let v = Strategy::generate(&(-5i32..7), &mut rng);
+            assert!((-5..7).contains(&v));
+            let u = Strategy::generate(&(0u8..38), &mut rng);
+            assert!(u < 38);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::deterministic();
+        let mut b = TestRng::deterministic();
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_vecs_respect_size(v in crate::collection::vec(any::<u8>(), 1..12)) {
+            prop_assert!((1..=11).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_arms_all_fire(
+            (flag, s) in pair(),
+            pick in crate::sample::select(vec![0usize, 5, 10]),
+        ) {
+            prop_assert!(s == "fixed" || flag);
+            prop_assert!([0, 5, 10].contains(&pick));
+        }
+    }
+}

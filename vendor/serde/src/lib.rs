@@ -1,0 +1,402 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal data model instead: every serializable value lowers to a
+//! [`Content`] tree (null / bool / int / float / string / seq / map), and the
+//! [`Serialize`] / [`Deserialize`] traits convert to and from that tree.
+//! `serde_json` (also vendored) renders `Content` as JSON text.
+//!
+//! The derive macros re-exported here generate the same externally-tagged
+//! representation real serde uses for the shapes present in this workspace:
+//! named structs become maps, newtype structs are transparent, unit enum
+//! variants become their name as a string, and data-carrying variants become
+//! single-entry maps keyed by the variant name.
+
+use std::collections::BTreeMap;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a self-describing value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any integer (covers every integer width this workspace serializes).
+    Int(i128),
+    /// A binary floating-point number (always finite; non-finite floats
+    /// serialize as the strings `"NaN"`, `"inf"`, `"-inf"`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered list of key/value entries (preserves insertion order).
+    Map(Vec<(Content, Content)>),
+}
+
+/// A value that can lower itself to [`Content`].
+pub trait Serialize {
+    /// Converts `self` into the serialization data model.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can be rebuilt from [`Content`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, or explains why the content does not fit.
+    fn from_content(c: &Content) -> Result<Self, String>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, found {other:?}")),
+        }
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Int(*self as i128)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                match c {
+                    Content::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| format!("integer {i} out of range for {}", stringify!($t))),
+                    other => Err(format!("expected integer, found {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as f64;
+                if v.is_nan() {
+                    Content::Str("NaN".to_string())
+                } else if v == f64::INFINITY {
+                    Content::Str("inf".to_string())
+                } else if v == f64::NEG_INFINITY {
+                    Content::Str("-inf".to_string())
+                } else {
+                    Content::Float(v)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                match c {
+                    Content::Float(f) => Ok(*f as $t),
+                    Content::Int(i) => Ok(*i as $t),
+                    Content::Str(s) if s == "NaN" => Ok(<$t>::NAN),
+                    Content::Str(s) if s == "inf" => Ok(<$t>::INFINITY),
+                    Content::Str(s) if s == "-inf" => Ok(<$t>::NEG_INFINITY),
+                    other => Err(format!("expected float, found {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            // `&'static str` struct fields can only be rebuilt by leaking;
+            // acceptable here because deserialization of such types is a
+            // test-only path in this workspace.
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Null => Ok(()),
+            other => Err(format!("expected null, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(format!("expected single-char string, found {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(format!("expected sequence, found {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(format!("expected map, found {other:?}")),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                let items = match c {
+                    Content::Seq(items) => items,
+                    other => return Err(format!("expected tuple sequence, found {other:?}")),
+                };
+                let want = [$($idx),+].len();
+                if items.len() != want {
+                    return Err(format!("expected {}-tuple, found {} items", want, items.len()));
+                }
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn to_content(&self) -> Content {
+        match self {
+            Ok(v) => Content::Map(vec![(Content::Str("Ok".to_string()), v.to_content())]),
+            Err(e) => Content::Map(vec![(Content::Str("Err".to_string()), e.to_content())]),
+        }
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Map(entries) if entries.len() == 1 => match &entries[0] {
+                (Content::Str(tag), v) if tag == "Ok" => T::from_content(v).map(Ok),
+                (Content::Str(tag), v) if tag == "Err" => E::from_content(v).map(Err),
+                (k, _) => Err(format!("expected Ok/Err tag, found {k:?}")),
+            },
+            other => Err(format!("expected Result map, found {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers the derive macros expand to
+// ---------------------------------------------------------------------------
+
+/// Views content as a map, for derived struct deserializers.
+#[doc(hidden)]
+pub fn de_map<'c>(c: &'c Content, ty: &str) -> Result<&'c [(Content, Content)], String> {
+    match c {
+        Content::Map(entries) => Ok(entries),
+        other => Err(format!("expected map for {ty}, found {other:?}")),
+    }
+}
+
+/// Views content as a sequence of exactly `n` items, for tuple shapes.
+#[doc(hidden)]
+pub fn de_seq<'c>(c: &'c Content, n: usize, ty: &str) -> Result<&'c [Content], String> {
+    match c {
+        Content::Seq(items) if items.len() == n => Ok(items),
+        Content::Seq(items) => Err(format!(
+            "expected {n} items for {ty}, found {}",
+            items.len()
+        )),
+        other => Err(format!("expected sequence for {ty}, found {other:?}")),
+    }
+}
+
+/// Pulls a named field out of a derived struct's map entries.
+#[doc(hidden)]
+pub fn de_field<T: Deserialize>(
+    entries: &[(Content, Content)],
+    name: &str,
+) -> Result<T, String> {
+    for (k, v) in entries {
+        if matches!(k, Content::Str(s) if s == name) {
+            return T::from_content(v);
+        }
+    }
+    Err(format!("missing field `{name}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i32::from_content(&42i32.to_content()), Ok(42));
+        assert_eq!(bool::from_content(&true.to_content()), Ok(true));
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_as_strings() {
+        assert_eq!(f64::NAN.to_content(), Content::Str("NaN".to_string()));
+        assert!(f64::from_content(&f64::NAN.to_content()).unwrap().is_nan());
+        assert_eq!(
+            f32::from_content(&f32::NEG_INFINITY.to_content()),
+            Ok(f32::NEG_INFINITY)
+        );
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        let v: Vec<(String, Option<i64>)> = vec![("a".into(), Some(1)), ("b".into(), None)];
+        let back = Vec::<(String, Option<i64>)>::from_content(&v.to_content()).unwrap();
+        assert_eq!(v, back);
+
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), vec![1u8, 2]);
+        assert_eq!(
+            BTreeMap::<String, Vec<u8>>::from_content(&m.to_content()),
+            Ok(m)
+        );
+    }
+}

@@ -1,0 +1,398 @@
+//! Offline stand-in for [`serde_derive`](https://crates.io/crates/serde_derive).
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls for the item
+//! shapes this workspace actually contains: non-generic named structs, tuple
+//! structs, and enums with unit / tuple / struct variants, none carrying
+//! `#[serde(...)]` attributes. The item is parsed directly from the raw
+//! `proc_macro::TokenStream` (no `syn`/`quote` — those are unavailable
+//! offline) and the generated impl is emitted as source text.
+//!
+//! The representation matches real serde's externally-tagged default:
+//! named struct → map, newtype struct/variant → inner value, tuple shapes →
+//! sequence, unit variant → variant-name string, data-carrying variant →
+//! single-entry map keyed by the variant name.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::iter::Peekable;
+
+/// Derives `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Item model + parsing
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    UnitStruct,
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let keyword = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute (doc comment etc.): skip the bracket group.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, `pub(crate)` etc. — visibility groups fall through
+                // to the catch-all below.
+            }
+            Some(_) => {}
+            None => panic!("derive input has no struct/enum keyword"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("generic types are not supported by the vendored serde_derive");
+    }
+    let kind = if keyword == "struct" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("unsupported struct body: {other:?}"),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        }
+    };
+    Item { name, kind }
+}
+
+/// Field names of a `{ ... }` body; types are skipped angle-bracket-aware so
+/// commas inside `BTreeMap<K, V>` don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected field name, found {other:?}"),
+            None => break,
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        skip_type_until_comma(&mut iter);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = 0;
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        fields += 1;
+        skip_type_until_comma(&mut iter);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected variant name, found {other:?}"),
+            None => break,
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn skip_attrs_and_vis(iter: &mut Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if matches!(
+                    iter.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    iter.next(); // `(crate)` / `(super)`
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Consumes one type, stopping after the next top-level `,` (or at the end).
+/// Tracks `<`/`>` depth so generic-argument commas are not field separators.
+fn skip_type_until_comma(iter: &mut Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle_depth = 0i32;
+    for tt in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn str_content(text: &str) -> String {
+    format!("::serde::Content::Str({text:?}.to_string())")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::UnitStruct => "::serde::Content::Null".to_string(),
+        ItemKind::NamedStruct(fields) => gen_named_map(fields, "&self."),
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let tag = str_content(vname);
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = writeln!(arms, "{name}::{vname} => {tag},");
+                    }
+                    Shape::Tuple(1) => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vname}(f0) => ::serde::Content::Map(vec![({tag}, \
+                             ::serde::Serialize::to_content(f0))]),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vname}({}) => ::serde::Content::Map(vec![({tag}, \
+                             ::serde::Content::Seq(vec![{}]))]),",
+                            binders.join(", "),
+                            items.join(", ")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let inner = gen_named_map(fields, "");
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vname} {{ {} }} => ::serde::Content::Map(vec![({tag}, \
+                             {inner})]),",
+                            fields.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// `Content::Map(vec![("f", to_content(<prefix>f)), ...])`.
+fn gen_named_map(fields: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({}, ::serde::Serialize::to_content({prefix}{f}))",
+                str_content(f)
+            )
+        })
+        .collect();
+    format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::UnitStruct => format!(
+            "match c {{ ::serde::Content::Null => Ok({name}), other => \
+             Err(format!(\"expected null for {name}, found {{other:?}}\")) }}"
+        ),
+        ItemKind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(m, {f:?})?"))
+                .collect();
+            format!(
+                "let m = ::serde::de_map(c, {name:?})?;\nOk({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        ItemKind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(c)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&s[{i}])?"))
+                .collect();
+            format!(
+                "let s = ::serde::de_seq(c, {n}, {name:?})?;\nOk({name}({}))",
+                inits.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> Result<Self, String> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                let _ = writeln!(unit_arms, "{vname:?} => Ok({name}::{vname}),");
+            }
+            Shape::Tuple(1) => {
+                let _ = writeln!(
+                    data_arms,
+                    "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::from_content(v)?)),"
+                );
+            }
+            Shape::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_content(&s[{i}])?"))
+                    .collect();
+                let _ = writeln!(
+                    data_arms,
+                    "{vname:?} => {{ let s = ::serde::de_seq(v, {n}, \"{name}::{vname}\")?; \
+                     Ok({name}::{vname}({})) }},",
+                    inits.join(", ")
+                );
+            }
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de_field(m, {f:?})?"))
+                    .collect();
+                let _ = writeln!(
+                    data_arms,
+                    "{vname:?} => {{ let m = ::serde::de_map(v, \"{name}::{vname}\")?; \
+                     Ok({name}::{vname} {{ {} }}) }},",
+                    inits.join(", ")
+                );
+            }
+        }
+    }
+    let map_arm = if data_arms.is_empty() {
+        format!(
+            "::serde::Content::Map(_) => \
+             Err(\"enum {name} has no data-carrying variants\".to_string()),\n"
+        )
+    } else {
+        format!(
+            "::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+             let (k, v) = &entries[0];\n\
+             let k = match k {{\n\
+             ::serde::Content::Str(s) => s.as_str(),\n\
+             other => return Err(format!(\"non-string variant key {{other:?}} for {name}\")),\n\
+             }};\n\
+             match k {{\n{data_arms}\
+             other => Err(format!(\"unknown variant `{{other}}` for {name}\")),\n}}\n}}\n"
+        )
+    };
+    format!(
+        "match c {{\n\
+         ::serde::Content::Str(s) => match s.as_str() {{\n{unit_arms}\
+         other => Err(format!(\"unknown unit variant `{{other}}` for {name}\")),\n}},\n\
+         {map_arm}\
+         other => Err(format!(\"expected variant for {name}, found {{other:?}}\")),\n}}"
+    )
+}
