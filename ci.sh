@@ -17,4 +17,10 @@ cargo test -q --workspace
 echo "==> determinism (serial vs parallel campaign)"
 cargo test -q -p csi-test --test determinism
 
+echo "==> fault matrix (injection determinism + taxonomy coverage)"
+cargo test -q -p csi-test --test fault_matrix
+
+echo "==> golden campaign report"
+cargo test -q -p csi-test --test golden_report
+
 echo "CI OK"

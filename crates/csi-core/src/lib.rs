@@ -34,6 +34,7 @@ pub mod audit;
 pub mod config;
 pub mod diag;
 pub mod error;
+pub mod fault;
 pub mod oracle;
 pub mod plane;
 pub mod report;

@@ -12,6 +12,7 @@ use crate::classify;
 use crate::generator::{TestInput, Validity};
 use crate::plan::{Experiment, Interface, TestPlan};
 use csi_core::diag::DiagSink;
+use csi_core::fault::{FaultPlan, InjectionRegistry};
 use csi_core::oracle::{
     check_differential, check_error_handling, check_write_read, Observation, OracleFailure,
     ReadOutcome, WriteOutcome,
@@ -41,6 +42,9 @@ pub struct CrossTestConfig {
     /// metastore and filesystem footprint bounded by one table per worker
     /// instead of one per (plan, format, input) combination.
     pub recycle_tables: bool,
+    /// Faults to arm on every deployment's metastore and filesystem.
+    /// `None` (and an empty plan) runs fault-free.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for CrossTestConfig {
@@ -50,6 +54,7 @@ impl Default for CrossTestConfig {
             formats: StorageFormat::ALL.to_vec(),
             spark_overrides: Vec::new(),
             recycle_tables: false,
+            fault_plan: None,
         }
     }
 }
@@ -94,20 +99,40 @@ pub(crate) struct Deployment {
     pub(crate) sink: DiagSink,
     pub(crate) spark: SparkSession,
     pub(crate) hive: HiveQl,
+    /// The fault-injection registry armed into this deployment's metastore
+    /// and filesystem, when the config carries a non-empty fault plan.
+    pub(crate) injection: Option<InjectionRegistry>,
 }
 
 impl Deployment {
-    pub(crate) fn new(overrides: &[(String, String)]) -> Deployment {
+    pub(crate) fn new(config: &CrossTestConfig) -> Deployment {
         let sink = DiagSink::new();
-        let metastore = Arc::new(Mutex::new(Metastore::new()));
-        let fs = Arc::new(Mutex::new(MiniHdfs::with_datanodes(3)));
+        let mut metastore = Metastore::new();
+        let mut fs = MiniHdfs::with_datanodes(3);
+        let injection = match &config.fault_plan {
+            Some(plan) if !plan.faults.is_empty() => {
+                let reg = InjectionRegistry::new();
+                reg.arm_plan(plan);
+                metastore.set_injection(reg.clone());
+                fs.set_injection(reg.clone());
+                Some(reg)
+            }
+            _ => None,
+        };
+        let metastore = Arc::new(Mutex::new(metastore));
+        let fs = Arc::new(Mutex::new(fs));
         let mut spark =
             SparkSession::connect(metastore.clone(), fs.clone(), sink.handle("minispark"));
-        for (k, v) in overrides {
+        for (k, v) in &config.spark_overrides {
             spark.config.set(k, v);
         }
         let hive = HiveQl::new(metastore, fs, sink.handle("minihive"));
-        Deployment { sink, spark, hive }
+        Deployment {
+            sink,
+            spark,
+            hive,
+            injection,
+        }
     }
 
     /// Drops `table` (best effort) and discards the diagnostics the drop
@@ -280,7 +305,28 @@ fn read_via(
                 .rows
         }
     };
-    Ok(rows.into_iter().map(|mut r| r.remove(0)).collect())
+    first_column(rows)
+}
+
+/// Extracts the single projected column from a row set.
+///
+/// An empty row is a malformed engine response — under injection a garbled
+/// data file can decode to anything — so it surfaces as a typed crash
+/// instead of the `remove(0)` panic this helper replaces.
+pub(crate) fn first_column(rows: Vec<Vec<Value>>) -> Result<Vec<Value>, InteractionError> {
+    rows.into_iter()
+        .map(|mut r| {
+            if r.is_empty() {
+                Err(InteractionError::crash(
+                    "csi-test",
+                    "EMPTY_ROW",
+                    "engine returned a zero-column row for a one-column projection",
+                ))
+            } else {
+                Ok(r.remove(0))
+            }
+        })
+        .collect()
 }
 
 pub(crate) fn run_one(
@@ -300,6 +346,13 @@ pub(crate) fn run_one(
         format.extension(),
         input.id
     );
+    if let Some(reg) = &d.injection {
+        // Scope call-counted triggers (and the fired log) to this
+        // observation, regardless of which worker ran the previous one —
+        // the property that keeps fault campaigns byte-identical across
+        // worker counts.
+        reg.reset_counters();
+    }
     d.sink.drain();
     let write_result = write_via(d, plan.write, &table, input, format);
     let write = WriteOutcome {
@@ -364,7 +417,7 @@ pub fn run_cross_test(inputs: &[TestInput], config: &CrossTestConfig) -> CrossTe
     let mut observations: Vec<(Experiment, Observation)> = Vec::new();
     let mut failures: Vec<OracleFailure> = Vec::new();
     for &experiment in &config.experiments {
-        let deployment = Deployment::new(&config.spark_overrides);
+        let deployment = Deployment::new(config);
         let mut exp_observations: Vec<Observation> = Vec::new();
         for plan in experiment.plans() {
             for &format in &config.formats {
@@ -469,6 +522,18 @@ mod tests {
                 "literal {lit} lost precision"
             );
         }
+    }
+
+    #[test]
+    fn first_column_rejects_empty_rows_instead_of_panicking() {
+        // Regression: `read_via` used to `remove(0)` unconditionally; a
+        // zero-column row (possible from a garbled data file under
+        // injection) was a panic, not an error.
+        let ok = first_column(vec![vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap();
+        assert_eq!(ok, vec![Value::Int(1), Value::Int(2)]);
+        let err = first_column(vec![vec![Value::Int(1)], vec![]]).unwrap_err();
+        assert_eq!(err.kind, csi_core::ErrorKind::Crash);
+        assert_eq!(err.code, "EMPTY_ROW");
     }
 
     #[test]

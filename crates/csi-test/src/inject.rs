@@ -1,0 +1,721 @@
+//! The fault-matrix campaign: deterministic boundary-fault injection
+//! crossed with the cross-testing space.
+//!
+//! Every fault of a [`FaultPlan`] is exercised against the scenarios that
+//! exist for its channel — metastore and HDFS faults against the full
+//! (experiment × plan × format) probe cross of the campaign executor,
+//! Kafka faults against the broker API directly and through Spark's Kafka
+//! connector, YARN faults against the Flink driver loop (FLINK-12342's
+//! home) and Spark's cluster-metrics connector — and the caller-visible
+//! result of each cell is classified with
+//! [`classify_fault_outcome`] into the paper's error-handling taxonomy:
+//! swallowed, mistranslated, propagated-with-context, or crash.
+//!
+//! Cells are hermetic (each builds its own deployment, broker, or RM and
+//! its own injection registry), so the sharded runner
+//! [`run_fault_matrix_sharded`] trivially reproduces the serial report
+//! byte-for-byte at any worker count.
+
+use crate::exec::{run_one, CrossTestConfig, Deployment};
+use crate::generator::{TestInput, Validity};
+use crate::plan::{Experiment, TestPlan};
+use csi_core::fault::{
+    classify_fault_outcome, Channel, FaultKind, FaultOutcome, FaultPlan, FaultSpec, InjectedFault,
+    InjectionRegistry, Trigger,
+};
+use csi_core::oracle::Observation;
+use csi_core::value::{DataType, Value};
+use csi_core::InteractionError;
+use miniflink::yarn_driver::{run_driver_with, DriverMode, DriverRun};
+use minihive::metastore::StorageFormat;
+use minikafka::{KafkaError, MiniKafka, PartitionId};
+use minispark::connectors::kafka::{consume_range, plan_range, OffsetModel};
+use miniyarn::{Resource, ResourceManager};
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const KAFKA_TOPIC: &str = "t";
+const P0: PartitionId = PartitionId(0);
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn spec(id: &str, channel: Channel, op: &str, kind: FaultKind, trigger: Trigger) -> FaultSpec {
+    FaultSpec {
+        id: id.to_string(),
+        channel,
+        op: op.to_string(),
+        kind,
+        trigger,
+    }
+}
+
+/// The standard boundary-fault catalogue: at least one fault per
+/// interaction channel, with timeout and latency magnitudes derived
+/// deterministically from `seed`.
+pub fn fault_catalogue(seed: u64) -> FaultPlan {
+    let mut s = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let ms_timeout = 10_000 + xorshift(&mut s) % 20_000;
+    let hdfs_timeout = 5_000 + xorshift(&mut s) % 10_000;
+    let kafka_timeout = 30_000 + xorshift(&mut s) % 30_000;
+    // FLINK-12342 regime: injected allocation latency must exceed the
+    // driver's 500 ms heartbeat interval.
+    let yarn_latency = 600 + xorshift(&mut s) % 400;
+    FaultPlan {
+        seed,
+        faults: vec![
+            spec(
+                "ms-unavail-get",
+                Channel::Metastore,
+                "get_table",
+                FaultKind::Unavailable,
+                Trigger::Always,
+            ),
+            spec(
+                "ms-timeout-create",
+                Channel::Metastore,
+                "create_table",
+                FaultKind::Timeout { ms: ms_timeout },
+                Trigger::Always,
+            ),
+            spec(
+                "ms-corrupt-get",
+                Channel::Metastore,
+                "get_table",
+                FaultKind::CorruptPayload,
+                Trigger::OnCall(0),
+            ),
+            spec(
+                "hdfs-unavail-create",
+                Channel::Hdfs,
+                "create",
+                FaultKind::Unavailable,
+                Trigger::Always,
+            ),
+            spec(
+                "hdfs-timeout-read",
+                Channel::Hdfs,
+                "read",
+                FaultKind::Timeout { ms: hdfs_timeout },
+                Trigger::Always,
+            ),
+            spec(
+                "hdfs-corrupt-read",
+                Channel::Hdfs,
+                "read",
+                FaultKind::CorruptPayload,
+                Trigger::OnCall(0),
+            ),
+            spec(
+                "kafka-unavail-fetch",
+                Channel::Kafka,
+                "fetch",
+                FaultKind::Unavailable,
+                Trigger::Always,
+            ),
+            spec(
+                "kafka-timeout-ends",
+                Channel::Kafka,
+                "log_end_offset",
+                FaultKind::Timeout { ms: kafka_timeout },
+                Trigger::Always,
+            ),
+            spec(
+                "kafka-corrupt-fetch",
+                Channel::Kafka,
+                "fetch",
+                FaultKind::CorruptPayload,
+                Trigger::OnCall(0),
+            ),
+            spec(
+                "kafka-unavail-produce",
+                Channel::Kafka,
+                "produce",
+                FaultKind::Unavailable,
+                Trigger::Always,
+            ),
+            spec(
+                "yarn-latency-alloc",
+                Channel::Yarn,
+                "allocate",
+                FaultKind::Latency { ms: yarn_latency },
+                Trigger::Always,
+            ),
+            spec(
+                "yarn-unavail-alloc",
+                Channel::Yarn,
+                "allocate",
+                FaultKind::Unavailable,
+                Trigger::Always,
+            ),
+            spec(
+                "yarn-unavail-metrics",
+                Channel::Yarn,
+                "get_cluster_metrics",
+                FaultKind::Unavailable,
+                Trigger::Always,
+            ),
+            spec(
+                "yarn-swallow-ask",
+                Channel::Yarn,
+                "add_container_request",
+                FaultKind::Unavailable,
+                Trigger::Always,
+            ),
+        ],
+    }
+}
+
+/// A small smoke-test subset of [`fault_catalogue`]: one cheap fault per
+/// channel, for CI and property tests.
+pub fn small_fault_catalogue(seed: u64) -> FaultPlan {
+    let full = fault_catalogue(seed);
+    let keep = [
+        "ms-unavail-get",
+        "hdfs-corrupt-read",
+        "kafka-unavail-fetch",
+        "yarn-unavail-alloc",
+    ];
+    FaultPlan {
+        seed,
+        faults: full
+            .faults
+            .into_iter()
+            .filter(|f| keep.contains(&f.id.as_str()))
+            .collect(),
+    }
+}
+
+/// Configuration of a fault-matrix campaign.
+#[derive(Debug, Clone)]
+pub struct FaultMatrixConfig {
+    /// Seed recorded in the report (and used to derive the catalogue when
+    /// built through [`FaultMatrixConfig::standard`]).
+    pub seed: u64,
+    /// Experiments whose (plan × format) cross probes metastore and HDFS
+    /// faults.
+    pub experiments: Vec<Experiment>,
+    /// Storage formats of the probe cross.
+    pub formats: Vec<StorageFormat>,
+    /// The faults to exercise, in catalogue order.
+    pub faults: FaultPlan,
+}
+
+impl FaultMatrixConfig {
+    /// The standard campaign: the full catalogue against the full
+    /// experiment × format cross.
+    pub fn standard(seed: u64) -> FaultMatrixConfig {
+        FaultMatrixConfig {
+            seed,
+            experiments: Experiment::ALL.to_vec(),
+            formats: StorageFormat::ALL.to_vec(),
+            faults: fault_catalogue(seed),
+        }
+    }
+
+    /// The smoke campaign: the small catalogue against one experiment and
+    /// one format, cheap enough for CI and property tests.
+    pub fn smoke(seed: u64) -> FaultMatrixConfig {
+        FaultMatrixConfig {
+            seed,
+            experiments: vec![Experiment::ALL[0]],
+            formats: vec![StorageFormat::Orc],
+            faults: small_fault_catalogue(seed),
+        }
+    }
+}
+
+/// One cell of the fault matrix: a fault crossed with a scenario.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultCase {
+    /// The fault under test.
+    pub fault: FaultSpec,
+    /// The scenario the fault was exercised against (e.g.
+    /// `"sh:spark-sql->hiveql:ORC"` or `"yarn:flink-driver"`).
+    pub scenario: String,
+    /// The faults that actually fired during the cell.
+    pub fired: Vec<InjectedFault>,
+    /// The error the caller saw, if any.
+    pub surfaced: Option<InteractionError>,
+    /// Taxonomy bucket; `None` when the fault never fired in this cell.
+    pub outcome: Option<FaultOutcome>,
+    /// Deterministic human-readable cell summary.
+    pub detail: String,
+}
+
+/// The full fault-matrix report.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultMatrixReport {
+    /// The campaign seed.
+    pub seed: u64,
+    /// Every cell, in canonical (catalogue × scenario) order.
+    pub cases: Vec<FaultCase>,
+    /// Cell count per taxonomy bucket (key `"unfired"` counts cells whose
+    /// fault never fired).
+    pub outcomes: BTreeMap<String, usize>,
+}
+
+impl FaultMatrixReport {
+    /// Renders the report as stable, diff-friendly text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== fault matrix (seed {}) == {} cells",
+            self.seed,
+            self.cases.len()
+        );
+        for (bucket, n) in &self.outcomes {
+            let _ = writeln!(out, "  {bucket}: {n}");
+        }
+        for case in &self.cases {
+            let outcome = match &case.outcome {
+                Some(o) => o.to_string(),
+                None => "unfired".to_string(),
+            };
+            let surfaced = match &case.surfaced {
+                Some(e) => e.signature(),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{} | {} | {} | {} | {}",
+                case.fault.id, case.scenario, outcome, surfaced, case.detail
+            );
+        }
+        out
+    }
+}
+
+/// A unit of fault-matrix work. Cells are hermetic: running one never
+/// observes state from another, which is what makes the sharded runner's
+/// merge-by-index byte-identical to serial execution.
+#[derive(Debug, Clone)]
+enum Cell {
+    /// One (experiment, plan, format) probe observation under a single
+    /// armed fault.
+    Probe {
+        fault: FaultSpec,
+        experiment: Experiment,
+        plan: TestPlan,
+        format: StorageFormat,
+    },
+    /// Direct broker API calls (produce, log_end_offset, fetch).
+    KafkaDirect { fault: FaultSpec },
+    /// Spark's Kafka source connector (plan + consume).
+    KafkaConnector { fault: FaultSpec },
+    /// The Flink YARN driver heartbeat loop.
+    YarnDriver { fault: FaultSpec },
+    /// Spark's YARN cluster-metrics connector.
+    YarnMetrics { fault: FaultSpec },
+}
+
+fn enumerate_cells(config: &FaultMatrixConfig) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for fault in &config.faults.faults {
+        match fault.channel {
+            Channel::Metastore | Channel::Hdfs => {
+                for &experiment in &config.experiments {
+                    for plan in experiment.plans() {
+                        for &format in &config.formats {
+                            cells.push(Cell::Probe {
+                                fault: fault.clone(),
+                                experiment,
+                                plan,
+                                format,
+                            });
+                        }
+                    }
+                }
+            }
+            Channel::Kafka => {
+                cells.push(Cell::KafkaDirect {
+                    fault: fault.clone(),
+                });
+                // Produce faults have no path through the (read-side)
+                // Spark connector.
+                if fault.op != "produce" {
+                    cells.push(Cell::KafkaConnector {
+                        fault: fault.clone(),
+                    });
+                }
+            }
+            Channel::Yarn => {
+                if fault.op == "get_cluster_metrics" {
+                    cells.push(Cell::YarnMetrics {
+                        fault: fault.clone(),
+                    });
+                } else {
+                    cells.push(Cell::YarnDriver {
+                        fault: fault.clone(),
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+fn probe_input() -> TestInput {
+    TestInput {
+        id: 0,
+        column_type: DataType::Int,
+        value: Value::Int(7),
+        validity: Validity::Valid,
+        label: "fault probe".into(),
+        expected_back: None,
+    }
+}
+
+fn surfaced_error(obs: &Observation) -> Option<InteractionError> {
+    if let Err(e) = &obs.write.result {
+        return Some(e.clone());
+    }
+    if let Some(read) = &obs.read {
+        if let Err(e) = &read.result {
+            return Some(e.clone());
+        }
+    }
+    None
+}
+
+fn finish(
+    fault: &FaultSpec,
+    scenario: String,
+    fired: Vec<InjectedFault>,
+    surfaced: Option<InteractionError>,
+    detail: String,
+) -> FaultCase {
+    let outcome = if fired.is_empty() {
+        None
+    } else {
+        Some(classify_fault_outcome(&fired, surfaced.as_ref()))
+    };
+    FaultCase {
+        fault: fault.clone(),
+        scenario,
+        fired,
+        surfaced,
+        outcome,
+        detail,
+    }
+}
+
+fn run_probe_cell(
+    seed: u64,
+    fault: &FaultSpec,
+    experiment: Experiment,
+    plan: TestPlan,
+    format: StorageFormat,
+) -> FaultCase {
+    let config = CrossTestConfig {
+        experiments: vec![experiment],
+        formats: vec![format],
+        fault_plan: Some(FaultPlan {
+            seed,
+            faults: vec![fault.clone()],
+        }),
+        ..CrossTestConfig::default()
+    };
+    let deployment = Deployment::new(&config);
+    let obs = run_one(&deployment, experiment, plan, format, &probe_input(), false);
+    let fired = deployment
+        .injection
+        .as_ref()
+        .map(InjectionRegistry::fired)
+        .unwrap_or_default();
+    let surfaced = surfaced_error(&obs);
+    let detail = match (&obs.write.result, obs.read.as_ref().map(|r| &r.result)) {
+        (Err(e), _) => format!("write failed: {}", e.signature()),
+        (Ok(()), Some(Err(e))) => format!("read failed: {}", e.signature()),
+        (Ok(()), Some(Ok(rows))) => format!("write+read ok ({} rows)", rows.len()),
+        (Ok(()), None) => "write ok; read skipped".to_string(),
+    };
+    let scenario = format!("{}:{}:{}", experiment.short(), plan, format.name());
+    finish(fault, scenario, fired, surfaced, detail)
+}
+
+/// A broker with 5 seeded records on `t`-0 and the fault armed, counters
+/// scoped to the scenario about to run.
+fn seeded_broker(fault: &FaultSpec) -> (MiniKafka, InjectionRegistry) {
+    let reg = InjectionRegistry::new();
+    reg.arm(fault.clone());
+    let mut broker = MiniKafka::new();
+    broker.create_topic(KAFKA_TOPIC, 1);
+    for i in 0..5u8 {
+        broker
+            .produce(KAFKA_TOPIC, P0, Some(&[i]), Some(&[i]), u64::from(i))
+            .expect("seeding an injection-free broker");
+    }
+    broker.set_injection(reg.clone());
+    reg.reset_counters();
+    (broker, reg)
+}
+
+fn run_kafka_direct_cell(fault: &FaultSpec) -> FaultCase {
+    let (mut broker, reg) = seeded_broker(fault);
+    let result = (|| {
+        broker.produce(KAFKA_TOPIC, P0, Some(b"k"), Some(b"v"), 5)?;
+        broker.log_end_offset(KAFKA_TOPIC, P0)?;
+        broker.fetch(KAFKA_TOPIC, P0, 0, usize::MAX)?;
+        Ok::<(), KafkaError>(())
+    })();
+    let detail = match &result {
+        Ok(()) => "produce+ends+fetch ok".to_string(),
+        Err(e) => format!("broker call failed: {}", e.code()),
+    };
+    let surfaced = result.err().map(InteractionError::from);
+    finish(fault, "kafka:direct".to_string(), reg.fired(), surfaced, detail)
+}
+
+fn run_kafka_connector_cell(fault: &FaultSpec) -> FaultCase {
+    let (broker, reg) = seeded_broker(fault);
+    let result = plan_range(&broker, KAFKA_TOPIC, P0, 0).and_then(|range| {
+        consume_range(&broker, KAFKA_TOPIC, P0, range, OffsetModel::TolerateGaps)
+            .map(|records| records.len())
+    });
+    let detail = match &result {
+        Ok(n) => format!("connector consumed {n} records"),
+        Err(e) => format!("connector failed: {}", e.code()),
+    };
+    let surfaced = result.err().map(InteractionError::from);
+    finish(
+        fault,
+        "kafka:spark-connector".to_string(),
+        reg.fired(),
+        surfaced,
+        detail,
+    )
+}
+
+fn run_yarn_driver_cell(fault: &FaultSpec) -> FaultCase {
+    let reg = InjectionRegistry::new();
+    reg.arm(fault.clone());
+    // A small job in the no-storm regime on its own parameters: any storm
+    // observed below is the injected fault's doing.
+    let target = 20;
+    let stats = run_driver_with(
+        DriverRun {
+            mode: DriverMode::BuggySync,
+            target,
+            interval_ms: 500,
+            alloc_service_ms: 1,
+            start_latency_ms: 5,
+            deadline_ms: 15_000,
+        },
+        Some(reg.clone()),
+    );
+    let detail = format!(
+        "driver: {} asks for target {target}, started {}, completed={}",
+        stats.total_requested,
+        stats.started,
+        stats.completed_at.is_some()
+    );
+    let surfaced = stats.error.map(InteractionError::from);
+    finish(
+        fault,
+        "yarn:flink-driver".to_string(),
+        reg.fired(),
+        surfaced,
+        detail,
+    )
+}
+
+fn run_yarn_metrics_cell(fault: &FaultSpec) -> FaultCase {
+    let reg = InjectionRegistry::new();
+    reg.arm(fault.clone());
+    let mut rm = ResourceManager::with_nodes(4, Resource::new(8192, 8));
+    rm.set_injection(reg.clone());
+    let result = minispark::connectors::yarn::cluster_metrics(&rm);
+    let detail = match &result {
+        Ok(m) => format!("metrics ok ({} node managers)", m.num_node_managers),
+        Err(e) => format!("connector failed: {}", e.code()),
+    };
+    let surfaced = result.err().map(InteractionError::from);
+    finish(
+        fault,
+        "yarn:spark-connector".to_string(),
+        reg.fired(),
+        surfaced,
+        detail,
+    )
+}
+
+fn run_cell(config: &FaultMatrixConfig, cell: &Cell) -> FaultCase {
+    match cell {
+        Cell::Probe {
+            fault,
+            experiment,
+            plan,
+            format,
+        } => run_probe_cell(config.seed, fault, *experiment, *plan, *format),
+        Cell::KafkaDirect { fault } => run_kafka_direct_cell(fault),
+        Cell::KafkaConnector { fault } => run_kafka_connector_cell(fault),
+        Cell::YarnDriver { fault } => run_yarn_driver_cell(fault),
+        Cell::YarnMetrics { fault } => run_yarn_metrics_cell(fault),
+    }
+}
+
+fn build_report(seed: u64, cases: Vec<FaultCase>) -> FaultMatrixReport {
+    let mut outcomes: BTreeMap<String, usize> = BTreeMap::new();
+    for case in &cases {
+        let key = match &case.outcome {
+            Some(o) => o.to_string(),
+            None => "unfired".to_string(),
+        };
+        *outcomes.entry(key).or_insert(0) += 1;
+    }
+    FaultMatrixReport {
+        seed,
+        cases,
+        outcomes,
+    }
+}
+
+/// Runs the fault matrix serially, in canonical cell order.
+pub fn run_fault_matrix(config: &FaultMatrixConfig) -> FaultMatrixReport {
+    let cells = enumerate_cells(config);
+    let cases = cells.iter().map(|c| run_cell(config, c)).collect();
+    build_report(config.seed, cases)
+}
+
+/// Runs the fault matrix on `workers` threads.
+///
+/// Cells are claimed from a bump counter and their results stored by cell
+/// index, then merged in canonical order — the same slot scheme as
+/// [`crate::shard::run_cross_test_parallel`]. Because every cell is
+/// hermetic, the report is byte-identical to [`run_fault_matrix`] at any
+/// worker count.
+pub fn run_fault_matrix_sharded(config: &FaultMatrixConfig, workers: usize) -> FaultMatrixReport {
+    let workers = workers.max(1);
+    let cells = enumerate_cells(config);
+    let slots: Vec<Mutex<Option<FaultCase>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    {
+        let cells = &cells;
+        let slots = &slots;
+        let next = &next;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    *slots[i].lock() = Some(run_cell(config, &cells[i]));
+                });
+            }
+        });
+    }
+    let cases = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every cell was executed"))
+        .collect();
+    build_report(config.seed, cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_covers_every_channel() {
+        let plan = fault_catalogue(42);
+        for channel in Channel::ALL {
+            assert!(
+                plan.faults.iter().any(|f| f.channel == channel),
+                "no fault for {channel}"
+            );
+        }
+        // Ids are unique.
+        let mut ids: Vec<&str> = plan.faults.iter().map(|f| f.id.as_str()).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn catalogue_is_seed_deterministic_and_seed_sensitive() {
+        assert_eq!(fault_catalogue(7), fault_catalogue(7));
+        assert_ne!(fault_catalogue(7), fault_catalogue(8));
+        // The small catalogue is a subset of the full one.
+        let full = fault_catalogue(3);
+        for f in &small_fault_catalogue(3).faults {
+            assert!(full.faults.contains(f));
+        }
+    }
+
+    #[test]
+    fn metastore_fault_propagates_through_hiveql_but_not_spark() {
+        let plan = fault_catalogue(1);
+        let fault = plan
+            .faults
+            .iter()
+            .find(|f| f.id == "ms-unavail-get")
+            .unwrap();
+        let report = run_fault_matrix(&FaultMatrixConfig {
+            seed: 1,
+            experiments: Experiment::ALL.to_vec(),
+            formats: vec![StorageFormat::Orc],
+            faults: FaultPlan {
+                seed: 1,
+                faults: vec![fault.clone()],
+            },
+        });
+        let outcomes: Vec<&FaultOutcome> =
+            report.cases.iter().filter_map(|c| c.outcome.as_ref()).collect();
+        assert!(!outcomes.is_empty());
+        // HiveQL-written plans surface the native MetaException; Spark
+        // plans collapse it into Analysis(HIVE_METASTORE) — the paper's
+        // context-loss narrative, observable per cell.
+        assert!(outcomes.contains(&&FaultOutcome::PropagatedWithContext));
+        assert!(outcomes.contains(&&FaultOutcome::Mistranslated));
+    }
+
+    #[test]
+    fn kafka_corruption_is_rejected_directly_but_mistranslated_by_spark() {
+        let plan = fault_catalogue(1);
+        let fault = plan
+            .faults
+            .iter()
+            .find(|f| f.id == "kafka-corrupt-fetch")
+            .unwrap();
+        let direct = run_kafka_direct_cell(fault);
+        assert_eq!(direct.outcome, Some(FaultOutcome::PropagatedWithContext));
+        let connector = run_kafka_connector_cell(fault);
+        assert_eq!(connector.outcome, Some(FaultOutcome::Mistranslated));
+    }
+
+    #[test]
+    fn yarn_latency_is_swallowed_as_a_silent_storm() {
+        let plan = fault_catalogue(1);
+        let fault = plan
+            .faults
+            .iter()
+            .find(|f| f.id == "yarn-latency-alloc")
+            .unwrap();
+        let case = run_yarn_driver_cell(fault);
+        assert_eq!(case.outcome, Some(FaultOutcome::Swallowed));
+        // The FLINK-12342 signature: far more asks than containers needed,
+        // and no error anywhere.
+        assert!(case.surfaced.is_none());
+        assert!(case.detail.contains("asks for target 20"), "{}", case.detail);
+        let asks: u64 = case
+            .detail
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        assert!(asks > 60, "expected a storm, detail: {}", case.detail);
+    }
+}

@@ -10,12 +10,17 @@ pub mod classify;
 pub mod contracts;
 pub mod exec;
 pub mod generator;
+pub mod inject;
 pub mod plan;
 pub mod shard;
 pub mod tolerate;
 
 pub use classify::active_ids;
 pub use exec::{run_cross_test, CrossTestConfig, CrossTestOutcome};
+pub use inject::{
+    fault_catalogue, run_fault_matrix, run_fault_matrix_sharded, small_fault_catalogue, FaultCase,
+    FaultMatrixConfig, FaultMatrixReport,
+};
 pub use generator::{generate_inputs, TestInput, Validity};
 pub use plan::{Experiment, Interface, TestPlan};
 pub use shard::{

@@ -223,7 +223,7 @@ pub fn run_cross_test_parallel(
                         let shard = &shards[i];
                         let shard_started = Instant::now();
                         let deployment = pool[shard.experiment_idx]
-                            .get_or_insert_with(|| Deployment::new(&config.spark_overrides));
+                            .get_or_insert_with(|| Deployment::new(config));
                         let mut batch = Vec::with_capacity(shard.hi - shard.lo);
                         for input in &inputs[shard.lo..shard.hi] {
                             batch.push(run_one(

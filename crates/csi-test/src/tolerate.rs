@@ -83,19 +83,41 @@ pub fn redundant_read(
 mod tests {
     use super::*;
     use csi_core::diag::DiagSink;
+    use csi_core::fault::{Channel, FaultKind, FaultSpec, InjectionRegistry, Trigger};
     use csi_core::value::{DataType, Decimal, StructField};
     use minihdfs::MiniHdfs;
     use minihive::metastore::{Metastore, StorageFormat};
     use parking_lot::Mutex;
     use std::sync::Arc;
 
-    fn deployment() -> (SparkSession, HiveQl) {
+    #[allow(clippy::type_complexity)]
+    fn injectable_deployment() -> (
+        SparkSession,
+        HiveQl,
+        Arc<Mutex<Metastore>>,
+        Arc<Mutex<MiniHdfs>>,
+    ) {
         let sink = DiagSink::new();
         let ms = Arc::new(Mutex::new(Metastore::new()));
         let fs = Arc::new(Mutex::new(MiniHdfs::with_datanodes(3)));
         let spark = SparkSession::connect(ms.clone(), fs.clone(), sink.handle("minispark"));
-        let hive = HiveQl::new(ms, fs, sink.handle("minihive"));
+        let hive = HiveQl::new(ms.clone(), fs.clone(), sink.handle("minihive"));
+        (spark, hive, ms, fs)
+    }
+
+    fn deployment() -> (SparkSession, HiveQl) {
+        let (spark, hive, _, _) = injectable_deployment();
         (spark, hive)
+    }
+
+    fn fault(channel: Channel, op: &str, kind: FaultKind, trigger: Trigger) -> FaultSpec {
+        FaultSpec {
+            id: format!("tolerate-{op}"),
+            channel,
+            op: op.to_string(),
+            kind,
+            trigger,
+        }
     }
 
     #[test]
@@ -155,5 +177,85 @@ mod tests {
         let (spark, hive) = deployment();
         let err = redundant_read(&spark, &hive, "missing").unwrap_err();
         assert_eq!(err.code, "HIVE_METASTORE");
+    }
+
+    #[test]
+    fn injected_metastore_outage_is_surfaced_not_retried() {
+        // An unavailable metastore is an availability fault, not a
+        // discrepancy: the redundant reader must surface it, never mask
+        // it behind the HiveQL fallback (which shares the metastore and
+        // would fail anyway).
+        let (spark, hive, ms, _fs) = injectable_deployment();
+        spark.sql("CREATE TABLE t (a INT)").unwrap();
+        spark.sql("INSERT INTO t VALUES (7)").unwrap();
+        let reg = InjectionRegistry::new();
+        reg.arm(fault(
+            Channel::Metastore,
+            "get_table",
+            FaultKind::Unavailable,
+            Trigger::Always,
+        ));
+        ms.lock().set_injection(reg.clone());
+        let err = redundant_read(&spark, &hive, "t").unwrap_err();
+        assert_eq!(err.code, "HIVE_METASTORE");
+        assert!(!reg.fired().is_empty());
+    }
+
+    #[test]
+    fn one_shot_hdfs_corruption_is_tolerated_through_the_fallback() {
+        // A corrupted read produces a discrepancy-shaped serde failure on
+        // the primary path; the one-shot trigger means the fallback's own
+        // read of the same file is clean, so redundancy genuinely helps.
+        let (spark, hive, _ms, fs) = injectable_deployment();
+        let df = spark.dataframe();
+        df.create_table(
+            "t",
+            &[StructField::new("a", DataType::Int)],
+            StorageFormat::Orc,
+        )
+        .unwrap();
+        df.insert_into("t", &[vec![Value::Int(7)]]).unwrap();
+        let reg = InjectionRegistry::new();
+        reg.arm(fault(
+            Channel::Hdfs,
+            "read",
+            FaultKind::CorruptPayload,
+            Trigger::OnCall(0),
+        ));
+        fs.lock().set_injection(reg.clone());
+        let r = redundant_read(&spark, &hive, "t").unwrap();
+        assert_eq!(r.path, ReadPath::HiveFallback);
+        assert_eq!(r.rows, vec![vec![Value::Int(7)]]);
+        let primary = r.primary_error.expect("primary path must have failed");
+        assert!(
+            matches!(
+                primary.code.as_str(),
+                "INCOMPATIBLE_SCHEMA" | "SERDE_ERROR" | "FORMAT_ERROR" | "DECIMAL_DECODE"
+            ),
+            "fallback fired on a non-discrepancy error: {}",
+            primary.code
+        );
+        assert_eq!(reg.fired().len(), 1);
+    }
+
+    #[test]
+    fn injected_hdfs_outage_is_surfaced_not_retried() {
+        // SafeMode (availability) on every read: the primary fails with a
+        // connector error and the fallback must NOT fire — retrying
+        // through HiveQL cannot help when the filesystem itself is down.
+        let (spark, hive, _ms, fs) = injectable_deployment();
+        spark.sql("CREATE TABLE t (a INT)").unwrap();
+        spark.sql("INSERT INTO t VALUES (7)").unwrap();
+        let reg = InjectionRegistry::new();
+        reg.arm(fault(
+            Channel::Hdfs,
+            "read",
+            FaultKind::Unavailable,
+            Trigger::Always,
+        ));
+        fs.lock().set_injection(reg.clone());
+        let err = redundant_read(&spark, &hive, "t").unwrap_err();
+        assert_eq!(err.code, "HDFS");
+        assert!(!reg.fired().is_empty());
     }
 }

@@ -1,0 +1,66 @@
+//! Golden-file check for the standard campaign.
+//!
+//! The rendered `DiscrepancyReport` of the full 422-input catalogue is
+//! committed at `tests/golden/standard_campaign_report.txt`; any change to
+//! the generator, the executors, the oracles, or the classifier that
+//! shifts the report shows up here as a line-level diff. Refresh the
+//! snapshot deliberately with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p csi-test --test golden_report
+//! ```
+
+use csi_test::{generate_inputs, run_cross_test_parallel, CrossTestConfig, ParallelConfig};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/standard_campaign_report.txt")
+}
+
+#[test]
+fn standard_campaign_report_matches_the_committed_golden_file() {
+    let inputs = generate_inputs();
+    let parallel = run_cross_test_parallel(
+        &inputs,
+        &CrossTestConfig::default(),
+        &ParallelConfig {
+            workers: 4,
+            chunk_size: 32,
+        },
+    );
+    let rendered = parallel.outcome.report.render();
+    let path = golden_path();
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("rewriting the golden file");
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {}: {e}\n\
+             (generate it with UPDATE_GOLDEN=1 cargo test -p csi-test --test golden_report)",
+            path.display()
+        )
+    });
+    if rendered == expected {
+        return;
+    }
+    for (i, (want, got)) in expected.lines().zip(rendered.lines()).enumerate() {
+        assert_eq!(
+            want,
+            got,
+            "campaign report diverges from {} at line {}\n\
+             (refresh deliberately with UPDATE_GOLDEN=1 cargo test -p csi-test --test golden_report)",
+            path.display(),
+            i + 1
+        );
+    }
+    panic!(
+        "campaign report diverges from {}: expected {} lines, got {}\n\
+         (refresh deliberately with UPDATE_GOLDEN=1 cargo test -p csi-test --test golden_report)",
+        path.display(),
+        expected.lines().count(),
+        rendered.lines().count()
+    );
+}

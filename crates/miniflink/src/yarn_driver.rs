@@ -10,6 +10,7 @@
 //! latency exceeds the interval.
 
 use csi_core::config::ConfigMap;
+use csi_core::fault::InjectionRegistry;
 use csi_core::sim::{Millis, Ops, Sim};
 use miniyarn::config as yarn_config;
 use miniyarn::scheduler::{CapacityScheduler, FairScheduler, Scheduler};
@@ -58,6 +59,9 @@ pub struct DriverStats {
     pub completed_at: Option<Millis>,
     /// Time series for plotting Figure 1.
     pub history: Vec<Snapshot>,
+    /// The RM error that stopped the driver, if one did. `None` for a
+    /// clean run (including one that merely missed its deadline).
+    pub error: Option<YarnError>,
 }
 
 /// The simulated world: Flink's driver plus the YARN RM.
@@ -74,6 +78,7 @@ pub struct YarnDriverWorld {
     outstanding: usize,
     history: Vec<Snapshot>,
     completed_at: Option<Millis>,
+    error: Option<YarnError>,
 }
 
 impl YarnDriverWorld {
@@ -84,11 +89,22 @@ impl YarnDriverWorld {
         // Keep the RM's clock in step with virtual time.
         let delta = ops.now().saturating_sub(self.rm.now());
         self.rm.advance_clock(delta);
-        let resp = self.rm.allocate(self.app).expect("registered app");
+        let resp = match self.rm.allocate(self.app) {
+            Ok(resp) => resp,
+            Err(e) => {
+                // An RM failure stops the driver: record it and stop
+                // heartbeating instead of panicking.
+                self.error = Some(e);
+                return;
+            }
+        };
         let newly = resp.allocated.len();
         let mut block_ms = 0;
         for c in &resp.allocated {
-            self.rm.start_container(c.id).expect("allocated container");
+            if let Err(e) = self.rm.start_container(c.id) {
+                self.error = Some(e);
+                return;
+            }
             if self.mode != DriverMode::AsyncClient {
                 // The synchronous NMClient blocks the driver thread for
                 // every container start.
@@ -191,8 +207,19 @@ impl Default for DriverRun {
 /// assert_eq!(stats.total_requested, 200);
 /// ```
 pub fn run_driver(params: DriverRun) -> DriverStats {
+    run_driver_with(params, None)
+}
+
+/// Like [`run_driver`], with an optional fault-injection registry armed
+/// into the ResourceManager — injected allocation latency reproduces the
+/// FLINK-12342 regime without touching the driver's own parameters, and
+/// injected RM failures exercise the driver's error path.
+pub fn run_driver_with(params: DriverRun, injection: Option<InjectionRegistry>) -> DriverStats {
     let mut rm = ResourceManager::with_nodes(64, Resource::new(1 << 22, 1 << 12));
     rm.set_alloc_service_ms(params.alloc_service_ms);
+    if let Some(reg) = injection {
+        rm.set_injection(reg);
+    }
     let app = rm.register_application("flink-session");
     let interval = match params.mode {
         // Workaround #1: stretch the interval to cover the worst-case
@@ -214,6 +241,7 @@ pub fn run_driver(params: DriverRun) -> DriverStats {
         outstanding: 0,
         history: Vec::new(),
         completed_at: None,
+        error: None,
     };
     let mut sim = Sim::new(world);
     sim.schedule_in(0, |w: &mut YarnDriverWorld, ops| w.heartbeat(ops));
@@ -225,6 +253,7 @@ pub fn run_driver(params: DriverRun) -> DriverStats {
         started: w.started,
         completed_at: w.completed_at,
         history: w.history,
+        error: w.error,
     }
 }
 
@@ -339,6 +368,63 @@ mod tests {
         // The first round asks for all 10; they arrive before round two.
         assert_eq!(stats.total_requested, 10);
         assert!(stats.completed_at.is_some());
+    }
+
+    #[test]
+    fn rm_failure_during_heartbeat_surfaces_as_typed_error() {
+        // Regression: the heartbeat used to `expect()` the allocate call;
+        // under an injected RM outage that was a panic, not an error.
+        use csi_core::fault::{Channel, FaultKind, FaultSpec, Trigger};
+        let reg = InjectionRegistry::new();
+        reg.arm(FaultSpec {
+            id: "rm-down".into(),
+            channel: Channel::Yarn,
+            op: "allocate".into(),
+            kind: FaultKind::Unavailable,
+            trigger: Trigger::Always,
+        });
+        let stats = run_driver_with(
+            DriverRun {
+                target: 10,
+                deadline_ms: 5_000,
+                ..DriverRun::default()
+            },
+            Some(reg),
+        );
+        assert_eq!(stats.error, Some(YarnError::RmUnavailable));
+        assert_eq!(stats.started, 0);
+        assert!(stats.completed_at.is_none());
+    }
+
+    #[test]
+    fn injected_allocation_latency_reproduces_the_storm() {
+        // FLINK-12342 via the fault plane: the driver's own parameters are
+        // the no-storm regime (tiny job, fast allocation), but injected
+        // per-ask latency pushes allocation past the heartbeat interval.
+        use csi_core::fault::{Channel, FaultKind, FaultSpec, Trigger};
+        let reg = InjectionRegistry::new();
+        reg.arm(FaultSpec {
+            id: "rm-slow".into(),
+            channel: Channel::Yarn,
+            op: "allocate".into(),
+            kind: FaultKind::Latency { ms: 600 },
+            trigger: Trigger::Always,
+        });
+        let params = DriverRun {
+            target: 20,
+            alloc_service_ms: 1,
+            deadline_ms: 15_000,
+            ..DriverRun::default()
+        };
+        let clean = run_driver(params);
+        assert_eq!(clean.total_requested, 20, "control run must not storm");
+        let slow = run_driver_with(params, Some(reg));
+        assert!(slow.error.is_none(), "latency is not an error");
+        assert!(
+            slow.total_requested > 20 * 3,
+            "expected a request storm, got {} asks",
+            slow.total_requested
+        );
     }
 
     #[test]

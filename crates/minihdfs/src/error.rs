@@ -1,6 +1,7 @@
 //! Errors raised by the minihdfs namenode and datanodes.
 
 use crate::path::HdfsPath;
+use csi_core::fault::{Channel, FaultKind, FaultPoint, InjectedFault};
 use csi_core::{ErrorKind, InteractionError};
 use std::fmt;
 
@@ -47,6 +48,18 @@ pub enum HdfsError {
     },
     /// Attempt to delete a non-empty directory without `recursive`.
     DirectoryNotEmpty(HdfsPath),
+    /// A namenode or datanode RPC exceeded its deadline.
+    RpcTimeout {
+        /// The operation that timed out.
+        op: String,
+        /// The deadline, in milliseconds.
+        ms: u64,
+    },
+    /// A block failed its checksum verification on read or write.
+    ChecksumError {
+        /// The operation during which the checksum failed.
+        op: String,
+    },
 }
 
 impl fmt::Display for HdfsError {
@@ -70,6 +83,12 @@ impl fmt::Display for HdfsError {
                 write!(f, "permission denied for user {user} on {path}")
             }
             HdfsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+            HdfsError::RpcTimeout { op, ms } => {
+                write!(f, "SocketTimeoutException: {op} timed out after {ms}ms")
+            }
+            HdfsError::ChecksumError { op } => {
+                write!(f, "ChecksumException: checksum error during {op}")
+            }
         }
     }
 }
@@ -91,6 +110,8 @@ impl HdfsError {
             HdfsError::InsufficientReplication { .. } => "INSUFFICIENT_REPLICATION",
             HdfsError::PermissionDenied { .. } => "PERMISSION_DENIED",
             HdfsError::DirectoryNotEmpty(_) => "DIRECTORY_NOT_EMPTY",
+            HdfsError::RpcTimeout { .. } => "RPC_TIMEOUT",
+            HdfsError::ChecksumError { .. } => "CHECKSUM_ERROR",
         }
     }
 }
@@ -103,9 +124,28 @@ impl From<HdfsError> for InteractionError {
                 ErrorKind::Rejected
             }
             HdfsError::InsufficientReplication { .. } => ErrorKind::Unavailable,
+            HdfsError::RpcTimeout { .. } => ErrorKind::Timeout,
+            HdfsError::ChecksumError { .. } => ErrorKind::Crash,
             _ => ErrorKind::Rejected,
         };
         InteractionError::new("minihdfs", kind, e.code(), e.to_string())
+    }
+}
+
+impl FaultPoint for HdfsError {
+    const CHANNEL: Channel = Channel::Hdfs;
+
+    fn materialize(fault: &InjectedFault) -> HdfsError {
+        match fault.kind {
+            FaultKind::Unavailable => HdfsError::SafeMode,
+            FaultKind::Timeout { ms } | FaultKind::Latency { ms } => HdfsError::RpcTimeout {
+                op: fault.op.clone(),
+                ms,
+            },
+            FaultKind::CorruptPayload => HdfsError::ChecksumError {
+                op: fault.op.clone(),
+            },
+        }
     }
 }
 

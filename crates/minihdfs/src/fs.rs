@@ -4,6 +4,7 @@ use crate::error::HdfsError;
 use crate::path::HdfsPath;
 use crate::token::{DelegationToken, TokenCheck, TokenId, TokenRegistry};
 use bytes::Bytes;
+use csi_core::fault::{Channel, FaultKind, FaultPoint, InjectionRegistry};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -125,6 +126,7 @@ pub struct MiniHdfs {
     block_size: u64,
     default_replication: u32,
     next_block_id: u64,
+    injection: Option<InjectionRegistry>,
 }
 
 impl Default for MiniHdfs {
@@ -154,6 +156,21 @@ impl MiniHdfs {
             block_size: 128,
             default_replication: 3,
             next_block_id: 0,
+            injection: None,
+        }
+    }
+
+    /// Attaches a fault-injection registry; the public file-operation entry
+    /// points consult it before doing real work.
+    pub fn set_injection(&mut self, registry: InjectionRegistry) {
+        self.injection = Some(registry);
+    }
+
+    /// Fault-injection hook at a file-operation RPC boundary.
+    fn inject(&self, op: &str) -> Result<(), HdfsError> {
+        match &self.injection {
+            Some(reg) => reg.inject::<HdfsError>(op),
+            None => Ok(()),
         }
     }
 
@@ -227,6 +244,7 @@ impl MiniHdfs {
 
     /// Creates a directory and any missing ancestors.
     pub fn mkdirs(&mut self, path: &HdfsPath) -> Result<(), HdfsError> {
+        self.inject("mkdirs")?;
         self.check_mutable()?;
         let comps = Self::key(path);
         for depth in 1..=comps.len() {
@@ -280,6 +298,7 @@ impl MiniHdfs {
         owner: &str,
         permissions: u16,
     ) -> Result<(), HdfsError> {
+        self.inject("create")?;
         self.check_mutable()?;
         if path.is_root() {
             return Err(HdfsError::IsADirectory(path.clone()));
@@ -420,7 +439,25 @@ impl MiniHdfs {
     }
 
     /// Reads a whole file.
+    ///
+    /// Under an injected [`FaultKind::CorruptPayload`] the read *succeeds*
+    /// but delivers deterministically garbled bytes — corruption on the
+    /// wire is invisible to the namenode, so it is the caller's
+    /// deserializer that has to notice.
     pub fn read(&self, path: &HdfsPath) -> Result<Bytes, HdfsError> {
+        if let Some(reg) = &self.injection {
+            if let Some(fault) = reg.intercept(Channel::Hdfs, "read") {
+                if fault.kind == FaultKind::CorruptPayload {
+                    let clean = self.read_inode(path)?;
+                    return Ok(garble(&clean));
+                }
+                return Err(HdfsError::materialize(&fault));
+            }
+        }
+        self.read_inode(path)
+    }
+
+    fn read_inode(&self, path: &HdfsPath) -> Result<Bytes, HdfsError> {
         match self.nodes.get(&Self::key(path)) {
             None => Err(HdfsError::FileNotFound(path.clone())),
             Some(INode::Dir { .. }) => Err(HdfsError::IsADirectory(path.clone())),
@@ -496,6 +533,7 @@ impl MiniHdfs {
 
     /// Lists the immediate children of a directory.
     pub fn list_status(&self, path: &HdfsPath) -> Result<Vec<FileStatus>, HdfsError> {
+        self.inject("list_status")?;
         let comps = Self::key(path);
         match self.nodes.get(&comps) {
             None => return Err(HdfsError::FileNotFound(path.clone())),
@@ -549,6 +587,7 @@ impl MiniHdfs {
 
     /// Deletes a path; directories require `recursive` unless empty.
     pub fn delete(&mut self, path: &HdfsPath, recursive: bool) -> Result<(), HdfsError> {
+        self.inject("delete")?;
         self.check_mutable()?;
         let comps = Self::key(path);
         match self.nodes.get(&comps) {
@@ -719,6 +758,12 @@ fn partial(components: &[String]) -> HdfsPath {
         p = p.join(c);
     }
     p
+}
+
+/// Deterministically corrupts a payload: truncate to half and flip bits.
+fn garble(data: &Bytes) -> Bytes {
+    let garbled: Vec<u8> = data[..data.len() / 2].iter().map(|b| b ^ 0xA5).collect();
+    Bytes::from(garbled)
 }
 
 #[cfg(test)]

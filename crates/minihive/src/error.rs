@@ -1,5 +1,6 @@
 //! Errors raised by minihive.
 
+use csi_core::fault::{Channel, FaultKind, FaultPoint, InjectedFault};
 use csi_core::{ErrorKind, InteractionError};
 use std::fmt;
 
@@ -47,6 +48,20 @@ pub enum HiveError {
         /// Provided values.
         got: usize,
     },
+    /// The metastore service cannot be reached.
+    MetastoreUnavailable(String),
+    /// A metastore RPC exceeded its deadline.
+    MetastoreTimeout {
+        /// The RPC that timed out.
+        op: String,
+        /// The deadline, in milliseconds.
+        ms: u64,
+    },
+    /// A metastore response failed Thrift protocol decoding.
+    MetastoreCorrupt {
+        /// The RPC whose response was corrupted.
+        op: String,
+    },
 }
 
 impl fmt::Display for HiveError {
@@ -73,6 +88,15 @@ impl fmt::Display for HiveError {
                 f,
                 "INSERT has {got} values but the table has {expected} columns"
             ),
+            HiveError::MetastoreUnavailable(msg) => {
+                write!(f, "MetaException: could not connect to metastore: {msg}")
+            }
+            HiveError::MetastoreTimeout { op, ms } => {
+                write!(f, "MetaException: {op} timed out after {ms}ms")
+            }
+            HiveError::MetastoreCorrupt { op } => {
+                write!(f, "TProtocolException: corrupted metastore response for {op}")
+            }
         }
     }
 }
@@ -93,6 +117,9 @@ impl HiveError {
             HiveError::SchemaMismatch { .. } => "SCHEMA_MISMATCH",
             HiveError::Storage(_) => "STORAGE_ERROR",
             HiveError::Arity { .. } => "ARITY_MISMATCH",
+            HiveError::MetastoreUnavailable(_) => "METASTORE_UNAVAILABLE",
+            HiveError::MetastoreTimeout { .. } => "METASTORE_TIMEOUT",
+            HiveError::MetastoreCorrupt { .. } => "THRIFT_PROTOCOL_ERROR",
         }
     }
 }
@@ -102,9 +129,31 @@ impl From<HiveError> for InteractionError {
         let kind = match &e {
             HiveError::UnsupportedType { .. } => ErrorKind::Unsupported,
             HiveError::SerDe { .. } | HiveError::SchemaMismatch { .. } => ErrorKind::Crash,
+            HiveError::MetastoreUnavailable(_) => ErrorKind::Unavailable,
+            HiveError::MetastoreTimeout { .. } => ErrorKind::Timeout,
+            HiveError::MetastoreCorrupt { .. } => ErrorKind::Crash,
             _ => ErrorKind::Rejected,
         };
         InteractionError::new("minihive", kind, e.code(), e.to_string())
+    }
+}
+
+impl FaultPoint for HiveError {
+    const CHANNEL: Channel = Channel::Metastore;
+
+    fn materialize(fault: &InjectedFault) -> HiveError {
+        match fault.kind {
+            FaultKind::Unavailable => {
+                HiveError::MetastoreUnavailable(format!("injected on {}", fault.op))
+            }
+            FaultKind::Timeout { ms } | FaultKind::Latency { ms } => HiveError::MetastoreTimeout {
+                op: fault.op.clone(),
+                ms,
+            },
+            FaultKind::CorruptPayload => HiveError::MetastoreCorrupt {
+                op: fault.op.clone(),
+            },
+        }
     }
 }
 

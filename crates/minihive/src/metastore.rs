@@ -8,6 +8,7 @@
 
 use crate::error::HiveError;
 use crate::types::HiveType;
+use csi_core::fault::InjectionRegistry;
 use minihdfs::{HdfsPath, MiniHdfs};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -108,6 +109,7 @@ pub struct Metastore {
     databases: BTreeMap<String, BTreeMap<String, TableDef>>,
     warehouse_root: HdfsPath,
     next_part: u64,
+    injection: Option<InjectionRegistry>,
 }
 
 impl Default for Metastore {
@@ -126,6 +128,21 @@ impl Metastore {
             databases,
             warehouse_root: HdfsPath::parse("/user/hive/warehouse").expect("static path"),
             next_part: 0,
+            injection: None,
+        }
+    }
+
+    /// Attaches a fault-injection registry; every metastore RPC entry point
+    /// consults it before doing real work.
+    pub fn set_injection(&mut self, registry: InjectionRegistry) {
+        self.injection = Some(registry);
+    }
+
+    /// Fault-injection hook at a metastore RPC boundary.
+    fn inject(&self, op: &str) -> Result<(), HiveError> {
+        match &self.injection {
+            Some(reg) => reg.inject::<HiveError>(op),
+            None => Ok(()),
         }
     }
 
@@ -151,6 +168,7 @@ impl Metastore {
         format: StorageFormat,
         if_not_exists: bool,
     ) -> Result<&TableDef, HiveError> {
+        self.inject("create_table")?;
         let db_key = db.to_ascii_lowercase();
         let table_key = name.to_ascii_lowercase();
         let location = self.warehouse_root.join(&table_key);
@@ -183,6 +201,7 @@ impl Metastore {
 
     /// Looks a table up, case-insensitively.
     pub fn get_table(&self, db: &str, name: &str) -> Result<&TableDef, HiveError> {
+        self.inject("get_table")?;
         self.databases
             .get(&db.to_ascii_lowercase())
             .ok_or_else(|| HiveError::UnknownDatabase(db.to_string()))?
@@ -198,6 +217,7 @@ impl Metastore {
         key: &str,
         value: &str,
     ) -> Result<(), HiveError> {
+        self.inject("set_table_property")?;
         let t = self
             .databases
             .get_mut(&db.to_ascii_lowercase())
@@ -222,6 +242,7 @@ impl Metastore {
         name: &str,
         hive_type: HiveType,
     ) -> Result<(), HiveError> {
+        self.inject("add_column")?;
         let t = self
             .databases
             .get_mut(&db.to_ascii_lowercase())
@@ -247,6 +268,7 @@ impl Metastore {
         if_exists: bool,
         fs: &mut MiniHdfs,
     ) -> Result<(), HiveError> {
+        self.inject("drop_table")?;
         let db_key = db.to_ascii_lowercase();
         let table_key = name.to_ascii_lowercase();
         let tables = self
@@ -268,6 +290,7 @@ impl Metastore {
 
     /// Lists table names in a database.
     pub fn list_tables(&self, db: &str) -> Result<Vec<&str>, HiveError> {
+        self.inject("list_tables")?;
         Ok(self
             .databases
             .get(&db.to_ascii_lowercase())
@@ -292,6 +315,7 @@ impl Metastore {
         table: &TableDef,
         fs: &MiniHdfs,
     ) -> Result<Vec<HdfsPath>, HiveError> {
+        self.inject("table_data_files")?;
         if !fs.exists(&table.location) {
             return Ok(Vec::new());
         }

@@ -3,6 +3,7 @@
 
 use crate::error::KafkaError;
 use bytes::Bytes;
+use csi_core::fault::InjectionRegistry;
 use std::collections::BTreeMap;
 
 /// A record offset within a partition.
@@ -74,12 +75,27 @@ pub struct MiniKafka {
     group_offsets: BTreeMap<(String, String, u32), Offset>,
     transactions: BTreeMap<u64, Transaction>,
     next_txn_id: u64,
+    injection: Option<InjectionRegistry>,
 }
 
 impl MiniKafka {
     /// Creates an empty broker.
     pub fn new() -> MiniKafka {
         MiniKafka::default()
+    }
+
+    /// Attaches a fault-injection registry; broker request entry points
+    /// consult it before doing real work.
+    pub fn set_injection(&mut self, registry: InjectionRegistry) {
+        self.injection = Some(registry);
+    }
+
+    /// Fault-injection hook at a broker request boundary.
+    fn inject(&self, op: &str) -> Result<(), KafkaError> {
+        match &self.injection {
+            Some(reg) => reg.inject::<KafkaError>(op),
+            None => Ok(()),
+        }
     }
 
     /// Creates a topic with `partitions` partitions. Idempotent.
@@ -142,6 +158,7 @@ impl MiniKafka {
         value: Option<&[u8]>,
         timestamp: u64,
     ) -> Result<Offset, KafkaError> {
+        self.inject("produce")?;
         let p = self.partition_mut(topic, partition)?;
         let offset = p.next_offset;
         p.next_offset += 1;
@@ -252,6 +269,7 @@ impl MiniKafka {
         offset: Offset,
         max_records: usize,
     ) -> Result<RecordBatch, KafkaError> {
+        self.inject("fetch")?;
         let p = self.partition(topic, partition)?;
         if offset < p.log_start || offset > p.next_offset {
             return Err(KafkaError::OffsetOutOfRange {
@@ -294,6 +312,7 @@ impl MiniKafka {
         topic: &str,
         partition: PartitionId,
     ) -> Result<Offset, KafkaError> {
+        self.inject("log_end_offset")?;
         Ok(self.partition(topic, partition)?.next_offset)
     }
 

@@ -1,5 +1,6 @@
 //! Errors raised by the minikafka broker.
 
+use csi_core::fault::{Channel, FaultKind, FaultPoint, InjectedFault};
 use csi_core::{ErrorKind, InteractionError};
 use std::fmt;
 
@@ -37,6 +38,18 @@ pub enum KafkaError {
         /// The group's current generation.
         current: u64,
     },
+    /// No broker is reachable for the request.
+    BrokerUnavailable,
+    /// The request exceeded its deadline without a broker response.
+    RequestTimedOut {
+        /// The deadline, in milliseconds.
+        ms: u64,
+    },
+    /// A record batch failed its CRC check; the broker rejects it cleanly.
+    CorruptRecord {
+        /// The request during which the corruption was detected.
+        op: String,
+    },
 }
 
 impl fmt::Display for KafkaError {
@@ -60,6 +73,15 @@ impl fmt::Display for KafkaError {
                 f,
                 "ILLEGAL_GENERATION: presented generation {presented}, group is at {current}"
             ),
+            KafkaError::BrokerUnavailable => {
+                write!(f, "BROKER_NOT_AVAILABLE: no broker reachable")
+            }
+            KafkaError::RequestTimedOut { ms } => {
+                write!(f, "REQUEST_TIMED_OUT: no response within {ms}ms")
+            }
+            KafkaError::CorruptRecord { op } => {
+                write!(f, "CORRUPT_MESSAGE: record batch failed CRC during {op}")
+            }
         }
     }
 }
@@ -76,12 +98,36 @@ impl KafkaError {
             KafkaError::UnknownGroup(_) => "UNKNOWN_GROUP",
             KafkaError::NoOpenTransaction => "NO_OPEN_TRANSACTION",
             KafkaError::IllegalGeneration { .. } => "ILLEGAL_GENERATION",
+            KafkaError::BrokerUnavailable => "BROKER_UNAVAILABLE",
+            KafkaError::RequestTimedOut { .. } => "REQUEST_TIMED_OUT",
+            KafkaError::CorruptRecord { .. } => "CORRUPT_RECORD",
         }
     }
 }
 
 impl From<KafkaError> for InteractionError {
     fn from(e: KafkaError) -> InteractionError {
-        InteractionError::new("minikafka", ErrorKind::Rejected, e.code(), e.to_string())
+        let kind = match &e {
+            KafkaError::BrokerUnavailable => ErrorKind::Unavailable,
+            KafkaError::RequestTimedOut { .. } => ErrorKind::Timeout,
+            _ => ErrorKind::Rejected,
+        };
+        InteractionError::new("minikafka", kind, e.code(), e.to_string())
+    }
+}
+
+impl FaultPoint for KafkaError {
+    const CHANNEL: Channel = Channel::Kafka;
+
+    fn materialize(fault: &InjectedFault) -> KafkaError {
+        match fault.kind {
+            FaultKind::Unavailable => KafkaError::BrokerUnavailable,
+            FaultKind::Timeout { ms } | FaultKind::Latency { ms } => {
+                KafkaError::RequestTimedOut { ms }
+            }
+            FaultKind::CorruptPayload => KafkaError::CorruptRecord {
+                op: fault.op.clone(),
+            },
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! Errors raised by the miniyarn ResourceManager.
 
 use crate::resource::Resource;
+use csi_core::fault::{Channel, FaultKind, FaultPoint, InjectedFault};
 use csi_core::{ErrorKind, InteractionError};
 use std::fmt;
 
@@ -28,6 +29,15 @@ pub enum YarnError {
     UnknownContainer(u64),
     /// A required configuration value failed to parse.
     BadConfig(String),
+    /// The ResourceManager cannot be reached.
+    RmUnavailable,
+    /// A ResourceManager RPC exceeded its deadline.
+    RmTimeout {
+        /// The RPC that timed out.
+        op: String,
+        /// The deadline, in milliseconds.
+        ms: u64,
+    },
 }
 
 impl fmt::Display for YarnError {
@@ -44,6 +54,12 @@ impl fmt::Display for YarnError {
             }
             YarnError::UnknownContainer(id) => write!(f, "unknown container {id}"),
             YarnError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            YarnError::RmUnavailable => {
+                write!(f, "ConnectException: ResourceManager unreachable")
+            }
+            YarnError::RmTimeout { op, ms } => {
+                write!(f, "SocketTimeoutException: {op} timed out after {ms}ms")
+            }
         }
     }
 }
@@ -59,6 +75,8 @@ impl YarnError {
             YarnError::UnsupportedInMode { .. } => "UNSUPPORTED_IN_MODE",
             YarnError::UnknownContainer(_) => "UNKNOWN_CONTAINER",
             YarnError::BadConfig(_) => "BAD_CONFIG",
+            YarnError::RmUnavailable => "RM_UNAVAILABLE",
+            YarnError::RmTimeout { .. } => "RM_TIMEOUT",
         }
     }
 }
@@ -67,9 +85,29 @@ impl From<YarnError> for InteractionError {
     fn from(e: YarnError) -> InteractionError {
         let kind = match &e {
             YarnError::UnsupportedInMode { .. } => ErrorKind::Unsupported,
+            YarnError::RmUnavailable => ErrorKind::Unavailable,
+            YarnError::RmTimeout { .. } => ErrorKind::Timeout,
             _ => ErrorKind::Rejected,
         };
         InteractionError::new("miniyarn", kind, e.code(), e.to_string())
+    }
+}
+
+impl FaultPoint for YarnError {
+    const CHANNEL: Channel = Channel::Yarn;
+
+    fn materialize(fault: &InjectedFault) -> YarnError {
+        match fault.kind {
+            FaultKind::Unavailable => YarnError::RmUnavailable,
+            FaultKind::Timeout { ms } | FaultKind::Latency { ms } => YarnError::RmTimeout {
+                op: fault.op.clone(),
+                ms,
+            },
+            FaultKind::CorruptPayload => YarnError::RmTimeout {
+                op: fault.op.clone(),
+                ms: 0,
+            },
+        }
     }
 }
 

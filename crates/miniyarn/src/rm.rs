@@ -6,6 +6,7 @@ use crate::error::YarnError;
 use crate::resource::Resource;
 use crate::scheduler::{scheduler_from_config, Scheduler, SchedulerKind};
 use csi_core::config::ConfigMap;
+use csi_core::fault::InjectionRegistry;
 use std::collections::{BTreeMap, VecDeque};
 
 /// Identifier of a registered application (application master).
@@ -168,6 +169,7 @@ pub struct ResourceManager {
     next_container: u64,
     total_requested: u64,
     total_allocated: u64,
+    injection: Option<InjectionRegistry>,
 }
 
 impl ResourceManager {
@@ -189,6 +191,22 @@ impl ResourceManager {
             next_container: 0,
             total_requested: 0,
             total_allocated: 0,
+            injection: None,
+        }
+    }
+
+    /// Attaches a fault-injection registry; RM request entry points consult
+    /// it before doing real work, and injected latency slows the allocation
+    /// pipeline.
+    pub fn set_injection(&mut self, registry: InjectionRegistry) {
+        self.injection = Some(registry);
+    }
+
+    /// Fault-injection hook at an RM request boundary.
+    fn inject(&self, op: &str) -> Result<(), YarnError> {
+        match &self.injection {
+            Some(reg) => reg.inject::<YarnError>(op),
+            None => Ok(()),
         }
     }
 
@@ -263,6 +281,7 @@ impl ResourceManager {
         app: ApplicationId,
         ask: Resource,
     ) -> Result<Resource, YarnError> {
+        self.inject("add_container_request")?;
         if !self.apps.contains_key(&app) {
             return Err(YarnError::UnknownApplication(app.0));
         }
@@ -294,6 +313,7 @@ impl ResourceManager {
     /// The AM–RM heartbeat: returns containers allocated and completed since
     /// the application's previous heartbeat.
     pub fn allocate(&mut self, app: ApplicationId) -> Result<AllocateResponse, YarnError> {
+        self.inject("allocate")?;
         self.process_pipeline();
         let num_pending = self.pending.iter().filter(|a| a.app == app).count();
         let state = self
@@ -317,7 +337,11 @@ impl ResourceManager {
     /// grows, the overload effect of Figure 1.
     fn effective_service_ms(&self) -> u64 {
         let backlog_factor = 1 + (self.pending.len() as u64) / 1000;
-        self.alloc_service_ms * backlog_factor
+        let injected = self
+            .injection
+            .as_ref()
+            .map_or(0, InjectionRegistry::virtual_delay_ms);
+        self.alloc_service_ms * backlog_factor + injected
     }
 
     fn process_pipeline(&mut self) {
@@ -510,6 +534,7 @@ impl ResourceManager {
 
     /// Cluster metrics, available only in classic mode (YARN-9724).
     pub fn get_cluster_metrics(&self) -> Result<ClusterMetrics, YarnError> {
+        self.inject("get_cluster_metrics")?;
         if self.mode == RmMode::Federation {
             return Err(YarnError::UnsupportedInMode {
                 op: "getClusterMetrics",
