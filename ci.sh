@@ -20,6 +20,9 @@ cargo test -q -p csi-test --test determinism
 echo "==> fault matrix (injection determinism + taxonomy coverage)"
 cargo test -q -p csi-test --test fault_matrix
 
+echo "==> boundary trace summary (per-channel crossing counts)"
+cargo run -q --release -p csi-bench --bin trace_summary
+
 echo "==> golden campaign report"
 cargo test -q -p csi-test --test golden_report
 

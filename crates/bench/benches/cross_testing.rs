@@ -87,6 +87,7 @@ fn bench_oracles(c: &mut Criterion) {
                 result: Ok(vec![Value::Int((i % 3) as i32)]),
                 diagnostics: vec![],
             }),
+            trace: csi_core::boundary::InteractionTrace::default(),
         })
         .collect();
     c.bench_function("oracle/differential_512_observations", |b| {

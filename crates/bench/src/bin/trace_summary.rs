@@ -1,0 +1,80 @@
+//! Boundary-crossing summary: runs the full traced cross-testing campaign
+//! and the standard fault matrix, then prints per-channel crossing counts
+//! as JSON — the CI-visible proof that every connector op routes through
+//! `CrossingContext::cross` and that every reported discrepancy carries
+//! its causal crossing sequence.
+//!
+//! Usage: `trace_summary [seed]` — `seed` defaults to 42 (the golden
+//! campaign seed).
+
+use csi_test::{generate_inputs, run_cross_test, run_fault_matrix, CrossTestConfig, FaultMatrixConfig};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// The JSON document this binary prints.
+#[derive(Serialize)]
+struct Summary {
+    /// Campaign seed.
+    seed: u64,
+    /// Observations produced by the campaign.
+    observations: usize,
+    /// Boundary crossings per channel across every campaign observation.
+    campaign_crossings: BTreeMap<String, usize>,
+    /// Total campaign crossings.
+    campaign_total: usize,
+    /// Distinct discrepancies reported.
+    discrepancies: usize,
+    /// Discrepancies whose report carries a non-empty crossing trace.
+    discrepancies_with_trace: usize,
+    /// Fault-matrix cells executed.
+    fault_matrix_cells: usize,
+    /// Boundary crossings per channel across every fault-matrix cell.
+    fault_matrix_crossings: BTreeMap<String, usize>,
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(42);
+
+    let inputs = generate_inputs();
+    let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+    let campaign_total = outcome.report.trace_totals.values().sum();
+    let discrepancies_with_trace = outcome
+        .report
+        .discrepancies
+        .iter()
+        .filter(|d| !d.trace.is_empty())
+        .count();
+
+    let matrix = run_fault_matrix(&FaultMatrixConfig::standard(seed));
+    let mut fault_matrix_crossings: BTreeMap<String, usize> = BTreeMap::new();
+    for case in &matrix.cases {
+        for (channel, n) in case.trace.channel_counts() {
+            *fault_matrix_crossings.entry(channel).or_insert(0) += n;
+        }
+    }
+
+    let summary = Summary {
+        seed,
+        observations: outcome.observations.len(),
+        campaign_crossings: outcome.report.trace_totals.clone(),
+        campaign_total,
+        discrepancies: outcome.report.distinct(),
+        discrepancies_with_trace,
+        fault_matrix_cells: matrix.cases.len(),
+        fault_matrix_crossings,
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&summary).expect("summary serializes")
+    );
+    // The acceptance gate: tracing is on by default and every reported
+    // discrepancy must carry its causal crossing sequence.
+    assert!(summary.campaign_total > 0, "campaign recorded no crossings");
+    assert_eq!(
+        summary.discrepancies_with_trace, summary.discrepancies,
+        "a discrepancy was reported without a crossing trace"
+    );
+}

@@ -5,8 +5,10 @@
 //! allocations. This module makes those boundaries injectable: a seeded,
 //! serializable [`FaultPlan`] is armed into a shared [`InjectionRegistry`],
 //! and each mini-system's connector layer calls
-//! [`InjectionRegistry::inject`] at the entry of its interaction-facing
-//! operations. A fired fault is *materialized* into the system's native
+//! [`CrossingContext::cross`](crate::boundary::CrossingContext::cross) at
+//! the entry of its interaction-facing operations — the boundary layer is
+//! the only caller of the registry's interpose machinery. A fired fault is
+//! *materialized* into the system's native
 //! error type through the [`FaultPoint`] trait, so the fault then travels
 //! exactly the error-translation path a real boundary failure would take —
 //! which is what the [`FaultOutcome`] taxonomy classifies.
@@ -37,15 +39,18 @@ pub enum Channel {
     Kafka,
     /// YARN ResourceManager requests (allocate, cluster metrics).
     Yarn,
+    /// HBase key-value requests (region location lookup, routed gets).
+    HBase,
 }
 
 impl Channel {
     /// All channels, in canonical order.
-    pub const ALL: [Channel; 4] = [
+    pub const ALL: [Channel; 5] = [
         Channel::Metastore,
         Channel::Hdfs,
         Channel::Kafka,
         Channel::Yarn,
+        Channel::HBase,
     ];
 }
 
@@ -56,6 +61,7 @@ impl fmt::Display for Channel {
             Channel::Hdfs => "hdfs",
             Channel::Kafka => "kafka",
             Channel::Yarn => "yarn",
+            Channel::HBase => "hbase",
         };
         f.write_str(s)
     }
@@ -227,30 +233,33 @@ impl InjectionRegistry {
         self.inner.lock().delay_ms
     }
 
-    /// Counts the call and returns the fault to materialize, if any.
+    /// Counts the call against the armed faults and reports what fired.
     ///
-    /// Latency faults are recorded (fired log + delay) but return `None`:
-    /// the call proceeds, only slower, which is exactly how timing faults
-    /// like FLINK-12342 manifest.
-    pub fn intercept(&self, channel: Channel, op: &str) -> Option<InjectedFault> {
+    /// Latency faults are recorded (fired log + delay) and returned as
+    /// [`Interception::Latency`]: the call proceeds, only slower, which is
+    /// exactly how timing faults like FLINK-12342 manifest.
+    ///
+    /// Crate-private: the boundary layer
+    /// ([`CrossingContext`](crate::boundary::CrossingContext)) is the only
+    /// interpose point; connector code never touches the registry directly.
+    pub(crate) fn intercept_full(&self, channel: Channel, op: &str) -> Interception {
         let mut state = self.inner.lock();
         if state.armed.is_empty() {
-            return None;
+            return Interception::Clean;
         }
-        let counter = state
-            .calls
-            .entry((channel, op.to_string()))
-            .or_insert(0);
+        let counter = state.calls.entry((channel, op.to_string())).or_insert(0);
         let call = *counter;
         *counter += 1;
-        let spec = state.armed.iter().find(|s| {
+        let Some(spec) = state.armed.iter().find(|s| {
             s.channel == channel
                 && s.op == op
                 && match s.trigger {
                     Trigger::Always => true,
                     Trigger::OnCall(n) => n == call,
                 }
-        })?;
+        }) else {
+            return Interception::Clean;
+        };
         let fault = InjectedFault {
             spec_id: spec.id.clone(),
             channel,
@@ -261,20 +270,22 @@ impl InjectionRegistry {
         state.fired.push(fault.clone());
         if let FaultKind::Latency { ms } = fault.kind {
             state.delay_ms = state.delay_ms.max(ms);
-            return None;
+            return Interception::Latency(fault);
         }
-        Some(fault)
+        Interception::Fault(fault)
     }
+}
 
-    /// Intercepts `op` on `E`'s channel and materializes any fired fault
-    /// into the system's native error — the one-liner each connector layer
-    /// calls at the entry of an interaction-facing operation.
-    pub fn inject<E: FaultPoint>(&self, op: &str) -> Result<(), E> {
-        match self.intercept(E::CHANNEL, op) {
-            Some(fault) => Err(E::materialize(&fault)),
-            None => Ok(()),
-        }
-    }
+/// The boundary-layer view of one interpose: clean, fired-but-proceeding
+/// (latency), or fired-and-materialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Interception {
+    /// No armed fault matched.
+    Clean,
+    /// A latency fault fired; the call proceeds, only slower.
+    Latency(InjectedFault),
+    /// A fault fired and must be materialized as the native error.
+    Fault(InjectedFault),
 }
 
 /// A connector-layer fault point: turns a fired fault into the system's
@@ -348,6 +359,12 @@ pub fn canonical_signature(
             Some((ErrorKind::Unavailable, "RM_UNAVAILABLE"))
         }
         (Channel::Yarn, FaultKind::Timeout { .. }) => Some((ErrorKind::Timeout, "RM_TIMEOUT")),
+        (Channel::HBase, FaultKind::Unavailable) => {
+            Some((ErrorKind::Unavailable, "REGION_SERVER_DOWN"))
+        }
+        (Channel::HBase, FaultKind::Timeout { .. }) => {
+            Some((ErrorKind::Timeout, "HBASE_RPC_TIMEOUT"))
+        }
         _ => None,
     }
 }
@@ -383,6 +400,13 @@ pub fn classify_fault_outcome(
 mod tests {
     use super::*;
 
+    fn hit(reg: &InjectionRegistry, channel: Channel, op: &str) -> Option<InjectedFault> {
+        match reg.intercept_full(channel, op) {
+            Interception::Fault(f) => Some(f),
+            Interception::Latency(_) | Interception::Clean => None,
+        }
+    }
+
     fn spec(id: &str, op: &str, kind: FaultKind, trigger: Trigger) -> FaultSpec {
         FaultSpec {
             id: id.into(),
@@ -397,11 +421,11 @@ mod tests {
     fn always_trigger_fires_on_every_matching_call() {
         let reg = InjectionRegistry::new();
         reg.arm(spec("a", "get_table", FaultKind::Unavailable, Trigger::Always));
-        assert!(reg.intercept(Channel::Metastore, "get_table").is_some());
-        assert!(reg.intercept(Channel::Metastore, "get_table").is_some());
+        assert!(hit(&reg, Channel::Metastore, "get_table").is_some());
+        assert!(hit(&reg, Channel::Metastore, "get_table").is_some());
         // Other ops and channels are untouched.
-        assert!(reg.intercept(Channel::Metastore, "create_table").is_none());
-        assert!(reg.intercept(Channel::Hdfs, "get_table").is_none());
+        assert!(hit(&reg, Channel::Metastore, "create_table").is_none());
+        assert!(hit(&reg, Channel::Hdfs, "get_table").is_none());
         assert_eq!(reg.fired().len(), 2);
     }
 
@@ -409,14 +433,14 @@ mod tests {
     fn on_call_trigger_fires_exactly_once_per_reset() {
         let reg = InjectionRegistry::new();
         reg.arm(spec("a", "read", FaultKind::Unavailable, Trigger::OnCall(1)));
-        assert!(reg.intercept(Channel::Metastore, "read").is_none()); // call 0
-        let f = reg.intercept(Channel::Metastore, "read").unwrap(); // call 1
+        assert!(hit(&reg, Channel::Metastore, "read").is_none()); // call 0
+        let f = hit(&reg, Channel::Metastore, "read").unwrap(); // call 1
         assert_eq!(f.call, 1);
-        assert!(reg.intercept(Channel::Metastore, "read").is_none()); // call 2
+        assert!(hit(&reg, Channel::Metastore, "read").is_none()); // call 2
         reg.reset_counters();
         assert!(reg.fired().is_empty());
-        assert!(reg.intercept(Channel::Metastore, "read").is_none()); // call 0 again
-        assert!(reg.intercept(Channel::Metastore, "read").is_some()); // call 1 again
+        assert!(hit(&reg, Channel::Metastore, "read").is_none()); // call 0 again
+        assert!(hit(&reg, Channel::Metastore, "read").is_some()); // call 1 again
     }
 
     #[test]
@@ -429,7 +453,7 @@ mod tests {
             kind: FaultKind::Latency { ms: 700 },
             trigger: Trigger::Always,
         });
-        assert!(reg.intercept(Channel::Yarn, "allocate").is_none());
+        assert!(hit(&reg, Channel::Yarn, "allocate").is_none());
         assert_eq!(reg.virtual_delay_ms(), 700);
         assert_eq!(reg.fired().len(), 1);
         reg.reset_counters();
@@ -440,7 +464,7 @@ mod tests {
     fn empty_plan_is_inert() {
         let reg = InjectionRegistry::new();
         reg.arm_plan(&FaultPlan::empty(42));
-        assert!(reg.intercept(Channel::Metastore, "get_table").is_none());
+        assert!(hit(&reg, Channel::Metastore, "get_table").is_none());
         // With nothing armed, intercept does not even count calls.
         assert!(reg.fired().is_empty());
     }

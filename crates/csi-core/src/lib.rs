@@ -31,6 +31,7 @@
 //! `csi-study` crate encodes the 120-case failure dataset of Sections 3–7.
 
 pub mod audit;
+pub mod boundary;
 pub mod config;
 pub mod diag;
 pub mod error;

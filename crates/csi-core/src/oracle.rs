@@ -12,6 +12,7 @@
 //! [`OracleFailure`]s, the raw material the discrepancy classifier groups
 //! into distinct discrepancies.
 
+use crate::boundary::InteractionTrace;
 use crate::diag::{Diagnostic, Level};
 use crate::error::InteractionError;
 use crate::value::Value;
@@ -72,6 +73,8 @@ pub struct Observation {
     pub write: WriteOutcome,
     /// Read outcome; `None` when the write failed and no read was attempted.
     pub read: Option<ReadOutcome>,
+    /// The causal sequence of boundary crossings this observation drove.
+    pub trace: InteractionTrace,
 }
 
 /// Canonical behavior of an observation, for differential comparison.
@@ -292,6 +295,7 @@ mod tests {
                 result: Ok(vec![value]),
                 diagnostics: vec![],
             }),
+            trace: InteractionTrace::default(),
         }
     }
 
@@ -305,6 +309,7 @@ mod tests {
                 diagnostics: vec![],
             },
             read: None,
+            trace: InteractionTrace::default(),
         }
     }
 

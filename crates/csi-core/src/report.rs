@@ -10,7 +10,7 @@
 
 use crate::oracle::OracleFailure;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// The five problem categories of Section 8.2.
@@ -72,6 +72,9 @@ pub struct Discrepancy {
     pub categories: Vec<ProblemCategory>,
     /// The test failures that evidence this discrepancy.
     pub evidence: Vec<OracleFailure>,
+    /// Compact causal crossing sequence of a representative failing
+    /// observation (empty when tracing was disabled).
+    pub trace: Vec<String>,
 }
 
 impl Discrepancy {
@@ -99,6 +102,9 @@ pub struct DiscrepancyReport {
     /// Oracle failures the classifier could not attribute (should be empty
     /// once the discrepancy catalogue is complete).
     pub unattributed: Vec<OracleFailure>,
+    /// Total boundary crossings per channel across the whole campaign
+    /// (empty when tracing was disabled).
+    pub trace_totals: BTreeMap<String, usize>,
 }
 
 impl DiscrepancyReport {
@@ -153,10 +159,19 @@ impl DiscrepancyReport {
                 d.title,
                 d.evidence.len()
             ));
+            for line in &d.trace {
+                out.push_str(&format!("      {line}\n"));
+            }
         }
         out.push_str("category totals:\n");
         for (c, n) in self.category_counts() {
             out.push_str(&format!("  {n:2} x {c}\n"));
+        }
+        if !self.trace_totals.is_empty() {
+            out.push_str("boundary crossings per channel:\n");
+            for (channel, n) in &self.trace_totals {
+                out.push_str(&format!("  {n:6} x {channel}\n"));
+            }
         }
         if !self.unattributed.is_empty() {
             out.push_str(&format!(
@@ -200,6 +215,7 @@ mod tests {
                         ProblemCategory::InternalConfigExposure,
                     ],
                     evidence: vec![failure(1)],
+                    trace: vec!["#0 Spark->Hive metastore:get_table [Data] @0ms ok".into()],
                 },
                 Discrepancy {
                     id: "D05".into(),
@@ -210,9 +226,11 @@ mod tests {
                         ProblemCategory::CustomConfigReliance,
                     ],
                     evidence: vec![failure(2)],
+                    trace: vec![],
                 },
             ],
             unattributed: vec![],
+            trace_totals: BTreeMap::from([("metastore".to_string(), 4)]),
         }
     }
 
@@ -236,6 +254,8 @@ mod tests {
         assert!(text.contains("D01"));
         assert!(text.contains("D05"));
         assert!(text.contains("2 distinct discrepancies"));
+        assert!(text.contains("#0 Spark->Hive metastore:get_table"));
+        assert!(text.contains("boundary crossings per channel:"));
     }
 
     #[test]

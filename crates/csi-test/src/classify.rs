@@ -322,15 +322,23 @@ pub fn classify(
         .iter()
         .filter_map(|desc| {
             let ev = evidence.remove(desc.id)?;
+            let trace = representative_trace(&ev, observations);
             Some(Discrepancy {
                 id: desc.id.to_string(),
                 issue_keys: desc.issue_keys.iter().map(|s| s.to_string()).collect(),
                 title: desc.title.to_string(),
                 categories: desc.categories.to_vec(),
                 evidence: ev,
+                trace,
             })
         })
         .collect();
+    let mut trace_totals: BTreeMap<String, usize> = BTreeMap::new();
+    for (_, obs) in observations {
+        for (channel, n) in obs.trace.channel_counts() {
+            *trace_totals.entry(channel).or_insert(0) += n;
+        }
+    }
     let valid = inputs
         .iter()
         .filter(|i| i.validity == Validity::Valid)
@@ -343,7 +351,28 @@ pub fn classify(
         raw_failures: failures,
         discrepancies,
         unattributed,
+        trace_totals,
     }
+}
+
+/// The compact crossing sequence of the first evidencing observation that
+/// recorded one — the causal witness rendered under each discrepancy.
+fn representative_trace(
+    evidence: &[OracleFailure],
+    observations: &[(Experiment, Observation)],
+) -> Vec<String> {
+    for failure in evidence {
+        for (_, obs) in observations {
+            if obs.input_id == failure.input_id
+                && failure.plans.contains(&obs.plan)
+                && failure.formats.contains(&obs.format)
+                && !obs.trace.is_empty()
+            {
+                return obs.trace.compact();
+            }
+        }
+    }
+    Vec::new()
 }
 
 #[cfg(test)]

@@ -11,8 +11,9 @@
 use crate::classify;
 use crate::generator::{TestInput, Validity};
 use crate::plan::{Experiment, Interface, TestPlan};
+use csi_core::boundary::CrossingContext;
 use csi_core::diag::DiagSink;
-use csi_core::fault::{FaultPlan, InjectionRegistry};
+use csi_core::fault::FaultPlan;
 use csi_core::oracle::{
     check_differential, check_error_handling, check_write_read, Observation, OracleFailure,
     ReadOutcome, WriteOutcome,
@@ -45,6 +46,10 @@ pub struct CrossTestConfig {
     /// Faults to arm on every deployment's metastore and filesystem.
     /// `None` (and an empty plan) runs fault-free.
     pub fault_plan: Option<FaultPlan>,
+    /// Record an [`csi_core::boundary::InteractionTrace`] per observation.
+    /// Disabling skips only the trace sink; the fault path is identical
+    /// (tracing is side-effect-free, pinned by `tests/trace.rs`).
+    pub trace_boundaries: bool,
 }
 
 impl Default for CrossTestConfig {
@@ -55,6 +60,7 @@ impl Default for CrossTestConfig {
             spark_overrides: Vec::new(),
             recycle_tables: false,
             fault_plan: None,
+            trace_boundaries: true,
         }
     }
 }
@@ -99,9 +105,10 @@ pub(crate) struct Deployment {
     pub(crate) sink: DiagSink,
     pub(crate) spark: SparkSession,
     pub(crate) hive: HiveQl,
-    /// The fault-injection registry armed into this deployment's metastore
-    /// and filesystem, when the config carries a non-empty fault plan.
-    pub(crate) injection: Option<InjectionRegistry>,
+    /// The crossing context wired into this deployment's metastore and
+    /// filesystem: the single choke point where faults are injected and
+    /// boundary crossings are traced.
+    pub(crate) crossing: CrossingContext,
 }
 
 impl Deployment {
@@ -109,16 +116,16 @@ impl Deployment {
         let sink = DiagSink::new();
         let mut metastore = Metastore::new();
         let mut fs = MiniHdfs::with_datanodes(3);
-        let injection = match &config.fault_plan {
-            Some(plan) if !plan.faults.is_empty() => {
-                let reg = InjectionRegistry::new();
-                reg.arm_plan(plan);
-                metastore.set_injection(reg.clone());
-                fs.set_injection(reg.clone());
-                Some(reg)
-            }
-            _ => None,
+        let crossing = if config.trace_boundaries {
+            CrossingContext::new()
+        } else {
+            CrossingContext::disabled()
         };
+        if let Some(plan) = &config.fault_plan {
+            crossing.arm_plan(plan);
+        }
+        metastore.set_crossing(crossing.clone());
+        fs.set_crossing(crossing.clone());
         let metastore = Arc::new(Mutex::new(metastore));
         let fs = Arc::new(Mutex::new(fs));
         let mut spark =
@@ -131,7 +138,7 @@ impl Deployment {
             sink,
             spark,
             hive,
-            injection,
+            crossing,
         }
     }
 
@@ -346,13 +353,11 @@ pub(crate) fn run_one(
         format.extension(),
         input.id
     );
-    if let Some(reg) = &d.injection {
-        // Scope call-counted triggers (and the fired log) to this
-        // observation, regardless of which worker ran the previous one —
-        // the property that keeps fault campaigns byte-identical across
-        // worker counts.
-        reg.reset_counters();
-    }
+    // Scope call-counted triggers, the fired log, the virtual clock, and
+    // the trace sink to this observation, regardless of which worker ran
+    // the previous one — the property that keeps campaigns byte-identical
+    // across worker counts.
+    d.crossing.reset();
     d.sink.drain();
     let write_result = write_via(d, plan.write, &table, input, format);
     let write = WriteOutcome {
@@ -374,6 +379,7 @@ pub(crate) fn run_one(
         format: format.name().to_string(),
         write,
         read,
+        trace: d.crossing.trace(),
     };
     if recycle {
         d.recycle(&table);

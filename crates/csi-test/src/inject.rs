@@ -6,7 +6,9 @@
 //! (experiment × plan × format) probe cross of the campaign executor,
 //! Kafka faults against the broker API directly and through Spark's Kafka
 //! connector, YARN faults against the Flink driver loop (FLINK-12342's
-//! home) and Spark's cluster-metrics connector — and the caller-visible
+//! home) and Spark's cluster-metrics connector, HBase faults against the
+//! location-caching key-value client under both retry policies
+//! (HBASE-16621's home) — and the caller-visible
 //! result of each cell is classified with
 //! [`classify_fault_outcome`] into the paper's error-handling taxonomy:
 //! swallowed, mistranslated, propagated-with-context, or crash.
@@ -19,14 +21,16 @@
 use crate::exec::{run_one, CrossTestConfig, Deployment};
 use crate::generator::{TestInput, Validity};
 use crate::plan::{Experiment, TestPlan};
+use csi_core::boundary::{CrossingContext, InteractionTrace};
 use csi_core::fault::{
     classify_fault_outcome, Channel, FaultKind, FaultOutcome, FaultPlan, FaultSpec, InjectedFault,
-    InjectionRegistry, Trigger,
+    Trigger,
 };
 use csi_core::oracle::Observation;
 use csi_core::value::{DataType, Value};
 use csi_core::InteractionError;
-use miniflink::yarn_driver::{run_driver_with, DriverMode, DriverRun};
+use miniflink::yarn_driver::{run_driver_traced, DriverMode, DriverRun};
+use minihbase::{ClusterState, HBaseClient, RetryPolicy, ServerId};
 use minihive::metastore::StorageFormat;
 use minikafka::{KafkaError, MiniKafka, PartitionId};
 use minispark::connectors::kafka::{consume_range, plan_range, OffsetModel};
@@ -171,6 +175,23 @@ pub fn fault_catalogue(seed: u64) -> FaultPlan {
                 FaultKind::Unavailable,
                 Trigger::Always,
             ),
+            spec(
+                "hbase-unavail-route",
+                Channel::HBase,
+                "route",
+                FaultKind::Unavailable,
+                Trigger::Always,
+            ),
+            // HBASE-16621's shape: the first location lookup is poisoned,
+            // so the cached entry points at a server that never served the
+            // region; whether that surfaces depends on the retry policy.
+            spec(
+                "hbase-stale-locate",
+                Channel::HBase,
+                "locate",
+                FaultKind::CorruptPayload,
+                Trigger::OnCall(0),
+            ),
         ],
     }
 }
@@ -184,6 +205,7 @@ pub fn small_fault_catalogue(seed: u64) -> FaultPlan {
         "hdfs-corrupt-read",
         "kafka-unavail-fetch",
         "yarn-unavail-alloc",
+        "hbase-unavail-route",
     ];
     FaultPlan {
         seed,
@@ -250,6 +272,8 @@ pub struct FaultCase {
     pub outcome: Option<FaultOutcome>,
     /// Deterministic human-readable cell summary.
     pub detail: String,
+    /// The boundary-crossing sequence recorded while the cell ran.
+    pub trace: InteractionTrace,
 }
 
 /// The full fault-matrix report.
@@ -317,6 +341,8 @@ enum Cell {
     YarnDriver { fault: FaultSpec },
     /// Spark's YARN cluster-metrics connector.
     YarnMetrics { fault: FaultSpec },
+    /// The HBase location-caching client under one retry policy.
+    HBaseRoute { fault: FaultSpec, policy: RetryPolicy },
 }
 
 fn enumerate_cells(config: &FaultMatrixConfig) -> Vec<Cell> {
@@ -360,6 +386,14 @@ fn enumerate_cells(config: &FaultMatrixConfig) -> Vec<Cell> {
                     });
                 }
             }
+            Channel::HBase => {
+                for policy in [RetryPolicy::TrustCache, RetryPolicy::RefreshAndRetry] {
+                    cells.push(Cell::HBaseRoute {
+                        fault: fault.clone(),
+                        policy,
+                    });
+                }
+            }
         }
     }
     cells
@@ -394,6 +428,7 @@ fn finish(
     fired: Vec<InjectedFault>,
     surfaced: Option<InteractionError>,
     detail: String,
+    trace: InteractionTrace,
 ) -> FaultCase {
     let outcome = if fired.is_empty() {
         None
@@ -407,6 +442,7 @@ fn finish(
         surfaced,
         outcome,
         detail,
+        trace,
     }
 }
 
@@ -428,11 +464,7 @@ fn run_probe_cell(
     };
     let deployment = Deployment::new(&config);
     let obs = run_one(&deployment, experiment, plan, format, &probe_input(), false);
-    let fired = deployment
-        .injection
-        .as_ref()
-        .map(InjectionRegistry::fired)
-        .unwrap_or_default();
+    let fired = deployment.crossing.fired();
     let surfaced = surfaced_error(&obs);
     let detail = match (&obs.write.result, obs.read.as_ref().map(|r| &r.result)) {
         (Err(e), _) => format!("write failed: {}", e.signature()),
@@ -441,14 +473,14 @@ fn run_probe_cell(
         (Ok(()), None) => "write ok; read skipped".to_string(),
     };
     let scenario = format!("{}:{}:{}", experiment.short(), plan, format.name());
-    finish(fault, scenario, fired, surfaced, detail)
+    finish(fault, scenario, fired, surfaced, detail, obs.trace.clone())
 }
 
 /// A broker with 5 seeded records on `t`-0 and the fault armed, counters
 /// scoped to the scenario about to run.
-fn seeded_broker(fault: &FaultSpec) -> (MiniKafka, InjectionRegistry) {
-    let reg = InjectionRegistry::new();
-    reg.arm(fault.clone());
+fn seeded_broker(fault: &FaultSpec) -> (MiniKafka, CrossingContext) {
+    let ctx = CrossingContext::new();
+    ctx.arm(fault.clone());
     let mut broker = MiniKafka::new();
     broker.create_topic(KAFKA_TOPIC, 1);
     for i in 0..5u8 {
@@ -456,13 +488,13 @@ fn seeded_broker(fault: &FaultSpec) -> (MiniKafka, InjectionRegistry) {
             .produce(KAFKA_TOPIC, P0, Some(&[i]), Some(&[i]), u64::from(i))
             .expect("seeding an injection-free broker");
     }
-    broker.set_injection(reg.clone());
-    reg.reset_counters();
-    (broker, reg)
+    broker.set_crossing(ctx.clone());
+    ctx.reset();
+    (broker, ctx)
 }
 
 fn run_kafka_direct_cell(fault: &FaultSpec) -> FaultCase {
-    let (mut broker, reg) = seeded_broker(fault);
+    let (mut broker, ctx) = seeded_broker(fault);
     let result = (|| {
         broker.produce(KAFKA_TOPIC, P0, Some(b"k"), Some(b"v"), 5)?;
         broker.log_end_offset(KAFKA_TOPIC, P0)?;
@@ -474,11 +506,18 @@ fn run_kafka_direct_cell(fault: &FaultSpec) -> FaultCase {
         Err(e) => format!("broker call failed: {}", e.code()),
     };
     let surfaced = result.err().map(InteractionError::from);
-    finish(fault, "kafka:direct".to_string(), reg.fired(), surfaced, detail)
+    finish(
+        fault,
+        "kafka:direct".to_string(),
+        ctx.fired(),
+        surfaced,
+        detail,
+        ctx.trace(),
+    )
 }
 
 fn run_kafka_connector_cell(fault: &FaultSpec) -> FaultCase {
-    let (broker, reg) = seeded_broker(fault);
+    let (broker, ctx) = seeded_broker(fault);
     let result = plan_range(&broker, KAFKA_TOPIC, P0, 0).and_then(|range| {
         consume_range(&broker, KAFKA_TOPIC, P0, range, OffsetModel::TolerateGaps)
             .map(|records| records.len())
@@ -491,19 +530,20 @@ fn run_kafka_connector_cell(fault: &FaultSpec) -> FaultCase {
     finish(
         fault,
         "kafka:spark-connector".to_string(),
-        reg.fired(),
+        ctx.fired(),
         surfaced,
         detail,
+        ctx.trace(),
     )
 }
 
 fn run_yarn_driver_cell(fault: &FaultSpec) -> FaultCase {
-    let reg = InjectionRegistry::new();
-    reg.arm(fault.clone());
+    let ctx = CrossingContext::new();
+    ctx.arm(fault.clone());
     // A small job in the no-storm regime on its own parameters: any storm
     // observed below is the injected fault's doing.
     let target = 20;
-    let stats = run_driver_with(
+    let stats = run_driver_traced(
         DriverRun {
             mode: DriverMode::BuggySync,
             target,
@@ -512,7 +552,7 @@ fn run_yarn_driver_cell(fault: &FaultSpec) -> FaultCase {
             start_latency_ms: 5,
             deadline_ms: 15_000,
         },
-        Some(reg.clone()),
+        Some(ctx.clone()),
     );
     let detail = format!(
         "driver: {} asks for target {target}, started {}, completed={}",
@@ -524,17 +564,18 @@ fn run_yarn_driver_cell(fault: &FaultSpec) -> FaultCase {
     finish(
         fault,
         "yarn:flink-driver".to_string(),
-        reg.fired(),
+        ctx.fired(),
         surfaced,
         detail,
+        ctx.trace(),
     )
 }
 
 fn run_yarn_metrics_cell(fault: &FaultSpec) -> FaultCase {
-    let reg = InjectionRegistry::new();
-    reg.arm(fault.clone());
+    let ctx = CrossingContext::new();
+    ctx.arm(fault.clone());
     let mut rm = ResourceManager::with_nodes(4, Resource::new(8192, 8));
-    rm.set_injection(reg.clone());
+    rm.set_crossing(ctx.clone());
     let result = minispark::connectors::yarn::cluster_metrics(&rm);
     let detail = match &result {
         Ok(m) => format!("metrics ok ({} node managers)", m.num_node_managers),
@@ -544,9 +585,45 @@ fn run_yarn_metrics_cell(fault: &FaultSpec) -> FaultCase {
     finish(
         fault,
         "yarn:spark-connector".to_string(),
-        reg.fired(),
+        ctx.fired(),
         surfaced,
         detail,
+        ctx.trace(),
+    )
+}
+
+/// The HBASE-16621 scenario cell: a location-caching client routes one
+/// request for a region under an armed fault, with the given retry
+/// policy. A poisoned `locate` surfaces as `NotServingRegionException`
+/// under [`RetryPolicy::TrustCache`] but is silently healed by
+/// [`RetryPolicy::RefreshAndRetry`]'s clean re-lookup.
+fn run_hbase_cell(fault: &FaultSpec, policy: RetryPolicy) -> FaultCase {
+    let ctx = CrossingContext::new();
+    ctx.arm(fault.clone());
+    let mut cluster = ClusterState::new();
+    cluster.assign("t,region-0", ServerId(2));
+    let mut client = HBaseClient::new();
+    let result = client.route_with(&cluster, "t,region-0", policy, Some(&ctx));
+    let detail = match &result {
+        Ok(s) => format!(
+            "routed to server {} after {} master lookups",
+            s.0,
+            client.master_lookups()
+        ),
+        Err(e) => format!("route failed: {}", e.code()),
+    };
+    let surfaced = result.err().map(InteractionError::from);
+    let policy_name = match policy {
+        RetryPolicy::TrustCache => "trust-cache",
+        RetryPolicy::RefreshAndRetry => "refresh-retry",
+    };
+    finish(
+        fault,
+        format!("hbase:kv-client({policy_name})"),
+        ctx.fired(),
+        surfaced,
+        detail,
+        ctx.trace(),
     )
 }
 
@@ -562,6 +639,7 @@ fn run_cell(config: &FaultMatrixConfig, cell: &Cell) -> FaultCase {
         Cell::KafkaConnector { fault } => run_kafka_connector_cell(fault),
         Cell::YarnDriver { fault } => run_yarn_driver_cell(fault),
         Cell::YarnMetrics { fault } => run_yarn_metrics_cell(fault),
+        Cell::HBaseRoute { fault, policy } => run_hbase_cell(fault, *policy),
     }
 }
 
@@ -717,5 +795,41 @@ mod tests {
             .and_then(|s| s.parse().ok())
             .unwrap();
         assert!(asks > 60, "expected a storm, detail: {}", case.detail);
+    }
+
+    #[test]
+    fn poisoned_hbase_locate_splits_on_retry_policy() {
+        let plan = fault_catalogue(1);
+        let fault = plan
+            .faults
+            .iter()
+            .find(|f| f.id == "hbase-stale-locate")
+            .unwrap();
+        // Shipped policy: the poisoned location surfaces as a generic
+        // NotServingRegionException — the corruption's identity is lost.
+        let shipped = run_hbase_cell(fault, RetryPolicy::TrustCache);
+        assert_eq!(shipped.outcome, Some(FaultOutcome::Mistranslated));
+        // Fixed policy: the clean retry heals the request and nothing
+        // surfaces at all.
+        let fixed = run_hbase_cell(fault, RetryPolicy::RefreshAndRetry);
+        assert_eq!(fixed.outcome, Some(FaultOutcome::Swallowed));
+        assert!(fixed.surfaced.is_none());
+        // Both cells carry their crossing sequence.
+        assert!(!shipped.trace.is_empty());
+        assert_eq!(fixed.trace.channel_counts()["hbase"], 3);
+    }
+
+    #[test]
+    fn hbase_region_server_down_propagates_with_context() {
+        let plan = fault_catalogue(1);
+        let fault = plan
+            .faults
+            .iter()
+            .find(|f| f.id == "hbase-unavail-route")
+            .unwrap();
+        for policy in [RetryPolicy::TrustCache, RetryPolicy::RefreshAndRetry] {
+            let case = run_hbase_cell(fault, policy);
+            assert_eq!(case.outcome, Some(FaultOutcome::PropagatedWithContext));
+        }
     }
 }

@@ -26,4 +26,4 @@ pub use plan::{Experiment, Interface, TestPlan};
 pub use shard::{
     run_cross_test_parallel, CampaignMetrics, ParallelConfig, ParallelOutcome, WorkerStats,
 };
-pub use tolerate::{redundant_read, ReadPath, RedundantRead};
+pub use tolerate::{redundant_read, redundant_read_traced, ReadPath, RedundantRead};

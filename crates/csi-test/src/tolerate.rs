@@ -13,6 +13,8 @@
 //! scales). The result records which path served the read, so operators
 //! can see the interaction redundancy working.
 
+use csi_core::boundary::{BoundaryCall, CrossingContext};
+use csi_core::fault::Channel;
 use csi_core::value::Value;
 use csi_core::InteractionError;
 use minihive::hiveql::HiveQl;
@@ -59,16 +61,42 @@ pub fn redundant_read(
     hive: &HiveQl,
     table: &str,
 ) -> Result<RedundantRead, InteractionError> {
+    redundant_read_traced(spark, hive, table, None)
+}
+
+/// [`redundant_read`] with the fallback decision recorded as a boundary
+/// crossing: the trace shows which interface ultimately served the read
+/// (`served-by=primary` or `served-by=hive-fallback after <code>`), so
+/// the interaction redundancy of Section 10 is observable in the same
+/// causal sequence as the crossings that forced it.
+pub fn redundant_read_traced(
+    spark: &SparkSession,
+    hive: &HiveQl,
+    table: &str,
+    ctx: Option<&CrossingContext>,
+) -> Result<RedundantRead, InteractionError> {
+    let decision = |info: &str| {
+        if let Some(c) = ctx {
+            c.note(
+                BoundaryCall::new(Channel::Metastore, "redundant_read").with_payload(table),
+                info,
+            );
+        }
+    };
     match spark.sql(&format!("SELECT * FROM {table}")) {
-        Ok(result) => Ok(RedundantRead {
-            rows: result.rows,
-            path: ReadPath::Primary,
-            primary_error: None,
-        }),
+        Ok(result) => {
+            decision("served-by=primary");
+            Ok(RedundantRead {
+                rows: result.rows,
+                path: ReadPath::Primary,
+                primary_error: None,
+            })
+        }
         Err(primary) if is_discrepancy_shaped(&primary) => {
             let fallback = hive
                 .execute(&format!("SELECT * FROM {table}"))
                 .map_err(InteractionError::from)?;
+            decision(&format!("served-by=hive-fallback after {}", primary.code()));
             Ok(RedundantRead {
                 rows: fallback.rows,
                 path: ReadPath::HiveFallback,
@@ -150,6 +178,39 @@ mod tests {
         assert_eq!(
             r.primary_error.as_ref().map(|e| e.code.as_str()),
             Some("INCOMPATIBLE_SCHEMA")
+        );
+    }
+
+    #[test]
+    fn fallback_decisions_are_recorded_as_boundary_crossings() {
+        let (spark, hive) = deployment();
+        let df = spark.dataframe();
+        df.create_table(
+            "b",
+            &[StructField::new("c", DataType::Byte)],
+            StorageFormat::Avro,
+        )
+        .unwrap();
+        df.insert_into("b", &[vec![Value::Byte(5)]]).unwrap();
+        spark.sql("CREATE TABLE t (a INT)").unwrap();
+        spark.sql("INSERT INTO t VALUES (7)").unwrap();
+        let ctx = CrossingContext::new();
+        // A healthy read notes the primary path...
+        let r = redundant_read_traced(&spark, &hive, "t", Some(&ctx)).unwrap();
+        assert_eq!(r.path, ReadPath::Primary);
+        // ... and a tolerated discrepancy notes which interface healed it.
+        let r = redundant_read_traced(&spark, &hive, "b", Some(&ctx)).unwrap();
+        assert_eq!(r.path, ReadPath::HiveFallback);
+        let lines = ctx.trace().compact();
+        assert!(
+            lines.iter().any(|l| l.contains("served-by=primary")),
+            "{lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("served-by=hive-fallback after INCOMPATIBLE_SCHEMA")),
+            "{lines:?}"
         );
     }
 

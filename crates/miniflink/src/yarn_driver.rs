@@ -10,6 +10,7 @@
 //! latency exceeds the interval.
 
 use csi_core::config::ConfigMap;
+use csi_core::boundary::CrossingContext;
 use csi_core::fault::InjectionRegistry;
 use csi_core::sim::{Millis, Ops, Sim};
 use miniyarn::config as yarn_config;
@@ -215,10 +216,17 @@ pub fn run_driver(params: DriverRun) -> DriverStats {
 /// FLINK-12342 regime without touching the driver's own parameters, and
 /// injected RM failures exercise the driver's error path.
 pub fn run_driver_with(params: DriverRun, injection: Option<InjectionRegistry>) -> DriverStats {
+    run_driver_traced(params, injection.map(CrossingContext::with_registry))
+}
+
+/// Like [`run_driver`], with the deployment's crossing context wired into
+/// the ResourceManager, so every AM–RM heartbeat of the simulated driver
+/// is recorded (and injectable) as a YARN boundary crossing.
+pub fn run_driver_traced(params: DriverRun, crossing: Option<CrossingContext>) -> DriverStats {
     let mut rm = ResourceManager::with_nodes(64, Resource::new(1 << 22, 1 << 12));
     rm.set_alloc_service_ms(params.alloc_service_ms);
-    if let Some(reg) = injection {
-        rm.set_injection(reg);
+    if let Some(ctx) = crossing {
+        rm.set_crossing(ctx);
     }
     let app = rm.register_application("flink-session");
     let interval = match params.mode {

@@ -9,6 +9,9 @@
 //! is a documented operation; the composition needs the retry protocol the
 //! shipped code lacked.
 
+use csi_core::boundary::{BoundaryCall, CrossingContext};
+use csi_core::error::{ErrorKind, InteractionError};
+use csi_core::fault::{Channel, FaultKind, FaultPoint, InjectedFault};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -73,6 +76,85 @@ impl ClusterState {
     }
 }
 
+/// A failed key-value request, as the routing client surfaces it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The region server (or master) serving the request is down.
+    RegionServerDown {
+        /// The operation that hit the dead server.
+        op: String,
+    },
+    /// The request timed out after `ms` of (virtual) time.
+    RpcTimeout {
+        /// The operation that timed out.
+        op: String,
+        /// Simulated elapsed time before the timeout fired.
+        ms: u64,
+    },
+    /// The request landed on a server that does not serve the region.
+    NotServing(NotServingRegion),
+}
+
+impl RequestError {
+    /// Stable error code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RequestError::RegionServerDown { .. } => "REGION_SERVER_DOWN",
+            RequestError::RpcTimeout { .. } => "HBASE_RPC_TIMEOUT",
+            RequestError::NotServing(_) => "NOT_SERVING_REGION",
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::RegionServerDown { op } => {
+                write!(f, "region server unavailable during {op}")
+            }
+            RequestError::RpcTimeout { op, ms } => write!(f, "{op} timed out after {ms}ms"),
+            RequestError::NotServing(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<RequestError> for InteractionError {
+    fn from(e: RequestError) -> InteractionError {
+        let kind = match &e {
+            RequestError::RegionServerDown { .. } => ErrorKind::Unavailable,
+            RequestError::RpcTimeout { .. } => ErrorKind::Timeout,
+            RequestError::NotServing(_) => ErrorKind::Rejected,
+        };
+        InteractionError::new("minihbase", kind, e.code(), e.to_string())
+    }
+}
+
+impl FaultPoint for RequestError {
+    const CHANNEL: Channel = Channel::HBase;
+
+    fn materialize(fault: &InjectedFault) -> RequestError {
+        match fault.kind {
+            FaultKind::Unavailable => RequestError::RegionServerDown {
+                op: fault.op.clone(),
+            },
+            FaultKind::Timeout { ms } | FaultKind::Latency { ms } => RequestError::RpcTimeout {
+                op: fault.op.clone(),
+                ms,
+            },
+            // A corrupted location response is not an error the client
+            // sees: the lookup *succeeds* with a stale/wrong server, the
+            // HBASE-16621 shape. `route_with` handles it in-band; this
+            // arm only exists for completeness.
+            FaultKind::CorruptPayload => RequestError::NotServing(NotServingRegion {
+                region: fault.op.clone(),
+                asked: ServerId(u32::MAX),
+            }),
+        }
+    }
+}
+
 /// Client retry behavior on `NotServingRegionException`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RetryPolicy {
@@ -103,14 +185,69 @@ impl HBaseClient {
         region: &str,
         policy: RetryPolicy,
     ) -> Result<ServerId, NotServingRegion> {
+        match self.route_with(cluster, region, policy, None) {
+            Ok(s) => Ok(s),
+            Err(RequestError::NotServing(e)) => Err(e),
+            // Without a crossing context no fault can be injected.
+            Err(_) => unreachable!("injected fault without a crossing context"),
+        }
+    }
+
+    /// One master round-trip, crossed through the HBase boundary: an
+    /// injected [`FaultKind::CorruptPayload`] on `locate` *succeeds* but
+    /// returns a wrong (stale) server — corruption of a location response
+    /// is invisible until the request lands (HBASE-16621's shape).
+    fn master_lookup(
+        &mut self,
+        cluster: &ClusterState,
+        region: &str,
+        asked: ServerId,
+        ctx: Option<&CrossingContext>,
+    ) -> Result<ServerId, RequestError> {
+        self.master_lookups += 1;
+        let injected = ctx.and_then(|c| {
+            c.intercept(BoundaryCall::new(Channel::HBase, "locate").with_payload(region))
+        });
+        if let Some(fault) = &injected {
+            if fault.kind != FaultKind::CorruptPayload {
+                return Err(RequestError::materialize(fault));
+            }
+        }
+        let fresh = cluster
+            .locate(region)
+            .ok_or_else(|| {
+                RequestError::NotServing(NotServingRegion {
+                    region: region.to_string(),
+                    asked,
+                })
+            })?;
+        Ok(match injected {
+            // Deterministically wrong server: flip the low bit.
+            Some(_) => ServerId(fresh.0 ^ 1),
+            None => fresh,
+        })
+    }
+
+    /// Routes one request for `region` through the instrumented boundary:
+    /// the request itself crosses as `route`, every master round-trip as
+    /// `locate`, so the trace shows exactly which lookups the retry policy
+    /// paid for.
+    pub fn route_with(
+        &mut self,
+        cluster: &ClusterState,
+        region: &str,
+        policy: RetryPolicy,
+        ctx: Option<&CrossingContext>,
+    ) -> Result<ServerId, RequestError> {
+        if let Some(c) = ctx {
+            c.cross::<RequestError>(
+                BoundaryCall::new(Channel::HBase, "route").with_payload(region),
+            )?;
+        }
         let cached = match self.cache.get(region) {
             Some(s) => *s,
             None => {
-                self.master_lookups += 1;
-                let s = cluster.locate(region).ok_or(NotServingRegion {
-                    region: region.to_string(),
-                    asked: ServerId(u32::MAX),
-                })?;
+                let s = self.master_lookup(cluster, region, ServerId(u32::MAX), ctx)?;
                 self.cache.insert(region.to_string(), s);
                 s
             }
@@ -118,21 +255,24 @@ impl HBaseClient {
         if cluster.serves(region, cached) {
             return Ok(cached);
         }
-        // The cached location is stale.
+        // The cached location is stale (or was poisoned in flight).
         match policy {
-            RetryPolicy::TrustCache => Err(NotServingRegion {
+            RetryPolicy::TrustCache => Err(RequestError::NotServing(NotServingRegion {
                 region: region.to_string(),
                 asked: cached,
-            }),
+            })),
             RetryPolicy::RefreshAndRetry => {
                 self.cache.remove(region);
-                self.master_lookups += 1;
-                let fresh = cluster.locate(region).ok_or(NotServingRegion {
-                    region: region.to_string(),
-                    asked: cached,
-                })?;
+                let fresh = self.master_lookup(cluster, region, cached, ctx)?;
                 self.cache.insert(region.to_string(), fresh);
-                Ok(fresh)
+                if cluster.serves(region, fresh) {
+                    Ok(fresh)
+                } else {
+                    Err(RequestError::NotServing(NotServingRegion {
+                        region: region.to_string(),
+                        asked: fresh,
+                    }))
+                }
             }
         }
     }
@@ -146,6 +286,7 @@ impl HBaseClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use csi_core::fault::{FaultSpec, Trigger};
 
     #[test]
     fn cache_amortizes_master_lookups() {
@@ -198,6 +339,70 @@ mod tests {
             .unwrap();
         assert_eq!(s, ServerId(2));
         assert_eq!(client.master_lookups(), 2);
+    }
+
+    fn stale_locate_ctx(trigger: Trigger) -> CrossingContext {
+        let ctx = CrossingContext::new();
+        ctx.arm(FaultSpec {
+            id: "hbase-stale-locate".into(),
+            channel: Channel::HBase,
+            op: "locate".into(),
+            kind: FaultKind::CorruptPayload,
+            trigger,
+        });
+        ctx
+    }
+
+    #[test]
+    fn unavailable_route_propagates_with_context() {
+        let mut cluster = ClusterState::new();
+        cluster.assign("t,region-0", ServerId(1));
+        let mut client = HBaseClient::new();
+        let ctx = CrossingContext::new();
+        ctx.arm(FaultSpec {
+            id: "hbase-unavail-route".into(),
+            channel: Channel::HBase,
+            op: "route".into(),
+            kind: FaultKind::Unavailable,
+            trigger: Trigger::Always,
+        });
+        let err = client
+            .route_with(&cluster, "t,region-0", RetryPolicy::TrustCache, Some(&ctx))
+            .unwrap_err();
+        assert_eq!(err.code(), "REGION_SERVER_DOWN");
+        let surfaced: InteractionError = err.into();
+        assert_eq!(surfaced.kind, ErrorKind::Unavailable);
+        assert_eq!(ctx.trace().len(), 1);
+    }
+
+    #[test]
+    fn poisoned_locate_fails_trust_cache_but_heals_refresh_retry() {
+        let mut cluster = ClusterState::new();
+        cluster.assign("t,region-0", ServerId(2));
+        // Shipped policy: the poisoned location is trusted and the
+        // request surfaces NotServingRegionException.
+        let mut client = HBaseClient::new();
+        let ctx = stale_locate_ctx(Trigger::OnCall(0));
+        let err = client
+            .route_with(&cluster, "t,region-0", RetryPolicy::TrustCache, Some(&ctx))
+            .unwrap_err();
+        assert_eq!(err.code(), "NOT_SERVING_REGION");
+        // Fixed policy: the retry lookup is clean and the request heals.
+        let mut client = HBaseClient::new();
+        let ctx = stale_locate_ctx(Trigger::OnCall(0));
+        let served = client
+            .route_with(
+                &cluster,
+                "t,region-0",
+                RetryPolicy::RefreshAndRetry,
+                Some(&ctx),
+            )
+            .unwrap();
+        assert_eq!(served, ServerId(2));
+        assert_eq!(client.master_lookups(), 2);
+        // The trace shows the route plus both lookups.
+        let trace = ctx.trace();
+        assert_eq!(trace.channel_counts()["hbase"], 3);
     }
 
     #[test]

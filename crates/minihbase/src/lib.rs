@@ -23,5 +23,5 @@
 pub mod cluster;
 pub mod region;
 
-pub use cluster::{ClusterState, HBaseClient, NotServingRegion, ServerId};
+pub use cluster::{ClusterState, HBaseClient, NotServingRegion, RequestError, RetryPolicy, ServerId};
 pub use region::{HBaseError, Region};

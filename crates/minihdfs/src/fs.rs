@@ -4,6 +4,7 @@ use crate::error::HdfsError;
 use crate::path::HdfsPath;
 use crate::token::{DelegationToken, TokenCheck, TokenId, TokenRegistry};
 use bytes::Bytes;
+use csi_core::boundary::{BoundaryCall, CrossingContext};
 use csi_core::fault::{Channel, FaultKind, FaultPoint, InjectionRegistry};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -126,7 +127,7 @@ pub struct MiniHdfs {
     block_size: u64,
     default_replication: u32,
     next_block_id: u64,
-    injection: Option<InjectionRegistry>,
+    crossing: Option<CrossingContext>,
 }
 
 impl Default for MiniHdfs {
@@ -156,20 +157,29 @@ impl MiniHdfs {
             block_size: 128,
             default_replication: 3,
             next_block_id: 0,
-            injection: None,
+            crossing: None,
         }
     }
 
-    /// Attaches a fault-injection registry; the public file-operation entry
-    /// points consult it before doing real work.
+    /// Attaches a fault-injection registry by wrapping it in a tracing
+    /// [`CrossingContext`]; the public file-operation entry points route
+    /// through it.
     pub fn set_injection(&mut self, registry: InjectionRegistry) {
-        self.injection = Some(registry);
+        self.set_crossing(CrossingContext::with_registry(registry));
     }
 
-    /// Fault-injection hook at a file-operation RPC boundary.
-    fn inject(&self, op: &str) -> Result<(), HdfsError> {
-        match &self.injection {
-            Some(reg) => reg.inject::<HdfsError>(op),
+    /// Attaches the deployment's crossing context; every file-operation
+    /// entry point crosses the [`Channel::Hdfs`] boundary through it.
+    pub fn set_crossing(&mut self, crossing: CrossingContext) {
+        self.crossing = Some(crossing);
+    }
+
+    /// The file-operation boundary crossing at the entry of `op`.
+    fn cross(&self, op: &str, path: &HdfsPath) -> Result<(), HdfsError> {
+        match &self.crossing {
+            Some(ctx) => ctx.cross(
+                BoundaryCall::new(Channel::Hdfs, op).with_payload(&path.to_string()),
+            ),
             None => Ok(()),
         }
     }
@@ -244,7 +254,7 @@ impl MiniHdfs {
 
     /// Creates a directory and any missing ancestors.
     pub fn mkdirs(&mut self, path: &HdfsPath) -> Result<(), HdfsError> {
-        self.inject("mkdirs")?;
+        self.cross("mkdirs", path)?;
         self.check_mutable()?;
         let comps = Self::key(path);
         for depth in 1..=comps.len() {
@@ -298,7 +308,7 @@ impl MiniHdfs {
         owner: &str,
         permissions: u16,
     ) -> Result<(), HdfsError> {
-        self.inject("create")?;
+        self.cross("create", path)?;
         self.check_mutable()?;
         if path.is_root() {
             return Err(HdfsError::IsADirectory(path.clone()));
@@ -445,8 +455,9 @@ impl MiniHdfs {
     /// wire is invisible to the namenode, so it is the caller's
     /// deserializer that has to notice.
     pub fn read(&self, path: &HdfsPath) -> Result<Bytes, HdfsError> {
-        if let Some(reg) = &self.injection {
-            if let Some(fault) = reg.intercept(Channel::Hdfs, "read") {
+        if let Some(ctx) = &self.crossing {
+            let call = BoundaryCall::new(Channel::Hdfs, "read").with_payload(&path.to_string());
+            if let Some(fault) = ctx.intercept(call) {
                 if fault.kind == FaultKind::CorruptPayload {
                     let clean = self.read_inode(path)?;
                     return Ok(garble(&clean));
@@ -533,7 +544,7 @@ impl MiniHdfs {
 
     /// Lists the immediate children of a directory.
     pub fn list_status(&self, path: &HdfsPath) -> Result<Vec<FileStatus>, HdfsError> {
-        self.inject("list_status")?;
+        self.cross("list_status", path)?;
         let comps = Self::key(path);
         match self.nodes.get(&comps) {
             None => return Err(HdfsError::FileNotFound(path.clone())),
@@ -587,7 +598,7 @@ impl MiniHdfs {
 
     /// Deletes a path; directories require `recursive` unless empty.
     pub fn delete(&mut self, path: &HdfsPath, recursive: bool) -> Result<(), HdfsError> {
-        self.inject("delete")?;
+        self.cross("delete", path)?;
         self.check_mutable()?;
         let comps = Self::key(path);
         match self.nodes.get(&comps) {

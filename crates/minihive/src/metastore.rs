@@ -8,7 +8,8 @@
 
 use crate::error::HiveError;
 use crate::types::HiveType;
-use csi_core::fault::InjectionRegistry;
+use csi_core::boundary::{BoundaryCall, CrossingContext};
+use csi_core::fault::{Channel, InjectionRegistry};
 use minihdfs::{HdfsPath, MiniHdfs};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -109,7 +110,7 @@ pub struct Metastore {
     databases: BTreeMap<String, BTreeMap<String, TableDef>>,
     warehouse_root: HdfsPath,
     next_part: u64,
-    injection: Option<InjectionRegistry>,
+    crossing: Option<CrossingContext>,
 }
 
 impl Default for Metastore {
@@ -128,20 +129,27 @@ impl Metastore {
             databases,
             warehouse_root: HdfsPath::parse("/user/hive/warehouse").expect("static path"),
             next_part: 0,
-            injection: None,
+            crossing: None,
         }
     }
 
-    /// Attaches a fault-injection registry; every metastore RPC entry point
-    /// consults it before doing real work.
+    /// Attaches a fault-injection registry by wrapping it in a tracing
+    /// [`CrossingContext`]; every metastore RPC entry point routes through
+    /// it.
     pub fn set_injection(&mut self, registry: InjectionRegistry) {
-        self.injection = Some(registry);
+        self.set_crossing(CrossingContext::with_registry(registry));
     }
 
-    /// Fault-injection hook at a metastore RPC boundary.
-    fn inject(&self, op: &str) -> Result<(), HiveError> {
-        match &self.injection {
-            Some(reg) => reg.inject::<HiveError>(op),
+    /// Attaches the deployment's crossing context; every metastore RPC
+    /// entry point crosses the [`Channel::Metastore`] boundary through it.
+    pub fn set_crossing(&mut self, crossing: CrossingContext) {
+        self.crossing = Some(crossing);
+    }
+
+    /// The metastore-RPC boundary crossing at the entry of `op`.
+    fn cross(&self, op: &str, payload: &str) -> Result<(), HiveError> {
+        match &self.crossing {
+            Some(ctx) => ctx.cross(BoundaryCall::new(Channel::Metastore, op).with_payload(payload)),
             None => Ok(()),
         }
     }
@@ -168,7 +176,7 @@ impl Metastore {
         format: StorageFormat,
         if_not_exists: bool,
     ) -> Result<&TableDef, HiveError> {
-        self.inject("create_table")?;
+        self.cross("create_table", &format!("{db}.{name}"))?;
         let db_key = db.to_ascii_lowercase();
         let table_key = name.to_ascii_lowercase();
         let location = self.warehouse_root.join(&table_key);
@@ -201,7 +209,7 @@ impl Metastore {
 
     /// Looks a table up, case-insensitively.
     pub fn get_table(&self, db: &str, name: &str) -> Result<&TableDef, HiveError> {
-        self.inject("get_table")?;
+        self.cross("get_table", &format!("{db}.{name}"))?;
         self.databases
             .get(&db.to_ascii_lowercase())
             .ok_or_else(|| HiveError::UnknownDatabase(db.to_string()))?
@@ -217,7 +225,7 @@ impl Metastore {
         key: &str,
         value: &str,
     ) -> Result<(), HiveError> {
-        self.inject("set_table_property")?;
+        self.cross("set_table_property", &format!("{db}.{name}#{key}"))?;
         let t = self
             .databases
             .get_mut(&db.to_ascii_lowercase())
@@ -242,7 +250,7 @@ impl Metastore {
         name: &str,
         hive_type: HiveType,
     ) -> Result<(), HiveError> {
-        self.inject("add_column")?;
+        self.cross("add_column", &format!("{db}.{table}.{name}"))?;
         let t = self
             .databases
             .get_mut(&db.to_ascii_lowercase())
@@ -268,7 +276,7 @@ impl Metastore {
         if_exists: bool,
         fs: &mut MiniHdfs,
     ) -> Result<(), HiveError> {
-        self.inject("drop_table")?;
+        self.cross("drop_table", &format!("{db}.{name}"))?;
         let db_key = db.to_ascii_lowercase();
         let table_key = name.to_ascii_lowercase();
         let tables = self
@@ -290,7 +298,7 @@ impl Metastore {
 
     /// Lists table names in a database.
     pub fn list_tables(&self, db: &str) -> Result<Vec<&str>, HiveError> {
-        self.inject("list_tables")?;
+        self.cross("list_tables", db)?;
         Ok(self
             .databases
             .get(&db.to_ascii_lowercase())
@@ -315,7 +323,7 @@ impl Metastore {
         table: &TableDef,
         fs: &MiniHdfs,
     ) -> Result<Vec<HdfsPath>, HiveError> {
-        self.inject("table_data_files")?;
+        self.cross("table_data_files", &table.location.to_string())?;
         if !fs.exists(&table.location) {
             return Ok(Vec::new());
         }

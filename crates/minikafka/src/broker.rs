@@ -3,7 +3,8 @@
 
 use crate::error::KafkaError;
 use bytes::Bytes;
-use csi_core::fault::InjectionRegistry;
+use csi_core::boundary::{BoundaryCall, CrossingContext};
+use csi_core::fault::{Channel, InjectionRegistry};
 use std::collections::BTreeMap;
 
 /// A record offset within a partition.
@@ -75,7 +76,7 @@ pub struct MiniKafka {
     group_offsets: BTreeMap<(String, String, u32), Offset>,
     transactions: BTreeMap<u64, Transaction>,
     next_txn_id: u64,
-    injection: Option<InjectionRegistry>,
+    crossing: Option<CrossingContext>,
 }
 
 impl MiniKafka {
@@ -84,16 +85,25 @@ impl MiniKafka {
         MiniKafka::default()
     }
 
-    /// Attaches a fault-injection registry; broker request entry points
-    /// consult it before doing real work.
+    /// Attaches a fault-injection registry by wrapping it in a tracing
+    /// [`CrossingContext`]; broker request entry points route through it.
     pub fn set_injection(&mut self, registry: InjectionRegistry) {
-        self.injection = Some(registry);
+        self.set_crossing(CrossingContext::with_registry(registry));
     }
 
-    /// Fault-injection hook at a broker request boundary.
-    fn inject(&self, op: &str) -> Result<(), KafkaError> {
-        match &self.injection {
-            Some(reg) => reg.inject::<KafkaError>(op),
+    /// Attaches the deployment's crossing context; every broker request
+    /// entry point crosses the [`Channel::Kafka`] boundary through it.
+    pub fn set_crossing(&mut self, crossing: CrossingContext) {
+        self.crossing = Some(crossing);
+    }
+
+    /// The broker request boundary crossing at the entry of `op`.
+    fn cross(&self, op: &str, topic: &str, partition: PartitionId) -> Result<(), KafkaError> {
+        match &self.crossing {
+            Some(ctx) => ctx.cross(
+                BoundaryCall::new(Channel::Kafka, op)
+                    .with_payload(&format!("{topic}/p{}", partition.0)),
+            ),
             None => Ok(()),
         }
     }
@@ -158,7 +168,7 @@ impl MiniKafka {
         value: Option<&[u8]>,
         timestamp: u64,
     ) -> Result<Offset, KafkaError> {
-        self.inject("produce")?;
+        self.cross("produce", topic, partition)?;
         let p = self.partition_mut(topic, partition)?;
         let offset = p.next_offset;
         p.next_offset += 1;
@@ -269,7 +279,7 @@ impl MiniKafka {
         offset: Offset,
         max_records: usize,
     ) -> Result<RecordBatch, KafkaError> {
-        self.inject("fetch")?;
+        self.cross("fetch", topic, partition)?;
         let p = self.partition(topic, partition)?;
         if offset < p.log_start || offset > p.next_offset {
             return Err(KafkaError::OffsetOutOfRange {
@@ -312,7 +322,7 @@ impl MiniKafka {
         topic: &str,
         partition: PartitionId,
     ) -> Result<Offset, KafkaError> {
-        self.inject("log_end_offset")?;
+        self.cross("log_end_offset", topic, partition)?;
         Ok(self.partition(topic, partition)?.next_offset)
     }
 

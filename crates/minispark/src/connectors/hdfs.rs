@@ -7,6 +7,8 @@
 
 use crate::error::SparkError;
 use bytes::Bytes;
+use csi_core::boundary::{BoundaryCall, CrossingContext};
+use csi_core::fault::Channel;
 use minihdfs::{HdfsPath, MiniHdfs};
 
 /// Whether the connector runs the shipped (pre-fix) length check or the
@@ -22,6 +24,22 @@ pub enum LengthCheck {
 /// Reads a file the way a Spark task does: fetch the status, validate the
 /// block holder invariants, then read the bytes.
 pub fn read_file(fs: &MiniHdfs, path: &HdfsPath, check: LengthCheck) -> Result<Bytes, SparkError> {
+    read_file_traced(fs, path, check, None)
+}
+
+/// [`read_file`] with the connector-level crossing recorded in a trace.
+/// The filesystem's own `read` still crosses through the boundary the
+/// deployment wired into it; this extra record marks the task-side entry
+/// so the trace shows *Spark's* view of the interaction too.
+pub fn read_file_traced(
+    fs: &MiniHdfs,
+    path: &HdfsPath,
+    check: LengthCheck,
+    ctx: Option<&CrossingContext>,
+) -> Result<Bytes, SparkError> {
+    if let Some(c) = ctx {
+        c.record(BoundaryCall::new(Channel::Hdfs, "task_read").with_payload(&path.to_string()));
+    }
     let status = fs
         .get_file_status(path)
         .map_err(|e| SparkError::Connector {

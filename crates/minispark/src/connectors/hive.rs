@@ -7,7 +7,10 @@
 //! provenance-tracked [`ConfigMap`] makes the silent drop observable.
 
 use crate::config::{SparkConfig, YARN_KEYTAB, YARN_PRINCIPAL};
+use csi_core::boundary::{BoundaryCall, CrossingContext};
 use csi_core::config::ConfigMap;
+use csi_core::fault::Channel;
+use csi_core::plane::{Plane, SystemId};
 
 /// Which forwarding behavior to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +25,43 @@ pub enum ForwardingMode {
 
 /// Builds the configuration Spark hands to its embedded Hive client.
 pub fn build_hive_client_config(spark: &SparkConfig, mode: ForwardingMode) -> ConfigMap {
+    build_hive_client_config_traced(spark, mode, None)
+}
+
+/// [`build_hive_client_config`] with the forwarding recorded as a
+/// management-plane boundary crossing: the trace notes whether the built
+/// client can authenticate, making the SPARK-10181 silent drop visible in
+/// the same causal sequence as the data-plane crossings around it.
+pub fn build_hive_client_config_traced(
+    spark: &SparkConfig,
+    mode: ForwardingMode,
+    ctx: Option<&CrossingContext>,
+) -> ConfigMap {
+    let out = forward_config(spark, mode);
+    if let Some(c) = ctx {
+        let label = match mode {
+            ForwardingMode::Shipped => "mode=shipped",
+            ForwardingMode::Fixed => "mode=fixed",
+        };
+        let kerberized = spark.get(YARN_KEYTAB).is_some() || spark.get(YARN_PRINCIPAL).is_some();
+        let auth = match (kerberized, can_authenticate(&out)) {
+            (false, _) => "kerberos=unconfigured",
+            (true, true) => "kerberos=translated",
+            // The SPARK-10181 shape: configured upstream, absent downstream.
+            (true, false) => "kerberos=silently-dropped",
+        };
+        c.note(
+            BoundaryCall::new(Channel::Metastore, "forward_config")
+                .from_upstream(SystemId::Spark)
+                .with_plane(Plane::Management)
+                .with_payload("hive-client"),
+            &format!("{label} {auth}"),
+        );
+    }
+    out
+}
+
+fn forward_config(spark: &SparkConfig, mode: ForwardingMode) -> ConfigMap {
     let mut out = ConfigMap::new("hive-client");
     for (k, v) in spark.map().iter() {
         if k.starts_with("hive.") {

@@ -7,6 +7,8 @@
 //! tolerates gaps and reports how many records were actually delivered.
 
 use crate::error::SparkError;
+use csi_core::boundary::{BoundaryCall, CrossingContext};
+use csi_core::fault::Channel;
 use minikafka::{ConsumerRecord, MiniKafka, Offset, PartitionId};
 
 /// Offset-contiguity handling mode.
@@ -43,6 +45,23 @@ pub fn plan_range(
     partition: PartitionId,
     from: Offset,
 ) -> Result<OffsetRange, SparkError> {
+    plan_range_traced(broker, topic, partition, from, None)
+}
+
+/// [`plan_range`] with the planner's crossing recorded in a trace.
+pub fn plan_range_traced(
+    broker: &MiniKafka,
+    topic: &str,
+    partition: PartitionId,
+    from: Offset,
+    ctx: Option<&CrossingContext>,
+) -> Result<OffsetRange, SparkError> {
+    if let Some(c) = ctx {
+        c.record(
+            BoundaryCall::new(Channel::Kafka, "plan_range")
+                .with_payload(&format!("{topic}/p{}", partition.0)),
+        );
+    }
     let until = broker
         .log_end_offset(topic, partition)
         .map_err(|e| SparkError::Connector {
@@ -65,6 +84,24 @@ pub fn consume_range(
     range: OffsetRange,
     model: OffsetModel,
 ) -> Result<Vec<ConsumerRecord>, SparkError> {
+    consume_range_traced(broker, topic, partition, range, model, None)
+}
+
+/// [`consume_range`] with the consumer's crossing recorded in a trace.
+pub fn consume_range_traced(
+    broker: &MiniKafka,
+    topic: &str,
+    partition: PartitionId,
+    range: OffsetRange,
+    model: OffsetModel,
+    ctx: Option<&CrossingContext>,
+) -> Result<Vec<ConsumerRecord>, SparkError> {
+    if let Some(c) = ctx {
+        c.record(
+            BoundaryCall::new(Channel::Kafka, "consume_range")
+                .with_payload(&format!("{topic}/p{}", partition.0)),
+        );
+    }
     let batch = broker
         .fetch(topic, partition, range.from, usize::MAX)
         .map_err(|e| SparkError::Connector {

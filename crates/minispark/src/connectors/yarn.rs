@@ -12,6 +12,9 @@
 
 use crate::config::{SparkConfig, EXECUTOR_CORES, EXECUTOR_MEMORY_MB, EXECUTOR_MEMORY_OVERHEAD_MB};
 use crate::error::SparkError;
+use csi_core::boundary::{BoundaryCall, CrossingContext};
+use csi_core::fault::Channel;
+use csi_core::plane::{Plane, SystemId};
 use miniyarn::{Resource, ResourceManager};
 
 /// Minimum executor memory overhead, MB (Spark's documented constant).
@@ -84,6 +87,23 @@ pub fn validate_executor_sizing(
 /// Fetches cluster metrics, as `Client.getYarnClusterMetrics` does —
 /// assuming the API exists in the deployed mode (YARN-9724).
 pub fn cluster_metrics(rm: &ResourceManager) -> Result<miniyarn::ClusterMetrics, SparkError> {
+    cluster_metrics_traced(rm, None)
+}
+
+/// [`cluster_metrics`] with Spark's management-plane crossing recorded in
+/// a trace (the RM's own boundary, when wired, traces the serving side).
+pub fn cluster_metrics_traced(
+    rm: &ResourceManager,
+    ctx: Option<&CrossingContext>,
+) -> Result<miniyarn::ClusterMetrics, SparkError> {
+    if let Some(c) = ctx {
+        c.record(
+            BoundaryCall::new(Channel::Yarn, "cluster_metrics")
+                .from_upstream(SystemId::Spark)
+                .with_plane(Plane::Management)
+                .with_payload("cluster"),
+        );
+    }
     rm.get_cluster_metrics().map_err(|e| SparkError::Connector {
         code: "YARN_METRICS",
         message: e.to_string(),

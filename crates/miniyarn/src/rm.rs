@@ -6,7 +6,8 @@ use crate::error::YarnError;
 use crate::resource::Resource;
 use crate::scheduler::{scheduler_from_config, Scheduler, SchedulerKind};
 use csi_core::config::ConfigMap;
-use csi_core::fault::InjectionRegistry;
+use csi_core::boundary::{BoundaryCall, CrossingContext};
+use csi_core::fault::{Channel, InjectionRegistry};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Identifier of a registered application (application master).
@@ -169,7 +170,7 @@ pub struct ResourceManager {
     next_container: u64,
     total_requested: u64,
     total_allocated: u64,
-    injection: Option<InjectionRegistry>,
+    crossing: Option<CrossingContext>,
 }
 
 impl ResourceManager {
@@ -191,21 +192,27 @@ impl ResourceManager {
             next_container: 0,
             total_requested: 0,
             total_allocated: 0,
-            injection: None,
+            crossing: None,
         }
     }
 
-    /// Attaches a fault-injection registry; RM request entry points consult
-    /// it before doing real work, and injected latency slows the allocation
-    /// pipeline.
+    /// Attaches a fault-injection registry by wrapping it in a tracing
+    /// [`CrossingContext`]; RM request entry points route through it, and
+    /// injected latency slows the allocation pipeline.
     pub fn set_injection(&mut self, registry: InjectionRegistry) {
-        self.injection = Some(registry);
+        self.set_crossing(CrossingContext::with_registry(registry));
     }
 
-    /// Fault-injection hook at an RM request boundary.
-    fn inject(&self, op: &str) -> Result<(), YarnError> {
-        match &self.injection {
-            Some(reg) => reg.inject::<YarnError>(op),
+    /// Attaches the deployment's crossing context; every RM request entry
+    /// point crosses the [`Channel::Yarn`] boundary through it.
+    pub fn set_crossing(&mut self, crossing: CrossingContext) {
+        self.crossing = Some(crossing);
+    }
+
+    /// The RM request boundary crossing at the entry of `op`.
+    fn cross(&self, op: &str, payload: &str) -> Result<(), YarnError> {
+        match &self.crossing {
+            Some(ctx) => ctx.cross(BoundaryCall::new(Channel::Yarn, op).with_payload(payload)),
             None => Ok(()),
         }
     }
@@ -281,7 +288,7 @@ impl ResourceManager {
         app: ApplicationId,
         ask: Resource,
     ) -> Result<Resource, YarnError> {
-        self.inject("add_container_request")?;
+        self.cross("add_container_request", &format!("app-{}", app.0))?;
         if !self.apps.contains_key(&app) {
             return Err(YarnError::UnknownApplication(app.0));
         }
@@ -313,7 +320,7 @@ impl ResourceManager {
     /// The AM–RM heartbeat: returns containers allocated and completed since
     /// the application's previous heartbeat.
     pub fn allocate(&mut self, app: ApplicationId) -> Result<AllocateResponse, YarnError> {
-        self.inject("allocate")?;
+        self.cross("allocate", &format!("app-{}", app.0))?;
         self.process_pipeline();
         let num_pending = self.pending.iter().filter(|a| a.app == app).count();
         let state = self
@@ -338,9 +345,9 @@ impl ResourceManager {
     fn effective_service_ms(&self) -> u64 {
         let backlog_factor = 1 + (self.pending.len() as u64) / 1000;
         let injected = self
-            .injection
+            .crossing
             .as_ref()
-            .map_or(0, InjectionRegistry::virtual_delay_ms);
+            .map_or(0, CrossingContext::virtual_delay_ms);
         self.alloc_service_ms * backlog_factor + injected
     }
 
@@ -534,7 +541,7 @@ impl ResourceManager {
 
     /// Cluster metrics, available only in classic mode (YARN-9724).
     pub fn get_cluster_metrics(&self) -> Result<ClusterMetrics, YarnError> {
-        self.inject("get_cluster_metrics")?;
+        self.cross("get_cluster_metrics", "cluster")?;
         if self.mode == RmMode::Federation {
             return Err(YarnError::UnsupportedInMode {
                 op: "getClusterMetrics",
