@@ -23,6 +23,9 @@ cargo test -q -p csi-test --test fault_matrix
 echo "==> boundary trace summary (per-channel crossing counts)"
 cargo run -q --release -p csi-bench --bin trace_summary
 
+echo "==> online detector vs offline oracle (recall 1.0, serial == sharded)"
+cargo run -q --release -p csi-bench --bin detector_report
+
 echo "==> golden campaign report"
 cargo test -q -p csi-test --test golden_report
 

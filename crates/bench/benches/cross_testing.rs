@@ -1,6 +1,10 @@
 //! Criterion benches for the Section 8 cross-testing harness: per-plan
 //! write/read costs, serializer throughput, and oracle overhead.
 
+// These suites deliberately exercise the legacy entrypoints the Campaign
+// builder wraps, proving the wrappers and the builder agree.
+#![allow(deprecated)]
+
 // The `criterion_group!` macro expands to undocumented items.
 #![allow(missing_docs)]
 
@@ -88,6 +92,7 @@ fn bench_oracles(c: &mut Criterion) {
                 diagnostics: vec![],
             }),
             trace: csi_core::boundary::InteractionTrace::default(),
+            detections: vec![],
         })
         .collect();
     c.bench_function("oracle/differential_512_observations", |b| {

@@ -9,12 +9,12 @@
 
 use csi_bench::tables::header;
 use csi_core::oracle::OracleKind;
-use csi_test::{generate_inputs, run_cross_test, CrossTestConfig, Experiment};
+use csi_test::{generate_inputs, Campaign, Experiment};
 use minihive::metastore::StorageFormat;
 
 fn main() {
     let inputs = generate_inputs();
-    let full = run_cross_test(&inputs, &CrossTestConfig::default());
+    let full = Campaign::new(&inputs).run();
     println!(
         "full harness: {} discrepancies from {} raw failures",
         full.report.distinct(),
@@ -38,13 +38,7 @@ fn main() {
 
     header("experiment ablation: single direction only");
     for exp in Experiment::ALL {
-        let outcome = run_cross_test(
-            &inputs,
-            &CrossTestConfig {
-                experiments: vec![exp],
-                ..CrossTestConfig::default()
-            },
-        );
+        let outcome = Campaign::new(&inputs).experiments(vec![exp]).run();
         println!(
             "  {:<14} ({}) finds {:>2}/15 discrepancies",
             exp,
@@ -55,13 +49,7 @@ fn main() {
 
     header("format ablation: single backend format only");
     for format in StorageFormat::ALL {
-        let outcome = run_cross_test(
-            &inputs,
-            &CrossTestConfig {
-                formats: vec![format],
-                ..CrossTestConfig::default()
-            },
-        );
+        let outcome = Campaign::new(&inputs).formats(vec![format]).run();
         println!(
             "  {:<8} only finds {:>2}/15 discrepancies",
             format.name(),

@@ -8,9 +8,7 @@
 //! Usage: `campaign [workers] [chunk_size]` — `workers` defaults to the
 //! machine's available parallelism (0 keeps that default).
 
-use csi_test::{
-    generate_inputs, run_cross_test, run_cross_test_parallel, CrossTestConfig, ParallelConfig,
-};
+use csi_test::{generate_inputs, Campaign};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -45,41 +43,43 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
     let chunk_size: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
+    // `Campaign::shards(0|1)` means serial, so resolve "auto" here.
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .max(2)
+    } else {
+        workers
+    };
 
     let inputs = generate_inputs();
 
     // Baseline: the serial executor exactly as it always ran (tables
     // accumulate in the deployment for the experiment's lifetime).
     let serial_started = Instant::now();
-    let serial = run_cross_test(&inputs, &CrossTestConfig::default());
+    let serial = Campaign::new(&inputs).run();
     let serial_micros = serial_started.elapsed().as_micros() as u64;
 
     // Campaign mode: sharded worker pool with per-worker deployments and
     // drop-after-observe table recycling. The determinism suite proves the
     // report is identical to the baseline's; this binary re-checks it.
-    let campaign_config = CrossTestConfig {
-        recycle_tables: true,
-        ..CrossTestConfig::default()
-    };
-    let parallel = run_cross_test_parallel(
-        &inputs,
-        &campaign_config,
-        &ParallelConfig {
-            workers,
-            chunk_size,
-        },
-    );
-    let metrics = parallel.metrics;
+    let parallel = Campaign::new(&inputs)
+        .recycle_tables(true)
+        .shards(workers)
+        .chunk_size(chunk_size)
+        .run();
+    let metrics = parallel.metrics.expect("sharded campaigns carry metrics");
 
     let serial_json = serde_json::to_string(&serial.report).expect("serial report");
-    let parallel_json = serde_json::to_string(&parallel.outcome.report).expect("parallel report");
+    let parallel_json = serde_json::to_string(&parallel.report).expect("parallel report");
 
     let summary = Summary {
         inputs: inputs.len(),
         observations: metrics.observations,
-        distinct_discrepancies: parallel.outcome.report.distinct(),
+        distinct_discrepancies: parallel.report.distinct(),
         reports_identical: serial_json == parallel_json,
-        recycle_tables: campaign_config.recycle_tables,
+        recycle_tables: true,
         serial_micros,
         serial_obs_per_sec: serial.observations.len() as f64
             / (serial_micros.max(1) as f64 / 1_000_000.0),

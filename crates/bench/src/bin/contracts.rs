@@ -4,11 +4,11 @@
 
 use csi_bench::tables::header;
 use csi_test::contracts::{check_observations, documented_contracts, naive_contracts};
-use csi_test::{generate_inputs, run_cross_test, CrossTestConfig};
+use csi_test::{generate_inputs, Campaign};
 
 fn main() {
     let inputs = generate_inputs();
-    let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+    let outcome = Campaign::new(&inputs).run();
 
     header("contract checking over the full 422-input campaign");
     let naive = check_observations(&inputs, &outcome.observations, naive_contracts);

@@ -1,0 +1,103 @@
+//! Online-detector summary: runs the standard fault matrix with the
+//! online CSI failure detector enabled (serially and sharded), checks the
+//! two reports agree byte-for-byte, scores the detector against the
+//! offline §9 error-handling oracle, and prints a JSON summary — cells,
+//! per-kind and per-channel detection totals, and the agreement
+//! (tp/fp/fn/tn, precision, recall).
+//!
+//! Usage: `detector_report [seed] [workers]` — seed defaults to 42,
+//! workers to the machine's available parallelism.
+
+use csi_core::fault::FaultOutcome;
+use csi_test::Campaign;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// The JSON document this binary prints.
+#[derive(Serialize)]
+struct Summary {
+    /// Campaign seed.
+    seed: u64,
+    /// Matrix cells (fault × scenario).
+    cells: usize,
+    /// Cells whose fault actually fired.
+    cells_fired: usize,
+    /// Cells the offline oracle labels swallowed or mistranslated.
+    oracle_error_handling_cells: usize,
+    /// Online detections per kind across every cell.
+    detections_per_kind: BTreeMap<String, usize>,
+    /// Online detections per channel across every cell.
+    detections_per_channel: BTreeMap<String, usize>,
+    /// Detector-vs-oracle true positives.
+    true_positives: usize,
+    /// Detector-vs-oracle false positives.
+    false_positives: usize,
+    /// Detector-vs-oracle false negatives.
+    false_negatives: usize,
+    /// Detector-vs-oracle true negatives.
+    true_negatives: usize,
+    /// Fraction of flagged cells the oracle confirms.
+    precision: f64,
+    /// Fraction of oracle-labeled cells the detector flags.
+    recall: f64,
+    /// Whether the sharded report serialized identically to the serial one.
+    reports_identical: bool,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
+    });
+
+    let serial = Campaign::new(&[]).fault_matrix(seed).detect(true).run();
+    let sharded = Campaign::new(&[])
+        .fault_matrix(seed)
+        .detect(true)
+        .shards(workers)
+        .run();
+    let identical = serde_json::to_string(&serial.matrix).expect("serializable")
+        == serde_json::to_string(&sharded.matrix).expect("serializable")
+        && serial.render() == sharded.render();
+
+    let matrix = serial.matrix.expect("matrix mode");
+    let agreement = matrix.agreement.expect("fired cells were scored");
+    let oracle_error_handling_cells = matrix
+        .cases
+        .iter()
+        .filter(|c| {
+            matches!(
+                c.outcome,
+                Some(FaultOutcome::Swallowed | FaultOutcome::Mistranslated)
+            )
+        })
+        .count();
+
+    let summary = Summary {
+        seed,
+        cells: matrix.cases.len(),
+        cells_fired: matrix.cases.iter().filter(|c| c.outcome.is_some()).count(),
+        oracle_error_handling_cells,
+        detections_per_kind: matrix.detection_kinds.clone(),
+        detections_per_channel: matrix.detection_totals.clone(),
+        true_positives: agreement.true_positives,
+        false_positives: agreement.false_positives,
+        false_negatives: agreement.false_negatives,
+        true_negatives: agreement.true_negatives,
+        precision: agreement.precision(),
+        recall: agreement.recall(),
+        reports_identical: identical,
+    };
+    println!(
+        "BENCH_detector_report {}",
+        serde_json::to_string(&summary).expect("serializable")
+    );
+    assert!(identical, "sharded detector report diverged from serial");
+    assert!(
+        (summary.recall - 1.0).abs() < f64::EPSILON,
+        "online detector missed an oracle-labeled error-handling cell \
+         ({} false negatives)",
+        summary.false_negatives
+    );
+}

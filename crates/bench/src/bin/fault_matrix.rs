@@ -7,7 +7,7 @@
 //! Usage: `fault_matrix [seed] [workers]` — seed defaults to 42, workers
 //! to the machine's available parallelism.
 
-use csi_test::{run_fault_matrix, run_fault_matrix_sharded, FaultMatrixConfig};
+use csi_test::{fault_catalogue, Campaign};
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -42,13 +42,22 @@ fn main() {
         std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
     });
 
-    let config = FaultMatrixConfig::standard(seed);
+    let faults = fault_catalogue(seed).faults.len();
     let started = Instant::now();
-    let serial = run_fault_matrix(&config);
+    let serial = Campaign::new(&[])
+        .fault_matrix(seed)
+        .run()
+        .matrix
+        .expect("matrix mode");
     let serial_micros = started.elapsed().as_micros() as u64;
 
     let started = Instant::now();
-    let sharded = run_fault_matrix_sharded(&config, workers);
+    let sharded = Campaign::new(&[])
+        .fault_matrix(seed)
+        .shards(workers)
+        .run()
+        .matrix
+        .expect("matrix mode");
     let sharded_micros = started.elapsed().as_micros() as u64;
 
     let identical = serde_json::to_string(&serial).expect("serializable")
@@ -63,7 +72,7 @@ fn main() {
 
     let summary = Summary {
         seed,
-        faults: config.faults.faults.len(),
+        faults,
         cells: serial.cases.len(),
         outcomes: serial.outcomes.clone(),
         channels_fired: channels.into_keys().collect(),

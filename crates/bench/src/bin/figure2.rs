@@ -2,6 +2,7 @@
 //! assertion and its checking fix.
 
 use csi_bench::tables::{compare, header};
+use csi_core::boundary::CrossingContext;
 use minihdfs::{HdfsPath, MiniHdfs};
 use minispark::connectors::hdfs::{read_file, LengthCheck};
 
@@ -11,24 +12,25 @@ fn main() {
     fs.create_compressed(&path, b"compressed job input")
         .expect("write");
     let status = fs.get_file_status(&path).expect("status");
+    let off = CrossingContext::disabled();
 
     header("Figure 2: Spark reads a compressed file from HDFS");
     println!(
         "  HDFS reports length = {} (documented sentinel for compressed data)",
         status.len
     );
-    match read_file(&fs, &path, LengthCheck::Shipped) {
+    match read_file(&fs, &path, LengthCheck::Shipped, &off) {
         Err(e) => println!("  shipped Spark: {e}"),
         Ok(_) => println!("  shipped Spark: unexpectedly succeeded"),
     }
     compare(
         "shipped Spark job fails on the assertion",
         "true",
-        read_file(&fs, &path, LengthCheck::Shipped).is_err(),
+        read_file(&fs, &path, LengthCheck::Shipped, &off).is_err(),
     );
 
     header("Figure 4: the fix accepts -1 as a valid length");
-    let fixed = read_file(&fs, &path, LengthCheck::Fixed);
+    let fixed = read_file(&fs, &path, LengthCheck::Fixed, &off);
     println!(
         "  fixed Spark: read {} bytes",
         fixed.as_ref().map(|b| b.len()).unwrap_or(0)

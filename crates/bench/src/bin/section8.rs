@@ -3,7 +3,7 @@
 //! their category totals, and the custom-configuration resolution.
 
 use csi_bench::tables::{compare, header};
-use csi_test::{active_ids, generate_inputs, run_cross_test, CrossTestConfig};
+use csi_test::{active_ids, generate_inputs, Campaign, CrossTestConfig};
 
 fn main() {
     let inputs = generate_inputs();
@@ -17,7 +17,7 @@ fn main() {
     compare("invalid inputs", 212, inputs.len() - valid);
 
     header("Section 8.2: cross-testing under the default configuration");
-    let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+    let outcome = Campaign::new(&inputs).run();
     print!("{}", outcome.report.render());
     compare("distinct discrepancies", 15, outcome.report.distinct());
     let paper_counts = [2usize, 2, 5, 7, 8];
@@ -36,13 +36,9 @@ fn main() {
     );
 
     header("Section 8.2: custom (non-default) configuration resolves 8 discrepancies");
-    let custom = run_cross_test(
-        &inputs,
-        &CrossTestConfig {
-            spark_overrides: CrossTestConfig::custom_resolving_overrides(),
-            ..CrossTestConfig::default()
-        },
-    );
+    let custom = Campaign::new(&inputs)
+        .spark_overrides(CrossTestConfig::custom_resolving_overrides())
+        .run();
     let before = active_ids(&outcome.report);
     let after = active_ids(&custom.report);
     let resolved: Vec<&String> = before.iter().filter(|d| !after.contains(d)).collect();

@@ -7,7 +7,7 @@
 //! Usage: `trace_summary [seed]` — `seed` defaults to 42 (the golden
 //! campaign seed).
 
-use csi_test::{generate_inputs, run_cross_test, run_fault_matrix, CrossTestConfig, FaultMatrixConfig};
+use csi_test::{fault_catalogue, generate_inputs, Campaign};
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -39,7 +39,7 @@ fn main() {
         .unwrap_or(42);
 
     let inputs = generate_inputs();
-    let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+    let outcome = Campaign::new(&inputs).run();
     let campaign_total = outcome.report.trace_totals.values().sum();
     let discrepancies_with_trace = outcome
         .report
@@ -48,7 +48,11 @@ fn main() {
         .filter(|d| !d.trace.is_empty())
         .count();
 
-    let matrix = run_fault_matrix(&FaultMatrixConfig::standard(seed));
+    let matrix_outcome = Campaign::new(&[])
+        .fault_matrix(seed)
+        .faults(fault_catalogue(seed))
+        .run();
+    let matrix = matrix_outcome.matrix.expect("matrix mode");
     let mut fault_matrix_crossings: BTreeMap<String, usize> = BTreeMap::new();
     for case in &matrix.cases {
         for (channel, n) in case.trace.channel_counts() {

@@ -20,11 +20,9 @@ pub fn header(title: &str) {
 pub fn run_artifact_experiment(experiment: csi_test::Experiment) {
     use csi_core::oracle::OracleKind;
     let inputs = csi_test::generate_inputs();
-    let config = csi_test::CrossTestConfig {
-        experiments: vec![experiment],
-        ..csi_test::CrossTestConfig::default()
-    };
-    let outcome = csi_test::run_cross_test(&inputs, &config);
+    let outcome = csi_test::Campaign::new(&inputs)
+        .experiments(vec![experiment])
+        .run();
     let dir = std::path::PathBuf::from("logs").join(experiment.short());
     std::fs::create_dir_all(&dir).expect("create log dir");
     for (oracle, suffix) in [

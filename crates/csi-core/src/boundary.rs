@@ -231,11 +231,39 @@ impl fmt::Display for InteractionTrace {
     }
 }
 
-#[derive(Debug)]
+/// A streaming consumer of crossings, attached beside the append-only
+/// trace: the sink sees every crossing *as it happens*, even on a
+/// trace-disabled context. This is the hook the online detector
+/// ([`crate::detect`]) rides on — the boundary stays the single choke
+/// point, and run-time analysis never has to wait for a campaign to end.
+///
+/// Sinks must never call back into the [`CrossingContext`] that notifies
+/// them: notification happens under the context's own lock, so a
+/// re-entrant crossing from inside a sink would deadlock.
+pub trait CrossingSink: Send {
+    /// Called once per crossing, in causal order, before the crossing is
+    /// appended to the trace.
+    fn on_crossing(&mut self, crossing: &Crossing);
+}
+
 struct ContextState {
     enabled: bool,
     clock_ms: u64,
+    next_seq: u64,
     trace: InteractionTrace,
+    sink: Option<Box<dyn CrossingSink>>,
+}
+
+impl fmt::Debug for ContextState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ContextState")
+            .field("enabled", &self.enabled)
+            .field("clock_ms", &self.clock_ms)
+            .field("next_seq", &self.next_seq)
+            .field("trace", &self.trace)
+            .field("sink", &self.sink.as_ref().map(|_| "<attached>"))
+            .finish()
+    }
 }
 
 /// The per-deployment crossing context: the single choke point every
@@ -264,7 +292,9 @@ impl CrossingContext {
             state: Arc::new(Mutex::new(ContextState {
                 enabled,
                 clock_ms: 0,
+                next_seq: 0,
                 trace: InteractionTrace::default(),
+                sink: None,
             })),
         }
     }
@@ -318,6 +348,7 @@ impl CrossingContext {
         self.registry.reset_counters();
         let mut state = self.state.lock();
         state.clock_ms = 0;
+        state.next_seq = 0;
         state.trace.crossings.clear();
     }
 
@@ -326,20 +357,38 @@ impl CrossingContext {
         self.state.lock().trace.clone()
     }
 
+    /// Attaches a streaming sink: from now on every crossing is handed to
+    /// `sink` as it happens, in causal order, whether or not the trace is
+    /// enabled. Replaces any previously attached sink. Sinks survive
+    /// [`reset`](CrossingContext::reset) — per-observation state belongs
+    /// to the sink, not the context.
+    pub fn set_sink(&self, sink: Box<dyn CrossingSink>) {
+        self.state.lock().sink = Some(sink);
+    }
+
+    /// Detaches the streaming sink, if any.
+    pub fn clear_sink(&self) {
+        self.state.lock().sink = None;
+    }
+
     fn push(&self, call: BoundaryCall, outcome: CrossingOutcome, cost_ms: u64) {
         let mut state = self.state.lock();
-        if !state.enabled {
-            return;
-        }
         let at_ms = state.clock_ms;
         state.clock_ms += 1 + cost_ms;
-        let seq = state.trace.crossings.len() as u64;
-        state.trace.crossings.push(Crossing {
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let crossing = Crossing {
             seq,
             at_ms,
             call,
             outcome,
-        });
+        };
+        if let Some(sink) = state.sink.as_mut() {
+            sink.on_crossing(&crossing);
+        }
+        if state.enabled {
+            state.trace.crossings.push(crossing);
+        }
     }
 
     /// Routes one crossing: counts the call against armed faults, records
@@ -574,6 +623,35 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("[Management]"), "{}", lines[0]);
         assert!(lines[1].ends_with("note:served-by=primary"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn sinks_stream_every_crossing_even_when_tracing_is_disabled() {
+        #[derive(Default)]
+        struct Tape(Arc<Mutex<Vec<String>>>);
+        impl CrossingSink for Tape {
+            fn on_crossing(&mut self, crossing: &Crossing) {
+                self.0.lock().push(crossing.compact());
+            }
+        }
+        let tape = Arc::new(Mutex::new(Vec::new()));
+        for ctx in [CrossingContext::new(), CrossingContext::disabled()] {
+            tape.lock().clear();
+            ctx.set_sink(Box::new(Tape(tape.clone())));
+            let _: Result<(), InteractionError> = ctx.cross(call("get_table"));
+            ctx.note(call("read"), "served-by=primary");
+            let seen = tape.lock().clone();
+            assert_eq!(seen.len(), 2, "sink missed a crossing: {seen:?}");
+            assert!(seen[0].starts_with("#0 "), "{}", seen[0]);
+            assert!(seen[1].starts_with("#1 "), "{}", seen[1]);
+            // Reset keeps the sink attached and restarts seq/clock.
+            ctx.reset();
+            let _: Result<(), InteractionError> = ctx.cross(call("get_table"));
+            assert!(tape.lock()[2].starts_with("#0 "), "{}", tape.lock()[2]);
+            ctx.clear_sink();
+            let _: Result<(), InteractionError> = ctx.cross(call("get_table"));
+            assert_eq!(tape.lock().len(), 3);
+        }
     }
 
     #[test]

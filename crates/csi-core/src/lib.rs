@@ -14,6 +14,9 @@
 //!   `*failed.json` output;
 //! - a deterministic **discrete-event simulator** ([`sim`]) used to reproduce
 //!   timing-sensitive control-plane failures such as FLINK-12342;
+//! - an **online CSI failure detector** ([`detect`]) that consumes boundary
+//!   crossings as a stream and emits typed detections, cross-checked
+//!   against the offline §9 oracle;
 //! - a provenance-tracking **configuration plane** ([`config`]) that makes
 //!   cross-system configuration merges and overrides observable;
 //! - a small **SQL frontend** ([`sql`]) shared by the simulated systems, with
@@ -33,6 +36,7 @@
 pub mod audit;
 pub mod boundary;
 pub mod config;
+pub mod detect;
 pub mod diag;
 pub mod error;
 pub mod fault;

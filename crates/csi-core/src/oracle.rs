@@ -13,6 +13,7 @@
 //! into distinct discrepancies.
 
 use crate::boundary::InteractionTrace;
+use crate::detect::Detection;
 use crate::diag::{Diagnostic, Level};
 use crate::error::InteractionError;
 use crate::value::Value;
@@ -75,6 +76,9 @@ pub struct Observation {
     pub read: Option<ReadOutcome>,
     /// The causal sequence of boundary crossings this observation drove.
     pub trace: InteractionTrace,
+    /// What the online detector flagged while the observation ran (empty
+    /// when detection is off).
+    pub detections: Vec<Detection>,
 }
 
 /// Canonical behavior of an observation, for differential comparison.
@@ -296,6 +300,7 @@ mod tests {
                 diagnostics: vec![],
             }),
             trace: InteractionTrace::default(),
+            detections: vec![],
         }
     }
 
@@ -310,6 +315,7 @@ mod tests {
             },
             read: None,
             trace: InteractionTrace::default(),
+            detections: vec![],
         }
     }
 

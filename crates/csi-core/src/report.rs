@@ -8,6 +8,7 @@
 //! plane — and a [`DiscrepancyReport`] is the full run summary, serializable
 //! to JSON like the artifact's `*failed.json` files.
 
+use crate::detect::DetectorAgreement;
 use crate::oracle::OracleFailure;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -105,6 +106,17 @@ pub struct DiscrepancyReport {
     /// Total boundary crossings per channel across the whole campaign
     /// (empty when tracing was disabled).
     pub trace_totals: BTreeMap<String, usize>,
+    /// Whether the online detector ran during the campaign. Distinguishes
+    /// "detection off" from "detection on, nothing flagged".
+    pub detector_enabled: bool,
+    /// Online detections per channel across the whole campaign (a
+    /// detection spanning several channels counts once per channel).
+    pub detection_totals: BTreeMap<String, usize>,
+    /// Online detections per detection kind.
+    pub detection_kinds: BTreeMap<String, usize>,
+    /// Agreement with the offline §9 oracle over fault-bearing
+    /// observations; `None` when no observation had a fired fault.
+    pub detector_agreement: Option<DetectorAgreement>,
 }
 
 impl DiscrepancyReport {
@@ -139,47 +151,231 @@ impl DiscrepancyReport {
         set.into_iter().collect()
     }
 
-    /// Renders a human-readable summary.
+    /// Renders the standard human-readable summary: every section that has
+    /// something to say, through the single [`Render`] path.
     pub fn render(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "cross-testing: {} inputs ({} valid, {} invalid), {} observations\n",
-            self.inputs_total, self.inputs_valid, self.inputs_invalid, self.observations
-        ));
-        out.push_str(&format!(
-            "{} raw oracle failures -> {} distinct discrepancies\n",
-            self.raw_failures.len(),
-            self.distinct()
-        ));
-        for d in &self.discrepancies {
-            out.push_str(&format!(
-                "  {} [{}] {} ({} failures)\n",
-                d.id,
-                d.issue_keys.join(", "),
-                d.title,
-                d.evidence.len()
-            ));
-            for line in &d.trace {
-                out.push_str(&format!("      {line}\n"));
+        Render::standard(self).to_string()
+    }
+}
+
+/// One renderable section of a campaign report. The single [`Render`]
+/// path is parameterized by a section list instead of growing a new
+/// bolted-on optional block per feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// Input/observation/failure headline counts.
+    Summary,
+    /// The distinct discrepancies with their representative traces.
+    Discrepancies,
+    /// Problem-category totals.
+    Categories,
+    /// Boundary crossings per channel.
+    Traces,
+    /// Online detections per channel and kind, plus oracle agreement.
+    Detections,
+    /// Fault-matrix cells (rows supplied via [`Render::fault_cells`]).
+    FaultCells,
+    /// Unattributed-failure warning.
+    Warnings,
+}
+
+impl Section {
+    /// Every section, in canonical render order.
+    pub const ALL: [Section; 7] = [
+        Section::Summary,
+        Section::Discrepancies,
+        Section::Categories,
+        Section::Traces,
+        Section::Detections,
+        Section::FaultCells,
+        Section::Warnings,
+    ];
+}
+
+/// One fault-matrix cell, reduced to what a campaign report renders.
+/// Defined here (not in the test harness) so matrix campaigns render
+/// through the same [`Render`] path as cross-test campaigns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCellRow {
+    /// The injected fault's spec id.
+    pub fault_id: String,
+    /// The scenario the fault was injected into.
+    pub scenario: String,
+    /// The offline oracle's §9 bucket for the cell.
+    pub outcome: String,
+    /// How many online detections the cell produced.
+    pub detections: usize,
+    /// One-line cell evidence.
+    pub detail: String,
+}
+
+/// The single rendering path for campaign reports.
+///
+/// ```
+/// use csi_core::report::{DiscrepancyReport, Render, Section};
+/// let report = DiscrepancyReport::default();
+/// let text = Render::new(&report)
+///     .section(Section::Summary)
+///     .section(Section::Detections)
+///     .to_string();
+/// assert!(text.starts_with("cross-testing:"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Render<'a> {
+    report: &'a DiscrepancyReport,
+    sections: Vec<Section>,
+    fault_cells: &'a [FaultCellRow],
+}
+
+impl<'a> Render<'a> {
+    /// A renderer with no sections selected.
+    pub fn new(report: &'a DiscrepancyReport) -> Render<'a> {
+        Render {
+            report,
+            sections: Vec::new(),
+            fault_cells: &[],
+        }
+    }
+
+    /// The standard selection: summary, discrepancies and categories
+    /// always; traces and detections when the campaign recorded them;
+    /// warnings when anything went unattributed.
+    pub fn standard(report: &'a DiscrepancyReport) -> Render<'a> {
+        let mut r = Render::new(report)
+            .section(Section::Summary)
+            .section(Section::Discrepancies)
+            .section(Section::Categories);
+        if !report.trace_totals.is_empty() {
+            r = r.section(Section::Traces);
+        }
+        if report.detector_enabled {
+            r = r.section(Section::Detections);
+        }
+        if !report.unattributed.is_empty() {
+            r = r.section(Section::Warnings);
+        }
+        r
+    }
+
+    /// Appends a section (idempotent; render order is the canonical
+    /// [`Section::ALL`] order, not call order).
+    pub fn section(mut self, section: Section) -> Render<'a> {
+        if !self.sections.contains(&section) {
+            self.sections.push(section);
+        }
+        self
+    }
+
+    /// Supplies fault-matrix rows and selects the [`Section::FaultCells`]
+    /// section.
+    pub fn fault_cells(mut self, rows: &'a [FaultCellRow]) -> Render<'a> {
+        self.fault_cells = rows;
+        self.section(Section::FaultCells)
+    }
+
+    fn has(&self, section: Section) -> bool {
+        self.sections.contains(&section)
+    }
+}
+
+impl fmt::Display for Render<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.report;
+        for section in Section::ALL {
+            if !self.has(section) {
+                continue;
+            }
+            match section {
+                Section::Summary => {
+                    writeln!(
+                        f,
+                        "cross-testing: {} inputs ({} valid, {} invalid), {} observations",
+                        r.inputs_total, r.inputs_valid, r.inputs_invalid, r.observations
+                    )?;
+                    writeln!(
+                        f,
+                        "{} raw oracle failures -> {} distinct discrepancies",
+                        r.raw_failures.len(),
+                        r.distinct()
+                    )?;
+                }
+                Section::Discrepancies => {
+                    for d in &r.discrepancies {
+                        writeln!(
+                            f,
+                            "  {} [{}] {} ({} failures)",
+                            d.id,
+                            d.issue_keys.join(", "),
+                            d.title,
+                            d.evidence.len()
+                        )?;
+                        for line in &d.trace {
+                            writeln!(f, "      {line}")?;
+                        }
+                    }
+                }
+                Section::Categories => {
+                    writeln!(f, "category totals:")?;
+                    for (c, n) in r.category_counts() {
+                        writeln!(f, "  {n:2} x {c}")?;
+                    }
+                }
+                Section::Traces => {
+                    if !r.trace_totals.is_empty() {
+                        writeln!(f, "boundary crossings per channel:")?;
+                        for (channel, n) in &r.trace_totals {
+                            writeln!(f, "  {n:6} x {channel}")?;
+                        }
+                    }
+                }
+                Section::Detections => {
+                    if r.detection_totals.is_empty() {
+                        writeln!(f, "online detections: none")?;
+                    } else {
+                        writeln!(f, "online detections per channel:")?;
+                        for (channel, n) in &r.detection_totals {
+                            writeln!(f, "  {n:6} x {channel}")?;
+                        }
+                        writeln!(f, "online detections per kind:")?;
+                        for (kind, n) in &r.detection_kinds {
+                            writeln!(f, "  {n:6} x {kind}")?;
+                        }
+                    }
+                    if let Some(a) = &r.detector_agreement {
+                        writeln!(
+                            f,
+                            "detector vs offline oracle: {} fault-bearing observations, \
+                             precision {:.3}, recall {:.3} (tp {} fp {} fn {} tn {})",
+                            a.total(),
+                            a.precision(),
+                            a.recall(),
+                            a.true_positives,
+                            a.false_positives,
+                            a.false_negatives,
+                            a.true_negatives
+                        )?;
+                    }
+                }
+                Section::FaultCells => {
+                    if !self.fault_cells.is_empty() {
+                        writeln!(f, "fault matrix cells:")?;
+                        for row in self.fault_cells {
+                            writeln!(
+                                f,
+                                "  {} x {}: {} ({} detections) {}",
+                                row.fault_id, row.scenario, row.outcome, row.detections, row.detail
+                            )?;
+                        }
+                    }
+                }
+                Section::Warnings => {
+                    if !r.unattributed.is_empty() {
+                        writeln!(f, "WARNING: {} unattributed failures", r.unattributed.len())?;
+                    }
+                }
             }
         }
-        out.push_str("category totals:\n");
-        for (c, n) in self.category_counts() {
-            out.push_str(&format!("  {n:2} x {c}\n"));
-        }
-        if !self.trace_totals.is_empty() {
-            out.push_str("boundary crossings per channel:\n");
-            for (channel, n) in &self.trace_totals {
-                out.push_str(&format!("  {n:6} x {channel}\n"));
-            }
-        }
-        if !self.unattributed.is_empty() {
-            out.push_str(&format!(
-                "WARNING: {} unattributed failures\n",
-                self.unattributed.len()
-            ));
-        }
-        out
+        Ok(())
     }
 }
 
@@ -231,6 +427,10 @@ mod tests {
             ],
             unattributed: vec![],
             trace_totals: BTreeMap::from([("metastore".to_string(), 4)]),
+            detector_enabled: false,
+            detection_totals: BTreeMap::new(),
+            detection_kinds: BTreeMap::new(),
+            detector_agreement: None,
         }
     }
 
@@ -256,6 +456,67 @@ mod tests {
         assert!(text.contains("2 distinct discrepancies"));
         assert!(text.contains("#0 Spark->Hive metastore:get_table"));
         assert!(text.contains("boundary crossings per channel:"));
+    }
+
+    #[test]
+    fn render_sections_are_selectable_and_canonically_ordered() {
+        let r = report();
+        // Only the summary, regardless of selection call order.
+        let text = Render::new(&r).section(Section::Summary).to_string();
+        assert!(text.contains("cross-testing: 10 inputs"));
+        assert!(!text.contains("D01"));
+        assert!(!text.contains("category totals:"));
+        // Requesting sections out of order still renders canonically.
+        let text = Render::new(&r)
+            .section(Section::Categories)
+            .section(Section::Summary)
+            .to_string();
+        let summary_at = text.find("cross-testing:").unwrap();
+        let categories_at = text.find("category totals:").unwrap();
+        assert!(summary_at < categories_at);
+    }
+
+    #[test]
+    fn detections_section_reports_none_and_totals() {
+        let mut r = report();
+        r.detector_enabled = true;
+        let text = r.render();
+        assert!(text.contains("online detections: none"), "{text}");
+        r.detection_totals.insert("metastore".into(), 3);
+        r.detection_kinds.insert("swallowed-error".into(), 3);
+        let mut agreement = DetectorAgreement::default();
+        agreement.score(true, true);
+        agreement.score(false, false);
+        r.detector_agreement = Some(agreement);
+        let text = r.render();
+        assert!(text.contains("online detections per channel:"), "{text}");
+        assert!(text.contains("3 x metastore"), "{text}");
+        assert!(text.contains("3 x swallowed-error"), "{text}");
+        assert!(
+            text.contains("precision 1.000, recall 1.000 (tp 1 fp 0 fn 0 tn 1)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn fault_cell_rows_render_through_the_same_path() {
+        let r = report();
+        let rows = vec![FaultCellRow {
+            fault_id: "ms-unavail-get".into(),
+            scenario: "sh:spark-sql->hiveql:orc".into(),
+            outcome: "swallowed".into(),
+            detections: 1,
+            detail: "no error surfaced".into(),
+        }];
+        let text = Render::new(&r)
+            .section(Section::Summary)
+            .fault_cells(&rows)
+            .to_string();
+        assert!(text.contains("fault matrix cells:"), "{text}");
+        assert!(
+            text.contains("ms-unavail-get x sh:spark-sql->hiveql:orc: swallowed (1 detections)"),
+            "{text}"
+        );
     }
 
     #[test]

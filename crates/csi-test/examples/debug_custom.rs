@@ -1,14 +1,12 @@
 //! Dumps evidence for discrepancies that should resolve under the custom
 //! configuration (tuning aid).
-use csi_test::{generate_inputs, run_cross_test, CrossTestConfig};
+use csi_test::{generate_inputs, Campaign, CrossTestConfig};
 
 fn main() {
     let inputs = generate_inputs();
-    let custom = CrossTestConfig {
-        spark_overrides: CrossTestConfig::custom_resolving_overrides(),
-        ..CrossTestConfig::default()
-    };
-    let run = run_cross_test(&inputs, &custom);
+    let run = Campaign::new(&inputs)
+        .spark_overrides(CrossTestConfig::custom_resolving_overrides())
+        .run();
     for d in &run.report.discrepancies {
         if ["D09", "D10", "D11", "D12", "D13", "D15"].contains(&d.id.as_str()) {
             println!("== {} evidence {}", d.id, d.evidence.len());

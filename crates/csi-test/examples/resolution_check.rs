@@ -1,15 +1,13 @@
 //! Prints which discrepancies appear under default vs custom configuration.
-use csi_test::{generate_inputs, run_cross_test, CrossTestConfig};
+use csi_test::{generate_inputs, Campaign, CrossTestConfig};
 
 fn main() {
     let inputs = generate_inputs();
-    let default_run = run_cross_test(&inputs, &CrossTestConfig::default());
-    let custom = CrossTestConfig {
-        spark_overrides: CrossTestConfig::custom_resolving_overrides(),
-        ..CrossTestConfig::default()
-    };
-    let custom_run = run_cross_test(&inputs, &custom);
-    let ids = |r: &csi_test::CrossTestOutcome| -> Vec<String> {
+    let default_run = Campaign::new(&inputs).run();
+    let custom_run = Campaign::new(&inputs)
+        .spark_overrides(CrossTestConfig::custom_resolving_overrides())
+        .run();
+    let ids = |r: &csi_test::CampaignOutcome| -> Vec<String> {
         csi_test::classify::active_ids(&r.report)
     };
     println!("default:  {:?}", ids(&default_run));

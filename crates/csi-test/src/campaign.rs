@@ -1,0 +1,364 @@
+//! The unified campaign API: one builder in front of the serial executor,
+//! the sharded executor, and the fault matrix.
+//!
+//! Historically each campaign style had its own entrypoint
+//! (`run_cross_test`, `run_cross_test_parallel`, `run_fault_matrix`,
+//! `run_fault_matrix_sharded`) and callers wired tracing, fault plans, and
+//! worker pools by hand. [`Campaign`] folds all of that into one builder:
+//!
+//! ```
+//! use csi_test::generator::generate_inputs;
+//! use csi_test::Campaign;
+//!
+//! let inputs = generate_inputs();
+//! let outcome = Campaign::new(&inputs[..2]).shards(2).detect(true).run();
+//! assert!(outcome.report.detector_enabled);
+//! ```
+//!
+//! With `.detect(true)`, a cross-test campaign first replays the same
+//! (experiment × plan × format × input) space fault-free to learn the
+//! per-scenario baseline crossing profiles, freezes them, and then runs
+//! the real campaign with an [`OnlineDetector`] streaming over every
+//! observation — so pattern-anomaly detection has a meaningful "normal"
+//! to compare against. Fault-matrix cells self-calibrate instead (each
+//! cell learns its own baseline from an unarmed run), so
+//! `.fault_matrix(seed)` needs no separate calibration pass.
+//!
+//! [`OnlineDetector`]: csi_core::detect::OnlineDetector
+
+use crate::classify;
+use crate::exec::{self, CrossTestConfig, CrossTestOutcome};
+use crate::generator::TestInput;
+use crate::inject::{self, FaultMatrixConfig, FaultMatrixReport};
+use crate::plan::Experiment;
+use crate::shard::{self, CampaignMetrics, ParallelConfig};
+use csi_core::detect::{DetectorConfig, DetectorSpec};
+use csi_core::fault::FaultPlan;
+use csi_core::oracle::Observation;
+use csi_core::report::{DiscrepancyReport, Render};
+use minihive::metastore::StorageFormat;
+use std::sync::Arc;
+
+/// Builder for a cross-testing or fault-matrix campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    inputs: Vec<TestInput>,
+    experiments: Vec<Experiment>,
+    formats: Vec<StorageFormat>,
+    spark_overrides: Vec<(String, String)>,
+    recycle_tables: bool,
+    shards: usize,
+    chunk_size: usize,
+    faults: Option<FaultPlan>,
+    matrix_seed: Option<u64>,
+    trace: bool,
+    detect: bool,
+    detector_config: DetectorConfig,
+}
+
+/// The result of [`Campaign::run`].
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The discrepancy report (empty in fault-matrix mode except for the
+    /// detection aggregates, which are copied from the matrix).
+    pub report: DiscrepancyReport,
+    /// Every observation, tagged with its experiment (empty in
+    /// fault-matrix mode; the cells live in `matrix`).
+    pub observations: Vec<(Experiment, Observation)>,
+    /// Throughput metrics, when the campaign ran sharded.
+    pub metrics: Option<CampaignMetrics>,
+    /// The fault-matrix report, when the campaign ran in matrix mode.
+    pub matrix: Option<FaultMatrixReport>,
+}
+
+impl CampaignOutcome {
+    /// Renders the campaign through the single [`Render`] path — the
+    /// standard report sections, plus the fault-matrix cells when the
+    /// campaign ran in matrix mode.
+    pub fn render(&self) -> String {
+        match &self.matrix {
+            Some(matrix) => {
+                let rows = matrix.fault_cell_rows();
+                Render::standard(&self.report)
+                    .fault_cells(&rows)
+                    .to_string()
+            }
+            None => Render::standard(&self.report).to_string(),
+        }
+    }
+}
+
+impl Campaign {
+    /// A campaign over `inputs`, with the full experiment × format cross,
+    /// serial execution, tracing on, and no faults or detection.
+    pub fn new(inputs: &[TestInput]) -> Campaign {
+        Campaign {
+            inputs: inputs.to_vec(),
+            experiments: Experiment::ALL.to_vec(),
+            formats: StorageFormat::ALL.to_vec(),
+            spark_overrides: Vec::new(),
+            recycle_tables: false,
+            shards: 1,
+            chunk_size: 64,
+            faults: None,
+            matrix_seed: None,
+            trace: true,
+            detect: false,
+            detector_config: DetectorConfig::default(),
+        }
+    }
+
+    /// Restricts the experiments.
+    pub fn experiments(mut self, experiments: Vec<Experiment>) -> Campaign {
+        self.experiments = experiments;
+        self
+    }
+
+    /// Restricts the storage formats.
+    pub fn formats(mut self, formats: Vec<StorageFormat>) -> Campaign {
+        self.formats = formats;
+        self
+    }
+
+    /// Applies Spark configuration overrides to every deployment.
+    pub fn spark_overrides(mut self, overrides: Vec<(String, String)>) -> Campaign {
+        self.spark_overrides = overrides;
+        self
+    }
+
+    /// Drops each table right after its observation is recorded.
+    pub fn recycle_tables(mut self, recycle: bool) -> Campaign {
+        self.recycle_tables = recycle;
+        self
+    }
+
+    /// Runs the campaign on `n` workers; `0` or `1` runs serially
+    /// (`0` in matrix mode still means serial).
+    pub fn shards(mut self, n: usize) -> Campaign {
+        self.shards = n;
+        self
+    }
+
+    /// Maximum inputs per shard (sharded cross-test campaigns only).
+    pub fn chunk_size(mut self, chunk_size: usize) -> Campaign {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    /// Arms a fault plan: on every deployment in cross-test mode, or as
+    /// the cell catalogue in matrix mode (replacing the seed-derived
+    /// standard catalogue).
+    pub fn faults(mut self, plan: FaultPlan) -> Campaign {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Switches the campaign to fault-matrix mode: every catalogue fault
+    /// crossed with the scenarios of its channel, cells classified by the
+    /// §9 oracle. Uses the builder's experiments/formats for probe cells
+    /// and [`inject::fault_catalogue`]`(seed)` unless [`Campaign::faults`]
+    /// supplied a catalogue.
+    pub fn fault_matrix(mut self, seed: u64) -> Campaign {
+        self.matrix_seed = Some(seed);
+        self
+    }
+
+    /// Records an interaction trace per observation (on by default;
+    /// forced on when detection is enabled).
+    pub fn trace(mut self, trace: bool) -> Campaign {
+        self.trace = trace;
+        self
+    }
+
+    /// Runs the online CSI failure detector over every observation (or
+    /// matrix cell).
+    pub fn detect(mut self, detect: bool) -> Campaign {
+        self.detect = detect;
+        self
+    }
+
+    /// Overrides the detector thresholds.
+    pub fn detector_config(mut self, config: DetectorConfig) -> Campaign {
+        self.detector_config = config;
+        self
+    }
+
+    /// Executes the campaign.
+    pub fn run(self) -> CampaignOutcome {
+        if self.matrix_seed.is_some() {
+            self.run_matrix()
+        } else {
+            self.run_cross()
+        }
+    }
+
+    fn run_matrix(self) -> CampaignOutcome {
+        let seed = self.matrix_seed.expect("matrix mode");
+        let config = FaultMatrixConfig {
+            seed,
+            experiments: self.experiments,
+            formats: self.formats,
+            faults: self
+                .faults
+                .unwrap_or_else(|| inject::fault_catalogue(seed)),
+            detect: self.detect.then_some(self.detector_config),
+        };
+        #[allow(deprecated)]
+        let matrix = if self.shards > 1 {
+            inject::run_fault_matrix_sharded(&config, self.shards)
+        } else {
+            inject::run_fault_matrix(&config)
+        };
+        // The campaign-level report carries the matrix's detection
+        // aggregates so the unified Render path shows them alongside the
+        // fault cells.
+        let mut report = classify::classify(&[], &[], Vec::new(), matrix.detector_enabled);
+        report.detection_kinds = matrix.detection_kinds.clone();
+        report.detection_totals = matrix.detection_totals.clone();
+        report.detector_agreement = matrix.agreement;
+        CampaignOutcome {
+            report,
+            observations: Vec::new(),
+            metrics: None,
+            matrix: Some(matrix),
+        }
+    }
+
+    fn run_cross(self) -> CampaignOutcome {
+        let mut config = CrossTestConfig {
+            experiments: self.experiments,
+            formats: self.formats,
+            spark_overrides: self.spark_overrides,
+            recycle_tables: self.recycle_tables,
+            fault_plan: self.faults,
+            // The baseline learner and the agreement scorer both read
+            // observation traces, so detection forces tracing on.
+            trace_boundaries: self.trace || self.detect,
+            detector: None,
+        };
+        if self.detect {
+            // Fault-free calibration replay over the identical scenario
+            // space: learn what "normal" looks like per scenario, then
+            // freeze. Runs in the same mode (serial/sharded) as the real
+            // campaign; learning is keyed, so worker interleaving cannot
+            // change the result.
+            let calibration_config = CrossTestConfig {
+                fault_plan: None,
+                trace_boundaries: true,
+                detector: None,
+                ..config.clone()
+            };
+            let (calibration, _) =
+                run_mode(&self.inputs, &calibration_config, self.shards, self.chunk_size);
+            let baselines = exec::learn_baselines(&calibration.observations);
+            config.detector = Some(DetectorSpec {
+                config: self.detector_config,
+                baselines: Arc::new(baselines),
+            });
+        }
+        let (outcome, metrics) = run_mode(&self.inputs, &config, self.shards, self.chunk_size);
+        CampaignOutcome {
+            report: outcome.report,
+            observations: outcome.observations,
+            metrics,
+            matrix: None,
+        }
+    }
+}
+
+#[allow(deprecated)]
+fn run_mode(
+    inputs: &[TestInput],
+    config: &CrossTestConfig,
+    shards: usize,
+    chunk_size: usize,
+) -> (CrossTestOutcome, Option<CampaignMetrics>) {
+    if shards > 1 {
+        let out = shard::run_cross_test_parallel(
+            inputs,
+            config,
+            &ParallelConfig {
+                workers: shards,
+                chunk_size,
+            },
+        );
+        (out.outcome, Some(out.metrics))
+    } else {
+        (exec::run_cross_test(inputs, config), None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::Validity;
+    use csi_core::value::{DataType, Value};
+
+    fn byte_input() -> Vec<TestInput> {
+        vec![TestInput {
+            id: 0,
+            column_type: DataType::Byte,
+            value: Value::Byte(5),
+            validity: Validity::Valid,
+            label: "a tinyint".into(),
+            expected_back: None,
+        }]
+    }
+
+    #[test]
+    fn builder_matches_the_legacy_serial_entrypoint() {
+        let inputs = byte_input();
+        let campaign = Campaign::new(&inputs).run();
+        #[allow(deprecated)]
+        let legacy = exec::run_cross_test(&inputs, &CrossTestConfig::default());
+        assert_eq!(
+            serde_json::to_string(&campaign.report).unwrap(),
+            serde_json::to_string(&legacy.report).unwrap()
+        );
+        assert!(campaign.metrics.is_none());
+        assert!(campaign.matrix.is_none());
+    }
+
+    #[test]
+    fn sharded_campaign_reports_metrics_and_identical_output() {
+        let inputs = byte_input();
+        let serial = Campaign::new(&inputs).run();
+        let sharded = Campaign::new(&inputs).shards(3).chunk_size(1).run();
+        assert_eq!(
+            serde_json::to_string(&serial.report).unwrap(),
+            serde_json::to_string(&sharded.report).unwrap()
+        );
+        let metrics = sharded.metrics.expect("sharded campaigns carry metrics");
+        assert_eq!(metrics.observations, sharded.observations.len());
+    }
+
+    #[test]
+    fn matrix_mode_renders_fault_cells_through_the_unified_path() {
+        let outcome = Campaign::new(&[]).fault_matrix(11).faults(
+            inject::small_fault_catalogue(11),
+        )
+        .experiments(vec![Experiment::ALL[0]])
+        .formats(vec![StorageFormat::Orc])
+        .run();
+        let matrix = outcome.matrix.as_ref().expect("matrix mode");
+        assert!(!matrix.cases.is_empty());
+        let rendered = outcome.render();
+        assert!(rendered.contains("fault matrix cells:"), "{rendered}");
+        assert!(rendered.contains("ms-unavail-get"), "{rendered}");
+    }
+
+    #[test]
+    fn detection_campaign_is_clean_on_a_fault_free_plan() {
+        let inputs = byte_input();
+        let outcome = Campaign::new(&inputs).detect(true).run();
+        assert!(outcome.report.detector_enabled);
+        assert!(
+            outcome.report.detection_totals.is_empty(),
+            "fault-free campaign produced detections: {:?}",
+            outcome.report.detection_totals
+        );
+        assert!(outcome.report.detector_agreement.is_none());
+        let rendered = outcome.render();
+        assert!(rendered.contains("online detections: none"), "{rendered}");
+    }
+}

@@ -8,8 +8,12 @@
 //! several discrepancies (the paper's own category lists overlap), and a
 //! failure matching none lands in `unattributed`.
 
+use crate::exec;
 use crate::generator::{TestInput, Validity};
 use crate::plan::Experiment;
+use csi_core::boundary::CrossingOutcome;
+use csi_core::detect::{flags_error_handling, DetectorAgreement};
+use csi_core::fault::{classify_fault_outcome, FaultOutcome, InjectedFault};
 use csi_core::oracle::{Observation, OracleFailure};
 use csi_core::report::{Discrepancy, DiscrepancyReport, ProblemCategory};
 use csi_core::value::{parse_timestamp, DataType, Value};
@@ -280,10 +284,15 @@ pub fn active_ids(report: &DiscrepancyReport) -> Vec<String> {
 }
 
 /// Classifies raw failures into the discrepancy catalogue.
+///
+/// `detector_enabled` marks whether the campaign ran the online detector:
+/// it gates the detection aggregates so a detection-free report and a
+/// detection-off report stay distinguishable.
 pub fn classify(
     inputs: &[TestInput],
     observations: &[(Experiment, Observation)],
     failures: Vec<OracleFailure>,
+    detector_enabled: bool,
 ) -> DiscrepancyReport {
     // Build per-input error summaries across all observations.
     let mut summaries: BTreeMap<usize, InputSummary> = BTreeMap::new();
@@ -339,6 +348,43 @@ pub fn classify(
             *trace_totals.entry(channel).or_insert(0) += n;
         }
     }
+    // Detection aggregates: per-channel and per-kind totals, plus the
+    // agreement score against the offline §9 oracle over every
+    // observation whose trace shows a fired fault.
+    let mut detection_totals: BTreeMap<String, usize> = BTreeMap::new();
+    let mut detection_kinds: BTreeMap<String, usize> = BTreeMap::new();
+    let mut agreement = DetectorAgreement::default();
+    let mut any_fired = false;
+    if detector_enabled {
+        for (_, obs) in observations {
+            for d in &obs.detections {
+                *detection_kinds.entry(d.kind.to_string()).or_insert(0) += 1;
+                for channel in &d.channels {
+                    *detection_totals.entry(channel.to_string()).or_insert(0) += 1;
+                }
+            }
+            let fired: Vec<InjectedFault> = obs
+                .trace
+                .crossings
+                .iter()
+                .filter_map(|c| match &c.outcome {
+                    CrossingOutcome::Faulted { fault } => Some(fault.clone()),
+                    _ => None,
+                })
+                .collect();
+            if fired.is_empty() {
+                continue;
+            }
+            any_fired = true;
+            let surfaced = exec::surfaced_error(obs);
+            let oracle = classify_fault_outcome(&fired, surfaced.as_ref());
+            let oracle_positive = matches!(
+                oracle,
+                FaultOutcome::Swallowed | FaultOutcome::Mistranslated
+            );
+            agreement.score(oracle_positive, flags_error_handling(&obs.detections));
+        }
+    }
     let valid = inputs
         .iter()
         .filter(|i| i.validity == Validity::Valid)
@@ -352,6 +398,10 @@ pub fn classify(
         discrepancies,
         unattributed,
         trace_totals,
+        detector_enabled,
+        detection_totals,
+        detection_kinds,
+        detector_agreement: any_fired.then_some(agreement),
     }
 }
 

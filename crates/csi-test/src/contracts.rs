@@ -143,6 +143,7 @@ pub fn check_observations(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy entrypoints remain the unit under test here
     use super::*;
     use crate::exec::{run_cross_test, CrossTestConfig};
     use csi_core::value::Value;

@@ -12,6 +12,7 @@ use crate::classify;
 use crate::generator::{TestInput, Validity};
 use crate::plan::{Experiment, Interface, TestPlan};
 use csi_core::boundary::CrossingContext;
+use csi_core::detect::{BaselineSet, DetectorSpec, OnlineDetector};
 use csi_core::diag::DiagSink;
 use csi_core::fault::FaultPlan;
 use csi_core::oracle::{
@@ -50,6 +51,11 @@ pub struct CrossTestConfig {
     /// Disabling skips only the trace sink; the fault path is identical
     /// (tracing is side-effect-free, pinned by `tests/trace.rs`).
     pub trace_boundaries: bool,
+    /// Run the online detector over every observation's crossing stream.
+    /// The spec carries frozen baselines; each deployment builds its own
+    /// [`OnlineDetector`] from it, so sharding never shares mutable
+    /// detector state. `None` disables detection.
+    pub detector: Option<DetectorSpec>,
 }
 
 impl Default for CrossTestConfig {
@@ -61,6 +67,7 @@ impl Default for CrossTestConfig {
             recycle_tables: false,
             fault_plan: None,
             trace_boundaries: true,
+            detector: None,
         }
     }
 }
@@ -109,20 +116,34 @@ pub(crate) struct Deployment {
     /// filesystem: the single choke point where faults are injected and
     /// boundary crossings are traced.
     pub(crate) crossing: CrossingContext,
+    /// This deployment's online detector (attached to `crossing` as a
+    /// streaming sink), when the campaign runs with detection.
+    pub(crate) detector: Option<OnlineDetector>,
 }
 
 impl Deployment {
     pub(crate) fn new(config: &CrossTestConfig) -> Deployment {
-        let sink = DiagSink::new();
-        let mut metastore = Metastore::new();
-        let mut fs = MiniHdfs::with_datanodes(3);
         let crossing = if config.trace_boundaries {
             CrossingContext::new()
         } else {
             CrossingContext::disabled()
         };
+        Deployment::with_crossing(config, crossing)
+    }
+
+    /// Builds the stack around a caller-supplied crossing context — the
+    /// fault-matrix cells use this to pre-arm (or deliberately not arm)
+    /// the context before the deployment exists.
+    pub(crate) fn with_crossing(config: &CrossTestConfig, crossing: CrossingContext) -> Deployment {
+        let sink = DiagSink::new();
+        let mut metastore = Metastore::new();
+        let mut fs = MiniHdfs::with_datanodes(3);
         if let Some(plan) = &config.fault_plan {
             crossing.arm_plan(plan);
+        }
+        let detector = config.detector.as_ref().map(DetectorSpec::build);
+        if let Some(d) = &detector {
+            crossing.set_sink(d.sink());
         }
         metastore.set_crossing(crossing.clone());
         fs.set_crossing(crossing.clone());
@@ -139,6 +160,7 @@ impl Deployment {
             spark,
             hive,
             crossing,
+            detector,
         }
     }
 
@@ -336,6 +358,18 @@ pub(crate) fn first_column(rows: Vec<Vec<Value>>) -> Result<Vec<Value>, Interact
         .collect()
 }
 
+/// The scenario key detector baselines are learned and matched under:
+/// one key per (experiment, plan, format, input) combination, identical
+/// between the calibration run and the real run.
+pub(crate) fn scenario_key(
+    experiment: Experiment,
+    plan: TestPlan,
+    format: StorageFormat,
+    input_id: usize,
+) -> String {
+    format!("{}:{}:{}:{}", experiment.short(), plan, format.name(), input_id)
+}
+
 pub(crate) fn run_one(
     d: &Deployment,
     experiment: Experiment,
@@ -359,6 +393,9 @@ pub(crate) fn run_one(
     // across worker counts.
     d.crossing.reset();
     d.sink.drain();
+    if let Some(det) = &d.detector {
+        det.begin(&scenario_key(experiment, plan, format, input.id));
+    }
     let write_result = write_via(d, plan.write, &table, input, format);
     let write = WriteOutcome {
         result: write_result,
@@ -373,6 +410,19 @@ pub(crate) fn run_one(
     } else {
         None
     };
+    let detections = match &d.detector {
+        Some(det) => {
+            // The caller-visible error, exactly as the offline oracle
+            // sees it: the write error, else the read error.
+            let surfaced = match (&write.result, read.as_ref().map(|r| &r.result)) {
+                (Err(e), _) => Some(e.clone()),
+                (Ok(()), Some(Err(e))) => Some(e.clone()),
+                _ => None,
+            };
+            det.finish(surfaced.as_ref())
+        }
+        None => Vec::new(),
+    };
     let obs = Observation {
         input_id: input.id,
         plan: format!("{}:{}", experiment.short(), plan),
@@ -380,11 +430,29 @@ pub(crate) fn run_one(
         write,
         read,
         trace: d.crossing.trace(),
+        detections,
     };
     if recycle {
+        // Recycling crosses the boundary too (DROP TABLE), but the
+        // detector is already finished: those crossings are ignored.
         d.recycle(&table);
     }
     obs
+}
+
+/// The error that surfaced to the caller of an observation, exactly as
+/// the §9 oracle and the online detector define it: the write error,
+/// else the read error, else nothing.
+pub(crate) fn surfaced_error(obs: &Observation) -> Option<InteractionError> {
+    if let Err(e) = &obs.write.result {
+        return Some(e.clone());
+    }
+    if let Some(read) = &obs.read {
+        if let Err(e) = &read.result {
+            return Some(e.clone());
+        }
+    }
+    None
 }
 
 /// Runs the per-observation oracle for `input`: write–read for valid
@@ -419,6 +487,7 @@ pub(crate) fn check_observation(input: &TestInput, obs: &Observation) -> Option<
 /// // One BYTE input already reveals SPARK-39075 and HIVE-26533.
 /// assert!(outcome.report.distinct() >= 2);
 /// ```
+#[deprecated(note = "use csi_test::Campaign")]
 pub fn run_cross_test(inputs: &[TestInput], config: &CrossTestConfig) -> CrossTestOutcome {
     let mut observations: Vec<(Experiment, Observation)> = Vec::new();
     let mut failures: Vec<OracleFailure> = Vec::new();
@@ -446,15 +515,33 @@ pub fn run_cross_test(inputs: &[TestInput], config: &CrossTestConfig) -> CrossTe
         failures.extend(check_differential(&exp_observations));
         observations.extend(exp_observations.into_iter().map(|o| (experiment, o)));
     }
-    let report = classify::classify(inputs, &observations, failures);
+    let report = classify::classify(inputs, &observations, failures, config.detector.is_some());
     CrossTestOutcome {
         report,
         observations,
     }
 }
 
+/// Learns per-scenario detector baselines from a finished campaign's
+/// observations: one profile per (experiment, plan, format, input) key.
+/// Learning is keyed, each key occurs once per campaign, so the result is
+/// independent of worker interleaving — the property that lets a sharded
+/// calibration run feed a sharded detection run and still produce
+/// byte-identical output to serial.
+pub(crate) fn learn_baselines(observations: &[(Experiment, Observation)]) -> BaselineSet {
+    let mut baselines = BaselineSet::default();
+    for (_, obs) in observations {
+        // obs.plan is already "{experiment.short()}:{plan}", so this key
+        // matches what `run_one` passes to `OnlineDetector::begin`.
+        let key = format!("{}:{}:{}", obs.plan, obs.format, obs.input_id);
+        baselines.learn(&key, &obs.trace);
+    }
+    baselines
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy entrypoints remain the unit under test here
     use super::*;
     use crate::generator::generate_inputs;
     use csi_core::value::{DataType, Decimal};

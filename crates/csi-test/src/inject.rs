@@ -18,15 +18,18 @@
 //! [`run_fault_matrix_sharded`] trivially reproduces the serial report
 //! byte-for-byte at any worker count.
 
-use crate::exec::{run_one, CrossTestConfig, Deployment};
+use crate::exec::{self, run_one, CrossTestConfig, Deployment};
 use crate::generator::{TestInput, Validity};
 use crate::plan::{Experiment, TestPlan};
 use csi_core::boundary::{CrossingContext, InteractionTrace};
+use csi_core::detect::{
+    flags_error_handling, BaselineSet, Detection, DetectorAgreement, DetectorConfig, OnlineDetector,
+};
 use csi_core::fault::{
     classify_fault_outcome, Channel, FaultKind, FaultOutcome, FaultPlan, FaultSpec, InjectedFault,
     Trigger,
 };
-use csi_core::oracle::Observation;
+use csi_core::report::FaultCellRow;
 use csi_core::value::{DataType, Value};
 use csi_core::InteractionError;
 use miniflink::yarn_driver::{run_driver_traced, DriverMode, DriverRun};
@@ -40,6 +43,7 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 const KAFKA_TOPIC: &str = "t";
 const P0: PartitionId = PartitionId(0);
@@ -230,6 +234,12 @@ pub struct FaultMatrixConfig {
     pub formats: Vec<StorageFormat>,
     /// The faults to exercise, in catalogue order.
     pub faults: FaultPlan,
+    /// Run the online detector over every cell. Each cell self-calibrates:
+    /// a fault-free run of the same scenario first learns its baseline
+    /// crossing profile, then the armed run streams through a fresh
+    /// [`OnlineDetector`] built on that frozen baseline. `None` disables
+    /// detection (and keeps the legacy report output byte-identical).
+    pub detect: Option<DetectorConfig>,
 }
 
 impl FaultMatrixConfig {
@@ -241,6 +251,7 @@ impl FaultMatrixConfig {
             experiments: Experiment::ALL.to_vec(),
             formats: StorageFormat::ALL.to_vec(),
             faults: fault_catalogue(seed),
+            detect: None,
         }
     }
 
@@ -252,7 +263,14 @@ impl FaultMatrixConfig {
             experiments: vec![Experiment::ALL[0]],
             formats: vec![StorageFormat::Orc],
             faults: small_fault_catalogue(seed),
+            detect: None,
         }
+    }
+
+    /// Enables online detection with default thresholds.
+    pub fn with_detection(mut self) -> FaultMatrixConfig {
+        self.detect = Some(DetectorConfig::default());
+        self
     }
 }
 
@@ -274,6 +292,8 @@ pub struct FaultCase {
     pub detail: String,
     /// The boundary-crossing sequence recorded while the cell ran.
     pub trace: InteractionTrace,
+    /// Online detections the cell produced (empty when detection is off).
+    pub detections: Vec<Detection>,
 }
 
 /// The full fault-matrix report.
@@ -281,15 +301,25 @@ pub struct FaultCase {
 pub struct FaultMatrixReport {
     /// The campaign seed.
     pub seed: u64,
+    /// Whether the online detector ran over the cells.
+    pub detector_enabled: bool,
     /// Every cell, in canonical (catalogue × scenario) order.
     pub cases: Vec<FaultCase>,
     /// Cell count per taxonomy bucket (key `"unfired"` counts cells whose
     /// fault never fired).
     pub outcomes: BTreeMap<String, usize>,
+    /// Detection count per [`csi_core::detect::DetectionKind`].
+    pub detection_kinds: BTreeMap<String, usize>,
+    /// Detection count per channel involved.
+    pub detection_totals: BTreeMap<String, usize>,
+    /// Online-vs-offline agreement over fired cells; `None` when detection
+    /// is off or no cell fired.
+    pub agreement: Option<DetectorAgreement>,
 }
 
 impl FaultMatrixReport {
-    /// Renders the report as stable, diff-friendly text.
+    /// Renders the report as stable, diff-friendly text. With detection
+    /// off, the output is byte-identical to the pre-detector format.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
@@ -301,6 +331,24 @@ impl FaultMatrixReport {
         for (bucket, n) in &self.outcomes {
             let _ = writeln!(out, "  {bucket}: {n}");
         }
+        if self.detector_enabled {
+            for (kind, n) in &self.detection_kinds {
+                let _ = writeln!(out, "  detect[{kind}]: {n}");
+            }
+            if let Some(a) = &self.agreement {
+                let _ = writeln!(
+                    out,
+                    "  detector vs oracle: precision {:.3}, recall {:.3} \
+                     (tp {} fp {} fn {} tn {})",
+                    a.precision(),
+                    a.recall(),
+                    a.true_positives,
+                    a.false_positives,
+                    a.false_negatives,
+                    a.true_negatives
+                );
+            }
+        }
         for case in &self.cases {
             let outcome = match &case.outcome {
                 Some(o) => o.to_string(),
@@ -310,13 +358,35 @@ impl FaultMatrixReport {
                 Some(e) => e.signature(),
                 None => "-".to_string(),
             };
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{} | {} | {} | {} | {}",
                 case.fault.id, case.scenario, outcome, surfaced, case.detail
             );
+            if self.detector_enabled {
+                let _ = write!(out, " | {} detections", case.detections.len());
+            }
+            let _ = writeln!(out);
         }
         out
+    }
+
+    /// The cells as [`FaultCellRow`]s, for the unified
+    /// [`csi_core::report::Render`] path.
+    pub fn fault_cell_rows(&self) -> Vec<FaultCellRow> {
+        self.cases
+            .iter()
+            .map(|case| FaultCellRow {
+                fault_id: case.fault.id.clone(),
+                scenario: case.scenario.clone(),
+                outcome: case
+                    .outcome
+                    .as_ref()
+                    .map_or_else(|| "unfired".to_string(), |o| o.to_string()),
+                detections: case.detections.len(),
+                detail: case.detail.clone(),
+            })
+            .collect()
     }
 }
 
@@ -410,18 +480,6 @@ fn probe_input() -> TestInput {
     }
 }
 
-fn surfaced_error(obs: &Observation) -> Option<InteractionError> {
-    if let Err(e) = &obs.write.result {
-        return Some(e.clone());
-    }
-    if let Some(read) = &obs.read {
-        if let Err(e) = &read.result {
-            return Some(e.clone());
-        }
-    }
-    None
-}
-
 fn finish(
     fault: &FaultSpec,
     scenario: String,
@@ -429,6 +487,7 @@ fn finish(
     surfaced: Option<InteractionError>,
     detail: String,
     trace: InteractionTrace,
+    detections: Vec<Detection>,
 ) -> FaultCase {
     let outcome = if fired.is_empty() {
         None
@@ -443,44 +502,88 @@ fn finish(
         outcome,
         detail,
         trace,
+        detections,
     }
 }
 
+/// Runs one hermetic cell body, optionally under the online detector.
+///
+/// With detection on, the cell self-calibrates: the body first runs
+/// against a fresh, unarmed context to learn the scenario's baseline
+/// crossing profile, then runs again against an armed context with a
+/// fresh [`OnlineDetector`] (frozen on that baseline) attached as the
+/// streaming sink. Both runs build their own substrate state inside
+/// `body`, so calibration can never leak into detection — the property
+/// that keeps sharded matrices byte-identical to serial ones.
+fn run_cell_body<F>(
+    fault: &FaultSpec,
+    scenario: String,
+    detect: Option<&DetectorConfig>,
+    body: F,
+) -> FaultCase
+where
+    F: Fn(&CrossingContext) -> (Option<InteractionError>, String),
+{
+    let detector = detect.map(|config| {
+        let calibration = CrossingContext::new();
+        let _ = body(&calibration);
+        let mut baselines = BaselineSet::default();
+        baselines.learn(&scenario, &calibration.trace());
+        OnlineDetector::new(*config, Arc::new(baselines))
+    });
+    let ctx = CrossingContext::new();
+    ctx.arm(fault.clone());
+    if let Some(det) = &detector {
+        ctx.set_sink(det.sink());
+        det.begin(&scenario);
+    }
+    let (surfaced, detail) = body(&ctx);
+    let detections = match &detector {
+        Some(det) => det.finish(surfaced.as_ref()),
+        None => Vec::new(),
+    };
+    finish(
+        fault,
+        scenario,
+        ctx.fired(),
+        surfaced,
+        detail,
+        ctx.trace(),
+        detections,
+    )
+}
+
 fn run_probe_cell(
-    seed: u64,
     fault: &FaultSpec,
     experiment: Experiment,
     plan: TestPlan,
     format: StorageFormat,
+    detect: Option<&DetectorConfig>,
 ) -> FaultCase {
-    let config = CrossTestConfig {
-        experiments: vec![experiment],
-        formats: vec![format],
-        fault_plan: Some(FaultPlan {
-            seed,
-            faults: vec![fault.clone()],
-        }),
-        ..CrossTestConfig::default()
-    };
-    let deployment = Deployment::new(&config);
-    let obs = run_one(&deployment, experiment, plan, format, &probe_input(), false);
-    let fired = deployment.crossing.fired();
-    let surfaced = surfaced_error(&obs);
-    let detail = match (&obs.write.result, obs.read.as_ref().map(|r| &r.result)) {
-        (Err(e), _) => format!("write failed: {}", e.signature()),
-        (Ok(()), Some(Err(e))) => format!("read failed: {}", e.signature()),
-        (Ok(()), Some(Ok(rows))) => format!("write+read ok ({} rows)", rows.len()),
-        (Ok(()), None) => "write ok; read skipped".to_string(),
-    };
     let scenario = format!("{}:{}:{}", experiment.short(), plan, format.name());
-    finish(fault, scenario, fired, surfaced, detail, obs.trace.clone())
+    run_cell_body(fault, scenario, detect, |ctx| {
+        let config = CrossTestConfig {
+            experiments: vec![experiment],
+            formats: vec![format],
+            ..CrossTestConfig::default()
+        };
+        // The fault (when armed) already lives on `ctx`; the deployment
+        // just wraps the stack around it.
+        let deployment = Deployment::with_crossing(&config, ctx.clone());
+        let obs = run_one(&deployment, experiment, plan, format, &probe_input(), false);
+        let detail = match (&obs.write.result, obs.read.as_ref().map(|r| &r.result)) {
+            (Err(e), _) => format!("write failed: {}", e.signature()),
+            (Ok(()), Some(Err(e))) => format!("read failed: {}", e.signature()),
+            (Ok(()), Some(Ok(rows))) => format!("write+read ok ({} rows)", rows.len()),
+            (Ok(()), None) => "write ok; read skipped".to_string(),
+        };
+        (exec::surfaced_error(&obs), detail)
+    })
 }
 
-/// A broker with 5 seeded records on `t`-0 and the fault armed, counters
-/// scoped to the scenario about to run.
-fn seeded_broker(fault: &FaultSpec) -> (MiniKafka, CrossingContext) {
-    let ctx = CrossingContext::new();
-    ctx.arm(fault.clone());
+/// A broker with 5 seeded records on `t`-0 wired to `ctx`, counters and
+/// trace scoped to the scenario about to run.
+fn seeded_broker(ctx: &CrossingContext) -> MiniKafka {
     let mut broker = MiniKafka::new();
     broker.create_topic(KAFKA_TOPIC, 1);
     for i in 0..5u8 {
@@ -490,106 +593,78 @@ fn seeded_broker(fault: &FaultSpec) -> (MiniKafka, CrossingContext) {
     }
     broker.set_crossing(ctx.clone());
     ctx.reset();
-    (broker, ctx)
+    broker
 }
 
-fn run_kafka_direct_cell(fault: &FaultSpec) -> FaultCase {
-    let (mut broker, ctx) = seeded_broker(fault);
-    let result = (|| {
-        broker.produce(KAFKA_TOPIC, P0, Some(b"k"), Some(b"v"), 5)?;
-        broker.log_end_offset(KAFKA_TOPIC, P0)?;
-        broker.fetch(KAFKA_TOPIC, P0, 0, usize::MAX)?;
-        Ok::<(), KafkaError>(())
-    })();
-    let detail = match &result {
-        Ok(()) => "produce+ends+fetch ok".to_string(),
-        Err(e) => format!("broker call failed: {}", e.code()),
-    };
-    let surfaced = result.err().map(InteractionError::from);
-    finish(
-        fault,
-        "kafka:direct".to_string(),
-        ctx.fired(),
-        surfaced,
-        detail,
-        ctx.trace(),
-    )
+fn run_kafka_direct_cell(fault: &FaultSpec, detect: Option<&DetectorConfig>) -> FaultCase {
+    run_cell_body(fault, "kafka:direct".to_string(), detect, |ctx| {
+        let mut broker = seeded_broker(ctx);
+        let result = (|| {
+            broker.produce(KAFKA_TOPIC, P0, Some(b"k"), Some(b"v"), 5)?;
+            broker.log_end_offset(KAFKA_TOPIC, P0)?;
+            broker.fetch(KAFKA_TOPIC, P0, 0, usize::MAX)?;
+            Ok::<(), KafkaError>(())
+        })();
+        let detail = match &result {
+            Ok(()) => "produce+ends+fetch ok".to_string(),
+            Err(e) => format!("broker call failed: {}", e.code()),
+        };
+        (result.err().map(InteractionError::from), detail)
+    })
 }
 
-fn run_kafka_connector_cell(fault: &FaultSpec) -> FaultCase {
-    let (broker, ctx) = seeded_broker(fault);
-    let result = plan_range(&broker, KAFKA_TOPIC, P0, 0).and_then(|range| {
-        consume_range(&broker, KAFKA_TOPIC, P0, range, OffsetModel::TolerateGaps)
-            .map(|records| records.len())
-    });
-    let detail = match &result {
-        Ok(n) => format!("connector consumed {n} records"),
-        Err(e) => format!("connector failed: {}", e.code()),
-    };
-    let surfaced = result.err().map(InteractionError::from);
-    finish(
-        fault,
-        "kafka:spark-connector".to_string(),
-        ctx.fired(),
-        surfaced,
-        detail,
-        ctx.trace(),
-    )
+fn run_kafka_connector_cell(fault: &FaultSpec, detect: Option<&DetectorConfig>) -> FaultCase {
+    run_cell_body(fault, "kafka:spark-connector".to_string(), detect, |ctx| {
+        let broker = seeded_broker(ctx);
+        let result = plan_range(&broker, KAFKA_TOPIC, P0, 0, ctx).and_then(|range| {
+            consume_range(&broker, KAFKA_TOPIC, P0, range, OffsetModel::TolerateGaps, ctx)
+                .map(|records| records.len())
+        });
+        let detail = match &result {
+            Ok(n) => format!("connector consumed {n} records"),
+            Err(e) => format!("connector failed: {}", e.code()),
+        };
+        (result.err().map(InteractionError::from), detail)
+    })
 }
 
-fn run_yarn_driver_cell(fault: &FaultSpec) -> FaultCase {
-    let ctx = CrossingContext::new();
-    ctx.arm(fault.clone());
-    // A small job in the no-storm regime on its own parameters: any storm
-    // observed below is the injected fault's doing.
-    let target = 20;
-    let stats = run_driver_traced(
-        DriverRun {
-            mode: DriverMode::BuggySync,
-            target,
-            interval_ms: 500,
-            alloc_service_ms: 1,
-            start_latency_ms: 5,
-            deadline_ms: 15_000,
-        },
-        Some(ctx.clone()),
-    );
-    let detail = format!(
-        "driver: {} asks for target {target}, started {}, completed={}",
-        stats.total_requested,
-        stats.started,
-        stats.completed_at.is_some()
-    );
-    let surfaced = stats.error.map(InteractionError::from);
-    finish(
-        fault,
-        "yarn:flink-driver".to_string(),
-        ctx.fired(),
-        surfaced,
-        detail,
-        ctx.trace(),
-    )
+fn run_yarn_driver_cell(fault: &FaultSpec, detect: Option<&DetectorConfig>) -> FaultCase {
+    run_cell_body(fault, "yarn:flink-driver".to_string(), detect, |ctx| {
+        // A small job in the no-storm regime on its own parameters: any
+        // storm observed below is the injected fault's doing.
+        let target = 20;
+        let stats = run_driver_traced(
+            DriverRun {
+                mode: DriverMode::BuggySync,
+                target,
+                interval_ms: 500,
+                alloc_service_ms: 1,
+                start_latency_ms: 5,
+                deadline_ms: 15_000,
+            },
+            Some(ctx.clone()),
+        );
+        let detail = format!(
+            "driver: {} asks for target {target}, started {}, completed={}",
+            stats.total_requested,
+            stats.started,
+            stats.completed_at.is_some()
+        );
+        (stats.error.map(InteractionError::from), detail)
+    })
 }
 
-fn run_yarn_metrics_cell(fault: &FaultSpec) -> FaultCase {
-    let ctx = CrossingContext::new();
-    ctx.arm(fault.clone());
-    let mut rm = ResourceManager::with_nodes(4, Resource::new(8192, 8));
-    rm.set_crossing(ctx.clone());
-    let result = minispark::connectors::yarn::cluster_metrics(&rm);
-    let detail = match &result {
-        Ok(m) => format!("metrics ok ({} node managers)", m.num_node_managers),
-        Err(e) => format!("connector failed: {}", e.code()),
-    };
-    let surfaced = result.err().map(InteractionError::from);
-    finish(
-        fault,
-        "yarn:spark-connector".to_string(),
-        ctx.fired(),
-        surfaced,
-        detail,
-        ctx.trace(),
-    )
+fn run_yarn_metrics_cell(fault: &FaultSpec, detect: Option<&DetectorConfig>) -> FaultCase {
+    run_cell_body(fault, "yarn:spark-connector".to_string(), detect, |ctx| {
+        let mut rm = ResourceManager::with_nodes(4, Resource::new(8192, 8));
+        rm.set_crossing(ctx.clone());
+        let result = minispark::connectors::yarn::cluster_metrics(&rm, ctx);
+        let detail = match &result {
+            Ok(m) => format!("metrics ok ({} node managers)", m.num_node_managers),
+            Err(e) => format!("connector failed: {}", e.code()),
+        };
+        (result.err().map(InteractionError::from), detail)
+    })
 }
 
 /// The HBASE-16621 scenario cell: a location-caching client routes one
@@ -597,73 +672,97 @@ fn run_yarn_metrics_cell(fault: &FaultSpec) -> FaultCase {
 /// policy. A poisoned `locate` surfaces as `NotServingRegionException`
 /// under [`RetryPolicy::TrustCache`] but is silently healed by
 /// [`RetryPolicy::RefreshAndRetry`]'s clean re-lookup.
-fn run_hbase_cell(fault: &FaultSpec, policy: RetryPolicy) -> FaultCase {
-    let ctx = CrossingContext::new();
-    ctx.arm(fault.clone());
-    let mut cluster = ClusterState::new();
-    cluster.assign("t,region-0", ServerId(2));
-    let mut client = HBaseClient::new();
-    let result = client.route_with(&cluster, "t,region-0", policy, Some(&ctx));
-    let detail = match &result {
-        Ok(s) => format!(
-            "routed to server {} after {} master lookups",
-            s.0,
-            client.master_lookups()
-        ),
-        Err(e) => format!("route failed: {}", e.code()),
-    };
-    let surfaced = result.err().map(InteractionError::from);
+fn run_hbase_cell(
+    fault: &FaultSpec,
+    policy: RetryPolicy,
+    detect: Option<&DetectorConfig>,
+) -> FaultCase {
     let policy_name = match policy {
         RetryPolicy::TrustCache => "trust-cache",
         RetryPolicy::RefreshAndRetry => "refresh-retry",
     };
-    finish(
-        fault,
-        format!("hbase:kv-client({policy_name})"),
-        ctx.fired(),
-        surfaced,
-        detail,
-        ctx.trace(),
-    )
+    let scenario = format!("hbase:kv-client({policy_name})");
+    run_cell_body(fault, scenario, detect, |ctx| {
+        let mut cluster = ClusterState::new();
+        cluster.assign("t,region-0", ServerId(2));
+        let mut client = HBaseClient::new();
+        let result = client.route_with(&cluster, "t,region-0", policy, Some(ctx));
+        let detail = match &result {
+            Ok(s) => format!(
+                "routed to server {} after {} master lookups",
+                s.0,
+                client.master_lookups()
+            ),
+            Err(e) => format!("route failed: {}", e.code()),
+        };
+        (result.err().map(InteractionError::from), detail)
+    })
 }
 
 fn run_cell(config: &FaultMatrixConfig, cell: &Cell) -> FaultCase {
+    let detect = config.detect.as_ref();
     match cell {
         Cell::Probe {
             fault,
             experiment,
             plan,
             format,
-        } => run_probe_cell(config.seed, fault, *experiment, *plan, *format),
-        Cell::KafkaDirect { fault } => run_kafka_direct_cell(fault),
-        Cell::KafkaConnector { fault } => run_kafka_connector_cell(fault),
-        Cell::YarnDriver { fault } => run_yarn_driver_cell(fault),
-        Cell::YarnMetrics { fault } => run_yarn_metrics_cell(fault),
-        Cell::HBaseRoute { fault, policy } => run_hbase_cell(fault, *policy),
+        } => run_probe_cell(fault, *experiment, *plan, *format, detect),
+        Cell::KafkaDirect { fault } => run_kafka_direct_cell(fault, detect),
+        Cell::KafkaConnector { fault } => run_kafka_connector_cell(fault, detect),
+        Cell::YarnDriver { fault } => run_yarn_driver_cell(fault, detect),
+        Cell::YarnMetrics { fault } => run_yarn_metrics_cell(fault, detect),
+        Cell::HBaseRoute { fault, policy } => run_hbase_cell(fault, *policy, detect),
     }
 }
 
-fn build_report(seed: u64, cases: Vec<FaultCase>) -> FaultMatrixReport {
+fn build_report(config: &FaultMatrixConfig, cases: Vec<FaultCase>) -> FaultMatrixReport {
+    let detector_enabled = config.detect.is_some();
     let mut outcomes: BTreeMap<String, usize> = BTreeMap::new();
+    let mut detection_kinds: BTreeMap<String, usize> = BTreeMap::new();
+    let mut detection_totals: BTreeMap<String, usize> = BTreeMap::new();
+    let mut agreement = DetectorAgreement::default();
+    let mut any_fired = false;
     for case in &cases {
         let key = match &case.outcome {
             Some(o) => o.to_string(),
             None => "unfired".to_string(),
         };
         *outcomes.entry(key).or_insert(0) += 1;
+        if detector_enabled {
+            for d in &case.detections {
+                *detection_kinds.entry(d.kind.to_string()).or_insert(0) += 1;
+                for channel in &d.channels {
+                    *detection_totals.entry(channel.to_string()).or_insert(0) += 1;
+                }
+            }
+            if !case.fired.is_empty() {
+                any_fired = true;
+                let oracle_positive = matches!(
+                    case.outcome,
+                    Some(FaultOutcome::Swallowed | FaultOutcome::Mistranslated)
+                );
+                agreement.score(oracle_positive, flags_error_handling(&case.detections));
+            }
+        }
     }
     FaultMatrixReport {
-        seed,
+        seed: config.seed,
+        detector_enabled,
         cases,
         outcomes,
+        detection_kinds,
+        detection_totals,
+        agreement: (detector_enabled && any_fired).then_some(agreement),
     }
 }
 
 /// Runs the fault matrix serially, in canonical cell order.
+#[deprecated(note = "use csi_test::Campaign::fault_matrix")]
 pub fn run_fault_matrix(config: &FaultMatrixConfig) -> FaultMatrixReport {
     let cells = enumerate_cells(config);
     let cases = cells.iter().map(|c| run_cell(config, c)).collect();
-    build_report(config.seed, cases)
+    build_report(config, cases)
 }
 
 /// Runs the fault matrix on `workers` threads.
@@ -673,6 +772,7 @@ pub fn run_fault_matrix(config: &FaultMatrixConfig) -> FaultMatrixReport {
 /// [`crate::shard::run_cross_test_parallel`]. Because every cell is
 /// hermetic, the report is byte-identical to [`run_fault_matrix`] at any
 /// worker count.
+#[deprecated(note = "use csi_test::Campaign::fault_matrix with Campaign::shards")]
 pub fn run_fault_matrix_sharded(config: &FaultMatrixConfig, workers: usize) -> FaultMatrixReport {
     let workers = workers.max(1);
     let cells = enumerate_cells(config);
@@ -698,11 +798,12 @@ pub fn run_fault_matrix_sharded(config: &FaultMatrixConfig, workers: usize) -> F
         .into_iter()
         .map(|slot| slot.into_inner().expect("every cell was executed"))
         .collect();
-    build_report(config.seed, cases)
+    build_report(config, cases)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy entrypoints remain the unit under test here
     use super::*;
 
     #[test]
@@ -749,6 +850,7 @@ mod tests {
                 seed: 1,
                 faults: vec![fault.clone()],
             },
+            detect: None,
         });
         let outcomes: Vec<&FaultOutcome> =
             report.cases.iter().filter_map(|c| c.outcome.as_ref()).collect();
@@ -768,9 +870,9 @@ mod tests {
             .iter()
             .find(|f| f.id == "kafka-corrupt-fetch")
             .unwrap();
-        let direct = run_kafka_direct_cell(fault);
+        let direct = run_kafka_direct_cell(fault, None);
         assert_eq!(direct.outcome, Some(FaultOutcome::PropagatedWithContext));
-        let connector = run_kafka_connector_cell(fault);
+        let connector = run_kafka_connector_cell(fault, None);
         assert_eq!(connector.outcome, Some(FaultOutcome::Mistranslated));
     }
 
@@ -782,7 +884,7 @@ mod tests {
             .iter()
             .find(|f| f.id == "yarn-latency-alloc")
             .unwrap();
-        let case = run_yarn_driver_cell(fault);
+        let case = run_yarn_driver_cell(fault, None);
         assert_eq!(case.outcome, Some(FaultOutcome::Swallowed));
         // The FLINK-12342 signature: far more asks than containers needed,
         // and no error anywhere.
@@ -807,11 +909,11 @@ mod tests {
             .unwrap();
         // Shipped policy: the poisoned location surfaces as a generic
         // NotServingRegionException — the corruption's identity is lost.
-        let shipped = run_hbase_cell(fault, RetryPolicy::TrustCache);
+        let shipped = run_hbase_cell(fault, RetryPolicy::TrustCache, None);
         assert_eq!(shipped.outcome, Some(FaultOutcome::Mistranslated));
         // Fixed policy: the clean retry heals the request and nothing
         // surfaces at all.
-        let fixed = run_hbase_cell(fault, RetryPolicy::RefreshAndRetry);
+        let fixed = run_hbase_cell(fault, RetryPolicy::RefreshAndRetry, None);
         assert_eq!(fixed.outcome, Some(FaultOutcome::Swallowed));
         assert!(fixed.surfaced.is_none());
         // Both cells carry their crossing sequence.
@@ -828,7 +930,7 @@ mod tests {
             .find(|f| f.id == "hbase-unavail-route")
             .unwrap();
         for policy in [RetryPolicy::TrustCache, RetryPolicy::RefreshAndRetry] {
-            let case = run_hbase_cell(fault, policy);
+            let case = run_hbase_cell(fault, policy, None);
             assert_eq!(case.outcome, Some(FaultOutcome::PropagatedWithContext));
         }
     }

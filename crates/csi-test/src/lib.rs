@@ -6,6 +6,7 @@
 //! format (ORC, Parquet, Avro), checked by the write–read, error-handling,
 //! and differential oracles, and classified into distinct discrepancies.
 
+pub mod campaign;
 pub mod classify;
 pub mod contracts;
 pub mod exec;
@@ -15,15 +16,19 @@ pub mod plan;
 pub mod shard;
 pub mod tolerate;
 
+pub use campaign::{Campaign, CampaignOutcome};
 pub use classify::active_ids;
-pub use exec::{run_cross_test, CrossTestConfig, CrossTestOutcome};
+#[allow(deprecated)]
+pub use exec::run_cross_test;
+pub use exec::{CrossTestConfig, CrossTestOutcome};
+#[allow(deprecated)]
+pub use inject::{run_fault_matrix, run_fault_matrix_sharded};
 pub use inject::{
-    fault_catalogue, run_fault_matrix, run_fault_matrix_sharded, small_fault_catalogue, FaultCase,
-    FaultMatrixConfig, FaultMatrixReport,
+    fault_catalogue, small_fault_catalogue, FaultCase, FaultMatrixConfig, FaultMatrixReport,
 };
 pub use generator::{generate_inputs, TestInput, Validity};
 pub use plan::{Experiment, Interface, TestPlan};
-pub use shard::{
-    run_cross_test_parallel, CampaignMetrics, ParallelConfig, ParallelOutcome, WorkerStats,
-};
+#[allow(deprecated)]
+pub use shard::run_cross_test_parallel;
+pub use shard::{CampaignMetrics, ParallelConfig, ParallelOutcome, WorkerStats};
 pub use tolerate::{redundant_read, redundant_read_traced, ReadPath, RedundantRead};

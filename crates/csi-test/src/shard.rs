@@ -172,6 +172,7 @@ fn build_shards(inputs_len: usize, config: &CrossTestConfig, chunk_size: usize) 
 /// assert!(out.outcome.report.distinct() >= 2);
 /// assert_eq!(out.metrics.observations, out.outcome.observations.len());
 /// ```
+#[deprecated(note = "use csi_test::Campaign with Campaign::shards")]
 pub fn run_cross_test_parallel(
     inputs: &[TestInput],
     config: &CrossTestConfig,
@@ -282,7 +283,7 @@ pub fn run_cross_test_parallel(
         failures.extend(check_differential(&exp_observations));
         observations.extend(exp_observations.into_iter().map(|o| (experiment, o)));
     }
-    let report = classify::classify(inputs, &observations, failures);
+    let report = classify::classify(inputs, &observations, failures, config.detector.is_some());
 
     let oracle_micros = merge_started.elapsed().as_micros() as u64;
     let total_micros = campaign_started.elapsed().as_micros() as u64;
@@ -310,6 +311,7 @@ pub fn run_cross_test_parallel(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy entrypoints remain the unit under test here
     use super::*;
     use crate::exec::run_cross_test;
     use crate::generator::Validity;

@@ -9,6 +9,10 @@
 //! rendering is canonical (NaN serializes as the string `"NaN"`), making
 //! "byte-identical" literal.
 
+// These suites deliberately exercise the legacy entrypoints the Campaign
+// builder wraps, proving the wrappers and the builder agree.
+#![allow(deprecated)]
+
 use csi_test::{
     generate_inputs, run_cross_test, run_cross_test_parallel, CrossTestConfig, ParallelConfig,
 };

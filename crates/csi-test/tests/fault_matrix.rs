@@ -7,6 +7,10 @@
 //! exactly one taxonomy bucket, and every interaction channel of the
 //! catalogue actually fires somewhere.
 
+// These suites deliberately exercise the legacy entrypoints the Campaign
+// builder wraps, proving the wrappers and the builder agree.
+#![allow(deprecated)]
+
 use csi_core::fault::{Channel, FaultPlan};
 use csi_test::{
     fault_catalogue, generate_inputs, run_cross_test, run_fault_matrix, run_fault_matrix_sharded,

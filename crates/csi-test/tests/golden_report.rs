@@ -10,7 +10,7 @@
 //! UPDATE_GOLDEN=1 cargo test -p csi-test --test golden_report
 //! ```
 
-use csi_test::{generate_inputs, run_cross_test_parallel, CrossTestConfig, ParallelConfig};
+use csi_test::{generate_inputs, Campaign};
 use std::path::PathBuf;
 
 fn golden_path() -> PathBuf {
@@ -20,15 +20,12 @@ fn golden_path() -> PathBuf {
 #[test]
 fn standard_campaign_report_matches_the_committed_golden_file() {
     let inputs = generate_inputs();
-    let parallel = run_cross_test_parallel(
-        &inputs,
-        &CrossTestConfig::default(),
-        &ParallelConfig {
-            workers: 4,
-            chunk_size: 32,
-        },
-    );
-    let rendered = parallel.outcome.report.render();
+    let campaign = Campaign::new(&inputs)
+        .shards(4)
+        .chunk_size(32)
+        .detect(true)
+        .run();
+    let rendered = campaign.render();
     let path = golden_path();
 
     if std::env::var_os("UPDATE_GOLDEN").is_some() {

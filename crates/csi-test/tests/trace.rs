@@ -6,6 +6,10 @@
 //! *complete* (every reported discrepancy carries a non-empty causal
 //! crossing sequence).
 
+// These suites deliberately exercise the legacy entrypoints the Campaign
+// builder wraps, proving the wrappers and the builder agree.
+#![allow(deprecated)]
+
 use csi_test::{
     generate_inputs, run_cross_test, run_cross_test_parallel, CrossTestConfig, ParallelConfig,
 };

@@ -22,24 +22,19 @@ pub enum LengthCheck {
 }
 
 /// Reads a file the way a Spark task does: fetch the status, validate the
-/// block holder invariants, then read the bytes.
-pub fn read_file(fs: &MiniHdfs, path: &HdfsPath, check: LengthCheck) -> Result<Bytes, SparkError> {
-    read_file_traced(fs, path, check, None)
-}
-
-/// [`read_file`] with the connector-level crossing recorded in a trace.
-/// The filesystem's own `read` still crosses through the boundary the
-/// deployment wired into it; this extra record marks the task-side entry
-/// so the trace shows *Spark's* view of the interaction too.
-pub fn read_file_traced(
+/// block holder invariants, then read the bytes. The connector-level
+/// crossing is recorded in `ctx` — the filesystem's own `read` still
+/// crosses through the boundary the deployment wired into it; this extra
+/// record marks the task-side entry so the trace shows *Spark's* view of
+/// the interaction too. Callers without a trace pass
+/// [`CrossingContext::disabled`].
+pub fn read_file(
     fs: &MiniHdfs,
     path: &HdfsPath,
     check: LengthCheck,
-    ctx: Option<&CrossingContext>,
+    ctx: &CrossingContext,
 ) -> Result<Bytes, SparkError> {
-    if let Some(c) = ctx {
-        c.record(BoundaryCall::new(Channel::Hdfs, "task_read").with_payload(&path.to_string()));
-    }
+    ctx.record(BoundaryCall::new(Channel::Hdfs, "task_read").with_payload(&path.to_string()));
     let status = fs
         .get_file_status(path)
         .map_err(|e| SparkError::Connector {
@@ -74,6 +69,10 @@ pub fn read_file_traced(
 mod tests {
     use super::*;
 
+    fn off() -> CrossingContext {
+        CrossingContext::disabled()
+    }
+
     fn fs_with_files() -> (MiniHdfs, HdfsPath, HdfsPath) {
         let mut fs = MiniHdfs::with_datanodes(1);
         let plain = HdfsPath::parse("/data/plain.txt").unwrap();
@@ -88,7 +87,7 @@ mod tests {
         let (fs, plain, _) = fs_with_files();
         for check in [LengthCheck::Shipped, LengthCheck::Fixed] {
             assert_eq!(
-                read_file(&fs, &plain, check).unwrap().as_ref(),
+                read_file(&fs, &plain, check, &off()).unwrap().as_ref(),
                 b"plain data"
             );
         }
@@ -98,7 +97,7 @@ mod tests {
     fn compressed_file_crashes_shipped_spark() {
         // SPARK-27239 / Figure 2.
         let (fs, _, gz) = fs_with_files();
-        let err = read_file(&fs, &gz, LengthCheck::Shipped).unwrap_err();
+        let err = read_file(&fs, &gz, LengthCheck::Shipped, &off()).unwrap_err();
         assert!(err.to_string().contains("length (-1) cannot be negative"));
     }
 
@@ -107,7 +106,7 @@ mod tests {
         // Figure 4.
         let (fs, _, gz) = fs_with_files();
         assert_eq!(
-            read_file(&fs, &gz, LengthCheck::Fixed).unwrap().as_ref(),
+            read_file(&fs, &gz, LengthCheck::Fixed, &off()).unwrap().as_ref(),
             b"compressed data"
         );
     }
@@ -116,7 +115,7 @@ mod tests {
     fn missing_files_are_clean_connector_errors() {
         let (fs, _, _) = fs_with_files();
         let nope = HdfsPath::parse("/nope").unwrap();
-        let err = read_file(&fs, &nope, LengthCheck::Fixed).unwrap_err();
+        let err = read_file(&fs, &nope, LengthCheck::Fixed, &off()).unwrap_err();
         assert_eq!(err.code(), "HDFS");
     }
 }

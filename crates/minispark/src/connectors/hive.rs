@@ -23,41 +23,36 @@ pub enum ForwardingMode {
     Fixed,
 }
 
-/// Builds the configuration Spark hands to its embedded Hive client.
-pub fn build_hive_client_config(spark: &SparkConfig, mode: ForwardingMode) -> ConfigMap {
-    build_hive_client_config_traced(spark, mode, None)
-}
-
-/// [`build_hive_client_config`] with the forwarding recorded as a
-/// management-plane boundary crossing: the trace notes whether the built
-/// client can authenticate, making the SPARK-10181 silent drop visible in
-/// the same causal sequence as the data-plane crossings around it.
-pub fn build_hive_client_config_traced(
+/// Builds the configuration Spark hands to its embedded Hive client,
+/// recording the forwarding as a management-plane boundary crossing: the
+/// trace notes whether the built client can authenticate, making the
+/// SPARK-10181 silent drop visible in the same causal sequence as the
+/// data-plane crossings around it. Callers without a trace pass
+/// [`CrossingContext::disabled`].
+pub fn build_hive_client_config(
     spark: &SparkConfig,
     mode: ForwardingMode,
-    ctx: Option<&CrossingContext>,
+    ctx: &CrossingContext,
 ) -> ConfigMap {
     let out = forward_config(spark, mode);
-    if let Some(c) = ctx {
-        let label = match mode {
-            ForwardingMode::Shipped => "mode=shipped",
-            ForwardingMode::Fixed => "mode=fixed",
-        };
-        let kerberized = spark.get(YARN_KEYTAB).is_some() || spark.get(YARN_PRINCIPAL).is_some();
-        let auth = match (kerberized, can_authenticate(&out)) {
-            (false, _) => "kerberos=unconfigured",
-            (true, true) => "kerberos=translated",
-            // The SPARK-10181 shape: configured upstream, absent downstream.
-            (true, false) => "kerberos=silently-dropped",
-        };
-        c.note(
-            BoundaryCall::new(Channel::Metastore, "forward_config")
-                .from_upstream(SystemId::Spark)
-                .with_plane(Plane::Management)
-                .with_payload("hive-client"),
-            &format!("{label} {auth}"),
-        );
-    }
+    let label = match mode {
+        ForwardingMode::Shipped => "mode=shipped",
+        ForwardingMode::Fixed => "mode=fixed",
+    };
+    let kerberized = spark.get(YARN_KEYTAB).is_some() || spark.get(YARN_PRINCIPAL).is_some();
+    let auth = match (kerberized, can_authenticate(&out)) {
+        (false, _) => "kerberos=unconfigured",
+        (true, true) => "kerberos=translated",
+        // The SPARK-10181 shape: configured upstream, absent downstream.
+        (true, false) => "kerberos=silently-dropped",
+    };
+    ctx.note(
+        BoundaryCall::new(Channel::Metastore, "forward_config")
+            .from_upstream(SystemId::Spark)
+            .with_plane(Plane::Management)
+            .with_payload("hive-client"),
+        &format!("{label} {auth}"),
+    );
     out
 }
 
@@ -115,7 +110,7 @@ mod tests {
         // SPARK-10181: the user configured Kerberos, the client cannot
         // authenticate, and nothing was logged.
         let spark = kerberized_spark();
-        let client = build_hive_client_config(&spark, ForwardingMode::Shipped);
+        let client = build_hive_client_config(&spark, ForwardingMode::Shipped, &CrossingContext::disabled());
         assert_eq!(client.get("hive.metastore.uris"), Some("thrift://ms:9083"));
         assert!(!can_authenticate(&client));
     }
@@ -123,7 +118,7 @@ mod tests {
     #[test]
     fn fixed_forwarding_translates_the_settings() {
         let spark = kerberized_spark();
-        let client = build_hive_client_config(&spark, ForwardingMode::Fixed);
+        let client = build_hive_client_config(&spark, ForwardingMode::Fixed, &CrossingContext::disabled());
         assert!(can_authenticate(&client));
         assert_eq!(
             client.get("hive.metastore.kerberos.principal"),
@@ -135,7 +130,7 @@ mod tests {
     fn unkerberized_spark_is_unaffected_by_mode() {
         let spark = SparkConfig::new();
         for mode in [ForwardingMode::Shipped, ForwardingMode::Fixed] {
-            let client = build_hive_client_config(&spark, mode);
+            let client = build_hive_client_config(&spark, mode, &CrossingContext::disabled());
             assert!(!can_authenticate(&client));
         }
     }

@@ -38,30 +38,19 @@ impl OffsetRange {
 }
 
 /// Plans the next micro-batch range from the committed position to the
-/// current log end.
+/// current log end, recording the planner's crossing in `ctx`. Callers
+/// without a trace pass [`CrossingContext::disabled`].
 pub fn plan_range(
     broker: &MiniKafka,
     topic: &str,
     partition: PartitionId,
     from: Offset,
+    ctx: &CrossingContext,
 ) -> Result<OffsetRange, SparkError> {
-    plan_range_traced(broker, topic, partition, from, None)
-}
-
-/// [`plan_range`] with the planner's crossing recorded in a trace.
-pub fn plan_range_traced(
-    broker: &MiniKafka,
-    topic: &str,
-    partition: PartitionId,
-    from: Offset,
-    ctx: Option<&CrossingContext>,
-) -> Result<OffsetRange, SparkError> {
-    if let Some(c) = ctx {
-        c.record(
-            BoundaryCall::new(Channel::Kafka, "plan_range")
-                .with_payload(&format!("{topic}/p{}", partition.0)),
-        );
-    }
+    ctx.record(
+        BoundaryCall::new(Channel::Kafka, "plan_range")
+            .with_payload(&format!("{topic}/p{}", partition.0)),
+    );
     let until = broker
         .log_end_offset(topic, partition)
         .map_err(|e| SparkError::Connector {
@@ -83,25 +72,12 @@ pub fn consume_range(
     partition: PartitionId,
     range: OffsetRange,
     model: OffsetModel,
+    ctx: &CrossingContext,
 ) -> Result<Vec<ConsumerRecord>, SparkError> {
-    consume_range_traced(broker, topic, partition, range, model, None)
-}
-
-/// [`consume_range`] with the consumer's crossing recorded in a trace.
-pub fn consume_range_traced(
-    broker: &MiniKafka,
-    topic: &str,
-    partition: PartitionId,
-    range: OffsetRange,
-    model: OffsetModel,
-    ctx: Option<&CrossingContext>,
-) -> Result<Vec<ConsumerRecord>, SparkError> {
-    if let Some(c) = ctx {
-        c.record(
-            BoundaryCall::new(Channel::Kafka, "consume_range")
-                .with_payload(&format!("{topic}/p{}", partition.0)),
-        );
-    }
+    ctx.record(
+        BoundaryCall::new(Channel::Kafka, "consume_range")
+            .with_payload(&format!("{topic}/p{}", partition.0)),
+    );
     let batch = broker
         .fetch(topic, partition, range.from, usize::MAX)
         .map_err(|e| SparkError::Connector {
@@ -148,6 +124,10 @@ mod tests {
 
     const P0: PartitionId = PartitionId(0);
 
+    fn off() -> CrossingContext {
+        CrossingContext::disabled()
+    }
+
     fn broker_with_gap() -> MiniKafka {
         let mut k = MiniKafka::new();
         k.create_topic("t", 1);
@@ -165,9 +145,9 @@ mod tests {
         for i in 0..5u8 {
             k.produce("t", P0, None, Some(&[i]), 0).unwrap();
         }
-        let range = plan_range(&k, "t", P0, 0).unwrap();
+        let range = plan_range(&k, "t", P0, 0, &off()).unwrap();
         assert_eq!(range.expected_count(), 5);
-        let records = consume_range(&k, "t", P0, range, OffsetModel::AssumeContiguous).unwrap();
+        let records = consume_range(&k, "t", P0, range, OffsetModel::AssumeContiguous, &off()).unwrap();
         assert_eq!(records.len(), 5);
     }
 
@@ -175,16 +155,16 @@ mod tests {
     fn compacted_log_crashes_shipped_connector() {
         // SPARK-19361.
         let k = broker_with_gap();
-        let range = plan_range(&k, "t", P0, 0).unwrap();
-        let err = consume_range(&k, "t", P0, range, OffsetModel::AssumeContiguous).unwrap_err();
+        let range = plan_range(&k, "t", P0, 0, &off()).unwrap();
+        let err = consume_range(&k, "t", P0, range, OffsetModel::AssumeContiguous, &off()).unwrap_err();
         assert!(err.to_string().contains("Got wrong record"), "{err}");
     }
 
     #[test]
     fn fixed_connector_tolerates_gaps() {
         let k = broker_with_gap();
-        let range = plan_range(&k, "t", P0, 0).unwrap();
-        let records = consume_range(&k, "t", P0, range, OffsetModel::TolerateGaps).unwrap();
+        let range = plan_range(&k, "t", P0, 0, &off()).unwrap();
+        let records = consume_range(&k, "t", P0, range, OffsetModel::TolerateGaps, &off()).unwrap();
         // Two survivors: offsets 1 and 2.
         let offsets: Vec<Offset> = records.iter().map(|r| r.offset).collect();
         assert_eq!(offsets, vec![1, 2]);
@@ -199,9 +179,9 @@ mod tests {
         k.send_transactional(txn, P0, None, Some(b"x"), 0).unwrap();
         k.commit_transaction(txn).unwrap(); // Marker at offset 1.
         k.produce("t", P0, None, Some(b"y"), 0).unwrap(); // Offset 2.
-        let range = plan_range(&k, "t", P0, 0).unwrap();
-        assert!(consume_range(&k, "t", P0, range, OffsetModel::AssumeContiguous).is_err());
-        let fixed = consume_range(&k, "t", P0, range, OffsetModel::TolerateGaps).unwrap();
+        let range = plan_range(&k, "t", P0, 0, &off()).unwrap();
+        assert!(consume_range(&k, "t", P0, range, OffsetModel::AssumeContiguous, &off()).is_err());
+        let fixed = consume_range(&k, "t", P0, range, OffsetModel::TolerateGaps, &off()).unwrap();
         assert_eq!(fixed.len(), 2);
     }
 }

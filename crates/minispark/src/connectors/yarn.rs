@@ -85,25 +85,20 @@ pub fn validate_executor_sizing(
 }
 
 /// Fetches cluster metrics, as `Client.getYarnClusterMetrics` does —
-/// assuming the API exists in the deployed mode (YARN-9724).
-pub fn cluster_metrics(rm: &ResourceManager) -> Result<miniyarn::ClusterMetrics, SparkError> {
-    cluster_metrics_traced(rm, None)
-}
-
-/// [`cluster_metrics`] with Spark's management-plane crossing recorded in
-/// a trace (the RM's own boundary, when wired, traces the serving side).
-pub fn cluster_metrics_traced(
+/// assuming the API exists in the deployed mode (YARN-9724). Spark's
+/// management-plane crossing is recorded in `ctx` (the RM's own boundary,
+/// when wired, traces the serving side); callers without a trace pass
+/// [`CrossingContext::disabled`].
+pub fn cluster_metrics(
     rm: &ResourceManager,
-    ctx: Option<&CrossingContext>,
+    ctx: &CrossingContext,
 ) -> Result<miniyarn::ClusterMetrics, SparkError> {
-    if let Some(c) = ctx {
-        c.record(
-            BoundaryCall::new(Channel::Yarn, "cluster_metrics")
-                .from_upstream(SystemId::Spark)
-                .with_plane(Plane::Management)
-                .with_payload("cluster"),
-        );
-    }
+    ctx.record(
+        BoundaryCall::new(Channel::Yarn, "cluster_metrics")
+            .from_upstream(SystemId::Spark)
+            .with_plane(Plane::Management)
+            .with_payload("cluster"),
+    );
     rm.get_cluster_metrics().map_err(|e| SparkError::Connector {
         code: "YARN_METRICS",
         message: e.to_string(),
@@ -221,10 +216,11 @@ mod tests {
 
     #[test]
     fn metrics_fail_in_federation_mode() {
+        let off = CrossingContext::disabled();
         let rm = ResourceManager::new(miniyarn::config::default_yarn_config(), RmMode::Federation);
-        let err = cluster_metrics(&rm).unwrap_err();
+        let err = cluster_metrics(&rm, &off).unwrap_err();
         assert_eq!(err.code(), "YARN_METRICS");
         let rm = ResourceManager::with_nodes(1, Resource::new(4096, 4));
-        assert!(cluster_metrics(&rm).is_ok());
+        assert!(cluster_metrics(&rm, &off).is_ok());
     }
 }

@@ -6,7 +6,7 @@
 use csi::core::value::{DataType, Value};
 use csi::cross_test::{
     generator::{TestInput, Validity},
-    run_cross_test, CrossTestConfig,
+    Campaign,
 };
 
 fn main() {
@@ -40,7 +40,7 @@ fn main() {
     ];
 
     println!("cross-testing 3 inputs through all 8 interface plans x 3 formats...\n");
-    let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+    let outcome = Campaign::new(&inputs).run();
     print!("{}", outcome.report.render());
 
     println!("\nevidence for the first discrepancy:");

@@ -2,6 +2,7 @@
 //! across the substrate crates (Figures 1, 3, 5 and the named control-plane
 //! cases of Tables 7 and 8).
 
+use csi::core::boundary::CrossingContext;
 use csi::flink::jobmanager::{
     launch_jobmanager, JobManagerSpec, LaunchOutcome, MemoryModel, SizingPolicy,
 };
@@ -102,7 +103,7 @@ fn flink_887_pmem_kill_and_fix() {
 #[test]
 fn yarn_9724_metrics_unavailable_in_federation() {
     let rm = ResourceManager::new(csi::yarn::config::default_yarn_config(), RmMode::Federation);
-    let err = csi::spark::connectors::yarn::cluster_metrics(&rm).unwrap_err();
+    let err = csi::spark::connectors::yarn::cluster_metrics(&rm, &CrossingContext::disabled()).unwrap_err();
     assert!(err.to_string().contains("not supported in federation mode"));
 }
 
@@ -237,13 +238,15 @@ fn spark_19361_offset_gap_assumption() {
             .unwrap();
     }
     kafka.compact("events", PartitionId(0)).unwrap();
-    let range = plan_range(&kafka, "events", PartitionId(0), 0).unwrap();
+    let off = CrossingContext::disabled();
+    let range = plan_range(&kafka, "events", PartitionId(0), 0, &off).unwrap();
     assert!(consume_range(
         &kafka,
         "events",
         PartitionId(0),
         range,
-        OffsetModel::AssumeContiguous
+        OffsetModel::AssumeContiguous,
+        &off
     )
     .is_err());
     let records = consume_range(
@@ -252,6 +255,7 @@ fn spark_19361_offset_gap_assumption() {
         PartitionId(0),
         range,
         OffsetModel::TolerateGaps,
+        &off
     )
     .unwrap();
     assert_eq!(records.len(), 3); // One survivor per key.
@@ -265,13 +269,16 @@ fn spark_10181_kerberos_forwarding() {
     let mut spark = SparkConfig::new();
     spark.set(csi::spark::config::YARN_KEYTAB, "/keytabs/spark.keytab");
     spark.set(csi::spark::config::YARN_PRINCIPAL, "spark@REALM");
+    let off = CrossingContext::disabled();
     assert!(!can_authenticate(&build_hive_client_config(
         &spark,
-        ForwardingMode::Shipped
+        ForwardingMode::Shipped,
+        &off
     )));
     assert!(can_authenticate(&build_hive_client_config(
         &spark,
-        ForwardingMode::Fixed
+        ForwardingMode::Fixed,
+        &off
     )));
 }
 

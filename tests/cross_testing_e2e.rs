@@ -2,7 +2,7 @@
 //! (the C2/E2 claims of the artifact appendix).
 
 use csi::core::report::ProblemCategory;
-use csi::cross_test::{active_ids, generate_inputs, run_cross_test, CrossTestConfig, Validity};
+use csi::cross_test::{active_ids, generate_inputs, Campaign, CrossTestConfig, Validity};
 
 #[test]
 fn input_catalogue_matches_section_8_1() {
@@ -17,7 +17,7 @@ fn input_catalogue_matches_section_8_1() {
 #[test]
 fn claim_c2_fifteen_discrepancies_with_paper_category_totals() {
     let inputs = generate_inputs();
-    let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+    let outcome = Campaign::new(&inputs).run();
     let report = &outcome.report;
     assert_eq!(report.distinct(), 15, "{}", report.render());
     assert!(report.unattributed.is_empty());
@@ -50,14 +50,10 @@ fn claim_c2_fifteen_discrepancies_with_paper_category_totals() {
 #[test]
 fn custom_configuration_resolves_exactly_the_eight_paper_discrepancies() {
     let inputs = generate_inputs();
-    let default_run = run_cross_test(&inputs, &CrossTestConfig::default());
-    let custom_run = run_cross_test(
-        &inputs,
-        &CrossTestConfig {
-            spark_overrides: CrossTestConfig::custom_resolving_overrides(),
-            ..CrossTestConfig::default()
-        },
-    );
+    let default_run = Campaign::new(&inputs).run();
+    let custom_run = Campaign::new(&inputs)
+        .spark_overrides(CrossTestConfig::custom_resolving_overrides())
+        .run();
     let before = active_ids(&default_run.report);
     let after = active_ids(&custom_run.report);
     assert_eq!(
@@ -87,7 +83,7 @@ fn custom_configuration_resolves_exactly_the_eight_paper_discrepancies() {
 fn each_oracle_contributes_failures() {
     use csi::core::oracle::OracleKind;
     let inputs = generate_inputs();
-    let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+    let outcome = Campaign::new(&inputs).run();
     for kind in [
         OracleKind::WriteRead,
         OracleKind::ErrorHandling,
@@ -131,7 +127,7 @@ fn happy_path_values_are_clean_across_all_plans() {
             expected_back: None,
         },
     ];
-    let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+    let outcome = Campaign::new(&inputs).run();
     assert!(
         outcome.report.raw_failures.is_empty(),
         "{:#?}",

@@ -106,7 +106,7 @@ fn config_audit_catches_the_three_table_7_shapes_predeployment() {
 fn contracts_distinguish_documented_conversions_from_bugs() {
     use csi::cross_test::contracts::{check_observations, documented_contracts, naive_contracts};
     use csi::cross_test::generator::{TestInput, Validity};
-    use csi::cross_test::{run_cross_test, CrossTestConfig};
+    use csi::cross_test::Campaign;
     let inputs = vec![
         TestInput {
             id: 0,
@@ -125,7 +125,7 @@ fn contracts_distinguish_documented_conversions_from_bugs() {
             expected_back: None,
         },
     ];
-    let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+    let outcome = Campaign::new(&inputs).run();
     let naive = check_observations(&inputs, &outcome.observations, naive_contracts);
     let documented = check_observations(&inputs, &outcome.observations, documented_contracts);
     // CHAR padding and BYTE widening are documented; the Avro read failure

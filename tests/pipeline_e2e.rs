@@ -2,6 +2,7 @@
 //! records, lands a table in the Hive catalog, and Spark reads it — five
 //! systems interacting, with the studied discrepancies live at each seam.
 
+use csi::core::boundary::CrossingContext;
 use csi::core::diag::DiagSink;
 use csi::core::value::Value;
 use csi::flink::hive_catalog::{store_table, CatalogMode, FlinkSchema, FlinkType};
@@ -45,13 +46,15 @@ fn kafka_to_hive_to_spark_pipeline() {
 
     // Consuming with the gap-tolerant reader (the SPARK-19361 fix) — the
     // shipped contiguous reader dies on the compacted partition.
-    let range = plan_range(&kafka, "orders", PartitionId(0), 0).unwrap();
+    let off = CrossingContext::disabled();
+    let range = plan_range(&kafka, "orders", PartitionId(0), 0, &off).unwrap();
     assert!(consume_range(
         &kafka,
         "orders",
         PartitionId(0),
         range,
-        OffsetModel::AssumeContiguous
+        OffsetModel::AssumeContiguous,
+        &off
     )
     .is_err());
     let records = consume_range(
@@ -60,6 +63,7 @@ fn kafka_to_hive_to_spark_pipeline() {
         PartitionId(0),
         range,
         OffsetModel::TolerateGaps,
+        &off
     )
     .unwrap();
     assert_eq!(records.len(), 3); // One survivor per key.

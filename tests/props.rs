@@ -183,7 +183,7 @@ proptest! {
         // interface pair unchanged — Spark-written files read identically
         // from Hive and vice versa (ORC path).
         use csi::cross_test::generator::{TestInput, Validity};
-        use csi::cross_test::{run_cross_test, CrossTestConfig};
+        use csi::cross_test::Campaign;
         // Skip sub-second NaN-ish strings that Hive renders differently.
         let inputs = vec![TestInput {
             id: 0,
@@ -193,11 +193,9 @@ proptest! {
             label: "prop".into(),
             expected_back: None,
         }];
-        let config = CrossTestConfig {
-            formats: vec![StorageFormat::Orc],
-            ..CrossTestConfig::default()
-        };
-        let outcome = run_cross_test(&inputs, &config);
+        let outcome = Campaign::new(&inputs)
+            .formats(vec![StorageFormat::Orc])
+            .run();
         prop_assert!(
             outcome.report.raw_failures.is_empty(),
             "{:?}",
