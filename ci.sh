@@ -1,32 +1,82 @@
 #!/usr/bin/env bash
-# CI gate: lint clean, build clean, full test suite, and the
-# serial/parallel determinism suite (the parallel campaign executor must
-# reproduce the serial DiscrepancyReport byte-for-byte).
+# Staged CI gate. Each stage is individually invocable so failures
+# attribute to a stage instead of one monolithic log:
+#
+#   ./ci.sh lint          # cargo fmt --check + clippy -D warnings
+#   ./ci.sh build         # release build of the whole workspace
+#   ./ci.sh test          # full test suite
+#   ./ci.sh determinism   # serial-vs-sharded byte-identity suites
+#   ./ci.sh reports       # trace summary + detector-vs-oracle report bins
+#   ./ci.sh golden        # golden campaign report drift check
+#   ./ci.sh explore       # coverage-guided explore smoke (small budget)
+#   ./ci.sh all           # everything above, in order (the default)
+#
+# Everything runs offline against the vendored dependency stubs.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+stage_lint() {
+  echo "==> fmt (check only)"
+  cargo fmt --all --check
+  echo "==> clippy (deny warnings)"
+  cargo clippy --workspace --all-targets -- -D warnings
+}
 
-echo "==> release build"
-cargo build --release --workspace
+stage_build() {
+  echo "==> release build"
+  cargo build --release --workspace
+}
 
-echo "==> tests"
-cargo test -q --workspace
+stage_test() {
+  echo "==> tests"
+  cargo test -q --workspace
+}
 
-echo "==> determinism (serial vs parallel campaign)"
-cargo test -q -p csi-test --test determinism
+stage_determinism() {
+  echo "==> determinism (serial vs parallel campaign)"
+  cargo test -q -p csi-test --test determinism
+  echo "==> fault matrix (injection determinism + taxonomy coverage)"
+  cargo test -q -p csi-test --test fault_matrix
+  echo "==> boundary traces (side-effect-free, serial == sharded)"
+  cargo test -q -p csi-test --test trace
+}
 
-echo "==> fault matrix (injection determinism + taxonomy coverage)"
-cargo test -q -p csi-test --test fault_matrix
+stage_reports() {
+  echo "==> boundary trace summary (per-channel crossing counts)"
+  cargo run -q --release -p csi-bench --bin trace_summary
+  echo "==> online detector vs offline oracle (recall 1.0, serial == sharded)"
+  cargo run -q --release -p csi-bench --bin detector_report
+}
 
-echo "==> boundary trace summary (per-channel crossing counts)"
-cargo run -q --release -p csi-bench --bin trace_summary
+stage_golden() {
+  echo "==> golden campaign report"
+  cargo test -q -p csi-test --test golden_report
+}
 
-echo "==> online detector vs offline oracle (recall 1.0, serial == sharded)"
-cargo run -q --release -p csi-bench --bin detector_report
+stage_explore() {
+  echo "==> coverage-guided explore smoke (asserts novel signatures beyond the seed grid)"
+  cargo run -q --release -p csi-bench --bin explore -- 42 400 4
+}
 
-echo "==> golden campaign report"
-cargo test -q -p csi-test --test golden_report
+stage_all() {
+  stage_lint
+  stage_build
+  stage_test
+  stage_determinism
+  stage_reports
+  stage_golden
+  stage_explore
+}
 
-echo "CI OK"
+stage="${1:-all}"
+case "$stage" in
+  lint | build | test | determinism | reports | golden | explore | all)
+    "stage_${stage}"
+    ;;
+  *)
+    echo "usage: $0 [lint|build|test|determinism|reports|golden|explore|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "CI OK (${stage})"

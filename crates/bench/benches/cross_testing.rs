@@ -1,19 +1,12 @@
 //! Criterion benches for the Section 8 cross-testing harness: per-plan
 //! write/read costs, serializer throughput, and oracle overhead.
 
-// These suites deliberately exercise the legacy entrypoints the Campaign
-// builder wraps, proving the wrappers and the builder agree.
-#![allow(deprecated)]
-
 // The `criterion_group!` macro expands to undocumented items.
 #![allow(missing_docs)]
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use csi_core::value::{DataType, StructField, Value};
-use csi_test::{
-    generate_inputs, run_cross_test, run_cross_test_parallel, CrossTestConfig, Experiment,
-    ParallelConfig,
-};
+use csi_test::{generate_inputs, Campaign, Experiment};
 use minihive::metastore::StorageFormat;
 use std::time::Duration;
 
@@ -26,12 +19,16 @@ fn bench_generator(c: &mut Criterion) {
 fn bench_single_experiment(c: &mut Criterion) {
     // A focused slice: 16 inputs through the Spark-to-Hive plans.
     let inputs: Vec<_> = generate_inputs().into_iter().take(16).collect();
-    let config = CrossTestConfig {
-        experiments: vec![Experiment::SparkToHive],
-        ..CrossTestConfig::default()
-    };
     c.bench_function("harness/spark_to_hive_16_inputs", |b| {
-        b.iter(|| std::hint::black_box(run_cross_test(&inputs, &config).report.distinct()))
+        b.iter(|| {
+            std::hint::black_box(
+                Campaign::new(&inputs)
+                    .experiments(vec![Experiment::SparkToHive])
+                    .run()
+                    .report
+                    .distinct(),
+            )
+        })
     });
 }
 
@@ -108,27 +105,24 @@ fn bench_full_campaign(c: &mut Criterion) {
     // The full 422-input catalogue through all three experiments; a single
     // iteration takes seconds, so sample sparsely.
     let inputs = generate_inputs();
-    let serial_config = CrossTestConfig::default();
-    // Campaign mode: worker pool plus drop-after-observe recycling, the
-    // configuration the `campaign` binary reports on.
-    let campaign_config = CrossTestConfig {
-        recycle_tables: true,
-        ..CrossTestConfig::default()
-    };
+    let workers = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
     let mut group = c.benchmark_group("harness");
-    group.sample_size(2).measurement_time(Duration::from_millis(1));
+    group
+        .sample_size(2)
+        .measurement_time(Duration::from_millis(1));
     group.bench_function("full_campaign_serial", |b| {
-        b.iter(|| std::hint::black_box(run_cross_test(&inputs, &serial_config).report.distinct()))
+        b.iter(|| std::hint::black_box(Campaign::new(&inputs).run().report.distinct()))
     });
-    let parallel = ParallelConfig {
-        workers: 0,
-        chunk_size: 32,
-    };
     group.bench_function("full_campaign_parallel", |b| {
         b.iter(|| {
+            // Campaign mode: worker pool plus drop-after-observe
+            // recycling, the configuration the `campaign` binary reports.
             std::hint::black_box(
-                run_cross_test_parallel(&inputs, &campaign_config, &parallel)
-                    .outcome
+                Campaign::new(&inputs)
+                    .recycle_tables(true)
+                    .shards(workers)
+                    .chunk_size(32)
+                    .run()
                     .report
                     .distinct(),
             )

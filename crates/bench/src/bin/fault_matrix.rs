@@ -85,5 +85,8 @@ fn main() {
         "BENCH_fault_matrix {}",
         serde_json::to_string(&summary).expect("serializable")
     );
-    assert!(identical, "sharded fault-matrix report diverged from serial");
+    assert!(
+        identical,
+        "sharded fault-matrix report diverged from serial"
+    );
 }

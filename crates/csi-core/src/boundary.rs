@@ -209,9 +209,7 @@ impl InteractionTrace {
     pub fn channel_counts(&self) -> BTreeMap<String, usize> {
         let mut counts = BTreeMap::new();
         for crossing in &self.crossings {
-            *counts
-                .entry(crossing.call.channel.to_string())
-                .or_insert(0) += 1;
+            *counts.entry(crossing.call.channel.to_string()).or_insert(0) += 1;
         }
         counts
     }

@@ -294,8 +294,7 @@ impl OnlineDetector {
             match surfaced {
                 None => {
                     let channels = distinct_channels(s.fired.iter().map(|f| f.channel));
-                    let fired_ids: Vec<&str> =
-                        s.fired.iter().map(|f| f.spec_id.as_str()).collect();
+                    let fired_ids: Vec<&str> = s.fired.iter().map(|f| f.spec_id.as_str()).collect();
                     let detection = Detection {
                         kind: DetectionKind::SwallowedError,
                         scenario: s.scenario.clone(),
@@ -355,7 +354,11 @@ impl OnlineDetector {
                     .zip(&profile.ops)
                     .position(|(a, b)| a != b)
                     .unwrap_or_else(|| s.ops.len().min(profile.ops.len()));
-                let channels = match s.ops.get(divergence).or_else(|| profile.ops.get(divergence)) {
+                let channels = match s
+                    .ops
+                    .get(divergence)
+                    .or_else(|| profile.ops.get(divergence))
+                {
                     Some((channel, _)) => vec![*channel],
                     None => Vec::new(),
                 };
@@ -442,7 +445,10 @@ impl DetectorState {
             self.fired.push(fault.clone());
             self.faulted
                 .push((crossing.seq, crossing.at_ms, crossing.call.channel));
-            if matches!(fault.kind, FaultKind::Latency { .. } | FaultKind::Timeout { .. }) {
+            if matches!(
+                fault.kind,
+                FaultKind::Latency { .. } | FaultKind::Timeout { .. }
+            ) {
                 let key = (crossing.call.channel, crossing.call.op.clone());
                 let count = self.latency_counts.entry(key).or_insert(0);
                 *count += 1;
@@ -585,25 +591,42 @@ mod tests {
     fn swallowed_fault_is_detected_iff_oracle_agrees() {
         let detector = OnlineDetector::from_spec(DetectorSpec::default());
         let ctx = CrossingContext::new();
-        ctx.arm(spec("u", Channel::Metastore, "get_table", FaultKind::Unavailable));
+        ctx.arm(spec(
+            "u",
+            Channel::Metastore,
+            "get_table",
+            FaultKind::Unavailable,
+        ));
         ctx.set_sink(detector.sink());
         detector.begin("s");
         drive(&ctx, &[ms_call("get_table")]);
         // No error surfaced: the oracle says swallowed, and so does the
         // detector, from the stream alone.
         let detections = detector.finish(None);
-        assert_eq!(classify_fault_outcome(&ctx.fired(), None), FaultOutcome::Swallowed);
+        assert_eq!(
+            classify_fault_outcome(&ctx.fired(), None),
+            FaultOutcome::Swallowed
+        );
         assert_eq!(detections.len(), 1);
         assert_eq!(detections[0].kind, DetectionKind::SwallowedError);
         assert_eq!(detections[0].channels, vec![Channel::Metastore]);
-        assert!(detections[0].detail.contains("[u]"), "{}", detections[0].detail);
+        assert!(
+            detections[0].detail.contains("[u]"),
+            "{}",
+            detections[0].detail
+        );
     }
 
     #[test]
     fn mistranslated_error_is_detected() {
         let detector = OnlineDetector::from_spec(DetectorSpec::default());
         let ctx = CrossingContext::new();
-        ctx.arm(spec("u", Channel::Metastore, "get_table", FaultKind::Unavailable));
+        ctx.arm(spec(
+            "u",
+            Channel::Metastore,
+            "get_table",
+            FaultKind::Unavailable,
+        ));
         ctx.set_sink(detector.sink());
         detector.begin("s");
         drive(&ctx, &[ms_call("get_table")]);
@@ -622,7 +645,9 @@ mod tests {
             detections[0].detail
         );
         assert!(
-            detections[0].detail.contains("unavailable:METASTORE_UNAVAILABLE"),
+            detections[0]
+                .detail
+                .contains("unavailable:METASTORE_UNAVAILABLE"),
             "{}",
             detections[0].detail
         );
@@ -632,7 +657,12 @@ mod tests {
     fn propagated_with_context_stays_silent() {
         let detector = OnlineDetector::from_spec(DetectorSpec::default());
         let ctx = CrossingContext::new();
-        ctx.arm(spec("u", Channel::Metastore, "get_table", FaultKind::Unavailable));
+        ctx.arm(spec(
+            "u",
+            Channel::Metastore,
+            "get_table",
+            FaultKind::Unavailable,
+        ));
         ctx.set_sink(detector.sink());
         detector.begin("s");
         drive(&ctx, &[ms_call("get_table")]);
@@ -649,7 +679,12 @@ mod tests {
     fn crash_bucket_is_left_to_the_offline_oracle() {
         let detector = OnlineDetector::from_spec(DetectorSpec::default());
         let ctx = CrossingContext::new();
-        ctx.arm(spec("u", Channel::Metastore, "get_table", FaultKind::Unavailable));
+        ctx.arm(spec(
+            "u",
+            Channel::Metastore,
+            "get_table",
+            FaultKind::Unavailable,
+        ));
         ctx.set_sink(detector.sink());
         detector.begin("s");
         drive(&ctx, &[ms_call("get_table")]);
@@ -676,7 +711,10 @@ mod tests {
         ctx.set_sink(detector.sink());
         detector.begin("yarn:driver");
         let call = BoundaryCall::new(Channel::Yarn, "allocate");
-        drive(&ctx, &[call.clone(), call.clone(), call.clone(), call.clone()]);
+        drive(
+            &ctx,
+            &[call.clone(), call.clone(), call.clone(), call.clone()],
+        );
         // 4 delayed crossings, threshold 3: exactly one storm detection,
         // anchored at the third crossing, plus the swallowed-error mirror
         // (latency faults fired, nothing surfaced).
@@ -687,7 +725,11 @@ mod tests {
             .collect();
         assert_eq!(storms.len(), 1);
         assert_eq!(storms[0].seq, 2);
-        assert!(storms[0].detail.contains("yarn:allocate"), "{}", storms[0].detail);
+        assert!(
+            storms[0].detail.contains("yarn:allocate"),
+            "{}",
+            storms[0].detail
+        );
         assert!(flags_error_handling(&detections));
     }
 
@@ -700,14 +742,17 @@ mod tests {
         baselines.learn("s", &ctx.trace());
 
         // ...then replay with an extra crossing: anomaly at index 1.
-        let detector =
-            OnlineDetector::new(DetectorConfig::default(), Arc::new(baselines.clone()));
+        let detector = OnlineDetector::new(DetectorConfig::default(), Arc::new(baselines.clone()));
         let ctx = CrossingContext::new();
         ctx.set_sink(detector.sink());
         detector.begin("s");
         drive(
             &ctx,
-            &[ms_call("get_table"), ms_call("drop_table"), ms_call("create_table")],
+            &[
+                ms_call("get_table"),
+                ms_call("drop_table"),
+                ms_call("create_table"),
+            ],
         );
         let detections = detector.finish(None);
         assert_eq!(detections.len(), 1);
@@ -736,12 +781,20 @@ mod tests {
             "get_table",
             FaultKind::Latency { ms: 100 },
         ));
-        ctx.arm(spec("fs-down", Channel::Hdfs, "read", FaultKind::Unavailable));
+        ctx.arm(spec(
+            "fs-down",
+            Channel::Hdfs,
+            "read",
+            FaultKind::Unavailable,
+        ));
         ctx.set_sink(detector.sink());
         detector.begin("s");
         drive(
             &ctx,
-            &[ms_call("get_table"), BoundaryCall::new(Channel::Hdfs, "read")],
+            &[
+                ms_call("get_table"),
+                BoundaryCall::new(Channel::Hdfs, "read"),
+            ],
         );
         let generic = InteractionError::new("hdfs", ErrorKind::Unavailable, "SAFE_MODE", "safe");
         let detections = detector.finish(Some(&generic));
@@ -768,12 +821,20 @@ mod tests {
             "get_table",
             FaultKind::Latency { ms: 100 },
         ));
-        ctx.arm(spec("fs-down", Channel::Hdfs, "read", FaultKind::Unavailable));
+        ctx.arm(spec(
+            "fs-down",
+            Channel::Hdfs,
+            "read",
+            FaultKind::Unavailable,
+        ));
         ctx.set_sink(detector.sink());
         detector.begin("s");
         drive(
             &ctx,
-            &[ms_call("get_table"), BoundaryCall::new(Channel::Hdfs, "read")],
+            &[
+                ms_call("get_table"),
+                BoundaryCall::new(Channel::Hdfs, "read"),
+            ],
         );
         let detections = detector.finish(Some(&generic));
         assert!(detections
@@ -785,7 +846,12 @@ mod tests {
     fn crossings_outside_an_observation_are_ignored() {
         let detector = OnlineDetector::from_spec(DetectorSpec::default());
         let ctx = CrossingContext::new();
-        ctx.arm(spec("u", Channel::Metastore, "get_table", FaultKind::Unavailable));
+        ctx.arm(spec(
+            "u",
+            Channel::Metastore,
+            "get_table",
+            FaultKind::Unavailable,
+        ));
         ctx.set_sink(detector.sink());
         // Seeding traffic before begin() — invisible to the detector.
         drive(&ctx, &[ms_call("get_table")]);

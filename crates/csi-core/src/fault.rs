@@ -27,9 +27,7 @@ use std::sync::Arc;
 
 /// An interaction channel of the paper's Table 1 that faults can be
 /// injected on.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Channel {
     /// Hive metastore RPCs (get/create/alter/drop table).
     Metastore,
@@ -301,9 +299,7 @@ pub trait FaultPoint: Sized {
 
 /// How a system handled an injected boundary fault — the paper's
 /// error-handling taxonomy.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum FaultOutcome {
     /// The fault fired but no error surfaced to the caller.
     Swallowed,
@@ -332,10 +328,7 @@ impl fmt::Display for FaultOutcome {
 /// with — the signature the channel's own error type carries for that
 /// fault. `None` for faults with no canonical error signature (latency
 /// never errors; corrupt payloads escalate via the crash rule instead).
-pub fn canonical_signature(
-    channel: Channel,
-    kind: FaultKind,
-) -> Option<(ErrorKind, &'static str)> {
+pub fn canonical_signature(channel: Channel, kind: FaultKind) -> Option<(ErrorKind, &'static str)> {
     match (channel, kind) {
         (Channel::Metastore, FaultKind::Unavailable) => {
             Some((ErrorKind::Unavailable, "METASTORE_UNAVAILABLE"))
@@ -355,9 +348,7 @@ pub fn canonical_signature(
             // The broker CRC-checks records and rejects corruption cleanly.
             Some((ErrorKind::Rejected, "CORRUPT_RECORD"))
         }
-        (Channel::Yarn, FaultKind::Unavailable) => {
-            Some((ErrorKind::Unavailable, "RM_UNAVAILABLE"))
-        }
+        (Channel::Yarn, FaultKind::Unavailable) => Some((ErrorKind::Unavailable, "RM_UNAVAILABLE")),
         (Channel::Yarn, FaultKind::Timeout { .. }) => Some((ErrorKind::Timeout, "RM_TIMEOUT")),
         (Channel::HBase, FaultKind::Unavailable) => {
             Some((ErrorKind::Unavailable, "REGION_SERVER_DOWN"))
@@ -420,7 +411,12 @@ mod tests {
     #[test]
     fn always_trigger_fires_on_every_matching_call() {
         let reg = InjectionRegistry::new();
-        reg.arm(spec("a", "get_table", FaultKind::Unavailable, Trigger::Always));
+        reg.arm(spec(
+            "a",
+            "get_table",
+            FaultKind::Unavailable,
+            Trigger::Always,
+        ));
         assert!(hit(&reg, Channel::Metastore, "get_table").is_some());
         assert!(hit(&reg, Channel::Metastore, "get_table").is_some());
         // Other ops and channels are untouched.
@@ -432,7 +428,12 @@ mod tests {
     #[test]
     fn on_call_trigger_fires_exactly_once_per_reset() {
         let reg = InjectionRegistry::new();
-        reg.arm(spec("a", "read", FaultKind::Unavailable, Trigger::OnCall(1)));
+        reg.arm(spec(
+            "a",
+            "read",
+            FaultKind::Unavailable,
+            Trigger::OnCall(1),
+        ));
         assert!(hit(&reg, Channel::Metastore, "read").is_none()); // call 0
         let f = hit(&reg, Channel::Metastore, "read").unwrap(); // call 1
         assert_eq!(f.call, 1);
@@ -495,7 +496,10 @@ mod tests {
             kind: FaultKind::Unavailable,
             call: 0,
         }];
-        assert_eq!(classify_fault_outcome(&fired, None), FaultOutcome::Swallowed);
+        assert_eq!(
+            classify_fault_outcome(&fired, None),
+            FaultOutcome::Swallowed
+        );
         let faithful = InteractionError::new(
             "minihive",
             ErrorKind::Unavailable,

@@ -17,6 +17,8 @@
 //! - an **online CSI failure detector** ([`detect`]) that consumes boundary
 //!   crossings as a stream and emits typed detections, cross-checked
 //!   against the offline §9 oracle;
+//! - **coverage signatures** ([`coverage`]) distilled from interaction
+//!   traces, the feedback signal of the coverage-guided campaign mode;
 //! - a provenance-tracking **configuration plane** ([`config`]) that makes
 //!   cross-system configuration merges and overrides observable;
 //! - a small **SQL frontend** ([`sql`]) shared by the simulated systems, with
@@ -36,6 +38,7 @@
 pub mod audit;
 pub mod boundary;
 pub mod config;
+pub mod coverage;
 pub mod detect;
 pub mod diag;
 pub mod error;

@@ -175,19 +175,23 @@ pub enum Section {
     Detections,
     /// Fault-matrix cells (rows supplied via [`Render::fault_cells`]).
     FaultCells,
+    /// Coverage-guided exploration stats (supplied via
+    /// [`Render::exploration`]).
+    Exploration,
     /// Unattributed-failure warning.
     Warnings,
 }
 
 impl Section {
     /// Every section, in canonical render order.
-    pub const ALL: [Section; 7] = [
+    pub const ALL: [Section; 8] = [
         Section::Summary,
         Section::Discrepancies,
         Section::Categories,
         Section::Traces,
         Section::Detections,
         Section::FaultCells,
+        Section::Exploration,
         Section::Warnings,
     ];
 }
@@ -209,6 +213,84 @@ pub struct FaultCellRow {
     pub detail: String,
 }
 
+/// One corpus entry of a coverage-guided campaign: an input whose
+/// observation produced a signature never seen before.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorpusRow {
+    /// The input's id in the (grown) input pool.
+    pub input_id: usize,
+    /// The input's human-readable label.
+    pub label: String,
+    /// `"grid"` for catalogue inputs, `"mutation"` for corpus mutants.
+    pub origin: String,
+    /// Execution count at which the input entered the corpus.
+    pub executed: usize,
+}
+
+/// First discovery of one discrepancy class during exploration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiscoveryRow {
+    /// The discrepancy id, e.g. `"D05"`.
+    pub id: String,
+    /// Observations executed when the class first had evidence.
+    pub executed: usize,
+    /// `"grid"` when the evidencing input came from the seed catalogue,
+    /// `"mutation"` when a corpus mutant produced it.
+    pub origin: String,
+}
+
+/// One shrunk reproducer: the minimal 1-row/1-column scenario that still
+/// triggers its discrepancy class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShrinkRow {
+    /// The discrepancy id the reproducer preserves.
+    pub id: String,
+    /// Compact scenario, e.g. `"ss:SparkSQL->DataFrame:AVRO"`.
+    pub scenario: String,
+    /// The shrunk input's label.
+    pub label: String,
+    /// Rows in the reproducer's table (always 1).
+    pub rows: usize,
+    /// Columns in the reproducer's table (always 1).
+    pub columns: usize,
+    /// Accepted shrink steps.
+    pub steps: usize,
+    /// Reproducer re-executions the shrinker spent.
+    pub checks: usize,
+}
+
+/// Summary of a coverage-guided exploration campaign, rendered through
+/// [`Render::exploration`] and serialized alongside the report.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExplorationStats {
+    /// The exploration seed.
+    pub seed: u64,
+    /// The observation budget the campaign was given.
+    pub budget: usize,
+    /// Size of the exhaustive (experiment × plan × format × input) grid
+    /// the budget is measured against.
+    pub grid_cells: usize,
+    /// Observations actually executed.
+    pub executed: usize,
+    /// Observations drawn fresh from the exhaustive grid.
+    pub fresh: usize,
+    /// Observations of mutated corpus entries (including corpus sweeps).
+    pub mutated: usize,
+    /// Observations executed under a fault overlay.
+    pub faulted: usize,
+    /// Distinct coverage signatures seen.
+    pub signatures: usize,
+    /// Signatures first produced by a mutated input — coverage the
+    /// exhaustive seed grid cannot reach.
+    pub novel_from_mutation: usize,
+    /// The corpus, in admission order.
+    pub corpus: Vec<CorpusRow>,
+    /// First discovery per discrepancy class, in catalogue order.
+    pub discoveries: Vec<DiscoveryRow>,
+    /// Shrunk reproducers, in catalogue order.
+    pub shrinks: Vec<ShrinkRow>,
+}
+
 /// The single rendering path for campaign reports.
 ///
 /// ```
@@ -225,6 +307,7 @@ pub struct Render<'a> {
     report: &'a DiscrepancyReport,
     sections: Vec<Section>,
     fault_cells: &'a [FaultCellRow],
+    exploration: Option<&'a ExplorationStats>,
 }
 
 impl<'a> Render<'a> {
@@ -234,6 +317,7 @@ impl<'a> Render<'a> {
             report,
             sections: Vec::new(),
             fault_cells: &[],
+            exploration: None,
         }
     }
 
@@ -271,6 +355,13 @@ impl<'a> Render<'a> {
     pub fn fault_cells(mut self, rows: &'a [FaultCellRow]) -> Render<'a> {
         self.fault_cells = rows;
         self.section(Section::FaultCells)
+    }
+
+    /// Supplies exploration stats and selects the [`Section::Exploration`]
+    /// section.
+    pub fn exploration(mut self, stats: &'a ExplorationStats) -> Render<'a> {
+        self.exploration = Some(stats);
+        self.section(Section::Exploration)
     }
 
     fn has(&self, section: Section) -> bool {
@@ -364,6 +455,47 @@ impl fmt::Display for Render<'_> {
                                 f,
                                 "  {} x {}: {} ({} detections) {}",
                                 row.fault_id, row.scenario, row.outcome, row.detections, row.detail
+                            )?;
+                        }
+                    }
+                }
+                Section::Exploration => {
+                    if let Some(s) = self.exploration {
+                        writeln!(
+                            f,
+                            "exploration: seed {}, budget {} over a {}-cell grid",
+                            s.seed, s.budget, s.grid_cells
+                        )?;
+                        writeln!(
+                            f,
+                            "  executed {} observations ({} fresh, {} mutated, {} fault-overlay)",
+                            s.executed, s.fresh, s.mutated, s.faulted
+                        )?;
+                        writeln!(
+                            f,
+                            "  coverage: {} signatures ({} novel from mutation), corpus {} entries",
+                            s.signatures,
+                            s.novel_from_mutation,
+                            s.corpus.len()
+                        )?;
+                        for d in &s.discoveries {
+                            writeln!(
+                                f,
+                                "  discovered {} after {} executions ({})",
+                                d.id, d.executed, d.origin
+                            )?;
+                        }
+                        for sh in &s.shrinks {
+                            writeln!(
+                                f,
+                                "  shrunk {} -> {} [{}] ({} row x {} col, {} steps, {} checks)",
+                                sh.id,
+                                sh.scenario,
+                                sh.label,
+                                sh.rows,
+                                sh.columns,
+                                sh.steps,
+                                sh.checks
                             )?;
                         }
                     }
@@ -517,6 +649,65 @@ mod tests {
             text.contains("ms-unavail-get x sh:spark-sql->hiveql:orc: swallowed (1 detections)"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn exploration_stats_render_through_the_same_path() {
+        let r = report();
+        let stats = ExplorationStats {
+            seed: 42,
+            budget: 600,
+            grid_cells: 10_128,
+            executed: 600,
+            fresh: 420,
+            mutated: 150,
+            faulted: 30,
+            signatures: 37,
+            novel_from_mutation: 4,
+            corpus: vec![CorpusRow {
+                input_id: 3,
+                label: "a tinyint".into(),
+                origin: "grid".into(),
+                executed: 12,
+            }],
+            discoveries: vec![DiscoveryRow {
+                id: "D01".into(),
+                executed: 64,
+                origin: "grid".into(),
+            }],
+            shrinks: vec![ShrinkRow {
+                id: "D01".into(),
+                scenario: "ss:SparkSQL->DataFrame:AVRO".into(),
+                label: "a tinyint".into(),
+                rows: 1,
+                columns: 1,
+                steps: 2,
+                checks: 9,
+            }],
+        };
+        let text = Render::new(&r)
+            .section(Section::Summary)
+            .exploration(&stats)
+            .to_string();
+        assert!(
+            text.contains("exploration: seed 42, budget 600 over a 10128-cell grid"),
+            "{text}"
+        );
+        assert!(
+            text.contains("37 signatures (4 novel from mutation), corpus 1 entries"),
+            "{text}"
+        );
+        assert!(
+            text.contains("discovered D01 after 64 executions (grid)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("shrunk D01 -> ss:SparkSQL->DataFrame:AVRO [a tinyint] (1 row x 1 col, 2 steps, 9 checks)"),
+            "{text}"
+        );
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: ExplorationStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
     }
 
     #[test]

@@ -159,9 +159,10 @@ fn parse_seconds_micros(raw: &str) -> Option<i64> {
     let seconds: i64 = if whole.is_empty() {
         0
     } else {
-        whole.parse().ok().filter(|_| {
-            whole.bytes().all(|b| b.is_ascii_digit())
-        })?
+        whole
+            .parse()
+            .ok()
+            .filter(|_| whole.bytes().all(|b| b.is_ascii_digit()))?
     };
     let mut sub: i64 = 0;
     if !frac.is_empty() {
@@ -715,7 +716,9 @@ impl Parser {
                             // only start a negative next term.
                             let more = matches!(
                                 self.peek(),
-                                Some(Token::Str(_)) | Some(Token::Number(_)) | Some(Token::Symbol('-'))
+                                Some(Token::Str(_))
+                                    | Some(Token::Number(_))
+                                    | Some(Token::Symbol('-'))
                             );
                             if !more {
                                 break;
@@ -1062,10 +1065,9 @@ mod tests {
 
     #[test]
     fn parses_compound_intervals() {
-        let stmt = parse(
-            "INSERT INTO t VALUES (INTERVAL 1 DAY 2 HOURS, INTERVAL 3 MONTH '4.5' SECONDS)",
-        )
-        .unwrap();
+        let stmt =
+            parse("INSERT INTO t VALUES (INTERVAL 1 DAY 2 HOURS, INTERVAL 3 MONTH '4.5' SECONDS)")
+                .unwrap();
         let Statement::Insert { rows, .. } = stmt else {
             panic!()
         };

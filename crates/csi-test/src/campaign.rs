@@ -28,14 +28,16 @@
 
 use crate::classify;
 use crate::exec::{self, CrossTestConfig, CrossTestOutcome};
+use crate::explore;
 use crate::generator::TestInput;
 use crate::inject::{self, FaultMatrixConfig, FaultMatrixReport};
 use crate::plan::Experiment;
 use crate::shard::{self, CampaignMetrics, ParallelConfig};
+use crate::shrink::ShrunkReproducer;
 use csi_core::detect::{DetectorConfig, DetectorSpec};
 use csi_core::fault::FaultPlan;
 use csi_core::oracle::Observation;
-use csi_core::report::{DiscrepancyReport, Render};
+use csi_core::report::{DiscrepancyReport, ExplorationStats, Render};
 use minihive::metastore::StorageFormat;
 use std::sync::Arc;
 
@@ -54,6 +56,8 @@ pub struct Campaign {
     trace: bool,
     detect: bool,
     detector_config: DetectorConfig,
+    seed: u64,
+    explore_budget: Option<usize>,
 }
 
 /// The result of [`Campaign::run`].
@@ -69,6 +73,11 @@ pub struct CampaignOutcome {
     pub metrics: Option<CampaignMetrics>,
     /// The fault-matrix report, when the campaign ran in matrix mode.
     pub matrix: Option<FaultMatrixReport>,
+    /// Corpus, coverage, and shrink statistics, when the campaign ran in
+    /// explore mode.
+    pub exploration: Option<ExplorationStats>,
+    /// One minimized reproducer per shrunk discrepancy (explore mode).
+    pub reproducers: Vec<ShrunkReproducer>,
 }
 
 impl CampaignOutcome {
@@ -76,15 +85,15 @@ impl CampaignOutcome {
     /// standard report sections, plus the fault-matrix cells when the
     /// campaign ran in matrix mode.
     pub fn render(&self) -> String {
-        match &self.matrix {
-            Some(matrix) => {
-                let rows = matrix.fault_cell_rows();
-                Render::standard(&self.report)
-                    .fault_cells(&rows)
-                    .to_string()
-            }
-            None => Render::standard(&self.report).to_string(),
+        let rows = self.matrix.as_ref().map(|m| m.fault_cell_rows());
+        let mut render = Render::standard(&self.report);
+        if let Some(rows) = &rows {
+            render = render.fault_cells(rows);
         }
+        if let Some(stats) = &self.exploration {
+            render = render.exploration(stats);
+        }
+        render.to_string()
     }
 }
 
@@ -105,6 +114,8 @@ impl Campaign {
             trace: true,
             detect: false,
             detector_config: DetectorConfig::default(),
+            seed: 42,
+            explore_budget: None,
         }
     }
 
@@ -183,12 +194,52 @@ impl Campaign {
         self
     }
 
+    /// Sets the exploration/mutation seed (default 42). Only explore mode
+    /// consumes it; the standard and matrix modes are seedless (matrix
+    /// mode has its own seed via [`Campaign::fault_matrix`]).
+    pub fn seed(mut self, seed: u64) -> Campaign {
+        self.seed = seed;
+        self
+    }
+
+    /// Switches the campaign to coverage-guided explore mode with an
+    /// observation budget: novel boundary-crossing signatures admit inputs
+    /// to a corpus, corpus entries are swept, mutated, and fault-overlaid
+    /// ahead of fresh grid draws, and every reported discrepancy is shrunk
+    /// to a 1-row/1-column reproducer. A budget of `0` degrades exactly to
+    /// the standard exhaustive catalogue. Explore mode forces the online
+    /// detector off and ignores [`Campaign::faults`] (it schedules its own
+    /// overlay from [`inject::fault_catalogue`]).
+    pub fn explore(mut self, budget: usize) -> Campaign {
+        self.explore_budget = Some(budget);
+        self
+    }
+
     /// Executes the campaign.
     pub fn run(self) -> CampaignOutcome {
-        if self.matrix_seed.is_some() {
-            self.run_matrix()
-        } else {
-            self.run_cross()
+        match self.explore_budget {
+            Some(0) | None if self.matrix_seed.is_some() => self.run_matrix(),
+            Some(budget) if budget > 0 => self.run_explore(budget),
+            _ => self.run_cross(),
+        }
+    }
+
+    fn run_explore(self, budget: usize) -> CampaignOutcome {
+        let result = explore::run_explore(
+            &self.inputs,
+            &self.experiments,
+            &self.formats,
+            self.seed,
+            budget,
+            self.shards,
+        );
+        CampaignOutcome {
+            report: result.report,
+            observations: result.observations,
+            metrics: None,
+            matrix: None,
+            exploration: Some(result.stats),
+            reproducers: result.reproducers,
         }
     }
 
@@ -198,9 +249,7 @@ impl Campaign {
             seed,
             experiments: self.experiments,
             formats: self.formats,
-            faults: self
-                .faults
-                .unwrap_or_else(|| inject::fault_catalogue(seed)),
+            faults: self.faults.unwrap_or_else(|| inject::fault_catalogue(seed)),
             detect: self.detect.then_some(self.detector_config),
         };
         #[allow(deprecated)]
@@ -221,6 +270,8 @@ impl Campaign {
             observations: Vec::new(),
             metrics: None,
             matrix: Some(matrix),
+            exploration: None,
+            reproducers: Vec::new(),
         }
     }
 
@@ -248,8 +299,12 @@ impl Campaign {
                 detector: None,
                 ..config.clone()
             };
-            let (calibration, _) =
-                run_mode(&self.inputs, &calibration_config, self.shards, self.chunk_size);
+            let (calibration, _) = run_mode(
+                &self.inputs,
+                &calibration_config,
+                self.shards,
+                self.chunk_size,
+            );
             let baselines = exec::learn_baselines(&calibration.observations);
             config.detector = Some(DetectorSpec {
                 config: self.detector_config,
@@ -262,6 +317,8 @@ impl Campaign {
             observations: outcome.observations,
             metrics,
             matrix: None,
+            exploration: None,
+            reproducers: Vec::new(),
         }
     }
 }
@@ -334,12 +391,12 @@ mod tests {
 
     #[test]
     fn matrix_mode_renders_fault_cells_through_the_unified_path() {
-        let outcome = Campaign::new(&[]).fault_matrix(11).faults(
-            inject::small_fault_catalogue(11),
-        )
-        .experiments(vec![Experiment::ALL[0]])
-        .formats(vec![StorageFormat::Orc])
-        .run();
+        let outcome = Campaign::new(&[])
+            .fault_matrix(11)
+            .faults(inject::small_fault_catalogue(11))
+            .experiments(vec![Experiment::ALL[0]])
+            .formats(vec![StorageFormat::Orc])
+            .run();
         let matrix = outcome.matrix.as_ref().expect("matrix mode");
         assert!(!matrix.cases.is_empty());
         let rendered = outcome.render();

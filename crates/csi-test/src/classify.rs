@@ -259,6 +259,27 @@ const CATALOGUE: &[Descriptor] = &[
     },
 ];
 
+/// The catalogue ids a single failure evidences, given the per-input error
+/// summary accumulated so far. Shared between the batch classifier and the
+/// explore mode's incremental discovery tracker so both attribute failures
+/// identically.
+pub(crate) fn match_ids(
+    input: &TestInput,
+    summary: &InputSummary,
+    failure: &OracleFailure,
+) -> Vec<&'static str> {
+    CATALOGUE
+        .iter()
+        .filter(|desc| (desc.predicate)(input, summary, failure))
+        .map(|desc| desc.id)
+        .collect()
+}
+
+/// Every catalogue id, in catalogue (report) order.
+pub(crate) fn catalogue_ids() -> Vec<&'static str> {
+    CATALOGUE.iter().map(|d| d.id).collect()
+}
+
 /// The discrepancies *active* in a report: those with evidence from their
 /// primary oracle.
 ///
@@ -316,15 +337,12 @@ pub fn classify(
             continue;
         };
         let summary = summaries.get(&failure.input_id).unwrap_or(&empty);
-        let mut matched = false;
-        for desc in CATALOGUE {
-            if (desc.predicate)(input, summary, failure) {
-                evidence.entry(desc.id).or_default().push(failure.clone());
-                matched = true;
-            }
-        }
-        if !matched {
+        let ids = match_ids(input, summary, failure);
+        if ids.is_empty() {
             unattributed.push(failure.clone());
+        }
+        for id in ids {
+            evidence.entry(id).or_default().push(failure.clone());
         }
     }
     let discrepancies: Vec<Discrepancy> = CATALOGUE

@@ -143,9 +143,8 @@ pub fn check_observations(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the legacy entrypoints remain the unit under test here
     use super::*;
-    use crate::exec::{run_cross_test, CrossTestConfig};
+    use crate::campaign::Campaign;
     use csi_core::value::Value;
 
     fn inputs() -> Vec<TestInput> {
@@ -183,7 +182,7 @@ mod tests {
     #[test]
     fn naive_contracts_reproduce_the_discrepancy_surface() {
         let inputs = inputs();
-        let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+        let outcome = Campaign::new(&inputs).run();
         let naive = check_observations(&inputs, &outcome.observations, naive_contracts);
         // The naive assumption is violated by bytes (widening/Avro) and
         // intervals (rejections/stringification), never by plain ints.
@@ -199,7 +198,7 @@ mod tests {
     #[test]
     fn documented_contracts_filter_out_the_documented_conversions() {
         let inputs = inputs();
-        let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+        let outcome = Campaign::new(&inputs).run();
         let naive = check_observations(&inputs, &outcome.observations, naive_contracts);
         let documented = check_observations(&inputs, &outcome.observations, documented_contracts);
         // Documentation explains part of the surface; the remainder are

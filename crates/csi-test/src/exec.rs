@@ -367,7 +367,13 @@ pub(crate) fn scenario_key(
     format: StorageFormat,
     input_id: usize,
 ) -> String {
-    format!("{}:{}:{}:{}", experiment.short(), plan, format.name(), input_id)
+    format!(
+        "{}:{}:{}:{}",
+        experiment.short(),
+        plan,
+        format.name(),
+        input_id
+    )
 }
 
 pub(crate) fn run_one(
@@ -541,8 +547,8 @@ pub(crate) fn learn_baselines(observations: &[(Experiment, Observation)]) -> Bas
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the legacy entrypoints remain the unit under test here
     use super::*;
+    use crate::campaign::Campaign;
     use crate::generator::generate_inputs;
     use csi_core::value::{DataType, Decimal};
 
@@ -588,12 +594,12 @@ mod tests {
         let cases = [
             (0, 0),
             (3, 0),
-            (0, 604_800_000_000),        // 7 days
-            (0, 1_500_000),              // 1.5 s: sub-second fraction
-            (0, -500_000),               // -0.5 s: negative pure fraction
-            (2, 90_061_000_001),         // mixed: months AND day-time
-            (-3, -3_600_000_000),        // negative mixed
-            (1, -1),                     // months with -1 µs
+            (0, 604_800_000_000), // 7 days
+            (0, 1_500_000),       // 1.5 s: sub-second fraction
+            (0, -500_000),        // -0.5 s: negative pure fraction
+            (2, 90_061_000_001),  // mixed: months AND day-time
+            (-3, -3_600_000_000), // negative mixed
+            (1, -1),              // months with -1 µs
             (0, i64::MIN + 1),
             (0, i64::MAX),
         ];
@@ -632,7 +638,7 @@ mod tests {
     #[test]
     fn happy_path_int_is_clean_everywhere() {
         let inputs = one_input(DataType::Int, Value::Int(7), Validity::Valid);
-        let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+        let outcome = Campaign::new(&inputs).run();
         assert!(
             outcome.report.raw_failures.is_empty(),
             "unexpected failures: {:#?}",
@@ -645,7 +651,7 @@ mod tests {
     #[test]
     fn byte_input_reveals_d01_and_d03() {
         let inputs = one_input(DataType::Byte, Value::Byte(5), Validity::Valid);
-        let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+        let outcome = Campaign::new(&inputs).run();
         let ids: Vec<&str> = outcome
             .report
             .discrepancies
@@ -660,7 +666,7 @@ mod tests {
     #[test]
     fn full_catalogue_runs_clean_of_unattributed_failures() {
         let inputs = generate_inputs();
-        let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+        let outcome = Campaign::new(&inputs).run();
         assert!(
             outcome.report.unattributed.is_empty(),
             "unattributed: {:#?}",

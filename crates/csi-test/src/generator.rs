@@ -788,6 +788,300 @@ fn nested(g: &mut Gen) {
     );
 }
 
+/// Mutation operators for the coverage-guided explore mode.
+///
+/// Given a corpus entry, emits deterministic variants: per-type value
+/// edge-cases, schema edits (struct field case flips, map key-type swaps),
+/// and representation changes (value carried as a string). Each mutant
+/// carries the validity the engines' documented contracts assign to it, so
+/// the oracles evaluate mutants exactly like catalogue inputs. Mutant ids
+/// are placeholders (`usize::MAX`); the explore loop assigns fresh unique
+/// ids when a mutant is scheduled.
+pub fn mutate_input(parent: &TestInput) -> Vec<TestInput> {
+    let mut out: Vec<TestInput> = Vec::new();
+    let mut push = |ty: DataType, value: Value, validity: Validity, label: String| {
+        out.push(TestInput {
+            id: usize::MAX,
+            column_type: ty,
+            value,
+            validity,
+            label,
+            expected_back: None,
+        });
+    };
+    let label = |op: &str| format!("mutant[{op}] of #{} ({})", parent.id, parent.label);
+    match &parent.column_type {
+        DataType::Byte | DataType::Short | DataType::Int | DataType::Long => {
+            let ty = parent.column_type.clone();
+            let (max, min): (i128, i128) = match ty {
+                DataType::Byte => (i8::MAX as i128, i8::MIN as i128),
+                DataType::Short => (i16::MAX as i128, i16::MIN as i128),
+                DataType::Int => (i32::MAX as i128, i32::MIN as i128),
+                _ => (i64::MAX as i128, i64::MIN as i128),
+            };
+            // Overflow by one: carried widened (or as a decimal for LONG).
+            let carrier = if ty == DataType::Long {
+                Value::Decimal(Decimal::parse(&(max + 1).to_string()).expect("static"))
+            } else {
+                Value::Long((max + 1) as i64)
+            };
+            push(ty.clone(), carrier, Validity::Invalid, label("overflow+1"));
+            push(
+                ty.clone(),
+                Value::Str((min - 1).to_string()),
+                Validity::Invalid,
+                label("underflow-as-string"),
+            );
+            push(
+                ty,
+                Value::Str(" 7 ".into()),
+                Validity::Invalid,
+                label("padded-numeral"),
+            );
+        }
+        DataType::Decimal(p, s) => {
+            let ty = DataType::Decimal(*p, *s);
+            if *s >= 1 {
+                push(
+                    ty.clone(),
+                    dec("1.5"),
+                    Validity::Valid,
+                    label("runtime-scale"),
+                );
+            }
+            // One more fractional digit than the declared scale holds.
+            push(
+                ty.clone(),
+                dec(&format!("1.{}", "1".repeat(*s as usize + 1))),
+                Validity::Invalid,
+                label("excess-scale"),
+            );
+            push(
+                ty,
+                Value::Str("1.2.3".into()),
+                Validity::Invalid,
+                label("garbage-text"),
+            );
+        }
+        DataType::Boolean => {
+            for s in ["yes", "t", "0"] {
+                push(
+                    DataType::Boolean,
+                    Value::Str(s.into()),
+                    Validity::Invalid,
+                    label(&format!("hive-lenient-{s}")),
+                );
+            }
+        }
+        DataType::Char(n) => {
+            push(
+                DataType::Char(*n),
+                Value::Str("z".repeat(*n as usize + 1)),
+                Validity::Invalid,
+                label("overlong"),
+            );
+            if *n > 1 {
+                push(
+                    DataType::Char(*n),
+                    Value::Str("m".into()),
+                    Validity::Valid,
+                    label("short-padded"),
+                );
+            }
+            push(
+                DataType::Varchar(*n),
+                Value::Str("v".repeat(*n as usize + 2)),
+                Validity::Invalid,
+                label("as-varchar-overlong"),
+            );
+        }
+        DataType::Varchar(n) => {
+            push(
+                DataType::Varchar(*n),
+                Value::Str("w".repeat(*n as usize + 1)),
+                Validity::Invalid,
+                label("overlong"),
+            );
+            push(
+                DataType::Char(*n),
+                Value::Str("c".repeat(*n as usize + 1)),
+                Validity::Invalid,
+                label("as-char-overlong"),
+            );
+        }
+        DataType::String => {
+            push(
+                DataType::Varchar(4),
+                Value::Str("toolong".into()),
+                Validity::Invalid,
+                label("narrowed-to-varchar"),
+            );
+            push(
+                DataType::Boolean,
+                Value::Str("maybe".into()),
+                Validity::Invalid,
+                label("retyped-boolean"),
+            );
+        }
+        DataType::Date => {
+            push(
+                DataType::Date,
+                Value::Date(parse_date("9999-12-31").expect("static") + 40),
+                Validity::Invalid,
+                label("beyond-max-date"),
+            );
+            push(
+                DataType::Date,
+                Value::Str("2021-02-30".into()),
+                Validity::Invalid,
+                label("impossible-date"),
+            );
+        }
+        DataType::Timestamp => {
+            // Rebase into the two historic ranges the formats disagree on.
+            push(
+                DataType::Timestamp,
+                ts("1880-07-01 12:00:00"),
+                Validity::Valid,
+                label("pre-1900"),
+            );
+            push(
+                DataType::Timestamp,
+                ts("1400-01-01 00:00:00"),
+                Validity::Valid,
+                label("pre-1582"),
+            );
+            push(
+                DataType::Timestamp,
+                Value::Str("2021-01-01 25:00:00".into()),
+                Validity::Invalid,
+                label("impossible-time"),
+            );
+        }
+        DataType::Interval => {
+            if let Value::Interval { months, micros } = &parent.value {
+                push(
+                    DataType::Interval,
+                    Value::Interval {
+                        months: -months,
+                        micros: -micros,
+                    },
+                    Validity::Valid,
+                    label("sign-flip"),
+                );
+            }
+            push(
+                DataType::Interval,
+                Value::Interval {
+                    months: 0,
+                    micros: -1,
+                },
+                Validity::Valid,
+                label("negative-microsecond"),
+            );
+        }
+        DataType::Struct(fields) => {
+            // Flip the case of every field name in both schema and value:
+            // the case-folding probe (D14).
+            let flip = |name: &str| -> String {
+                if name == name.to_ascii_lowercase() {
+                    let mut cs: Vec<char> = name.chars().collect();
+                    if let Some(first) = cs.first_mut() {
+                        *first = first.to_ascii_uppercase();
+                    }
+                    cs.into_iter().collect()
+                } else {
+                    name.to_ascii_lowercase()
+                }
+            };
+            let flipped_ty = DataType::Struct(
+                fields
+                    .iter()
+                    .map(|f| StructField::new(flip(&f.name), f.data_type.clone()))
+                    .collect(),
+            );
+            if let Value::Struct(vs) = &parent.value {
+                let flipped_v =
+                    Value::Struct(vs.iter().map(|(n, v)| (flip(n), v.clone())).collect());
+                push(
+                    flipped_ty,
+                    flipped_v,
+                    parent.validity,
+                    label("case-flip-fields"),
+                );
+            }
+            // Overflow a small-int field if the struct has one.
+            if fields
+                .iter()
+                .any(|f| matches!(f.data_type, DataType::Byte | DataType::Short))
+            {
+                if let Value::Struct(vs) = &parent.value {
+                    let v = Value::Struct(
+                        vs.iter()
+                            .map(|(n, _)| (n.clone(), Value::Int(40_000)))
+                            .collect(),
+                    );
+                    push(
+                        parent.column_type.clone(),
+                        v,
+                        Validity::Invalid,
+                        label("field-overflow"),
+                    );
+                }
+            }
+        }
+        DataType::Map(k, v) => {
+            // Swap the key type between STRING and INT: the Avro
+            // non-string-key probe (D04) in both directions.
+            let (new_key, mk): (DataType, fn(usize) -> Value) = if **k == DataType::String {
+                (DataType::Int, |i| Value::Int(i as i32))
+            } else {
+                (DataType::String, |i| Value::Str(format!("k{i}")))
+            };
+            if let Value::Map(pairs) = &parent.value {
+                let swapped = Value::Map(
+                    pairs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (_, val))| (mk(i), val.clone()))
+                        .collect(),
+                );
+                push(
+                    DataType::Map(Box::new(new_key), v.clone()),
+                    swapped,
+                    parent.validity,
+                    label("key-type-swap"),
+                );
+            }
+        }
+        DataType::Array(elem) => {
+            if **elem == DataType::Int {
+                push(
+                    DataType::Array(Box::new(DataType::Byte)),
+                    Value::Array(vec![Value::Int(300)]),
+                    Validity::Invalid,
+                    label("narrowed-element-overflow"),
+                );
+            }
+            push(
+                parent.column_type.clone(),
+                Value::Array(vec![]),
+                Validity::Valid,
+                label("emptied"),
+            );
+        }
+        DataType::Float | DataType::Double | DataType::Binary => {
+            push(
+                parent.column_type.clone(),
+                Value::Str("not-a-number".into()),
+                Validity::Invalid,
+                label("garbage-text"),
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -412,7 +412,10 @@ enum Cell {
     /// Spark's YARN cluster-metrics connector.
     YarnMetrics { fault: FaultSpec },
     /// The HBase location-caching client under one retry policy.
-    HBaseRoute { fault: FaultSpec, policy: RetryPolicy },
+    HBaseRoute {
+        fault: FaultSpec,
+        policy: RetryPolicy,
+    },
 }
 
 fn enumerate_cells(config: &FaultMatrixConfig) -> Vec<Cell> {
@@ -617,8 +620,15 @@ fn run_kafka_connector_cell(fault: &FaultSpec, detect: Option<&DetectorConfig>) 
     run_cell_body(fault, "kafka:spark-connector".to_string(), detect, |ctx| {
         let broker = seeded_broker(ctx);
         let result = plan_range(&broker, KAFKA_TOPIC, P0, 0, ctx).and_then(|range| {
-            consume_range(&broker, KAFKA_TOPIC, P0, range, OffsetModel::TolerateGaps, ctx)
-                .map(|records| records.len())
+            consume_range(
+                &broker,
+                KAFKA_TOPIC,
+                P0,
+                range,
+                OffsetModel::TolerateGaps,
+                ctx,
+            )
+            .map(|records| records.len())
         });
         let detail = match &result {
             Ok(n) => format!("connector consumed {n} records"),
@@ -803,8 +813,8 @@ pub fn run_fault_matrix_sharded(config: &FaultMatrixConfig, workers: usize) -> F
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the legacy entrypoints remain the unit under test here
     use super::*;
+    use crate::campaign::Campaign;
 
     #[test]
     fn catalogue_covers_every_channel() {
@@ -842,18 +852,21 @@ mod tests {
             .iter()
             .find(|f| f.id == "ms-unavail-get")
             .unwrap();
-        let report = run_fault_matrix(&FaultMatrixConfig {
-            seed: 1,
-            experiments: Experiment::ALL.to_vec(),
-            formats: vec![StorageFormat::Orc],
-            faults: FaultPlan {
+        let report = Campaign::new(&[])
+            .fault_matrix(1)
+            .formats(vec![StorageFormat::Orc])
+            .faults(FaultPlan {
                 seed: 1,
                 faults: vec![fault.clone()],
-            },
-            detect: None,
-        });
-        let outcomes: Vec<&FaultOutcome> =
-            report.cases.iter().filter_map(|c| c.outcome.as_ref()).collect();
+            })
+            .run()
+            .matrix
+            .expect("matrix mode");
+        let outcomes: Vec<&FaultOutcome> = report
+            .cases
+            .iter()
+            .filter_map(|c| c.outcome.as_ref())
+            .collect();
         assert!(!outcomes.is_empty());
         // HiveQL-written plans surface the native MetaException; Spark
         // plans collapse it into Analysis(HIVE_METASTORE) — the paper's
@@ -889,7 +902,11 @@ mod tests {
         // The FLINK-12342 signature: far more asks than containers needed,
         // and no error anywhere.
         assert!(case.surfaced.is_none());
-        assert!(case.detail.contains("asks for target 20"), "{}", case.detail);
+        assert!(
+            case.detail.contains("asks for target 20"),
+            "{}",
+            case.detail
+        );
         let asks: u64 = case
             .detail
             .split(' ')

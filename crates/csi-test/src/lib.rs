@@ -5,15 +5,22 @@
 //! through every interface pair (SparkSQL, DataFrame, HiveQL) and storage
 //! format (ORC, Parquet, Avro), checked by the write–read, error-handling,
 //! and differential oracles, and classified into distinct discrepancies.
+//!
+//! Beyond the exhaustive grid, [`Campaign::explore`] runs the same space
+//! coverage-guided: boundary-crossing traces become coverage signatures,
+//! novel inputs seed a mutating corpus, and every reported discrepancy is
+//! shrunk ([`shrink`]) to a minimal reproducer.
 
 pub mod campaign;
 pub mod classify;
 pub mod contracts;
 pub mod exec;
+pub mod explore;
 pub mod generator;
 pub mod inject;
 pub mod plan;
 pub mod shard;
+pub mod shrink;
 pub mod tolerate;
 
 pub use campaign::{Campaign, CampaignOutcome};
@@ -21,14 +28,15 @@ pub use classify::active_ids;
 #[allow(deprecated)]
 pub use exec::run_cross_test;
 pub use exec::{CrossTestConfig, CrossTestOutcome};
-#[allow(deprecated)]
-pub use inject::{run_fault_matrix, run_fault_matrix_sharded};
+pub use generator::{generate_inputs, mutate_input, TestInput, Validity};
 pub use inject::{
     fault_catalogue, small_fault_catalogue, FaultCase, FaultMatrixConfig, FaultMatrixReport,
 };
-pub use generator::{generate_inputs, TestInput, Validity};
+#[allow(deprecated)]
+pub use inject::{run_fault_matrix, run_fault_matrix_sharded};
 pub use plan::{Experiment, Interface, TestPlan};
 #[allow(deprecated)]
 pub use shard::run_cross_test_parallel;
 pub use shard::{CampaignMetrics, ParallelConfig, ParallelOutcome, WorkerStats};
+pub use shrink::{reproducer_triggers, Reproducer, ShrunkReproducer};
 pub use tolerate::{redundant_read, redundant_read_traced, ReadPath, RedundantRead};

@@ -106,7 +106,10 @@ fn cross_engine_tables_are_visible_to_the_other_deployment() {
         .expect("spark create");
     hive.execute("INSERT INTO shared_t VALUES (1)")
         .expect("hive insert into spark table");
-    let rows = spark.sql("SELECT * FROM shared_t").expect("spark read").rows;
+    let rows = spark
+        .sql("SELECT * FROM shared_t")
+        .expect("spark read")
+        .rows;
     assert_eq!(rows.len(), 1);
     hive.execute("DROP TABLE shared_t").expect("hive drop");
     assert!(spark.sql("SELECT * FROM shared_t").is_err());

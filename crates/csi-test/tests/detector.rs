@@ -67,8 +67,14 @@ fn standard_matrix_detector_matches_the_offline_oracle_exactly() {
 
     // The campaign-level render shows the detector sections.
     let rendered = outcome.render();
-    assert!(rendered.contains("online detections per kind:"), "{rendered}");
-    assert!(rendered.contains("detector vs offline oracle:"), "{rendered}");
+    assert!(
+        rendered.contains("online detections per kind:"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("detector vs offline oracle:"),
+        "{rendered}"
+    );
 }
 
 #[test]

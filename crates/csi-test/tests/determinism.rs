@@ -79,7 +79,10 @@ fn full_catalogue_recycling_preserves_the_report() {
             chunk_size: 50,
         },
     );
-    assert_eq!(json(&parallel_recycled.outcome.report), json(&baseline.report));
+    assert_eq!(
+        json(&parallel_recycled.outcome.report),
+        json(&baseline.report)
+    );
     assert_eq!(
         parallel_recycled.outcome.observations.len(),
         baseline.observations.len()

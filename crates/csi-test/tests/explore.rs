@@ -1,0 +1,127 @@
+//! Exploration-mode invariants: determinism across runs and worker
+//! counts, shrunk reproducers preserving their discrepancy class, exact
+//! zero-budget degradation, and the headline acceptance property — the
+//! coverage-guided mode rediscovers every discrepancy class the exhaustive
+//! catalogue reports, in fewer executed observations.
+
+use csi_test::{generate_inputs, reproducer_triggers, Campaign, CampaignOutcome};
+use proptest::prelude::*;
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("serializable")
+}
+
+/// Everything explore-mode output that must be stable: the classified
+/// report, the exploration stats (corpus, discoveries, shrinks included),
+/// and the rendered text.
+fn fingerprint(outcome: &CampaignOutcome) -> (String, String, String) {
+    (
+        json(&outcome.report),
+        json(&outcome.exploration),
+        outcome.render(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// (a) A fixed seed produces an identical corpus and report across
+    /// repeated runs and across worker counts.
+    #[test]
+    fn fixed_seed_is_identical_across_runs_and_workers(
+        start in 0usize..400,
+        seed in any::<u64>(),
+        workers in 2usize..5,
+    ) {
+        let inputs = generate_inputs();
+        let slice = &inputs[start..(start + 12).min(inputs.len())];
+        let run = |shards: usize| {
+            Campaign::new(slice).seed(seed).explore(96).shards(shards).run()
+        };
+        let serial = run(1);
+        let again = run(1);
+        let sharded = run(workers);
+        prop_assert_eq!(fingerprint(&serial), fingerprint(&again));
+        prop_assert_eq!(fingerprint(&serial), fingerprint(&sharded));
+    }
+
+    /// (c) A zero-budget explore degrades to the standard exhaustive
+    /// catalogue exactly — same report, same rendering.
+    #[test]
+    fn zero_budget_explore_is_exactly_the_standard_catalogue(
+        start in 0usize..410,
+        seed in any::<u64>(),
+    ) {
+        let inputs = generate_inputs();
+        let slice = &inputs[start..(start + 8).min(inputs.len())];
+        let explored = Campaign::new(slice).seed(seed).explore(0).run();
+        let standard = Campaign::new(slice).run();
+        prop_assert_eq!(json(&explored.report), json(&standard.report));
+        prop_assert_eq!(explored.render(), standard.render());
+        prop_assert!(explored.exploration.is_none());
+        prop_assert!(explored.reproducers.is_empty());
+    }
+}
+
+/// (b) Every shrunk reproducer still triggers the same discrepancy class
+/// as its parent, at 1 row × 1 column.
+#[test]
+fn shrunk_reproducers_preserve_their_discrepancy_class() {
+    let inputs = generate_inputs();
+    let outcome = Campaign::new(&inputs[..40]).seed(42).explore(600).run();
+    let stats = outcome.exploration.as_ref().expect("explore mode");
+    assert!(
+        !outcome.reproducers.is_empty(),
+        "no discrepancy was shrunk at this budget"
+    );
+    assert_eq!(stats.shrinks.len(), outcome.reproducers.len());
+    for (row, shrunk) in stats.shrinks.iter().zip(&outcome.reproducers) {
+        assert_eq!(row.id, shrunk.id);
+        assert_eq!((row.rows, row.columns), (1, 1), "{} is not minimal", row.id);
+        assert!(
+            reproducer_triggers(&shrunk.id, &shrunk.reproducer),
+            "shrunk reproducer for {} no longer triggers it",
+            shrunk.id
+        );
+    }
+}
+
+/// The acceptance property: with the full catalogue and a budget well
+/// under the exhaustive grid, explore rediscovers every class the
+/// exhaustive catalogue reports (all 15), sharded byte-identical to
+/// serial. The executions-to-first-discovery numbers behind
+/// EXPERIMENTS.md come from the `explore` bench binary.
+#[test]
+fn explore_rediscovers_all_classes_in_fewer_observations() {
+    let inputs = generate_inputs();
+    let budget = 4000;
+    let serial = Campaign::new(&inputs).seed(42).explore(budget).run();
+    let sharded = Campaign::new(&inputs)
+        .seed(42)
+        .explore(budget)
+        .shards(4)
+        .run();
+    assert_eq!(fingerprint(&serial), fingerprint(&sharded));
+
+    let stats = serial.exploration.as_ref().expect("explore mode");
+    let exhaustive_grid = 422 * 24;
+    assert!(stats.executed <= budget && budget < exhaustive_grid);
+    let explored_ids: Vec<&str> = serial
+        .report
+        .discrepancies
+        .iter()
+        .map(|d| d.id.as_str())
+        .collect();
+    assert_eq!(
+        explored_ids.len(),
+        15,
+        "explore missed classes, found {explored_ids:?}"
+    );
+    // Every class was tracked to a first-discovery point within budget.
+    assert_eq!(stats.discoveries.len(), 15);
+    for d in &stats.discoveries {
+        assert!(d.executed <= stats.executed);
+    }
+    // Mutation earned its keep: novel signatures beyond the seed grid.
+    assert!(stats.novel_from_mutation >= 1);
+}

@@ -17,6 +17,45 @@ fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/standard_campaign_report.txt")
 }
 
+/// The exact command that refreshes the snapshot, printed verbatim on any
+/// drift so the fix is a copy-paste away.
+const REFRESH: &str = "UPDATE_GOLDEN=1 cargo test -p csi-test --test golden_report";
+
+/// Minimal unified diff (LCS-based) between the committed golden file and
+/// the freshly rendered report. Small inputs (a few hundred lines), so the
+/// quadratic table is fine.
+fn unified_diff(expected: &str, actual: &str) -> String {
+    let a: Vec<&str> = expected.lines().collect();
+    let b: Vec<&str> = actual.lines().collect();
+    let (n, m) = (a.len(), b.len());
+    let mut lcs = vec![vec![0usize; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if a[i] == b[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let mut out = String::from("--- golden (committed)\n+++ rendered (current)\n");
+    let (mut i, mut j) = (0, 0);
+    while i < n || j < m {
+        if i < n && j < m && a[i] == b[j] {
+            out.push_str(&format!("  {}\n", a[i]));
+            i += 1;
+            j += 1;
+        } else if j < m && (i == n || lcs[i][j + 1] >= lcs[i + 1][j]) {
+            out.push_str(&format!("+ {}\n", b[j]));
+            j += 1;
+        } else {
+            out.push_str(&format!("- {}\n", a[i]));
+            i += 1;
+        }
+    }
+    out
+}
+
 #[test]
 fn standard_campaign_report_matches_the_committed_golden_file() {
     let inputs = generate_inputs();
@@ -35,29 +74,19 @@ fn standard_campaign_report_matches_the_committed_golden_file() {
 
     let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         panic!(
-            "cannot read golden file {}: {e}\n\
-             (generate it with UPDATE_GOLDEN=1 cargo test -p csi-test --test golden_report)",
+            "cannot read golden file {}: {e}\n(generate it with {REFRESH})",
             path.display()
         )
     });
     if rendered == expected {
         return;
     }
-    for (i, (want, got)) in expected.lines().zip(rendered.lines()).enumerate() {
-        assert_eq!(
-            want,
-            got,
-            "campaign report diverges from {} at line {}\n\
-             (refresh deliberately with UPDATE_GOLDEN=1 cargo test -p csi-test --test golden_report)",
-            path.display(),
-            i + 1
-        );
-    }
     panic!(
-        "campaign report diverges from {}: expected {} lines, got {}\n\
-         (refresh deliberately with UPDATE_GOLDEN=1 cargo test -p csi-test --test golden_report)",
+        "campaign report diverges from {} ({} lines expected, {} rendered)\n\n{}\n\
+         If the change is intentional, refresh the snapshot with:\n    {REFRESH}",
         path.display(),
         expected.lines().count(),
-        rendered.lines().count()
+        rendered.lines().count(),
+        unified_diff(&expected, &rendered)
     );
 }

@@ -9,8 +9,8 @@
 //! within one interval, and a request storm the moment YARN's allocation
 //! latency exceeds the interval.
 
-use csi_core::config::ConfigMap;
 use csi_core::boundary::CrossingContext;
+use csi_core::config::ConfigMap;
 use csi_core::fault::InjectionRegistry;
 use csi_core::sim::{Millis, Ops, Sim};
 use miniyarn::config as yarn_config;

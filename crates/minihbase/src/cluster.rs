@@ -213,14 +213,12 @@ impl HBaseClient {
                 return Err(RequestError::materialize(fault));
             }
         }
-        let fresh = cluster
-            .locate(region)
-            .ok_or_else(|| {
-                RequestError::NotServing(NotServingRegion {
-                    region: region.to_string(),
-                    asked,
-                })
-            })?;
+        let fresh = cluster.locate(region).ok_or_else(|| {
+            RequestError::NotServing(NotServingRegion {
+                region: region.to_string(),
+                asked,
+            })
+        })?;
         Ok(match injected {
             // Deterministically wrong server: flip the low bit.
             Some(_) => ServerId(fresh.0 ^ 1),

@@ -23,5 +23,7 @@
 pub mod cluster;
 pub mod region;
 
-pub use cluster::{ClusterState, HBaseClient, NotServingRegion, RequestError, RetryPolicy, ServerId};
+pub use cluster::{
+    ClusterState, HBaseClient, NotServingRegion, RequestError, RetryPolicy, ServerId,
+};
 pub use region::{HBaseError, Region};

@@ -177,9 +177,9 @@ impl MiniHdfs {
     /// The file-operation boundary crossing at the entry of `op`.
     fn cross(&self, op: &str, path: &HdfsPath) -> Result<(), HdfsError> {
         match &self.crossing {
-            Some(ctx) => ctx.cross(
-                BoundaryCall::new(Channel::Hdfs, op).with_payload(&path.to_string()),
-            ),
+            Some(ctx) => {
+                ctx.cross(BoundaryCall::new(Channel::Hdfs, op).with_payload(&path.to_string()))
+            }
             None => Ok(()),
         }
     }

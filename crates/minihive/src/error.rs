@@ -95,7 +95,10 @@ impl fmt::Display for HiveError {
                 write!(f, "MetaException: {op} timed out after {ms}ms")
             }
             HiveError::MetastoreCorrupt { op } => {
-                write!(f, "TProtocolException: corrupted metastore response for {op}")
+                write!(
+                    f,
+                    "TProtocolException: corrupted metastore response for {op}"
+                )
             }
         }
     }

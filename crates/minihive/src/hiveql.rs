@@ -294,8 +294,7 @@ impl HiveQl {
                 }
             },
             Expr::IntervalLit { parts } => {
-                let (months, micros) =
-                    eval_interval_parts(parts).map_err(HiveError::Parse)?;
+                let (months, micros) = eval_interval_parts(parts).map_err(HiveError::Parse)?;
                 Value::Interval { months, micros }
             }
             Expr::Cast(inner, ty) => {

@@ -106,7 +106,9 @@ mod tests {
         // Figure 4.
         let (fs, _, gz) = fs_with_files();
         assert_eq!(
-            read_file(&fs, &gz, LengthCheck::Fixed, &off()).unwrap().as_ref(),
+            read_file(&fs, &gz, LengthCheck::Fixed, &off())
+                .unwrap()
+                .as_ref(),
             b"compressed data"
         );
     }

@@ -110,7 +110,11 @@ mod tests {
         // SPARK-10181: the user configured Kerberos, the client cannot
         // authenticate, and nothing was logged.
         let spark = kerberized_spark();
-        let client = build_hive_client_config(&spark, ForwardingMode::Shipped, &CrossingContext::disabled());
+        let client = build_hive_client_config(
+            &spark,
+            ForwardingMode::Shipped,
+            &CrossingContext::disabled(),
+        );
         assert_eq!(client.get("hive.metastore.uris"), Some("thrift://ms:9083"));
         assert!(!can_authenticate(&client));
     }
@@ -118,7 +122,8 @@ mod tests {
     #[test]
     fn fixed_forwarding_translates_the_settings() {
         let spark = kerberized_spark();
-        let client = build_hive_client_config(&spark, ForwardingMode::Fixed, &CrossingContext::disabled());
+        let client =
+            build_hive_client_config(&spark, ForwardingMode::Fixed, &CrossingContext::disabled());
         assert!(can_authenticate(&client));
         assert_eq!(
             client.get("hive.metastore.kerberos.principal"),

@@ -147,7 +147,8 @@ mod tests {
         }
         let range = plan_range(&k, "t", P0, 0, &off()).unwrap();
         assert_eq!(range.expected_count(), 5);
-        let records = consume_range(&k, "t", P0, range, OffsetModel::AssumeContiguous, &off()).unwrap();
+        let records =
+            consume_range(&k, "t", P0, range, OffsetModel::AssumeContiguous, &off()).unwrap();
         assert_eq!(records.len(), 5);
     }
 
@@ -156,7 +157,8 @@ mod tests {
         // SPARK-19361.
         let k = broker_with_gap();
         let range = plan_range(&k, "t", P0, 0, &off()).unwrap();
-        let err = consume_range(&k, "t", P0, range, OffsetModel::AssumeContiguous, &off()).unwrap_err();
+        let err =
+            consume_range(&k, "t", P0, range, OffsetModel::AssumeContiguous, &off()).unwrap_err();
         assert!(err.to_string().contains("Got wrong record"), "{err}");
     }
 

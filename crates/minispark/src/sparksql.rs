@@ -241,8 +241,7 @@ impl<'a> SparkSql<'a> {
                 }
             },
             Expr::IntervalLit { parts } => {
-                let (months, micros) =
-                    eval_interval_parts(parts).map_err(SparkError::Parse)?;
+                let (months, micros) = eval_interval_parts(parts).map_err(SparkError::Parse)?;
                 Value::Interval { months, micros }
             }
             Expr::Cast(inner, ty) => {

@@ -5,8 +5,8 @@ use crate::config::{self, default_yarn_config};
 use crate::error::YarnError;
 use crate::resource::Resource;
 use crate::scheduler::{scheduler_from_config, Scheduler, SchedulerKind};
-use csi_core::config::ConfigMap;
 use csi_core::boundary::{BoundaryCall, CrossingContext};
+use csi_core::config::ConfigMap;
 use csi_core::fault::{Channel, InjectionRegistry};
 use std::collections::{BTreeMap, VecDeque};
 

@@ -55,4 +55,11 @@ fn main() {
          write-then-read differential testing the paper applies in Section 8.",
         outcome.report.issue_keys().join(", ")
     );
+
+    // The same space, coverage-guided: novel boundary-crossing signatures
+    // admit inputs to a mutating corpus, and every discrepancy is shrunk
+    // to a 1-row x 1-column reproducer.
+    println!("\nexploring the same inputs coverage-guided (seed 42, budget 96)...\n");
+    let explored = Campaign::new(&inputs).seed(42).explore(96).run();
+    print!("{}", explored.render());
 }

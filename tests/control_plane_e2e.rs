@@ -103,7 +103,8 @@ fn flink_887_pmem_kill_and_fix() {
 #[test]
 fn yarn_9724_metrics_unavailable_in_federation() {
     let rm = ResourceManager::new(csi::yarn::config::default_yarn_config(), RmMode::Federation);
-    let err = csi::spark::connectors::yarn::cluster_metrics(&rm, &CrossingContext::disabled()).unwrap_err();
+    let err = csi::spark::connectors::yarn::cluster_metrics(&rm, &CrossingContext::disabled())
+        .unwrap_err();
     assert!(err.to_string().contains("not supported in federation mode"));
 }
 
@@ -255,7 +256,7 @@ fn spark_19361_offset_gap_assumption() {
         PartitionId(0),
         range,
         OffsetModel::TolerateGaps,
-        &off
+        &off,
     )
     .unwrap();
     assert_eq!(records.len(), 3); // One survivor per key.

@@ -29,10 +29,18 @@ fn figure_2_and_4_compressed_file_length() {
     let path = HdfsPath::parse("/data/part.gz").unwrap();
     fs.create_compressed(&path, b"payload").unwrap();
     assert_eq!(fs.get_file_status(&path).unwrap().len, -1);
-    let err = read_file(&fs, &path, LengthCheck::Shipped, &CrossingContext::disabled()).unwrap_err();
+    let err = read_file(
+        &fs,
+        &path,
+        LengthCheck::Shipped,
+        &CrossingContext::disabled(),
+    )
+    .unwrap_err();
     assert!(err.to_string().contains("length (-1) cannot be negative"));
     assert_eq!(
-        read_file(&fs, &path, LengthCheck::Fixed, &CrossingContext::disabled()).unwrap().as_ref(),
+        read_file(&fs, &path, LengthCheck::Fixed, &CrossingContext::disabled())
+            .unwrap()
+            .as_ref(),
         b"payload"
     );
 }

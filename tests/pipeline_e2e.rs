@@ -63,7 +63,7 @@ fn kafka_to_hive_to_spark_pipeline() {
         PartitionId(0),
         range,
         OffsetModel::TolerateGaps,
-        &off
+        &off,
     )
     .unwrap();
     assert_eq!(records.len(), 3); // One survivor per key.

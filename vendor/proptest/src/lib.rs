@@ -355,8 +355,7 @@ pub mod string {
     pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
         let mut out = String::new();
         for piece in parse(pattern) {
-            let count =
-                piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
             for _ in 0..count {
                 match &piece.atom {
                     Atom::Literal(c) => out.push(*c),
@@ -641,7 +640,9 @@ mod tests {
             let s = crate::string::generate_from_pattern("[a-z][a-z0-9]{0,8}", &mut rng);
             assert!((1..=9).contains(&s.chars().count()), "{s:?}");
             assert!(s.chars().next().unwrap().is_ascii_lowercase());
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
         }
     }
 

@@ -247,6 +247,21 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(format!("expected sequence, found {other:?}")),
+        }
+    }
+}
+
 impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_content(&self) -> Content {
         Content::Map(
@@ -350,10 +365,7 @@ pub fn de_seq<'c>(c: &'c Content, n: usize, ty: &str) -> Result<&'c [Content], S
 
 /// Pulls a named field out of a derived struct's map entries.
 #[doc(hidden)]
-pub fn de_field<T: Deserialize>(
-    entries: &[(Content, Content)],
-    name: &str,
-) -> Result<T, String> {
+pub fn de_field<T: Deserialize>(entries: &[(Content, Content)], name: &str) -> Result<T, String> {
     for (k, v) in entries {
         if matches!(k, Content::Str(s) if s == name) {
             return T::from_content(v);

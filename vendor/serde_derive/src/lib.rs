@@ -20,14 +20,18 @@ use std::iter::Peekable;
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
 }
 
 /// Derives `serde::Deserialize` for a non-generic struct or enum.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
 }
 
 // ---------------------------------------------------------------------------

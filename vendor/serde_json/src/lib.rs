@@ -239,7 +239,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Content::Seq(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -268,7 +273,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Content::Map(entries));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -331,10 +341,7 @@ impl<'a> Parser<'a> {
                 } else {
                     first
                 };
-                out.push(
-                    char::from_u32(code)
-                        .ok_or_else(|| Error::new("invalid unicode escape"))?,
-                );
+                out.push(char::from_u32(code).ok_or_else(|| Error::new("invalid unicode escape"))?);
             }
             other => {
                 return Err(Error::new(format!("invalid escape `\\{}`", other as char)));
