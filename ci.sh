@@ -6,9 +6,10 @@
 #   ./ci.sh build         # release build of the whole workspace
 #   ./ci.sh test          # full test suite
 #   ./ci.sh determinism   # serial-vs-sharded byte-identity suites
-#   ./ci.sh reports       # trace summary + detector-vs-oracle report bins
+#   ./ci.sh reports       # report bins + BENCH_*.json trajectory schema check
 #   ./ci.sh golden        # golden campaign report drift check
 #   ./ci.sh explore       # coverage-guided explore smoke (small budget)
+#   ./ci.sh bench-smoke   # columnar serde smoke (speedup + byte-identity floors)
 #   ./ci.sh all           # everything above, in order (the default)
 #
 # Everything runs offline against the vendored dependency stubs.
@@ -46,6 +47,8 @@ stage_reports() {
   cargo run -q --release -p csi-bench --bin trace_summary
   echo "==> online detector vs offline oracle (recall 1.0, serial == sharded)"
   cargo run -q --release -p csi-bench --bin detector_report
+  echo "==> perf-trajectory schema check (BENCH_*.json)"
+  cargo run -q --release -p csi-bench --bin trajectory_check
 }
 
 stage_golden() {
@@ -58,6 +61,11 @@ stage_explore() {
   cargo run -q --release -p csi-bench --bin explore -- 42 400 4
 }
 
+stage_bench_smoke() {
+  echo "==> columnar serde smoke (byte-identity + committed speedup floors at 256 rows)"
+  cargo run -q --release -p csi-bench --bin serde_batch -- --smoke
+}
+
 stage_all() {
   stage_lint
   stage_build
@@ -66,15 +74,19 @@ stage_all() {
   stage_reports
   stage_golden
   stage_explore
+  stage_bench_smoke
 }
 
 stage="${1:-all}"
 case "$stage" in
+  bench-smoke)
+    stage_bench_smoke
+    ;;
   lint | build | test | determinism | reports | golden | explore | all)
     "stage_${stage}"
     ;;
   *)
-    echo "usage: $0 [lint|build|test|determinism|reports|golden|explore|all]" >&2
+    echo "usage: $0 [lint|build|test|determinism|reports|golden|explore|bench-smoke|all]" >&2
     exit 2
     ;;
 esac

@@ -47,28 +47,66 @@ fn bench_serializers(c: &mut Criterion) {
             ]
         })
         .collect();
+    // The columnar plane works from prebuilt typed buffers — the shape the
+    // engines' bulk APIs and the campaign actually use.
+    let mut cols: Vec<csi_core::column::ValueColumn> = schema
+        .iter()
+        .map(|f| csi_core::column::ValueColumn::for_type(&f.data_type))
+        .collect();
+    for row in &rows {
+        for (col, v) in cols.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
     let config = minispark::SparkConfig::new();
     let mut group = c.benchmark_group("serde");
     for format in StorageFormat::ALL {
+        // The columnar hot path (what `write_file` now routes through).
         group.bench_function(format!("spark_write_256rows/{}", format.name()), |b| {
             b.iter(|| {
                 std::hint::black_box(
-                    minispark::serde_layer::write_file(format, &schema, &rows, &config)
+                    minispark::serde_layer::write_columns(format, &schema, &cols, &config)
                         .unwrap()
                         .len(),
                 )
             })
         });
-        let bytes = minispark::serde_layer::write_file(format, &schema, &rows, &config).unwrap();
+        // The retained row-at-a-time baseline (the pre-columnar write path,
+        // byte-identical output).
+        group.bench_function(
+            format!("spark_write_256rows_rowpath/{}", format.name()),
+            |b| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        minispark::serde_layer::write_file_rows(format, &schema, &rows, &config)
+                            .unwrap()
+                            .len(),
+                    )
+                })
+            },
+        );
+        let bytes = minispark::serde_layer::write_columns(format, &schema, &cols, &config).unwrap();
         group.bench_function(format!("spark_read_256rows/{}", format.name()), |b| {
             b.iter(|| {
                 std::hint::black_box(
-                    minispark::serde_layer::read_file(format, &schema, &bytes, &config)
+                    minispark::serde_layer::read_columns(format, &schema, &bytes, &config)
                         .unwrap()
                         .len(),
                 )
             })
         });
+        group.bench_function(
+            format!("spark_read_256rows_rowpath/{}", format.name()),
+            |b| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        minispark::serde_layer::read_file_rows(format, &schema, &bytes, &config)
+                            .unwrap()
+                            .len(),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -98,6 +136,36 @@ fn bench_oracles(c: &mut Criterion) {
             |obs| std::hint::black_box(check_differential(&obs).len()),
             BatchSize::SmallInput,
         )
+    });
+
+    // Wide-table diff: the vectorized column compare (validity words +
+    // typed-lane memcmp + fingerprint) against the per-cell signature
+    // join it replaced, over the 9-column bulk schema at 4096 rows.
+    let cols = csi_test::generator::generate_bulk_columns(4096, 42);
+    let other = csi_test::generator::generate_bulk_columns(4096, 42);
+    let rows: Vec<Vec<Value>> = (0..4096)
+        .map(|i| cols.iter().map(|c| c.get(i)).collect())
+        .collect();
+    let other_rows: Vec<Vec<Value>> = (0..4096)
+        .map(|i| other.iter().map(|c| c.get(i)).collect())
+        .collect();
+    c.bench_function("oracle/column_diff_wide_9x4096", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                cols.iter()
+                    .zip(&other)
+                    .all(|(x, y)| x.canonical_eq(y) && x.fingerprint() == y.fingerprint()),
+            )
+        })
+    });
+    c.bench_function("oracle/row_diff_wide_9x4096", |b| {
+        b.iter(|| {
+            std::hint::black_box((0..cols.len()).all(|c| {
+                let a: Vec<String> = rows.iter().map(|r| r[c].signature()).collect();
+                let b: Vec<String> = other_rows.iter().map(|r| r[c].signature()).collect();
+                a.join(";") == b.join(";")
+            }))
+        })
     });
 }
 

@@ -8,6 +8,7 @@
 //! Usage: `campaign [workers] [chunk_size]` — `workers` defaults to the
 //! machine's available parallelism (0 keeps that default).
 
+use csi_bench::trajectory;
 use csi_test::{generate_inputs, Campaign};
 use serde::Serialize;
 use std::time::Instant;
@@ -92,6 +93,11 @@ fn main() {
         "{}",
         serde_json::to_string_pretty(&summary).expect("summary serializes")
     );
+    println!(
+        "BENCH_campaign {}",
+        serde_json::to_string(&summary).expect("summary serializes")
+    );
+    trajectory::append("BENCH_campaign.json", "campaign", &summary).expect("trajectory append");
     assert!(summary.reports_identical, "parallel report diverged");
     assert_eq!(summary.distinct_discrepancies, 15);
 }

@@ -1,0 +1,17 @@
+//! Validates the committed `BENCH_*.json` perf-trajectory files at the
+//! repo root: every line must be valid JSON and carry its file's required
+//! keys (see [`csi_bench::trajectory::SCHEMAS`]). `ci.sh reports` runs
+//! this so a bench binary cannot silently drop a field the trajectory
+//! depends on.
+
+use csi_bench::trajectory;
+
+fn main() {
+    match trajectory::check_all() {
+        Ok(lines) => println!("trajectory: {lines} line(s) validated"),
+        Err(e) => {
+            eprintln!("trajectory schema drift: {e}");
+            std::process::exit(1);
+        }
+    }
+}

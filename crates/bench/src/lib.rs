@@ -4,3 +4,4 @@
 //! plus Criterion benches over the cross-testing harness and the simulators.
 
 pub mod tables;
+pub mod trajectory;

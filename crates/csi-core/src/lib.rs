@@ -37,6 +37,7 @@
 
 pub mod audit;
 pub mod boundary;
+pub mod column;
 pub mod config;
 pub mod coverage;
 pub mod detect;
@@ -52,6 +53,7 @@ pub mod sql;
 pub mod taxonomy;
 pub mod value;
 
+pub use column::{ColumnValues, Validity, ValueColumn};
 pub use error::{ErrorKind, InteractionError};
 pub use plane::{InteractionKind, Plane};
 pub use value::{DataType, Decimal, StructField, Value};

@@ -13,10 +13,11 @@
 //! into distinct discrepancies.
 
 use crate::boundary::InteractionTrace;
+use crate::column::ValueColumn;
 use crate::detect::Detection;
 use crate::diag::{Diagnostic, Level};
 use crate::error::InteractionError;
-use crate::value::Value;
+use crate::value::{DataType, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -109,9 +110,29 @@ impl Observation {
             (Err(e), _) => Behavior::WriteRejected(e.signature()),
             (Ok(()), Some(read)) => match &read.result {
                 Err(e) => Behavior::ReadFailed(e.signature()),
-                Ok(values) => {
+                Ok(values) if values.len() <= 1 => {
                     let sigs: Vec<String> = values.iter().map(Value::signature).collect();
                     Behavior::Values(sigs.join(";"))
+                }
+                Ok(values) => {
+                    // Bulk reads: a per-row signature join would allocate a
+                    // string per cell. Digest the rows through the columnar
+                    // fingerprint instead; canonically equal multi-row reads
+                    // digest equally. Single-row observations (the entire
+                    // pre-existing catalogue) keep the legacy signature so
+                    // report bytes are unchanged.
+                    let col = ValueColumn::from_values(
+                        &values
+                            .iter()
+                            .find_map(Value::natural_type)
+                            .unwrap_or(DataType::String),
+                        values,
+                    );
+                    Behavior::Values(format!(
+                        "<{} rows digest {:016x}>",
+                        values.len(),
+                        col.fingerprint()
+                    ))
                 }
             },
             (Ok(()), None) => Behavior::Values("<no read attempted>".into()),
@@ -177,6 +198,48 @@ pub fn check_write_read(expected: &Value, obs: &Observation) -> Option<OracleFai
         },
         (Ok(()), None) => fail("write succeeded but no read was attempted".into()),
     }
+}
+
+/// Vectorized Write–Read oracle over whole columns: the bulk-campaign
+/// counterpart of [`check_write_read`].
+///
+/// Comparison goes through [`ValueColumn::canonical_eq`], whose fast path
+/// is a word-wise validity check plus a raw buffer compare — no per-cell
+/// enum traffic unless the buffers actually differ. On divergence the
+/// failure detail pinpoints the first differing row.
+pub fn check_write_read_columns(
+    input_id: usize,
+    plan: &str,
+    format: &str,
+    expected: &ValueColumn,
+    actual: &ValueColumn,
+) -> Option<OracleFailure> {
+    if expected.canonical_eq(actual) {
+        return None;
+    }
+    let detail = if expected.len() != actual.len() {
+        format!(
+            "expected {} rows back, got {}",
+            expected.len(),
+            actual.len()
+        )
+    } else {
+        let first = (0..expected.len())
+            .find(|&i| !expected.get(i).canonical_eq(&actual.get(i)))
+            .unwrap_or(0);
+        format!(
+            "row {first}: read back {} but wrote {}",
+            actual.get(first).signature(),
+            expected.get(first).signature()
+        )
+    };
+    Some(OracleFailure {
+        oracle: OracleKind::WriteRead,
+        input_id,
+        plans: vec![plan.to_string()],
+        formats: vec![format.to_string()],
+        detail,
+    })
 }
 
 /// Error-handling oracle, artifact-faithful: an *invalid* input fails the

@@ -50,16 +50,13 @@ impl Decimal {
 
     /// Number of significant decimal digits in the unscaled value.
     pub fn digit_count(&self) -> u32 {
-        let mut n = self.unscaled.unsigned_abs();
-        if n == 0 {
-            return 1;
+        let n = self.unscaled.unsigned_abs();
+        // The 64-bit ilog10 is a table lookup; the 128-bit one divides.
+        match u64::try_from(n) {
+            Ok(0) => 1,
+            Ok(v) => v.ilog10() + 1,
+            Err(_) => n.ilog10() + 1,
         }
-        let mut digits = 0;
-        while n > 0 {
-            n /= 10;
-            digits += 1;
-        }
-        digits
     }
 
     /// Parses a decimal literal like `-123.45`, inferring precision and scale.
@@ -593,7 +590,9 @@ pub fn compare_values(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
     }
 }
 
-fn canon_f32(v: f32) -> u32 {
+/// Canonical bit pattern for oracle float comparison: all NaNs unified,
+/// signed zeros merged. Shared with the columnar diff in [`crate::column`].
+pub(crate) fn canon_f32(v: f32) -> u32 {
     if v.is_nan() {
         f32::NAN.to_bits()
     } else if v == 0.0 {
@@ -603,7 +602,8 @@ fn canon_f32(v: f32) -> u32 {
     }
 }
 
-fn canon_f64(v: f64) -> u64 {
+/// 64-bit counterpart of [`canon_f32`].
+pub(crate) fn canon_f64(v: f64) -> u64 {
     if v.is_nan() {
         f64::NAN.to_bits()
     } else if v == 0.0 {

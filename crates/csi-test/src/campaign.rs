@@ -215,6 +215,22 @@ impl Campaign {
         self
     }
 
+    /// Runs a *bulk* campaign alongside (not instead of) the builder's
+    /// row-oriented modes: the wide clean-data table of
+    /// [`crate::generator::bulk_schema`] at `rows` rows, written and read
+    /// through both engines' columnar entry points over this builder's
+    /// formats and seed, checked by the vectorized write–read and digest
+    /// differential oracles. This is the million-row path: the row
+    /// campaigns' table-size ceiling (one row per observation) does not
+    /// apply.
+    pub fn run_bulk(self, rows: usize) -> crate::bulk::BulkReport {
+        crate::bulk::run_bulk(&crate::bulk::BulkConfig {
+            rows,
+            seed: self.seed,
+            formats: self.formats,
+        })
+    }
+
     /// Executes the campaign.
     pub fn run(self) -> CampaignOutcome {
         match self.explore_budget {

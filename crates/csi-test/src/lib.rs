@@ -11,6 +11,7 @@
 //! novel inputs seed a mutating corpus, and every reported discrepancy is
 //! shrunk ([`shrink`]) to a minimal reproducer.
 
+pub mod bulk;
 pub mod campaign;
 pub mod classify;
 pub mod contracts;
@@ -23,6 +24,7 @@ pub mod shard;
 pub mod shrink;
 pub mod tolerate;
 
+pub use bulk::{run_bulk, BulkConfig, BulkReport};
 pub use campaign::{Campaign, CampaignOutcome};
 pub use classify::active_ids;
 #[allow(deprecated)]

@@ -27,6 +27,16 @@ pub fn decode(data: &[u8]) -> Result<(FileSchema, Vec<Vec<PhysicalValue>>), Form
     wire::decode(&RULES, data)
 }
 
+/// Encodes an Avro file from a columnar batch (byte-identical to [`encode`]).
+pub fn encode_batch(batch: &crate::batch::RecordBatch) -> Result<Vec<u8>, FormatError> {
+    crate::batch::encode(&RULES, batch)
+}
+
+/// Decodes an Avro file into a columnar batch.
+pub fn decode_batch(data: &[u8]) -> Result<crate::batch::RecordBatch, FormatError> {
+    crate::batch::decode(&RULES, data)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

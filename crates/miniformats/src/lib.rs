@@ -16,11 +16,13 @@
 //! `minispark` on top of this crate.
 
 pub mod avro;
+pub mod batch;
 pub mod orc;
 pub mod parquet;
 pub mod physical;
 pub mod wire;
 
+pub use batch::{Bitmap, Column, ColumnData, RecordBatch, StringDictionary, VarBuffer};
 pub use physical::{FileMeta, FileSchema, PhysicalColumn, PhysicalType, PhysicalValue};
 
 use std::fmt;

@@ -32,6 +32,16 @@ pub fn decode(data: &[u8]) -> Result<(FileSchema, Vec<Vec<PhysicalValue>>), Form
     wire::decode(&RULES, data)
 }
 
+/// Encodes a Parquet file from a columnar batch (byte-identical to [`encode`]).
+pub fn encode_batch(batch: &crate::batch::RecordBatch) -> Result<Vec<u8>, FormatError> {
+    crate::batch::encode(&RULES, batch)
+}
+
+/// Decodes a Parquet file into a columnar batch.
+pub fn decode_batch(data: &[u8]) -> Result<crate::batch::RecordBatch, FormatError> {
+    crate::batch::decode(&RULES, data)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

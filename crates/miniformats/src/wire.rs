@@ -56,16 +56,17 @@ impl FormatRules {
     }
 }
 
-struct Writer {
-    buf: Vec<u8>,
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Writer {
-    fn u8(&mut self, v: u8) {
+    #[inline]
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn varint(&mut self, v: i128) {
+    pub(crate) fn varint(&mut self, v: i128) {
         // Zig-zag then LEB128.
         let mut z = ((v << 1) ^ (v >> 127)) as u128;
         loop {
@@ -79,27 +80,81 @@ impl Writer {
         }
     }
 
-    fn len(&mut self, v: usize) {
+    /// Tag byte plus zig-zag varint in one append: byte-identical to
+    /// `u8(tag)` followed by [`Writer::varint`] for every `i64`, without
+    /// 128-bit arithmetic (the batch hot path). The encoded length is
+    /// computed up front from the bit width so every branch appends one
+    /// constant-size slice — a compile-time-sized copy with a single grow
+    /// check, which beats both a byte-at-a-time loop and a fixed 10-byte
+    /// fill on every value distribution.
+    #[inline]
+    pub(crate) fn tagged_varint64(&mut self, tag: u8, v: i64) {
+        let z = zigzag64(v);
+        if z < 0x80 {
+            self.buf.extend_from_slice(&[tag, z as u8]);
+            return;
+        }
+        macro_rules! emit {
+            ($n:expr) => {{
+                let mut tmp = [0u8; 1 + $n];
+                tmp[0] = tag;
+                let mut zz = z;
+                let mut k = 1;
+                while k < $n {
+                    tmp[k] = (zz as u8) | 0x80;
+                    zz >>= 7;
+                    k += 1;
+                }
+                tmp[$n] = zz as u8;
+                self.buf.extend_from_slice(&tmp);
+            }};
+        }
+        match varint64_len(z) {
+            2 => emit!(2),
+            3 => emit!(3),
+            4 => emit!(4),
+            5 => emit!(5),
+            6 => emit!(6),
+            7 => emit!(7),
+            8 => emit!(8),
+            9 => emit!(9),
+            _ => emit!(10),
+        }
+    }
+
+    pub(crate) fn len(&mut self, v: usize) {
         self.varint(v as i128);
     }
 
-    fn bytes(&mut self, b: &[u8]) {
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
         self.len(b.len());
         self.buf.extend_from_slice(b);
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.bytes(s.as_bytes());
     }
 }
 
-struct Reader<'a> {
-    data: &'a [u8],
-    pos: usize,
+/// Zig-zag maps `i64` onto `u64` so small magnitudes get short varints.
+#[inline]
+pub(crate) fn zigzag64(v: i64) -> u64 {
+    ((v as u64) << 1) ^ ((v >> 63) as u64)
+}
+
+/// LEB128 length of a zig-zagged value: one byte per started 7-bit group.
+#[inline]
+pub(crate) fn varint64_len(z: u64) -> usize {
+    (64 - (z | 1).leading_zeros() as usize).div_ceil(7)
+}
+
+pub(crate) struct Reader<'a> {
+    pub(crate) data: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn u8(&mut self) -> Result<u8, FormatError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, FormatError> {
         let b = *self
             .data
             .get(self.pos)
@@ -108,7 +163,7 @@ impl<'a> Reader<'a> {
         Ok(b)
     }
 
-    fn varint(&mut self) -> Result<i128, FormatError> {
+    pub(crate) fn varint(&mut self) -> Result<i128, FormatError> {
         let mut z: u128 = 0;
         let mut shift = 0u32;
         loop {
@@ -125,12 +180,72 @@ impl<'a> Reader<'a> {
         Ok(((z >> 1) as i128) ^ -((z & 1) as i128))
     }
 
-    fn len(&mut self) -> Result<usize, FormatError> {
+    /// u64-domain varint decode: consumes the same bytes and surfaces the
+    /// same corruption errors as [`Reader::varint`]. `Ok(Err(wide))` means
+    /// the encoded value was valid but outside `i64` — callers map it to
+    /// their own range error exactly as they would the wide read.
+    #[inline]
+    pub(crate) fn varint64(&mut self) -> Result<Result<i64, i128>, FormatError> {
+        // Fast path: with nine bytes in hand the loop below never needs a
+        // per-byte bounds check — the compiler sees constant indices into
+        // a slice it has already proven long enough.
+        if let Some(window) = self.data.get(self.pos..self.pos + 9) {
+            let mut z: u64 = 0;
+            let mut k = 0usize;
+            while k < 9 {
+                let byte = window[k];
+                z |= ((byte & 0x7f) as u64) << (7 * k as u32);
+                k += 1;
+                if byte & 0x80 == 0 {
+                    self.pos += k;
+                    return Ok(Ok(((z >> 1) as i64) ^ -((z & 1) as i64)));
+                }
+            }
+        }
+        self.varint64_slow()
+    }
+
+    /// The tail of [`Reader::varint64`]: varints at the end of the buffer
+    /// or longer than nine bytes (where the tail bits may overflow `u64`).
+    fn varint64_slow(&mut self) -> Result<Result<i64, i128>, FormatError> {
+        let start = self.pos;
+        let mut z: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            if shift >= 63 {
+                // The tail bits no longer fit u64: replay through the wide
+                // reader so out-of-range and too-long cases are identical.
+                self.pos = start;
+                let wide = self.varint()?;
+                return Ok(i64::try_from(wide).map_err(|_| wide));
+            }
+            let byte = self.u8()?;
+            z |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        Ok(Ok(((z >> 1) as i64) ^ -((z & 1) as i64)))
+    }
+
+    /// Length decode via [`Reader::varint64`]; same bytes and errors as
+    /// [`Reader::len`].
+    pub(crate) fn len64(&mut self) -> Result<usize, FormatError> {
+        match self.varint64()? {
+            Ok(v) => usize::try_from(v).map_err(|_| FormatError::Corrupt("negative length".into())),
+            Err(wide) => {
+                usize::try_from(wide).map_err(|_| FormatError::Corrupt("negative length".into()))
+            }
+        }
+    }
+
+    pub(crate) fn len(&mut self) -> Result<usize, FormatError> {
         let v = self.varint()?;
         usize::try_from(v).map_err(|_| FormatError::Corrupt("negative length".into()))
     }
 
-    fn bytes(&mut self) -> Result<Vec<u8>, FormatError> {
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>, FormatError> {
         let n = self.len()?;
         if self.pos + n > self.data.len() {
             return Err(FormatError::Corrupt("byte run past end".into()));
@@ -140,12 +255,35 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    fn str(&mut self) -> Result<String, FormatError> {
+    pub(crate) fn str(&mut self) -> Result<String, FormatError> {
         String::from_utf8(self.bytes()?).map_err(|_| FormatError::Corrupt("invalid UTF-8".into()))
+    }
+
+    /// Borrows the next length-prefixed byte run without allocating; same
+    /// bytes consumed and same errors as [`Reader::bytes`].
+    pub(crate) fn bytes_ref(&mut self) -> Result<&'a [u8], FormatError> {
+        let n = self.len64()?;
+        if self.pos + n > self.data.len() {
+            return Err(FormatError::Corrupt("byte run past end".into()));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads `N` raw payload bytes at once; same EOF error as reading
+    /// them one [`Reader::u8`] at a time.
+    pub(crate) fn array<const N: usize>(&mut self) -> Result<[u8; N], FormatError> {
+        let chunk = self
+            .data
+            .get(self.pos..self.pos + N)
+            .ok_or_else(|| FormatError::Corrupt("unexpected end of file".into()))?;
+        self.pos += N;
+        Ok(chunk.try_into().expect("slice length is N"))
     }
 }
 
-fn write_type(w: &mut Writer, ty: &PhysicalType) {
+pub(crate) fn write_type(w: &mut Writer, ty: &PhysicalType) {
     match ty {
         PhysicalType::Bool => w.u8(1),
         PhysicalType::Int8 => w.u8(2),
@@ -177,7 +315,7 @@ fn write_type(w: &mut Writer, ty: &PhysicalType) {
     }
 }
 
-fn read_type(r: &mut Reader) -> Result<PhysicalType, FormatError> {
+pub(crate) fn read_type(r: &mut Reader) -> Result<PhysicalType, FormatError> {
     Ok(match r.u8()? {
         1 => PhysicalType::Bool,
         2 => PhysicalType::Int8,
@@ -209,7 +347,7 @@ fn read_type(r: &mut Reader) -> Result<PhysicalType, FormatError> {
     })
 }
 
-fn write_value(w: &mut Writer, v: &PhysicalValue) {
+pub(crate) fn write_value(w: &mut Writer, v: &PhysicalValue) {
     match v {
         PhysicalValue::Null => w.u8(0),
         PhysicalValue::Bool(b) => {
@@ -279,8 +417,16 @@ fn write_value(w: &mut Writer, v: &PhysicalValue) {
     }
 }
 
-fn read_value(r: &mut Reader) -> Result<PhysicalValue, FormatError> {
-    Ok(match r.u8()? {
+pub(crate) fn read_value(r: &mut Reader) -> Result<PhysicalValue, FormatError> {
+    let tag = r.u8()?;
+    read_value_body(r, tag)
+}
+
+/// Reads a value whose tag byte has already been consumed. Split out so the
+/// columnar decoder in [`crate::batch`] can peek the tag, route primitive
+/// payloads into typed buffers, and fall back here for nested values.
+pub(crate) fn read_value_body(r: &mut Reader, tag: u8) -> Result<PhysicalValue, FormatError> {
+    Ok(match tag {
         0 => PhysicalValue::Null,
         1 => PhysicalValue::Bool(r.u8()? != 0),
         2 => PhysicalValue::Int8(
@@ -352,7 +498,77 @@ fn read_value(r: &mut Reader) -> Result<PhysicalValue, FormatError> {
     })
 }
 
-const VERSION: u8 = 1;
+pub(crate) const VERSION: u8 = 1;
+
+/// Writes the file prelude: magic, version, schema, and metadata. Shared by
+/// the row encoder and the columnar [`crate::batch`] encoder so both emit
+/// byte-identical headers.
+pub(crate) fn write_header(w: &mut Writer, rules: &FormatRules, schema: &FileSchema) {
+    w.buf.extend_from_slice(rules.magic);
+    w.u8(VERSION);
+    w.len(schema.columns.len());
+    for col in &schema.columns {
+        w.str(&col.name);
+        write_type(w, &col.ty);
+        match &col.logical {
+            Some(l) => {
+                w.u8(1);
+                w.str(l);
+            }
+            None => w.u8(0),
+        }
+    }
+    w.len(schema.meta.len());
+    for (k, v) in &schema.meta {
+        w.str(k);
+        w.str(v);
+    }
+}
+
+/// Validates magic and footer, returning a reader positioned after the
+/// leading magic with the footer stripped.
+pub(crate) fn open_reader<'a>(
+    rules: &FormatRules,
+    data: &'a [u8],
+) -> Result<Reader<'a>, FormatError> {
+    if data.len() < 8 || &data[..4] != rules.magic {
+        return Err(FormatError::WrongMagic {
+            expected: std::str::from_utf8(rules.magic).unwrap_or("????"),
+        });
+    }
+    if &data[data.len() - 4..] != rules.magic {
+        return Err(FormatError::Corrupt("missing footer magic".into()));
+    }
+    Ok(Reader {
+        data: &data[..data.len() - 4],
+        pos: 4,
+    })
+}
+
+/// Reads the version byte, schema, and metadata (the counterpart of
+/// [`write_header`] minus the magic, which [`open_reader`] consumed).
+pub(crate) fn read_header(r: &mut Reader) -> Result<FileSchema, FormatError> {
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(FormatError::Corrupt(format!("unknown version {version}")));
+    }
+    let ncols = r.len()?;
+    let mut columns = Vec::with_capacity(ncols.min(1 << 12));
+    for _ in 0..ncols {
+        let name = r.str()?;
+        let ty = read_type(r)?;
+        let logical = if r.u8()? == 1 { Some(r.str()?) } else { None };
+        columns.push(PhysicalColumn { name, ty, logical });
+    }
+    let nmeta = r.len()?;
+    let mut meta = crate::physical::FileMeta::new();
+    for _ in 0..nmeta {
+        let k = r.str()?;
+        let v = r.str()?;
+        meta.insert(k, v);
+    }
+    Ok(FileSchema { columns, meta })
+}
 
 /// Encodes a file under the given format rules.
 pub fn encode(
@@ -382,25 +598,7 @@ pub fn encode(
         }
     }
     let mut w = Writer { buf: Vec::new() };
-    w.buf.extend_from_slice(rules.magic);
-    w.u8(VERSION);
-    w.len(schema.columns.len());
-    for col in &schema.columns {
-        w.str(&col.name);
-        write_type(&mut w, &col.ty);
-        match &col.logical {
-            Some(l) => {
-                w.u8(1);
-                w.str(l);
-            }
-            None => w.u8(0),
-        }
-    }
-    w.len(schema.meta.len());
-    for (k, v) in &schema.meta {
-        w.str(k);
-        w.str(v);
-    }
+    write_header(&mut w, rules, schema);
     w.len(rows.len());
     for row in rows {
         for value in row {
@@ -416,37 +614,9 @@ pub fn decode(
     rules: &FormatRules,
     data: &[u8],
 ) -> Result<(FileSchema, Vec<Vec<PhysicalValue>>), FormatError> {
-    if data.len() < 8 || &data[..4] != rules.magic {
-        return Err(FormatError::WrongMagic {
-            expected: std::str::from_utf8(rules.magic).unwrap_or("????"),
-        });
-    }
-    if &data[data.len() - 4..] != rules.magic {
-        return Err(FormatError::Corrupt("missing footer magic".into()));
-    }
-    let mut r = Reader {
-        data: &data[..data.len() - 4],
-        pos: 4,
-    };
-    let version = r.u8()?;
-    if version != VERSION {
-        return Err(FormatError::Corrupt(format!("unknown version {version}")));
-    }
-    let ncols = r.len()?;
-    let mut columns = Vec::with_capacity(ncols.min(1 << 12));
-    for _ in 0..ncols {
-        let name = r.str()?;
-        let ty = read_type(&mut r)?;
-        let logical = if r.u8()? == 1 { Some(r.str()?) } else { None };
-        columns.push(PhysicalColumn { name, ty, logical });
-    }
-    let nmeta = r.len()?;
-    let mut meta = crate::physical::FileMeta::new();
-    for _ in 0..nmeta {
-        let k = r.str()?;
-        let v = r.str()?;
-        meta.insert(k, v);
-    }
+    let mut r = open_reader(rules, data)?;
+    let schema = read_header(&mut r)?;
+    let ncols = schema.columns.len();
     let nrows = r.len()?;
     let mut rows = Vec::with_capacity(nrows.min(1 << 20));
     for _ in 0..nrows {
@@ -456,7 +626,7 @@ pub fn decode(
         }
         rows.push(row);
     }
-    Ok((FileSchema { columns, meta }, rows))
+    Ok((schema, rows))
 }
 
 #[cfg(test)]

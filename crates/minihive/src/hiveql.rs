@@ -10,7 +10,8 @@ use crate::error::HiveError;
 use crate::metastore::{Metastore, SharedFs, StorageFormat, TableDef};
 use crate::serde_layer;
 use crate::types::HiveType;
-use crate::value::{coerce, render};
+use crate::value::{coerce, render, MAX_DATE_DAYS, MIN_DATE_DAYS};
+use csi_core::column::{ColumnValues, ValueColumn};
 use csi_core::diag::DiagHandle;
 use csi_core::sql::{self, eval_interval_parts, Expr, NumSuffix, SelectCols, Statement};
 use csi_core::value::{parse_date, parse_timestamp, Decimal, Value};
@@ -156,6 +157,73 @@ impl HiveQl {
         Ok(QueryResult::default())
     }
 
+    /// Bulk `INSERT INTO` over column buffers — the columnar counterpart of
+    /// the HiveQL `INSERT` path. Columns whose buffer already inhabits the
+    /// target Hive type skip the per-cell lenient coercion entirely;
+    /// anything else (decimals, CHAR/VARCHAR, type-skewed or out-of-range
+    /// buffers) replays `coerce` per cell, with identical warnings.
+    pub fn insert_columns(&self, table: &str, cols: &[ValueColumn]) -> Result<(), HiveError> {
+        let (def, part) = {
+            let mut ms = self.metastore.lock();
+            let def = ms.get_table("default", table)?.clone();
+            let part = ms.next_part_path(&def);
+            (def, part)
+        };
+        if cols.len() != def.columns.len() {
+            return Err(HiveError::Arity {
+                expected: def.columns.len(),
+                got: cols.len(),
+            });
+        }
+        let mut coerced = Vec::with_capacity(cols.len());
+        for (col, def_col) in cols.iter().zip(&def.columns) {
+            if column_coerces_identically(&def_col.hive_type, col) {
+                coerced.push(col.clone());
+                continue;
+            }
+            let ty = def_col.hive_type.to_data_type();
+            let mut out = ValueColumn::with_capacity(&ty, col.len());
+            for i in 0..col.len() {
+                out.push(&coerce(&col.get(i), &def_col.hive_type, &self.diag)?);
+            }
+            coerced.push(out);
+        }
+        let bytes = serde_layer::write_columns(def.format, &def.columns, &coerced, &self.diag)?;
+        self.fs
+            .lock()
+            .create(&part, &bytes)
+            .map_err(|e| HiveError::Storage(e.to_string()))
+    }
+
+    /// Bulk `SELECT *` over column buffers — the columnar counterpart of
+    /// [`HiveQl::read_all`] behind the SELECT path.
+    pub fn read_table_columns(&self, table: &str) -> Result<Vec<ValueColumn>, HiveError> {
+        let def = self.metastore.lock().get_table("default", table)?.clone();
+        let fs = self.fs.lock();
+        let files = self.metastore.lock().table_data_files(&def, &fs)?;
+        let mut acc: Option<Vec<ValueColumn>> = None;
+        for path in files {
+            let bytes = fs
+                .read(&path)
+                .map_err(|e| HiveError::Storage(e.to_string()))?;
+            let cols = serde_layer::read_columns(def.format, &def.columns, &bytes, &self.diag)?;
+            match &mut acc {
+                None => acc = Some(cols),
+                Some(existing) => {
+                    for (dst, src) in existing.iter_mut().zip(&cols) {
+                        dst.extend_from(src);
+                    }
+                }
+            }
+        }
+        Ok(acc.unwrap_or_else(|| {
+            def.columns
+                .iter()
+                .map(|c| ValueColumn::for_type(&c.hive_type.to_data_type()))
+                .collect()
+        }))
+    }
+
     fn select(
         &self,
         table: &str,
@@ -201,9 +269,26 @@ impl HiveQl {
                             })?,
                     );
                 }
+                // Distinct indices let each projected cell be *moved* out of
+                // its row instead of deep-cloned — the hot path for wide
+                // string columns. Duplicate projections ("SELECT a, a")
+                // fall back to cloning.
+                let distinct = idx
+                    .iter()
+                    .all(|i| idx.iter().filter(|j| *j == i).count() == 1);
                 let projected = rows
                     .into_iter()
-                    .map(|r| idx.iter().map(|i| r[*i].clone()).collect())
+                    .map(|mut r| {
+                        idx.iter()
+                            .map(|i| {
+                                if distinct {
+                                    std::mem::replace(&mut r[*i], Value::Null)
+                                } else {
+                                    r[*i].clone()
+                                }
+                            })
+                            .collect()
+                    })
                     .collect();
                 Ok(QueryResult {
                     columns: idx.iter().map(|i| def.columns[*i].name.clone()).collect(),
@@ -343,6 +428,38 @@ impl HiveQl {
                 }
             },
         })
+    }
+}
+
+/// Whether a whole column buffer survives Hive's lenient `coerce`
+/// byte-for-byte, so the per-cell replay (and its warning plumbing) can be
+/// skipped. Only (target, lane) pairs proven identity qualify: exact-variant
+/// integrals and booleans, doubles, strings into STRING, and binary.
+/// DATE/TIMESTAMP additionally require every slot in the supported range,
+/// because `coerce` NULLs (and warns on) out-of-range values. FLOAT is
+/// excluded: the row path round-trips f32 through f64, which can quiet
+/// signalling NaN payloads. DECIMAL and CHAR/VARCHAR always rescale or pad.
+fn column_coerces_identically(ty: &HiveType, col: &ValueColumn) -> bool {
+    const MIN_TS: i64 = MIN_DATE_DAYS as i64 * 86_400_000_000;
+    const MAX_TS: i64 = (MAX_DATE_DAYS as i64 + 1) * 86_400_000_000 - 1;
+    match (ty, col.values()) {
+        (HiveType::Boolean, ColumnValues::Boolean(_))
+        | (HiveType::TinyInt, ColumnValues::Byte(_))
+        | (HiveType::SmallInt, ColumnValues::Short(_))
+        | (HiveType::Int, ColumnValues::Int(_))
+        | (HiveType::BigInt, ColumnValues::Long(_))
+        | (HiveType::Double, ColumnValues::Double(_))
+        | (HiveType::Str, ColumnValues::Str { .. })
+        | (HiveType::Binary, ColumnValues::Binary { .. }) => true,
+        // NULL slots hold a zero placeholder, which is in range, so the
+        // whole lane can be scanned without consulting the validity bitmap.
+        (HiveType::Date, ColumnValues::Date(days)) => days
+            .iter()
+            .all(|d| (MIN_DATE_DAYS..=MAX_DATE_DAYS).contains(d)),
+        (HiveType::Timestamp, ColumnValues::Timestamp(us)) => {
+            us.iter().all(|v| (MIN_TS..=MAX_TS).contains(v))
+        }
+        _ => false,
     }
 }
 

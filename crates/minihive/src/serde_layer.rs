@@ -22,8 +22,10 @@
 use crate::error::HiveError;
 use crate::metastore::{ColumnDef, StorageFormat};
 use crate::types::HiveType;
+use csi_core::column::{ColumnValues, Validity, ValueColumn};
 use csi_core::diag::DiagHandle;
 use csi_core::value::{parse_date, Decimal, Value};
+use miniformats::batch::{Bitmap, Column as BatchColumn, ColumnData, RecordBatch, VarBuffer};
 use miniformats::physical::{FileSchema, PhysicalColumn, PhysicalType, PhysicalValue};
 use miniformats::{avro, orc, parquet, FormatError};
 
@@ -101,7 +103,219 @@ fn serde_err(format: StorageFormat, e: FormatError) -> HiveError {
 }
 
 /// Serializes coerced rows into a table data file.
+///
+/// Thin row-API adapter over [`write_columns`]: rows are transposed into
+/// typed column buffers and serialized columnar. Output bytes are
+/// identical to [`write_file_rows`]; on files with multiple columns and
+/// multiple invalid cells the reported error (and diagnostic order) is
+/// column-major rather than row-major.
 pub fn write_file(
+    format: StorageFormat,
+    columns: &[ColumnDef],
+    rows: &[Vec<Value>],
+    diag: &DiagHandle,
+) -> Result<Vec<u8>, HiveError> {
+    let mut cols: Vec<ValueColumn> = columns
+        .iter()
+        .map(|c| ValueColumn::with_capacity(&c.hive_type.to_data_type(), rows.len()))
+        .collect();
+    for row in rows {
+        if row.len() != columns.len() {
+            return Err(HiveError::Arity {
+                expected: columns.len(),
+                got: row.len(),
+            });
+        }
+        for (col, v) in cols.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+    write_columns(format, columns, &cols, diag)
+}
+
+/// Serializes typed column buffers directly — the bulk hot path. Flat
+/// columns move buffer-to-buffer; nested or type-skewed columns replay
+/// the per-cell converter with identical errors and diagnostics.
+pub fn write_columns(
+    format: StorageFormat,
+    columns: &[ColumnDef],
+    cols: &[ValueColumn],
+    diag: &DiagHandle,
+) -> Result<Vec<u8>, HiveError> {
+    if cols.len() != columns.len() {
+        return Err(HiveError::Arity {
+            expected: columns.len(),
+            got: cols.len(),
+        });
+    }
+    let mut schema = FileSchema::default();
+    for col in columns {
+        schema.columns.push(PhysicalColumn {
+            name: col.name.clone(),
+            ty: physical_type_for(format, &col.hive_type),
+            logical: logical_annotation(&col.hive_type),
+        });
+    }
+    schema.meta.insert("writer".into(), "hive".into());
+    if format == StorageFormat::Parquet {
+        schema
+            .meta
+            .insert(parquet::TIMESTAMP_REBASE_KEY.into(), "julian".into());
+    }
+    let mut batch = RecordBatch {
+        schema,
+        columns: Vec::with_capacity(cols.len()),
+    };
+    for (def, col) in columns.iter().zip(cols) {
+        batch
+            .columns
+            .push(column_to_physical(format, def, col, diag)?);
+    }
+    let encode = match format {
+        StorageFormat::Orc => orc::encode_batch(&batch),
+        StorageFormat::Parquet => parquet::encode_batch(&batch),
+        StorageFormat::Avro => avro::encode_batch(&batch),
+    };
+    encode.map_err(|e| serde_err(format, e))
+}
+
+/// Converts one typed column into its physical batch column. Each fast
+/// path is the vectorized image of the matching [`to_physical`] arm,
+/// including Hive's write-time semantics: declared-scale decimal rescale,
+/// pre-1900 ORC timestamps written as NULL with a warning, and the
+/// Julian rebase for pre-cutover Parquet timestamps.
+fn column_to_physical(
+    format: StorageFormat,
+    def: &ColumnDef,
+    col: &ValueColumn,
+    diag: &DiagHandle,
+) -> Result<BatchColumn, HiveError> {
+    let validity = || Bitmap::from_raw(col.validity().words().to_vec(), col.len());
+    let avro = format == StorageFormat::Avro;
+    let data = match (&def.hive_type, col.values()) {
+        (HiveType::Boolean, ColumnValues::Boolean(v)) => ColumnData::Bool(v.clone()),
+        (HiveType::TinyInt, ColumnValues::Byte(v)) if avro => {
+            ColumnData::Int32(v.iter().map(|x| *x as i32).collect())
+        }
+        (HiveType::TinyInt, ColumnValues::Byte(v)) => ColumnData::Int8(v.clone()),
+        (HiveType::SmallInt, ColumnValues::Short(v)) if avro => {
+            ColumnData::Int32(v.iter().map(|x| *x as i32).collect())
+        }
+        (HiveType::SmallInt, ColumnValues::Short(v)) => ColumnData::Int16(v.clone()),
+        (HiveType::Int, ColumnValues::Int(v)) => ColumnData::Int32(v.clone()),
+        (HiveType::BigInt, ColumnValues::Long(v)) => ColumnData::Int64(v.clone()),
+        (HiveType::Float, ColumnValues::Float(v)) => ColumnData::Float32(v.clone()),
+        (HiveType::Double, ColumnValues::Double(v)) => ColumnData::Float64(v.clone()),
+        // Hive stores the table-declared scale, rescaling if needed.
+        (
+            HiveType::Decimal(p, s),
+            ColumnValues::Decimal {
+                unscaled, scale, ..
+            },
+        ) => {
+            let mut out_unscaled = Vec::with_capacity(unscaled.len());
+            let mut out_scale = Vec::with_capacity(unscaled.len());
+            for i in 0..unscaled.len() {
+                if !col.validity().get(i) {
+                    out_unscaled.push(0);
+                    out_scale.push(0);
+                    continue;
+                }
+                let d = Decimal {
+                    unscaled: unscaled[i],
+                    precision: Decimal::MAX_PRECISION,
+                    scale: scale[i],
+                };
+                // `Display` for `Decimal` ignores precision, so the error
+                // message matches the row path exactly.
+                let rescaled = crate::value::rescale_half_up(&d, *p, *s).ok_or_else(|| {
+                    HiveError::SchemaMismatch {
+                        message: format!("decimal {d} does not fit decimal({p},{s})"),
+                    }
+                })?;
+                out_unscaled.push(rescaled.unscaled);
+                out_scale.push(rescaled.scale);
+            }
+            ColumnData::Decimal {
+                unscaled: out_unscaled,
+                scale: out_scale,
+            }
+        }
+        (
+            HiveType::Str | HiveType::Char(_) | HiveType::Varchar(_),
+            ColumnValues::Str { offsets, bytes },
+        ) => ColumnData::Utf8(VarBuffer::from_raw(offsets.clone(), bytes.clone())),
+        (HiveType::Binary, ColumnValues::Binary { offsets, bytes }) => {
+            ColumnData::Bytes(VarBuffer::from_raw(offsets.clone(), bytes.clone()))
+        }
+        (HiveType::Date, ColumnValues::Date(v)) => ColumnData::Int32(v.clone()),
+        (HiveType::Timestamp, ColumnValues::Timestamp(v)) => match format {
+            StorageFormat::Orc => {
+                let min = orc_min_timestamp_micros();
+                let mut validity = Bitmap::with_capacity(v.len());
+                let mut out = Vec::with_capacity(v.len());
+                for (i, us) in v.iter().enumerate() {
+                    if col.validity().get(i) && *us < min {
+                        // Legacy ORC cannot represent pre-1900 instants;
+                        // Hive writes NULL and logs (HIVE-26528 / D06).
+                        diag.warn(
+                            "HIVE_ORC_LEGACY_TIMESTAMP",
+                            "pre-1900 timestamp not representable in legacy ORC, writing NULL"
+                                .to_string(),
+                        );
+                        validity.push(false);
+                        out.push(0);
+                    } else {
+                        validity.push(col.validity().get(i));
+                        out.push(*us);
+                    }
+                }
+                return Ok(BatchColumn {
+                    validity,
+                    data: ColumnData::Int64(out),
+                });
+            }
+            StorageFormat::Parquet => {
+                // Julian rebase: Hive writes the hybrid-calendar
+                // representation and marks the file metadata.
+                let cutover = gregorian_cutover_micros();
+                ColumnData::Int64(
+                    v.iter()
+                        .enumerate()
+                        .map(|(i, us)| {
+                            if col.validity().get(i) && *us < cutover {
+                                *us - JULIAN_SHIFT_MICROS
+                            } else {
+                                *us
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            StorageFormat::Avro => ColumnData::Int64(v.clone()),
+        },
+        // Nested, Mixed, and type-skewed columns replay the per-cell
+        // converter (identical SchemaMismatch errors and diagnostics).
+        _ => {
+            let phys_ty = physical_type_for(format, &def.hive_type);
+            let mut out = BatchColumn::with_capacity(&phys_ty, col.len());
+            for i in 0..col.len() {
+                let pv = to_physical(format, &def.hive_type, &col.get(i), diag)?;
+                let ok = out.push_checked(&pv);
+                debug_assert!(ok, "to_physical output conforms to physical_type_for");
+            }
+            return Ok(out);
+        }
+    };
+    Ok(BatchColumn {
+        validity: validity(),
+        data,
+    })
+}
+
+/// The retained row-at-a-time serializer: the pre-columnar baseline, kept
+/// for differential testing and as the benchmark reference point.
+pub fn write_file_rows(
     format: StorageFormat,
     columns: &[ColumnDef],
     rows: &[Vec<Value>],
@@ -238,7 +452,231 @@ fn to_physical(
 }
 
 /// Deserializes a table data file against the declared schema.
+///
+/// Thin row-API adapter over [`read_columns`]. Values and errors match
+/// [`read_file_rows`]; the one intended diagnostic difference is that a
+/// missing column warns **once per file** instead of once per row (the
+/// row baseline re-warned for every row of a million-row file).
 pub fn read_file(
+    format: StorageFormat,
+    columns: &[ColumnDef],
+    bytes: &[u8],
+    diag: &DiagHandle,
+) -> Result<Vec<Vec<Value>>, HiveError> {
+    let cols = read_columns(format, columns, bytes, diag)?;
+    let nrows = cols.first().map_or(0, ValueColumn::len);
+    let mut out = Vec::with_capacity(nrows);
+    for i in 0..nrows {
+        out.push(cols.iter().map(|c| c.get(i)).collect());
+    }
+    Ok(out)
+}
+
+/// Deserializes typed column buffers directly — the bulk read hot path.
+pub fn read_columns(
+    format: StorageFormat,
+    columns: &[ColumnDef],
+    bytes: &[u8],
+    diag: &DiagHandle,
+) -> Result<Vec<ValueColumn>, HiveError> {
+    let batch = match format {
+        StorageFormat::Orc => orc::decode_batch(bytes),
+        StorageFormat::Parquet => parquet::decode_batch(bytes),
+        StorageFormat::Avro => avro::decode_batch(bytes),
+    }
+    .map_err(|e| serde_err(format, e))?;
+    let julian = batch
+        .schema
+        .meta
+        .get(parquet::TIMESTAMP_REBASE_KEY)
+        .map(String::as_str)
+        == Some("julian");
+    let nrows = batch.len();
+    // Case-insensitive column resolution; missing columns become NULL.
+    let mut out = Vec::with_capacity(columns.len());
+    for def in columns {
+        let col = match batch.schema.index_of_ci(&def.name) {
+            Some(i) => column_from_physical(format, def, &batch.columns[i], julian, diag)?,
+            None => {
+                diag.warn(
+                    "HIVE_MISSING_COLUMN",
+                    format!("column {} missing in data file, reading NULL", def.name),
+                );
+                ValueColumn::nulls(&def.hive_type.to_data_type(), nrows)
+            }
+        };
+        out.push(col);
+    }
+    Ok(out)
+}
+
+/// Converts one physical batch column into a typed value column. Each
+/// fast path is the vectorized image of the matching [`from_physical`]
+/// arm, including Hive's lenient narrowing (overflow → NULL with a
+/// warning) and declared-scale decimal validation.
+fn column_from_physical(
+    format: StorageFormat,
+    def: &ColumnDef,
+    col: &BatchColumn,
+    julian: bool,
+    diag: &DiagHandle,
+) -> Result<ValueColumn, HiveError> {
+    let validity = || Validity::from_raw(col.validity.words().to_vec(), col.len());
+    let values = match (&def.hive_type, &col.data) {
+        (HiveType::Boolean, ColumnData::Bool(v)) => ColumnValues::Boolean(v.clone()),
+        (HiveType::TinyInt, ColumnData::Int8(v)) => ColumnValues::Byte(v.clone()),
+        // Hive's reader narrows widened integers back, leniently — the
+        // conversion Spark's Avro reader is missing (SPARK-39075).
+        (HiveType::TinyInt, ColumnData::Int32(v)) => {
+            let mut validity = Validity::with_capacity(v.len());
+            let mut out = Vec::with_capacity(v.len());
+            for (i, x) in v.iter().enumerate() {
+                if !col.validity.get(i) {
+                    validity.push(false);
+                    out.push(0);
+                    continue;
+                }
+                match i8::try_from(*x) {
+                    Ok(b) => {
+                        validity.push(true);
+                        out.push(b);
+                    }
+                    Err(_) => {
+                        diag.warn(
+                            "HIVE_NARROWING_NULL",
+                            format!("int value {x} does not fit tinyint, reading NULL"),
+                        );
+                        validity.push(false);
+                        out.push(0);
+                    }
+                }
+            }
+            return Ok(ValueColumn::from_parts(validity, ColumnValues::Byte(out)));
+        }
+        (HiveType::SmallInt, ColumnData::Int16(v)) => ColumnValues::Short(v.clone()),
+        (HiveType::SmallInt, ColumnData::Int32(v)) => {
+            let mut validity = Validity::with_capacity(v.len());
+            let mut out = Vec::with_capacity(v.len());
+            for (i, x) in v.iter().enumerate() {
+                if !col.validity.get(i) {
+                    validity.push(false);
+                    out.push(0);
+                    continue;
+                }
+                match i16::try_from(*x) {
+                    Ok(s) => {
+                        validity.push(true);
+                        out.push(s);
+                    }
+                    Err(_) => {
+                        diag.warn(
+                            "HIVE_NARROWING_NULL",
+                            format!("int value {x} does not fit smallint, reading NULL"),
+                        );
+                        validity.push(false);
+                        out.push(0);
+                    }
+                }
+            }
+            return Ok(ValueColumn::from_parts(validity, ColumnValues::Short(out)));
+        }
+        (HiveType::Int, ColumnData::Int32(v)) => ColumnValues::Int(v.clone()),
+        // Files written with a wider schema than the table declares.
+        (HiveType::Int, ColumnData::Int8(v)) => {
+            ColumnValues::Int(v.iter().map(|x| *x as i32).collect())
+        }
+        (HiveType::Int, ColumnData::Int16(v)) => {
+            ColumnValues::Int(v.iter().map(|x| *x as i32).collect())
+        }
+        (HiveType::BigInt, ColumnData::Int64(v)) => ColumnValues::Long(v.clone()),
+        (HiveType::BigInt, ColumnData::Int32(v)) => {
+            ColumnValues::Long(v.iter().map(|x| *x as i64).collect())
+        }
+        (HiveType::Float, ColumnData::Float32(v)) => ColumnValues::Float(v.clone()),
+        (HiveType::Double, ColumnData::Float64(v)) => ColumnValues::Double(v.clone()),
+        (HiveType::Decimal(p, s), ColumnData::Decimal { unscaled, scale }) => {
+            // Hive validates the stored scale against the declaration
+            // (the rigidity behind SPARK-39158 / D02).
+            let mut precision = Vec::with_capacity(unscaled.len());
+            for i in 0..unscaled.len() {
+                if !col.validity.get(i) {
+                    precision.push(1);
+                    continue;
+                }
+                if scale[i] != *s {
+                    return Err(HiveError::SerDe {
+                        format: "decimal-reader",
+                        message: format!(
+                            "file stores decimal scale {} but table declares decimal({p},{s})",
+                            scale[i]
+                        ),
+                    });
+                }
+                // Digits computed inline; the checked constructor is only
+                // replayed when a bound trips, for its exact error.
+                let n = unscaled[i].unsigned_abs();
+                let digits = (match u64::try_from(n) {
+                    Ok(0) => 1,
+                    Ok(v) => v.ilog10() + 1,
+                    Err(_) => n.ilog10() + 1,
+                }) as u8;
+                if *p == 0 || *p > Decimal::MAX_PRECISION || *s > *p || digits > *p {
+                    Decimal::new(unscaled[i], *p, *s).map_err(|e| HiveError::SerDe {
+                        format: "decimal-reader",
+                        message: e.to_string(),
+                    })?;
+                }
+                precision.push(*p);
+            }
+            ColumnValues::Decimal {
+                unscaled: unscaled.clone(),
+                precision,
+                scale: scale.clone(),
+            }
+        }
+        (HiveType::Str | HiveType::Char(_) | HiveType::Varchar(_), ColumnData::Utf8(buf)) => {
+            ColumnValues::Str {
+                offsets: buf.offsets().to_vec(),
+                bytes: buf.raw_bytes().to_vec(),
+            }
+        }
+        (HiveType::Binary, ColumnData::Bytes(buf)) => ColumnValues::Binary {
+            offsets: buf.offsets().to_vec(),
+            bytes: buf.raw_bytes().to_vec(),
+        },
+        (HiveType::Date, ColumnData::Int32(v)) => ColumnValues::Date(v.clone()),
+        (HiveType::Timestamp, ColumnData::Int64(v)) => {
+            let cutover = gregorian_cutover_micros();
+            let shift = format == StorageFormat::Parquet && julian;
+            ColumnValues::Timestamp(
+                v.iter()
+                    .map(|us| {
+                        if shift && *us < cutover {
+                            *us + JULIAN_SHIFT_MICROS
+                        } else {
+                            *us
+                        }
+                    })
+                    .collect(),
+            )
+        }
+        // Nested values and type-skewed buffers replay the per-cell
+        // reader (identical errors and diagnostics).
+        _ => {
+            let mut out = ValueColumn::with_capacity(&def.hive_type.to_data_type(), col.len());
+            for i in 0..col.len() {
+                let v = from_physical(format, &def.hive_type, &col.get(i), julian, diag)?;
+                out.push(&v);
+            }
+            return Ok(out);
+        }
+    };
+    Ok(ValueColumn::from_parts(validity(), values))
+}
+
+/// The retained row-at-a-time deserializer: the pre-columnar baseline,
+/// kept for differential testing and as the benchmark reference point.
+pub fn read_file_rows(
     format: StorageFormat,
     columns: &[ColumnDef],
     bytes: &[u8],

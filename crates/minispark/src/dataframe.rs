@@ -12,6 +12,7 @@ use crate::config::StoreAssignmentPolicy;
 use crate::error::SparkError;
 use crate::session::{DdlPath, SparkSession};
 use crate::types::{store_assign, CastOptions};
+use csi_core::column::{ColumnValues, ValueColumn};
 use csi_core::value::{DataType, StructField, Value};
 use minihive::metastore::StorageFormat;
 
@@ -76,6 +77,64 @@ impl<'a> DataFrameApi<'a> {
         self.session.write_rows(&def, &schema, &cast_rows)
     }
 
+    /// `df.write.insertInto(name)` over column buffers — the bulk
+    /// counterpart of [`DataFrameApi::insert_into`]. Columns whose buffer
+    /// already inhabits the target type skip the per-cell cast entirely;
+    /// anything else (decimals, CHAR/VARCHAR, type-skewed or out-of-range
+    /// buffers) replays the row path's `store_assign` per cell.
+    pub fn insert_columns(&self, name: &str, cols: &[ValueColumn]) -> Result<(), SparkError> {
+        let def = self.session.table_def(name)?;
+        let schema = self.session.resolve_schema(&def);
+        if cols.len() != schema.len() {
+            return Err(SparkError::Arity {
+                expected: schema.len(),
+                got: cols.len(),
+            });
+        }
+        let opts = self.cast_options();
+        let mut cast_cols = Vec::with_capacity(cols.len());
+        for (field, col) in schema.iter().zip(cols) {
+            if column_passes_through(&field.data_type, col, opts) {
+                cast_cols.push(col.clone());
+                continue;
+            }
+            let mut out = ValueColumn::with_capacity(&field.data_type, col.len());
+            for i in 0..col.len() {
+                let v = col.get(i);
+                if opts.date_range_check && crate::types::has_out_of_range_datetime(&v) {
+                    self.session.diag().warn(
+                        "DATE_RANGE_COERCED",
+                        format!(
+                            "value for column {} is outside 0001-01-01..9999-12-31, writing NULL",
+                            field.name
+                        ),
+                    );
+                }
+                out.push(&store_assign(&v, &field.data_type, opts)?);
+            }
+            cast_cols.push(out);
+        }
+        self.session.write_columns(&def, &schema, &cast_cols)
+    }
+
+    /// `spark.table(name).collect()` over column buffers — the bulk
+    /// counterpart of [`DataFrameApi::read_table`].
+    pub fn read_table_columns(
+        &self,
+        name: &str,
+    ) -> Result<(Vec<StructField>, Vec<ValueColumn>), SparkError> {
+        let def = self.session.table_def(name)?;
+        let schema = self.session.resolve_schema(&def);
+        let mut cols = self.session.read_columns(&def, &schema)?;
+        if !self.session.config.char_varchar_as_string() {
+            // The DataFrame reader trims CHAR padding (D13's upstream half).
+            for (field, col) in schema.iter().zip(cols.iter_mut()) {
+                trim_char_column(&field.data_type, col);
+            }
+        }
+        Ok((schema, cols))
+    }
+
     /// `spark.table(name).collect()` — reads all rows.
     pub fn read_table(
         &self,
@@ -93,6 +152,57 @@ impl<'a> DataFrameApi<'a> {
             }
         }
         Ok((schema, rows))
+    }
+}
+
+/// Whether a whole column buffer survives `store_assign` under the Legacy
+/// policy byte-for-byte, so the per-cell replay can be skipped.
+///
+/// Only (target, lane) pairs proven identity in `legacy_cast` qualify:
+/// exact-variant integrals and booleans, doubles, strings into STRING,
+/// binary, intervals, and dates/timestamps when the range check is off
+/// (the check both warns and, for dates, NULLs — both need the row replay).
+/// FLOAT is excluded: the row path round-trips f32 through f64, which can
+/// quiet signalling NaN payloads, and pass-through must not diverge from it.
+fn column_passes_through(ty: &DataType, col: &ValueColumn, opts: CastOptions) -> bool {
+    match (ty, col.values()) {
+        (DataType::Boolean, ColumnValues::Boolean(_))
+        | (DataType::Byte, ColumnValues::Byte(_))
+        | (DataType::Short, ColumnValues::Short(_))
+        | (DataType::Int, ColumnValues::Int(_))
+        | (DataType::Long, ColumnValues::Long(_))
+        | (DataType::Double, ColumnValues::Double(_))
+        | (DataType::String, ColumnValues::Str { .. })
+        | (DataType::Binary, ColumnValues::Binary { .. })
+        | (DataType::Interval, ColumnValues::Interval { .. }) => true,
+        (DataType::Date, ColumnValues::Date(_))
+        | (DataType::Timestamp, ColumnValues::Timestamp(_)) => !opts.date_range_check,
+        _ => false,
+    }
+}
+
+/// Columnar counterpart of [`trim_char`]: drops trailing blanks from CHAR
+/// string buffers in place, recursing into `Mixed` lanes for nested types.
+fn trim_char_column(ty: &DataType, col: &mut ValueColumn) {
+    match (ty, col.values_mut()) {
+        (DataType::Char(_), ColumnValues::Str { offsets, bytes }) => {
+            let mut out_bytes = Vec::with_capacity(bytes.len());
+            let mut end = 0usize;
+            for w in offsets.iter_mut() {
+                let cell = &bytes[end..*w];
+                end = *w;
+                let trimmed = cell.len() - cell.iter().rev().take_while(|b| **b == b' ').count();
+                out_bytes.extend_from_slice(&cell[..trimmed]);
+                *w = out_bytes.len();
+            }
+            *bytes = out_bytes;
+        }
+        (_, ColumnValues::Mixed(values)) => {
+            for v in values {
+                trim_char(ty, v);
+            }
+        }
+        _ => {}
     }
 }
 
@@ -239,6 +349,45 @@ mod tests {
         let (resolved, rows) = df.read_table("t").unwrap();
         assert_eq!(resolved[0].data_type, DataType::String);
         assert_eq!(rows[0][0], Value::Str("3 months 0 us".into()));
+    }
+
+    #[test]
+    fn column_insert_matches_row_insert() {
+        let (s, _) = session();
+        let df = s.dataframe();
+        let schema = vec![
+            StructField::new("c", DataType::Char(4)),
+            StructField::new("n", DataType::Long),
+            StructField::new("d", DataType::Decimal(10, 2)),
+        ];
+        df.create_table("rows", &schema, StorageFormat::Parquet)
+            .unwrap();
+        df.create_table("cols", &schema, StorageFormat::Parquet)
+            .unwrap();
+        let rows = vec![
+            vec![
+                Value::Str("ab".into()),
+                Value::Long(7),
+                Value::Decimal(Decimal::parse("1.25").unwrap()),
+            ],
+            vec![Value::Null, Value::Long(-1), Value::Null],
+        ];
+        df.insert_into("rows", &rows).unwrap();
+        let cols: Vec<ValueColumn> = schema
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let cells: Vec<Value> = rows.iter().map(|r| r[i].clone()).collect();
+                ValueColumn::from_values(&f.data_type, &cells)
+            })
+            .collect();
+        df.insert_columns("cols", &cols).unwrap();
+        let (_, row_read) = df.read_table("rows").unwrap();
+        let (_, col_read) = df.read_table_columns("cols").unwrap();
+        for (i, col) in col_read.iter().enumerate() {
+            let transposed: Vec<Value> = row_read.iter().map(|r| r[i].clone()).collect();
+            assert_eq!(col.to_values(), transposed, "column {i}");
+        }
     }
 
     #[test]

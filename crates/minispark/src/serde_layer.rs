@@ -20,7 +20,9 @@
 
 use crate::config::SparkConfig;
 use crate::error::SparkError;
+use csi_core::column::{ColumnValues, Validity, ValueColumn};
 use csi_core::value::{DataType, Decimal, StructField, Value};
+use miniformats::batch::{Bitmap, Column as BatchColumn, ColumnData, RecordBatch, VarBuffer};
 use miniformats::physical::{FileSchema, PhysicalColumn, PhysicalType, PhysicalValue};
 use miniformats::{avro, orc, parquet, FormatError};
 use minihive::metastore::StorageFormat;
@@ -76,7 +78,40 @@ fn format_err(e: FormatError) -> SparkError {
 /// Serializes rows (already store-assigned) into a data file.
 ///
 /// `schema` carries Spark's case-preserved field names.
+///
+/// This is the thin row-API adapter over [`write_columns`]: rows are
+/// transposed into typed column buffers (one byte-copy per cell, no
+/// intermediate [`PhysicalValue`] allocation) and serialized columnar.
+/// Output bytes are identical to [`write_file_rows`]; with multiple
+/// columns *and* multiple invalid cells the reported error can be a
+/// different (column-major-first) one.
 pub fn write_file(
+    format: StorageFormat,
+    schema: &[StructField],
+    rows: &[Vec<Value>],
+    config: &SparkConfig,
+) -> Result<Vec<u8>, SparkError> {
+    let mut cols: Vec<ValueColumn> = schema
+        .iter()
+        .map(|f| ValueColumn::with_capacity(&f.data_type, rows.len()))
+        .collect();
+    for row in rows {
+        if row.len() != schema.len() {
+            return Err(SparkError::Arity {
+                expected: schema.len(),
+                got: row.len(),
+            });
+        }
+        for (col, v) in cols.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+    write_columns(format, schema, &cols, config)
+}
+
+/// The retained row-at-a-time serializer: the pre-columnar baseline, kept
+/// for differential testing and as the benchmark reference point.
+pub fn write_file_rows(
     format: StorageFormat,
     schema: &[StructField],
     rows: &[Vec<Value>],
@@ -118,6 +153,132 @@ pub fn write_file(
         StorageFormat::Avro => avro::encode(&file_schema, &out_rows),
     }
     .map_err(format_err)
+}
+
+/// Serializes typed column buffers directly into a data file — the bulk
+/// hot path. Flat columns move buffer-to-buffer with no per-cell enum
+/// traffic; nested or type-skewed columns fall back to the per-cell
+/// converter and report the same errors as the row path.
+pub fn write_columns(
+    format: StorageFormat,
+    schema: &[StructField],
+    cols: &[ValueColumn],
+    config: &SparkConfig,
+) -> Result<Vec<u8>, SparkError> {
+    if cols.len() != schema.len() {
+        return Err(SparkError::Arity {
+            expected: schema.len(),
+            got: cols.len(),
+        });
+    }
+    let mut file_schema = FileSchema::default();
+    for f in schema {
+        file_schema.columns.push(PhysicalColumn {
+            name: f.name.clone(),
+            ty: physical_type_for(format, &f.data_type)?,
+            // Spark's writer records no logical annotations (D01).
+            logical: None,
+        });
+    }
+    file_schema.meta.insert("writer".into(), "spark".into());
+    if format == StorageFormat::Parquet {
+        file_schema
+            .meta
+            .insert(parquet::TIMESTAMP_REBASE_KEY.into(), "proleptic".into());
+    }
+    let _ = config;
+    let mut batch = RecordBatch {
+        schema: file_schema,
+        columns: Vec::with_capacity(cols.len()),
+    };
+    for (f, col) in schema.iter().zip(cols) {
+        let out = column_to_physical(format, f, col)?;
+        batch.columns.push(out);
+    }
+    let encode = match format {
+        StorageFormat::Orc => orc::encode_batch(&batch),
+        StorageFormat::Parquet => parquet::encode_batch(&batch),
+        StorageFormat::Avro => avro::encode_batch(&batch),
+    };
+    encode.map_err(format_err)
+}
+
+/// Converts one typed column into its physical batch column. Each fast
+/// path is the vectorized image of the matching [`to_physical`] arm.
+fn column_to_physical(
+    format: StorageFormat,
+    field: &StructField,
+    col: &ValueColumn,
+) -> Result<BatchColumn, SparkError> {
+    let validity = || Bitmap::from_raw(col.validity().words().to_vec(), col.len());
+    let avro = format == StorageFormat::Avro;
+    let data = match (&field.data_type, col.values()) {
+        (DataType::Boolean, ColumnValues::Boolean(v)) => ColumnData::Bool(v.clone()),
+        (DataType::Byte, ColumnValues::Byte(v)) if avro => {
+            ColumnData::Int32(v.iter().map(|x| *x as i32).collect())
+        }
+        (DataType::Byte, ColumnValues::Byte(v)) => ColumnData::Int8(v.clone()),
+        (DataType::Short, ColumnValues::Short(v)) if avro => {
+            ColumnData::Int32(v.iter().map(|x| *x as i32).collect())
+        }
+        (DataType::Short, ColumnValues::Short(v)) => ColumnData::Int16(v.clone()),
+        (DataType::Int, ColumnValues::Int(v)) => ColumnData::Int32(v.clone()),
+        (DataType::Long, ColumnValues::Long(v)) => ColumnData::Int64(v.clone()),
+        (DataType::Float, ColumnValues::Float(v)) => ColumnData::Float32(v.clone()),
+        (DataType::Double, ColumnValues::Double(v)) => ColumnData::Float64(v.clone()),
+        // Spark writes the runtime scale, unchanged (D02's writer half).
+        (
+            DataType::Decimal(_, _),
+            ColumnValues::Decimal {
+                unscaled, scale, ..
+            },
+        ) => ColumnData::Decimal {
+            unscaled: unscaled.clone(),
+            scale: scale.clone(),
+        },
+        (
+            DataType::String | DataType::Char(_) | DataType::Varchar(_),
+            ColumnValues::Str { offsets, bytes },
+        ) => ColumnData::Utf8(VarBuffer::from_raw(offsets.clone(), bytes.clone())),
+        (DataType::Binary, ColumnValues::Binary { offsets, bytes }) => {
+            ColumnData::Bytes(VarBuffer::from_raw(offsets.clone(), bytes.clone()))
+        }
+        (DataType::Date, ColumnValues::Date(v)) => ColumnData::Int32(v.clone()),
+        (DataType::Timestamp, ColumnValues::Timestamp(v)) => {
+            if format == StorageFormat::Orc {
+                let min = minihive::serde_layer::orc_min_timestamp_micros();
+                for (i, us) in v.iter().enumerate() {
+                    if col.validity().get(i) && *us < min {
+                        // Spark's ORC writer refuses what legacy ORC cannot
+                        // represent (D06's upstream half: raise, not NULL).
+                        return Err(SparkError::SerDe {
+                            code: "ORC_TIMESTAMP_RANGE",
+                            message: "cannot write pre-1900 timestamp to legacy ORC".into(),
+                        });
+                    }
+                }
+            }
+            // Parquet: proleptic, no rebase.
+            ColumnData::Int64(v.clone())
+        }
+        // Nested columns, Mixed columns, and type-skewed buffers: the
+        // per-cell converter, which raises the row path's exact errors
+        // (VALUE_TYPE_MISMATCH, INTERVAL-free by physical_type_for).
+        _ => {
+            let phys_ty = physical_type_for(format, &field.data_type)?;
+            let mut out = BatchColumn::with_capacity(&phys_ty, col.len());
+            for i in 0..col.len() {
+                let pv = to_physical(format, &field.data_type, &col.get(i))?;
+                let ok = out.push_checked(&pv);
+                debug_assert!(ok, "to_physical output conforms to physical_type_for");
+            }
+            return Ok(out);
+        }
+    };
+    Ok(BatchColumn {
+        validity: validity(),
+        data,
+    })
 }
 
 fn to_physical(
@@ -195,7 +356,183 @@ fn to_physical(
 }
 
 /// Deserializes a data file against Spark's expected schema.
+///
+/// Thin row-API adapter over [`read_columns`]: the file is decoded into
+/// typed column buffers, transformed per column, and transposed back to
+/// rows. Values and errors match [`read_file_rows`] (column-major error
+/// order on multi-column multi-error files).
 pub fn read_file(
+    format: StorageFormat,
+    schema: &[StructField],
+    bytes: &[u8],
+    config: &SparkConfig,
+) -> Result<Vec<Vec<Value>>, SparkError> {
+    let cols = read_columns(format, schema, bytes, config)?;
+    let nrows = cols.first().map_or(0, ValueColumn::len);
+    let mut out = Vec::with_capacity(nrows);
+    for i in 0..nrows {
+        out.push(cols.iter().map(|c| c.get(i)).collect());
+    }
+    Ok(out)
+}
+
+/// Deserializes typed column buffers directly — the bulk read hot path.
+pub fn read_columns(
+    format: StorageFormat,
+    schema: &[StructField],
+    bytes: &[u8],
+    config: &SparkConfig,
+) -> Result<Vec<ValueColumn>, SparkError> {
+    let batch = match format {
+        StorageFormat::Orc => orc::decode_batch(bytes),
+        StorageFormat::Parquet => parquet::decode_batch(bytes),
+        StorageFormat::Avro => avro::decode_batch(bytes),
+    }
+    .map_err(format_err)?;
+    let honor_julian = config.parquet_rebase_legacy();
+    let file_julian = batch
+        .schema
+        .meta
+        .get(parquet::TIMESTAMP_REBASE_KEY)
+        .map(String::as_str)
+        == Some("julian");
+    let rebase = file_julian && honor_julian;
+    let nrows = batch.len();
+    // Spark resolves columns case-insensitively at the top level (its
+    // analyzer is case-insensitive by default) but keeps exact physical
+    // type expectations.
+    let mut out = Vec::with_capacity(schema.len());
+    for f in schema {
+        let col = match batch.schema.index_of_ci(&f.name) {
+            Some(i) => column_from_physical(
+                format,
+                f,
+                &batch.columns[i],
+                &batch.schema.columns[i],
+                rebase,
+            )?,
+            None => ValueColumn::nulls(&f.data_type, nrows),
+        };
+        out.push(col);
+    }
+    Ok(out)
+}
+
+/// Converts one physical batch column into a typed value column. Each
+/// fast path is the vectorized image of the matching [`from_physical`]
+/// arm; anything else replays the per-cell reader (so annotation checks,
+/// narrowing errors, and nested resolution behave exactly as before).
+fn column_from_physical(
+    format: StorageFormat,
+    field: &StructField,
+    col: &BatchColumn,
+    column: &PhysicalColumn,
+    rebase: bool,
+) -> Result<ValueColumn, SparkError> {
+    let validity = || Validity::from_raw(col.validity.words().to_vec(), col.len());
+    let values = match (&field.data_type, &col.data) {
+        (DataType::Boolean, ColumnData::Bool(v)) => ColumnValues::Boolean(v.clone()),
+        (DataType::Byte, ColumnData::Int8(v)) => ColumnValues::Byte(v.clone()),
+        (DataType::Short, ColumnData::Int16(v)) => ColumnValues::Short(v.clone()),
+        (DataType::Int, ColumnData::Int32(v)) => ColumnValues::Int(v.clone()),
+        (DataType::Int, ColumnData::Int8(v)) => {
+            ColumnValues::Int(v.iter().map(|x| *x as i32).collect())
+        }
+        (DataType::Int, ColumnData::Int16(v)) => {
+            ColumnValues::Int(v.iter().map(|x| *x as i32).collect())
+        }
+        (DataType::Long, ColumnData::Int64(v)) => ColumnValues::Long(v.clone()),
+        (DataType::Long, ColumnData::Int32(v)) => {
+            ColumnValues::Long(v.iter().map(|x| *x as i64).collect())
+        }
+        (DataType::Float, ColumnData::Float32(v)) => ColumnValues::Float(v.clone()),
+        (DataType::Double, ColumnData::Float64(v)) => ColumnValues::Double(v.clone()),
+        // Spark's decimal reader trusts the stored scale (lenient to its
+        // own runtime-scaled files); precision widens to fit the digits.
+        // The digits are computed inline — constructing two checked
+        // [`Decimal`]s per cell dominated the whole read path — and the
+        // checked constructors are replayed only when a bound trips, so
+        // out-of-range cells raise exactly the row path's errors.
+        (DataType::Decimal(p, _), ColumnData::Decimal { unscaled, scale }) => {
+            let mut out_precision = Vec::with_capacity(unscaled.len());
+            for i in 0..unscaled.len() {
+                if !col.validity.get(i) {
+                    out_precision.push(1);
+                    continue;
+                }
+                let (u, s) = (unscaled[i], scale[i]);
+                let n = u.unsigned_abs();
+                let digits_needed = (match u64::try_from(n) {
+                    Ok(0) => 1,
+                    Ok(v) => v.ilog10() + 1,
+                    Err(_) => n.ilog10() + 1,
+                }) as u8;
+                if s > Decimal::MAX_PRECISION || digits_needed > Decimal::MAX_PRECISION {
+                    Decimal::new(u, Decimal::MAX_PRECISION, s).map_err(|e| SparkError::SerDe {
+                        code: "DECIMAL_DECODE",
+                        message: e.to_string(),
+                    })?;
+                }
+                let precision = (*p).max(digits_needed).max(s + 1);
+                if precision > Decimal::MAX_PRECISION {
+                    Decimal::new(u, precision, s).map_err(|e| SparkError::SerDe {
+                        code: "DECIMAL_DECODE",
+                        message: e.to_string(),
+                    })?;
+                }
+                out_precision.push(precision);
+            }
+            ColumnValues::Decimal {
+                unscaled: unscaled.clone(),
+                precision: out_precision,
+                scale: scale.clone(),
+            }
+        }
+        (DataType::String | DataType::Char(_) | DataType::Varchar(_), ColumnData::Utf8(buf)) => {
+            ColumnValues::Str {
+                offsets: buf.offsets().to_vec(),
+                bytes: buf.raw_bytes().to_vec(),
+            }
+        }
+        (DataType::Binary, ColumnData::Bytes(buf)) => ColumnValues::Binary {
+            offsets: buf.offsets().to_vec(),
+            bytes: buf.raw_bytes().to_vec(),
+        },
+        (DataType::Date, ColumnData::Int32(v)) => ColumnValues::Date(v.clone()),
+        (DataType::Timestamp, ColumnData::Int64(v)) => {
+            let cutover = minihive::serde_layer::gregorian_cutover_micros();
+            let shift = format == StorageFormat::Parquet && rebase;
+            ColumnValues::Timestamp(
+                v.iter()
+                    .map(|us| {
+                        if shift && *us < cutover {
+                            *us + minihive::serde_layer::JULIAN_SHIFT_MICROS
+                        } else {
+                            // The default CORRECTED mode reads the raw value
+                            // even if the file was written Julian-rebased (D07).
+                            *us
+                        }
+                    })
+                    .collect(),
+            )
+        }
+        // Annotation-gated narrowing, nested values, and type-skewed
+        // buffers replay the per-cell reader.
+        _ => {
+            let mut out = ValueColumn::with_capacity(&field.data_type, col.len());
+            for i in 0..col.len() {
+                let v = from_physical(format, &field.data_type, &col.get(i), column, rebase)?;
+                out.push(&v);
+            }
+            return Ok(out);
+        }
+    };
+    Ok(ValueColumn::from_parts(validity(), values))
+}
+
+/// The retained row-at-a-time deserializer: the pre-columnar baseline,
+/// kept for differential testing and as the benchmark reference point.
+pub fn read_file_rows(
     format: StorageFormat,
     schema: &[StructField],
     bytes: &[u8],

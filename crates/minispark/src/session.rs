@@ -13,6 +13,7 @@ use crate::config::SparkConfig;
 use crate::error::SparkError;
 use crate::serde_layer;
 use crate::types::{schema_from_property, schema_to_property};
+use csi_core::column::ValueColumn;
 use csi_core::diag::DiagHandle;
 use csi_core::value::{DataType, StructField, Value};
 use minihive::hiveql::SharedMetastore;
@@ -218,6 +219,64 @@ impl SparkSession {
                 code: "HDFS",
                 message: e.to_string(),
             })
+    }
+
+    /// Appends already-cast column buffers to a table through Spark's
+    /// serializers — the bulk counterpart of [`SparkSession::write_rows`],
+    /// with no per-cell enum traffic on flat columns.
+    pub fn write_columns(
+        &self,
+        def: &TableDef,
+        schema: &[StructField],
+        cols: &[ValueColumn],
+    ) -> Result<(), SparkError> {
+        let bytes = serde_layer::write_columns(def.format, schema, cols, &self.config)?;
+        let part = self.metastore.lock().next_part_path(def);
+        self.fs
+            .lock()
+            .create(&part, &bytes)
+            .map_err(|e| SparkError::Connector {
+                code: "HDFS",
+                message: e.to_string(),
+            })
+    }
+
+    /// Reads all rows of a table as column buffers — the bulk counterpart
+    /// of [`SparkSession::read_rows`]. Multiple data files concatenate
+    /// column-wise in path order.
+    pub fn read_columns(
+        &self,
+        def: &TableDef,
+        schema: &[StructField],
+    ) -> Result<Vec<ValueColumn>, SparkError> {
+        let fs = self.fs.lock();
+        let files = self
+            .metastore
+            .lock()
+            .table_data_files(def, &fs)
+            .map_err(SparkError::from)?;
+        let mut out: Option<Vec<ValueColumn>> = None;
+        for path in files {
+            let bytes = fs.read(&path).map_err(|e| SparkError::Connector {
+                code: "HDFS",
+                message: e.to_string(),
+            })?;
+            let cols = serde_layer::read_columns(def.format, schema, &bytes, &self.config)?;
+            match &mut out {
+                None => out = Some(cols),
+                Some(acc) => {
+                    for (a, c) in acc.iter_mut().zip(&cols) {
+                        a.extend_from(c);
+                    }
+                }
+            }
+        }
+        Ok(out.unwrap_or_else(|| {
+            schema
+                .iter()
+                .map(|f| ValueColumn::for_type(&f.data_type))
+                .collect()
+        }))
     }
 
     /// Reads all rows of a table through Spark's deserializers.

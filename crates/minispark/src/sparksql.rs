@@ -165,9 +165,26 @@ impl<'a> SparkSql<'a> {
                         (names, idx)
                     }
                 };
+                // Distinct indices let each projected cell be *moved* out of
+                // its row instead of deep-cloned — the hot path for wide
+                // string columns. Duplicate projections ("SELECT a, a")
+                // fall back to cloning.
+                let distinct = idx
+                    .iter()
+                    .all(|i| idx.iter().filter(|j| *j == i).count() == 1);
                 let projected = rows
                     .into_iter()
-                    .map(|r| idx.iter().map(|i| r[*i].clone()).collect())
+                    .map(|mut r| {
+                        idx.iter()
+                            .map(|i| {
+                                if distinct {
+                                    std::mem::replace(&mut r[*i], Value::Null)
+                                } else {
+                                    r[*i].clone()
+                                }
+                            })
+                            .collect()
+                    })
                     .collect();
                 Ok(SqlResult {
                     columns: names,
