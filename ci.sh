@@ -59,6 +59,8 @@ stage_golden() {
 stage_explore() {
   echo "==> coverage-guided explore smoke (asserts novel signatures beyond the seed grid)"
   cargo run -q --release -p csi-bench --bin explore -- 42 400 4
+  echo "==> k-fault compound smoke (asserts a shrunk multi-fault cross-job cluster, serial == sharded)"
+  cargo run -q --release -p csi-bench --bin kfault_explore -- 42 96 4
 }
 
 stage_bench_smoke() {

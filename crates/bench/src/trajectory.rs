@@ -5,7 +5,7 @@
 //! alongside the code that produced it:
 //!
 //! - `BENCH_campaign.json` — the `campaign` and `fault_matrix` binaries;
-//! - `BENCH_explore.json` — the `explore` binary;
+//! - `BENCH_explore.json` — the `explore` and `kfault_explore` binaries;
 //! - `BENCH_serde.json` — the `serde_batch` binary (columnar vs row serde).
 //!
 //! Every line is a JSON object tagged with a `bin` key. `ci.sh reports`

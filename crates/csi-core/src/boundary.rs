@@ -218,6 +218,35 @@ impl InteractionTrace {
     pub fn compact(&self) -> Vec<String> {
         self.crossings.iter().map(Crossing::compact).collect()
     }
+
+    /// The *causal prefix* of the trace: the ordered crossing tuples from
+    /// the start up to and including the first faulted crossing (the whole
+    /// trace when nothing faulted). Two discrepancies that share this
+    /// prefix failed through the same causal path — the co-failure
+    /// clustering key of compound fault campaigns (the flakiness study's
+    /// shared-root-cause grouping, computed on `InteractionTrace`s).
+    ///
+    /// Tuples are `channel|op|plane|status`, deliberately free of sequence
+    /// numbers, timestamps, and payload digests so pooling, recycling, and
+    /// table-name differences never split a cluster.
+    pub fn causal_prefix(&self) -> Vec<String> {
+        let mut prefix = Vec::new();
+        for crossing in &self.crossings {
+            let status = match &crossing.outcome {
+                CrossingOutcome::Clean => "ok".to_string(),
+                CrossingOutcome::Faulted { fault } => format!("fault:{}", fault.kind),
+                CrossingOutcome::Noted { info } => format!("note:{info}"),
+            };
+            prefix.push(format!(
+                "{}|{}|{}|{}",
+                crossing.call.channel, crossing.call.op, crossing.call.plane, status
+            ));
+            if matches!(crossing.outcome, CrossingOutcome::Faulted { .. }) {
+                break;
+            }
+        }
+        prefix
+    }
 }
 
 impl fmt::Display for InteractionTrace {
@@ -327,6 +356,11 @@ impl CrossingContext {
     /// Arms every fault of a plan.
     pub fn arm_plan(&self, plan: &FaultPlan) {
         self.registry.arm_plan(plan);
+    }
+
+    /// Arms every member of a k-fault combination.
+    pub fn arm_set(&self, set: &crate::fault::FaultSet) {
+        self.registry.arm_set(set);
     }
 
     /// The faults that fired since the last [`reset`](CrossingContext::reset).

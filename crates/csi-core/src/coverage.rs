@@ -92,6 +92,28 @@ impl CoverageSignature {
     }
 }
 
+/// FNV-1a 64-bit fingerprint of an *ordered* causal-trace prefix (see
+/// [`InteractionTrace::causal_prefix`]).
+///
+/// Unlike [`CoverageSignature::fingerprint`], which hashes a deduplicated
+/// set, this hash is order-sensitive: the co-failure clustering of compound
+/// fault campaigns groups discrepancies by the exact causal path up to the
+/// first fault, so `A then B` and `B then A` must land in different
+/// clusters.
+pub fn prefix_fingerprint(prefix: &[String]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for step in prefix {
+        for byte in step.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0100_0000_01b3);
+        }
+        // Step separator, so ["ab","c"] and ["a","bc"] differ.
+        hash ^= u64::from(b'\n');
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
 /// The set of coverage signatures a campaign has seen, with the execution
 /// index each was first observed at.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -189,6 +211,35 @@ mod tests {
         let fp = tagged.fingerprint();
         tagged.tag("code:CAST_OVERFLOW");
         assert_eq!(tagged.fingerprint(), fp);
+    }
+
+    #[test]
+    fn prefix_fingerprints_are_order_sensitive() {
+        let ab = prefix_fingerprint(&["a".to_string(), "b".to_string()]);
+        let ba = prefix_fingerprint(&["b".to_string(), "a".to_string()]);
+        assert_ne!(ab, ba);
+        // Step boundaries matter: ["ab"] != ["a","b"].
+        assert_ne!(prefix_fingerprint(&["ab".to_string()]), ab);
+        assert_eq!(ab, prefix_fingerprint(&["a".to_string(), "b".to_string()]));
+    }
+
+    #[test]
+    fn causal_prefix_stops_at_the_first_fault() {
+        let ctx = CrossingContext::new();
+        ctx.arm(FaultSpec {
+            id: "mid".into(),
+            channel: Channel::Metastore,
+            op: "create_table".into(),
+            kind: FaultKind::Unavailable,
+            trigger: Trigger::Always,
+        });
+        for op in ["get_table", "create_table", "drop_table"] {
+            let _: Result<(), InteractionError> =
+                ctx.cross(BoundaryCall::new(Channel::Metastore, op));
+        }
+        let prefix = ctx.trace().causal_prefix();
+        assert_eq!(prefix.len(), 2, "{prefix:?}");
+        assert!(prefix[1].contains("fault:unavailable"), "{prefix:?}");
     }
 
     #[test]

@@ -26,6 +26,14 @@
 //! stream, the surfaced error, and a frozen [`BaselineSet`] — never of
 //! wall-clock time or worker interleaving — so serial and sharded
 //! campaigns produce byte-identical detection sets.
+//!
+//! Compound campaigns (`csi_test::multi`: k-fault sets armed at once,
+//! several jobs interleaved on one shared deployment) exercise exactly the
+//! cascading scenarios [`DetectionKind::CoOccurrence`] exists for: the
+//! shared [`CrossingContext`] carries every job's crossings in one stream,
+//! so faults that only co-fire under a particular interleaving land in the
+//! same virtual-time window and become detectable — which a per-job stream
+//! would never show.
 
 use crate::boundary::{Crossing, CrossingOutcome, CrossingSink, InteractionTrace};
 use crate::error::{ErrorKind, InteractionError};

@@ -148,6 +148,113 @@ impl FaultPlan {
     }
 }
 
+/// A combination of faults armed *simultaneously* for one trial — the
+/// paper's cascading incidents (8/11 studied CSI failures) co-occur rather
+/// than arrive one at a time, so compound campaigns inject sets, not
+/// singletons.
+///
+/// The id is the member spec ids joined with `+` (or `"none"` when empty),
+/// which keeps reports and cluster reproducers human-readable and makes
+/// set identity purely structural.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSet {
+    /// Stable identifier: member ids joined with `+`, `"none"` when empty.
+    pub id: String,
+    /// The member faults, in combination order.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultSet {
+    /// Builds a set from member specs, deriving the id.
+    pub fn new(faults: Vec<FaultSpec>) -> FaultSet {
+        let id = if faults.is_empty() {
+            "none".to_string()
+        } else {
+            faults
+                .iter()
+                .map(|f| f.id.as_str())
+                .collect::<Vec<_>>()
+                .join("+")
+        };
+        FaultSet { id, faults }
+    }
+
+    /// The empty set. Arming it is behaviorally identical to arming
+    /// nothing, exactly like [`FaultPlan::empty`].
+    pub fn empty() -> FaultSet {
+        FaultSet::new(Vec::new())
+    }
+
+    /// Number of member faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Splitmix-style step used to derive combination choices from a seed.
+fn mix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic, seeded enumeration of k-fault combinations (k ≤ 3).
+///
+/// Every singleton is always present (the k=1 slice — the existing fault
+/// matrix), in catalogue order. For `k ≥ 2` the pair (and for `k = 3` the
+/// triple) space is sampled without replacement: up to `per_k` seeded
+/// draws per arity, each a strictly increasing index tuple so no
+/// combination appears twice and member order matches catalogue order.
+/// The result is a pure function of `(specs, k, seed, per_k)`, so compound
+/// campaigns replay byte-identically.
+pub fn fault_combinations(specs: &[FaultSpec], k: usize, seed: u64, per_k: usize) -> Vec<FaultSet> {
+    let k = k.min(3);
+    let mut out: Vec<FaultSet> = specs
+        .iter()
+        .map(|s| FaultSet::new(vec![s.clone()]))
+        .collect();
+    if specs.len() < 2 {
+        return out;
+    }
+    let mut state = seed ^ 0xC0FF_EE00_D15E_A5E5;
+    let mut seen: std::collections::BTreeSet<Vec<usize>> = std::collections::BTreeSet::new();
+    for arity in 2..=k {
+        if specs.len() < arity {
+            break;
+        }
+        let mut drawn = 0;
+        // Bounded attempts so a tiny catalogue cannot loop forever once the
+        // distinct-combination space is exhausted.
+        for _ in 0..per_k * 8 {
+            if drawn >= per_k {
+                break;
+            }
+            let mut idx: Vec<usize> = Vec::with_capacity(arity);
+            while idx.len() < arity {
+                let i = (mix(&mut state) % specs.len() as u64) as usize;
+                if !idx.contains(&i) {
+                    idx.push(i);
+                }
+            }
+            idx.sort_unstable();
+            if seen.insert(idx.clone()) {
+                out.push(FaultSet::new(
+                    idx.iter().map(|&i| specs[i].clone()).collect(),
+                ));
+                drawn += 1;
+            }
+        }
+    }
+    out
+}
+
 /// Record of a fault that actually fired.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InjectedFault {
@@ -197,6 +304,16 @@ impl InjectionRegistry {
     pub fn arm_plan(&self, plan: &FaultPlan) {
         let mut state = self.inner.lock();
         state.armed.extend(plan.faults.iter().cloned());
+    }
+
+    /// Arms every fault of a combination set simultaneously. Members on
+    /// distinct `(channel, op)` pairs all fire independently; on a shared
+    /// pair the first armed match wins, same as [`arm_plan`].
+    ///
+    /// [`arm_plan`]: InjectionRegistry::arm_plan
+    pub fn arm_set(&self, set: &FaultSet) {
+        let mut state = self.inner.lock();
+        state.armed.extend(set.faults.iter().cloned());
     }
 
     /// Disarms all faults (armed specs only; counters and the fired log
@@ -485,6 +602,48 @@ mod tests {
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn fault_sets_are_deterministic_and_round_trip() {
+        let specs: Vec<FaultSpec> = (0..6)
+            .map(|i| {
+                spec(
+                    &format!("f{i}"),
+                    "get_table",
+                    FaultKind::Unavailable,
+                    Trigger::Always,
+                )
+            })
+            .collect();
+        let a = fault_combinations(&specs, 3, 42, 4);
+        let b = fault_combinations(&specs, 3, 42, 4);
+        assert_eq!(a, b, "same seed must enumerate identical combinations");
+        // All six singletons lead, in catalogue order.
+        assert_eq!(a[..6].iter().map(|s| s.len()).max(), Some(1));
+        assert!(a.iter().any(|s| s.len() == 2));
+        assert!(a.iter().any(|s| s.len() == 3));
+        // No duplicate combinations.
+        let ids: std::collections::BTreeSet<&str> = a.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids.len(), a.len());
+        let json = serde_json::to_string(&a[6]).unwrap();
+        let back: FaultSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a[6]);
+        assert_eq!(FaultSet::empty().id, "none");
+    }
+
+    #[test]
+    fn arming_a_set_fires_each_member_independently() {
+        let reg = InjectionRegistry::new();
+        let set = FaultSet::new(vec![
+            spec("a", "get_table", FaultKind::Unavailable, Trigger::Always),
+            spec("b", "create_table", FaultKind::Unavailable, Trigger::Always),
+        ]);
+        assert_eq!(set.id, "a+b");
+        reg.arm_set(&set);
+        assert!(hit(&reg, Channel::Metastore, "get_table").is_some());
+        assert!(hit(&reg, Channel::Metastore, "create_table").is_some());
+        assert_eq!(reg.fired().len(), 2);
     }
 
     #[test]

@@ -178,13 +178,16 @@ pub enum Section {
     /// Coverage-guided exploration stats (supplied via
     /// [`Render::exploration`]).
     Exploration,
+    /// Co-failure clusters of a compound campaign (supplied via
+    /// [`Render::clusters`]).
+    Clusters,
     /// Unattributed-failure warning.
     Warnings,
 }
 
 impl Section {
     /// Every section, in canonical render order.
-    pub const ALL: [Section; 8] = [
+    pub const ALL: [Section; 9] = [
         Section::Summary,
         Section::Discrepancies,
         Section::Categories,
@@ -192,6 +195,7 @@ impl Section {
         Section::Detections,
         Section::FaultCells,
         Section::Exploration,
+        Section::Clusters,
         Section::Warnings,
     ];
 }
@@ -259,6 +263,52 @@ pub struct ShrinkRow {
     pub checks: usize,
 }
 
+/// One co-failure cluster of a compound (k-fault × interleaving) campaign:
+/// discrepancies grouped by shared causal-trace prefix, plus the minimal
+/// reproducer the cluster ddmin-shrank to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterRow {
+    /// Hex fingerprint of the shared causal prefix (the cluster key).
+    pub fingerprint: String,
+    /// Number of member discrepancies.
+    pub members: usize,
+    /// The last step of the shared prefix — the crossing the cluster
+    /// failed through (`channel|op|plane|status`).
+    pub crack: String,
+    /// Depth of the shared prefix, in crossings.
+    pub prefix_len: usize,
+    /// Fault-set id of the shrunk reproducer (member ids joined with `+`).
+    pub fault_set: String,
+    /// Number of faults in the shrunk reproducer.
+    pub faults: usize,
+    /// Interleave-schedule id of the shrunk reproducer.
+    pub schedule: String,
+    /// Scenario of the shrunk reproducer's discrepant job.
+    pub scenario: String,
+}
+
+/// Headline stats of a compound (k-fault × interleaving) exploration pass,
+/// rendered alongside its [`ClusterRow`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompoundStats {
+    /// The pass seed.
+    pub seed: u64,
+    /// Maximum faults armed simultaneously (k).
+    pub kfaults: usize,
+    /// Concurrent jobs sharing one deployment per trial.
+    pub jobs: usize,
+    /// Trials executed.
+    pub executed: usize,
+    /// Size of the enumerated (fault-set × interleaving) product space.
+    pub space: usize,
+    /// Distinct compound coverage signatures seen.
+    pub signatures: usize,
+    /// Member discrepancies across all clusters.
+    pub discrepancies: usize,
+    /// Shrink re-executions spent across all clusters.
+    pub shrink_checks: usize,
+}
+
 /// Summary of a coverage-guided exploration campaign, rendered through
 /// [`Render::exploration`] and serialized alongside the report.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -308,6 +358,8 @@ pub struct Render<'a> {
     sections: Vec<Section>,
     fault_cells: &'a [FaultCellRow],
     exploration: Option<&'a ExplorationStats>,
+    clusters: &'a [ClusterRow],
+    compound: Option<&'a CompoundStats>,
 }
 
 impl<'a> Render<'a> {
@@ -318,6 +370,8 @@ impl<'a> Render<'a> {
             sections: Vec::new(),
             fault_cells: &[],
             exploration: None,
+            clusters: &[],
+            compound: None,
         }
     }
 
@@ -362,6 +416,14 @@ impl<'a> Render<'a> {
     pub fn exploration(mut self, stats: &'a ExplorationStats) -> Render<'a> {
         self.exploration = Some(stats);
         self.section(Section::Exploration)
+    }
+
+    /// Supplies compound-pass stats and co-failure cluster rows and
+    /// selects the [`Section::Clusters`] section.
+    pub fn clusters(mut self, stats: &'a CompoundStats, rows: &'a [ClusterRow]) -> Render<'a> {
+        self.compound = Some(stats);
+        self.clusters = rows;
+        self.section(Section::Clusters)
     }
 
     fn has(&self, section: Section) -> bool {
@@ -496,6 +558,37 @@ impl fmt::Display for Render<'_> {
                                 sh.columns,
                                 sh.steps,
                                 sh.checks
+                            )?;
+                        }
+                    }
+                }
+                Section::Clusters => {
+                    if let Some(s) = self.compound {
+                        writeln!(
+                            f,
+                            "compound pass: seed {}, k<={} faults x {} jobs, {} trials over a \
+                             {}-point product space",
+                            s.seed, s.kfaults, s.jobs, s.executed, s.space
+                        )?;
+                        writeln!(
+                            f,
+                            "  {} signatures, {} discrepancies -> {} co-failure clusters \
+                             ({} shrink checks)",
+                            s.signatures,
+                            s.discrepancies,
+                            self.clusters.len(),
+                            s.shrink_checks
+                        )?;
+                        for c in self.clusters {
+                            writeln!(
+                                f,
+                                "  cluster {} ({} members, prefix depth {}): cracks at {}",
+                                c.fingerprint, c.members, c.prefix_len, c.crack
+                            )?;
+                            writeln!(
+                                f,
+                                "    reproducer: faults [{}] ({}), schedule {}, job {}",
+                                c.fault_set, c.faults, c.schedule, c.scenario
                             )?;
                         }
                     }
@@ -707,6 +800,59 @@ mod tests {
         );
         let json = serde_json::to_string(&stats).unwrap();
         let back: ExplorationStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn cluster_rows_render_through_the_same_path() {
+        let r = report();
+        let stats = CompoundStats {
+            seed: 42,
+            kfaults: 3,
+            jobs: 2,
+            executed: 120,
+            space: 480,
+            signatures: 19,
+            discrepancies: 7,
+            shrink_checks: 23,
+        };
+        let rows = vec![ClusterRow {
+            fingerprint: "00deadbeef001234".into(),
+            members: 4,
+            crack: "metastore|get_table|Data|fault:unavailable".into(),
+            prefix_len: 3,
+            fault_set: "ms-unavail-get+hdfs-corrupt-read".into(),
+            faults: 2,
+            schedule: "identity".into(),
+            scenario: "ss:SparkSQL->SparkSQL:ORC".into(),
+        }];
+        let text = Render::new(&r)
+            .section(Section::Summary)
+            .clusters(&stats, &rows)
+            .to_string();
+        assert!(
+            text.contains("compound pass: seed 42, k<=3 faults x 2 jobs"),
+            "{text}"
+        );
+        assert!(
+            text.contains("7 discrepancies -> 1 co-failure clusters"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cluster 00deadbeef001234 (4 members, prefix depth 3)"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "reproducer: faults [ms-unavail-get+hdfs-corrupt-read] (2), schedule identity"
+            ),
+            "{text}"
+        );
+        let json = serde_json::to_string(&rows).unwrap();
+        let back: Vec<ClusterRow> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rows);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: CompoundStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, stats);
     }
 

@@ -31,13 +31,14 @@ use crate::exec::{self, CrossTestConfig, CrossTestOutcome};
 use crate::explore;
 use crate::generator::TestInput;
 use crate::inject::{self, FaultMatrixConfig, FaultMatrixReport};
+use crate::multi::{self, CompoundConfig};
 use crate::plan::Experiment;
 use crate::shard::{self, CampaignMetrics, ParallelConfig};
 use crate::shrink::ShrunkReproducer;
 use csi_core::detect::{DetectorConfig, DetectorSpec};
 use csi_core::fault::FaultPlan;
 use csi_core::oracle::Observation;
-use csi_core::report::{DiscrepancyReport, ExplorationStats, Render};
+use csi_core::report::{ClusterRow, CompoundStats, DiscrepancyReport, ExplorationStats, Render};
 use minihive::metastore::StorageFormat;
 use std::sync::Arc;
 
@@ -58,6 +59,8 @@ pub struct Campaign {
     detector_config: DetectorConfig,
     seed: u64,
     explore_budget: Option<usize>,
+    kfaults: usize,
+    jobs: usize,
 }
 
 /// The result of [`Campaign::run`].
@@ -78,6 +81,12 @@ pub struct CampaignOutcome {
     pub exploration: Option<ExplorationStats>,
     /// One minimized reproducer per shrunk discrepancy (explore mode).
     pub reproducers: Vec<ShrunkReproducer>,
+    /// Aggregates of the compound (fault-set × interleaving) pass, when
+    /// the campaign ran with [`Campaign::kfaults`] ≥ 1.
+    pub compound: Option<CompoundStats>,
+    /// Co-failure clusters of the compound pass, each shrunk to a minimal
+    /// fault-set + interleaving reproducer.
+    pub clusters: Vec<ClusterRow>,
 }
 
 impl CampaignOutcome {
@@ -92,6 +101,9 @@ impl CampaignOutcome {
         }
         if let Some(stats) = &self.exploration {
             render = render.exploration(stats);
+        }
+        if let Some(stats) = &self.compound {
+            render = render.clusters(stats, &self.clusters);
         }
         render.to_string()
     }
@@ -116,6 +128,8 @@ impl Campaign {
             detector_config: DetectorConfig::default(),
             seed: 42,
             explore_budget: None,
+            kfaults: 0,
+            jobs: 2,
         }
     }
 
@@ -215,6 +229,25 @@ impl Campaign {
         self
     }
 
+    /// Adds a compound pass after the campaign's main mode: k-fault
+    /// combinations (arity ≤ `k`, from [`csi_core::fault::fault_combinations`])
+    /// crossed with seeded cross-job interleavings on a shared deployment,
+    /// searched coverage-guided, with the resulting discrepancies clustered
+    /// by causal-trace prefix and ddmin-shrunk ([`crate::multi`]). The
+    /// default (`0`) disables the pass and leaves every existing mode
+    /// byte-identical.
+    pub fn kfaults(mut self, k: usize) -> Campaign {
+        self.kfaults = k;
+        self
+    }
+
+    /// Number of jobs sharing each compound trial's deployment (default 2;
+    /// only the compound pass consumes it).
+    pub fn jobs(mut self, n: usize) -> Campaign {
+        self.jobs = n;
+        self
+    }
+
     /// Runs a *bulk* campaign alongside (not instead of) the builder's
     /// row-oriented modes: the wide clean-data table of
     /// [`crate::generator::bulk_schema`] at `rows` rows, written and read
@@ -233,11 +266,28 @@ impl Campaign {
 
     /// Executes the campaign.
     pub fn run(self) -> CampaignOutcome {
-        match self.explore_budget {
+        let compound = (self.kfaults > 0).then(|| {
+            let mut config = CompoundConfig::new(self.seed, self.kfaults);
+            config.jobs = self.jobs;
+            config.shards = self.shards;
+            if let Some(budget) = self.explore_budget {
+                if budget > 0 {
+                    config.budget = budget;
+                }
+            }
+            config
+        });
+        let mut outcome = match self.explore_budget {
             Some(0) | None if self.matrix_seed.is_some() => self.run_matrix(),
             Some(budget) if budget > 0 => self.run_explore(budget),
             _ => self.run_cross(),
+        };
+        if let Some(config) = compound {
+            let result = multi::run_compound(&config);
+            outcome.compound = Some(result.stats);
+            outcome.clusters = result.clusters;
         }
+        outcome
     }
 
     fn run_explore(self, budget: usize) -> CampaignOutcome {
@@ -256,6 +306,8 @@ impl Campaign {
             matrix: None,
             exploration: Some(result.stats),
             reproducers: result.reproducers,
+            compound: None,
+            clusters: Vec::new(),
         }
     }
 
@@ -268,11 +320,10 @@ impl Campaign {
             faults: self.faults.unwrap_or_else(|| inject::fault_catalogue(seed)),
             detect: self.detect.then_some(self.detector_config),
         };
-        #[allow(deprecated)]
         let matrix = if self.shards > 1 {
-            inject::run_fault_matrix_sharded(&config, self.shards)
+            inject::run_fault_matrix_sharded_impl(&config, self.shards)
         } else {
-            inject::run_fault_matrix(&config)
+            inject::run_fault_matrix_impl(&config)
         };
         // The campaign-level report carries the matrix's detection
         // aggregates so the unified Render path shows them alongside the
@@ -288,6 +339,8 @@ impl Campaign {
             matrix: Some(matrix),
             exploration: None,
             reproducers: Vec::new(),
+            compound: None,
+            clusters: Vec::new(),
         }
     }
 
@@ -335,11 +388,12 @@ impl Campaign {
             matrix: None,
             exploration: None,
             reproducers: Vec::new(),
+            compound: None,
+            clusters: Vec::new(),
         }
     }
 }
 
-#[allow(deprecated)]
 fn run_mode(
     inputs: &[TestInput],
     config: &CrossTestConfig,
@@ -347,7 +401,7 @@ fn run_mode(
     chunk_size: usize,
 ) -> (CrossTestOutcome, Option<CampaignMetrics>) {
     if shards > 1 {
-        let out = shard::run_cross_test_parallel(
+        let out = shard::run_cross_test_parallel_impl(
             inputs,
             config,
             &ParallelConfig {
@@ -357,7 +411,7 @@ fn run_mode(
         );
         (out.outcome, Some(out.metrics))
     } else {
-        (exec::run_cross_test(inputs, config), None)
+        (exec::run_cross_test_impl(inputs, config), None)
     }
 }
 
@@ -382,8 +436,7 @@ mod tests {
     fn builder_matches_the_legacy_serial_entrypoint() {
         let inputs = byte_input();
         let campaign = Campaign::new(&inputs).run();
-        #[allow(deprecated)]
-        let legacy = exec::run_cross_test(&inputs, &CrossTestConfig::default());
+        let legacy = exec::run_cross_test_impl(&inputs, &CrossTestConfig::default());
         assert_eq!(
             serde_json::to_string(&campaign.report).unwrap(),
             serde_json::to_string(&legacy.report).unwrap()

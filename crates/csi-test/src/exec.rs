@@ -257,7 +257,10 @@ pub fn render_literal(value: &Value) -> String {
     }
 }
 
-fn write_via(
+/// The table-creation half of a write. Split from [`insert_via`] so the
+/// multi-job interleaver ([`crate::multi`]) can schedule the two halves as
+/// separate turns; `write_via` composes them back for the serial path.
+pub(crate) fn create_via(
     d: &Deployment,
     interface: Interface,
     table: &str,
@@ -265,50 +268,84 @@ fn write_via(
     format: StorageFormat,
 ) -> Result<(), InteractionError> {
     match interface {
-        Interface::SparkSql => {
+        Interface::SparkSql | Interface::HiveQl => {
             let create = format!(
                 "CREATE TABLE {table} (c {}) STORED AS {}",
                 input.column_type.sql_name(),
                 format.name()
             );
-            d.spark.sql(&create).map_err(InteractionError::from)?;
-            let insert = format!(
-                "INSERT INTO {table} VALUES ({})",
-                render_literal(&input.value)
-            );
-            d.spark.sql(&insert).map_err(InteractionError::from)?;
-            Ok(())
+            match interface {
+                Interface::SparkSql => d
+                    .spark
+                    .sql(&create)
+                    .map(|_| ())
+                    .map_err(InteractionError::from),
+                _ => d
+                    .hive
+                    .execute(&create)
+                    .map(|_| ())
+                    .map_err(InteractionError::from),
+            }
         }
         Interface::DataFrame => {
             let schema = vec![csi_core::value::StructField::new(
                 "c",
                 input.column_type.clone(),
             )];
-            let df = d.spark.dataframe();
-            df.create_table(table, &schema, format)
-                .map_err(InteractionError::from)?;
-            df.insert_into(table, &[vec![input.value.clone()]])
-                .map_err(InteractionError::from)?;
-            Ok(())
-        }
-        Interface::HiveQl => {
-            let create = format!(
-                "CREATE TABLE {table} (c {}) STORED AS {}",
-                input.column_type.sql_name(),
-                format.name()
-            );
-            d.hive.execute(&create).map_err(InteractionError::from)?;
-            let insert = format!(
-                "INSERT INTO {table} VALUES ({})",
-                render_literal(&input.value)
-            );
-            d.hive.execute(&insert).map_err(InteractionError::from)?;
-            Ok(())
+            d.spark
+                .dataframe()
+                .create_table(table, &schema, format)
+                .map_err(InteractionError::from)
         }
     }
 }
 
-fn read_via(
+/// The row-insertion half of a write; see [`create_via`].
+pub(crate) fn insert_via(
+    d: &Deployment,
+    interface: Interface,
+    table: &str,
+    input: &TestInput,
+) -> Result<(), InteractionError> {
+    match interface {
+        Interface::SparkSql | Interface::HiveQl => {
+            let insert = format!(
+                "INSERT INTO {table} VALUES ({})",
+                render_literal(&input.value)
+            );
+            match interface {
+                Interface::SparkSql => d
+                    .spark
+                    .sql(&insert)
+                    .map(|_| ())
+                    .map_err(InteractionError::from),
+                _ => d
+                    .hive
+                    .execute(&insert)
+                    .map(|_| ())
+                    .map_err(InteractionError::from),
+            }
+        }
+        Interface::DataFrame => d
+            .spark
+            .dataframe()
+            .insert_into(table, &[vec![input.value.clone()]])
+            .map_err(InteractionError::from),
+    }
+}
+
+fn write_via(
+    d: &Deployment,
+    interface: Interface,
+    table: &str,
+    input: &TestInput,
+    format: StorageFormat,
+) -> Result<(), InteractionError> {
+    create_via(d, interface, table, input, format)?;
+    insert_via(d, interface, table, input)
+}
+
+pub(crate) fn read_via(
     d: &Deployment,
     interface: Interface,
     table: &str,
@@ -479,7 +516,7 @@ pub(crate) fn check_observation(input: &TestInput, obs: &Observation) -> Option<
 /// ```
 /// use csi_core::value::{DataType, Value};
 /// use csi_test::generator::{TestInput, Validity};
-/// use csi_test::{run_cross_test, CrossTestConfig};
+/// use csi_test::Campaign;
 ///
 /// let inputs = vec![TestInput {
 ///     id: 0,
@@ -489,12 +526,22 @@ pub(crate) fn check_observation(input: &TestInput, obs: &Observation) -> Option<
 ///     label: "a tinyint".into(),
 ///     expected_back: None,
 /// }];
-/// let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+/// let outcome = Campaign::new(&inputs).run();
 /// // One BYTE input already reveals SPARK-39075 and HIVE-26533.
 /// assert!(outcome.report.distinct() >= 2);
 /// ```
 #[deprecated(note = "use csi_test::Campaign")]
 pub fn run_cross_test(inputs: &[TestInput], config: &CrossTestConfig) -> CrossTestOutcome {
+    run_cross_test_impl(inputs, config)
+}
+
+/// The real serial executor behind both the deprecated [`run_cross_test`]
+/// wrapper and the [`crate::Campaign`] builder — inverted so the builder
+/// never calls through a deprecated item.
+pub(crate) fn run_cross_test_impl(
+    inputs: &[TestInput],
+    config: &CrossTestConfig,
+) -> CrossTestOutcome {
     let mut observations: Vec<(Experiment, Observation)> = Vec::new();
     let mut failures: Vec<OracleFailure> = Vec::new();
     for &experiment in &config.experiments {
@@ -633,6 +680,21 @@ mod tests {
         let err = first_column(vec![vec![Value::Int(1)], vec![]]).unwrap_err();
         assert_eq!(err.kind, csi_core::ErrorKind::Crash);
         assert_eq!(err.code, "EMPTY_ROW");
+    }
+
+    #[test]
+    // The deprecated wrapper is the unit under test here; allows stay
+    // scoped to exactly this test.
+    #[allow(deprecated)]
+    fn deprecated_wrapper_delegates_to_the_impl() {
+        let inputs = one_input(DataType::Byte, Value::Byte(5), Validity::Valid);
+        let config = CrossTestConfig::default();
+        let wrapper = run_cross_test(&inputs, &config);
+        let direct = run_cross_test_impl(&inputs, &config);
+        assert_eq!(
+            serde_json::to_string(&wrapper.report).unwrap(),
+            serde_json::to_string(&direct.report).unwrap()
+        );
     }
 
     #[test]

@@ -472,7 +472,7 @@ fn enumerate_cells(config: &FaultMatrixConfig) -> Vec<Cell> {
     cells
 }
 
-fn probe_input() -> TestInput {
+pub(crate) fn probe_input() -> TestInput {
     TestInput {
         id: 0,
         column_type: DataType::Int,
@@ -770,6 +770,12 @@ fn build_report(config: &FaultMatrixConfig, cases: Vec<FaultCase>) -> FaultMatri
 /// Runs the fault matrix serially, in canonical cell order.
 #[deprecated(note = "use csi_test::Campaign::fault_matrix")]
 pub fn run_fault_matrix(config: &FaultMatrixConfig) -> FaultMatrixReport {
+    run_fault_matrix_impl(config)
+}
+
+/// The real serial matrix runner behind both the deprecated
+/// [`run_fault_matrix`] wrapper and the [`crate::Campaign`] builder.
+pub(crate) fn run_fault_matrix_impl(config: &FaultMatrixConfig) -> FaultMatrixReport {
     let cells = enumerate_cells(config);
     let cases = cells.iter().map(|c| run_cell(config, c)).collect();
     build_report(config, cases)
@@ -784,6 +790,15 @@ pub fn run_fault_matrix(config: &FaultMatrixConfig) -> FaultMatrixReport {
 /// worker count.
 #[deprecated(note = "use csi_test::Campaign::fault_matrix with Campaign::shards")]
 pub fn run_fault_matrix_sharded(config: &FaultMatrixConfig, workers: usize) -> FaultMatrixReport {
+    run_fault_matrix_sharded_impl(config, workers)
+}
+
+/// The real sharded matrix runner behind both the deprecated
+/// [`run_fault_matrix_sharded`] wrapper and the [`crate::Campaign`] builder.
+pub(crate) fn run_fault_matrix_sharded_impl(
+    config: &FaultMatrixConfig,
+    workers: usize,
+) -> FaultMatrixReport {
     let workers = workers.max(1);
     let cells = enumerate_cells(config);
     let slots: Vec<Mutex<Option<FaultCase>>> = cells.iter().map(|_| Mutex::new(None)).collect();
@@ -936,6 +951,20 @@ mod tests {
         // Both cells carry their crossing sequence.
         assert!(!shipped.trace.is_empty());
         assert_eq!(fixed.trace.channel_counts()["hbase"], 3);
+    }
+
+    #[test]
+    fn deprecated_matrix_wrappers_delegate_to_the_impls() {
+        // The deprecated entrypoints are the unit under test here, so the
+        // allow is scoped to this test alone.
+        #![allow(deprecated)]
+        let config = FaultMatrixConfig::smoke(11);
+        let json = |r: &FaultMatrixReport| serde_json::to_string(r).unwrap();
+        let serial = json(&run_fault_matrix(&config));
+        assert_eq!(serial, json(&run_fault_matrix_impl(&config)));
+        let sharded = json(&run_fault_matrix_sharded(&config, 3));
+        assert_eq!(sharded, json(&run_fault_matrix_sharded_impl(&config, 3)));
+        assert_eq!(serial, sharded);
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod exec;
 pub mod explore;
 pub mod generator;
 pub mod inject;
+pub mod multi;
 pub mod plan;
 pub mod shard;
 pub mod shrink;
@@ -27,18 +28,13 @@ pub mod tolerate;
 pub use bulk::{run_bulk, BulkConfig, BulkReport};
 pub use campaign::{Campaign, CampaignOutcome};
 pub use classify::active_ids;
-#[allow(deprecated)]
-pub use exec::run_cross_test;
 pub use exec::{CrossTestConfig, CrossTestOutcome};
 pub use generator::{generate_inputs, mutate_input, TestInput, Validity};
 pub use inject::{
     fault_catalogue, small_fault_catalogue, FaultCase, FaultMatrixConfig, FaultMatrixReport,
 };
-#[allow(deprecated)]
-pub use inject::{run_fault_matrix, run_fault_matrix_sharded};
+pub use multi::{CompoundConfig, CompoundResult, InterleaveSchedule};
 pub use plan::{Experiment, Interface, TestPlan};
-#[allow(deprecated)]
-pub use shard::run_cross_test_parallel;
 pub use shard::{CampaignMetrics, ParallelConfig, ParallelOutcome, WorkerStats};
 pub use shrink::{reproducer_triggers, Reproducer, ShrunkReproducer};
 pub use tolerate::{redundant_read, redundant_read_traced, ReadPath, RedundantRead};

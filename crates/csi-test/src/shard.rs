@@ -16,7 +16,7 @@
 //!   plan, format, input-id) order and only then runs the write–read,
 //!   error-handling, and differential oracles, so failures are produced in
 //!   exactly the serial order and the resulting [`DiscrepancyReport`] is
-//!   byte-identical to [`crate::run_cross_test`]'s.
+//!   byte-identical to [`crate::exec::run_cross_test`]'s.
 //! - **Campaign metrics** — observations/sec, per-phase wall time, and
 //!   per-worker utilization are surfaced in [`CampaignMetrics`] for the
 //!   `campaign` bench binary.
@@ -143,16 +143,16 @@ fn build_shards(inputs_len: usize, config: &CrossTestConfig, chunk_size: usize) 
 ///
 /// The returned [`CrossTestOutcome`] — observations, failure ordering, and
 /// the classified [`DiscrepancyReport`] — is identical to what
-/// [`crate::run_cross_test`] produces for the same `inputs` and `config`;
-/// only the wall time differs. See the module docs for how the merge
-/// guarantees this.
+/// [`crate::exec::run_cross_test`] produces for the same `inputs` and
+/// `config`; only the wall time differs. See the module docs for how the
+/// merge guarantees this.
 ///
 /// [`DiscrepancyReport`]: csi_core::report::DiscrepancyReport
 ///
 /// # Examples
 ///
 /// ```
-/// use csi_test::{run_cross_test_parallel, CrossTestConfig, ParallelConfig};
+/// use csi_test::Campaign;
 /// use csi_test::generator::{TestInput, Validity};
 /// use csi_core::value::{DataType, Value};
 ///
@@ -164,16 +164,25 @@ fn build_shards(inputs_len: usize, config: &CrossTestConfig, chunk_size: usize) 
 ///     label: "a tinyint".into(),
 ///     expected_back: None,
 /// }];
-/// let out = run_cross_test_parallel(
-///     &inputs,
-///     &CrossTestConfig::default(),
-///     &ParallelConfig { workers: 2, chunk_size: 1 },
+/// let out = Campaign::new(&inputs).shards(2).chunk_size(1).run();
+/// assert!(out.report.distinct() >= 2);
+/// assert_eq!(
+///     out.metrics.expect("sharded campaigns carry metrics").observations,
+///     out.observations.len()
 /// );
-/// assert!(out.outcome.report.distinct() >= 2);
-/// assert_eq!(out.metrics.observations, out.outcome.observations.len());
 /// ```
 #[deprecated(note = "use csi_test::Campaign with Campaign::shards")]
 pub fn run_cross_test_parallel(
+    inputs: &[TestInput],
+    config: &CrossTestConfig,
+    parallel: &ParallelConfig,
+) -> ParallelOutcome {
+    run_cross_test_parallel_impl(inputs, config, parallel)
+}
+
+/// The real sharded executor behind both the deprecated
+/// [`run_cross_test_parallel`] wrapper and the [`crate::Campaign`] builder.
+pub(crate) fn run_cross_test_parallel_impl(
     inputs: &[TestInput],
     config: &CrossTestConfig,
     parallel: &ParallelConfig,

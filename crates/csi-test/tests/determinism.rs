@@ -1,7 +1,7 @@
-//! Serial/parallel determinism: the parallel campaign executor must
-//! produce a byte-identical `DiscrepancyReport` — same observations, same
-//! failure ordering, same classification — as the serial executor on the
-//! full 422-input catalogue.
+//! Serial/parallel determinism: the sharded campaign must produce a
+//! byte-identical `DiscrepancyReport` — same observations, same failure
+//! ordering, same classification — as the serial campaign on the full
+//! 422-input catalogue.
 //!
 //! Comparisons go through the serialized form: `Value` floats follow IEEE
 //! `NaN != NaN` semantics under `PartialEq`, so direct struct equality
@@ -9,13 +9,7 @@
 //! rendering is canonical (NaN serializes as the string `"NaN"`), making
 //! "byte-identical" literal.
 
-// These suites deliberately exercise the legacy entrypoints the Campaign
-// builder wraps, proving the wrappers and the builder agree.
-#![allow(deprecated)]
-
-use csi_test::{
-    generate_inputs, run_cross_test, run_cross_test_parallel, CrossTestConfig, ParallelConfig,
-};
+use csi_test::{generate_inputs, Campaign};
 
 fn json<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string(value).expect("serializable")
@@ -24,26 +18,18 @@ fn json<T: serde::Serialize>(value: &T) -> String {
 #[test]
 fn full_catalogue_parallel_report_is_identical_to_serial() {
     let inputs = generate_inputs();
-    let config = CrossTestConfig::default();
-    let serial = run_cross_test(&inputs, &config);
-    let parallel = run_cross_test_parallel(
-        &inputs,
-        &config,
-        &ParallelConfig {
-            workers: 4,
-            chunk_size: 32,
-        },
-    );
+    let serial = Campaign::new(&inputs).run();
+    let parallel = Campaign::new(&inputs).shards(4).chunk_size(32).run();
 
     assert_eq!(
         serial.observations.len(),
-        parallel.outcome.observations.len(),
+        parallel.observations.len(),
         "observation counts diverge"
     );
     for (i, (s, p)) in serial
         .observations
         .iter()
-        .zip(&parallel.outcome.observations)
+        .zip(&parallel.observations)
         .enumerate()
     {
         assert_eq!(s.0, p.0, "experiment tag diverges at observation {i}");
@@ -51,46 +37,34 @@ fn full_catalogue_parallel_report_is_identical_to_serial() {
     }
     assert_eq!(
         json(&serial.report),
-        json(&parallel.outcome.report),
+        json(&parallel.report),
         "discrepancy reports diverge"
     );
-    assert_eq!(parallel.outcome.report.distinct(), 15);
-    assert_eq!(
-        parallel.metrics.observations,
-        parallel.outcome.observations.len()
-    );
+    assert_eq!(parallel.report.distinct(), 15);
+    let metrics = parallel.metrics.expect("sharded campaigns carry metrics");
+    assert_eq!(metrics.observations, parallel.observations.len());
 }
 
 #[test]
 fn full_catalogue_recycling_preserves_the_report() {
     let inputs = generate_inputs();
-    let baseline = run_cross_test(&inputs, &CrossTestConfig::default());
-    let recycled_config = CrossTestConfig {
-        recycle_tables: true,
-        ..CrossTestConfig::default()
-    };
-    let serial_recycled = run_cross_test(&inputs, &recycled_config);
+    let baseline = Campaign::new(&inputs).run();
+    let serial_recycled = Campaign::new(&inputs).recycle_tables(true).run();
     assert_eq!(json(&serial_recycled.report), json(&baseline.report));
-    let parallel_recycled = run_cross_test_parallel(
-        &inputs,
-        &recycled_config,
-        &ParallelConfig {
-            workers: 3,
-            chunk_size: 50,
-        },
-    );
+    let parallel_recycled = Campaign::new(&inputs)
+        .recycle_tables(true)
+        .shards(3)
+        .chunk_size(50)
+        .run();
+    assert_eq!(json(&parallel_recycled.report), json(&baseline.report));
     assert_eq!(
-        json(&parallel_recycled.outcome.report),
-        json(&baseline.report)
-    );
-    assert_eq!(
-        parallel_recycled.outcome.observations.len(),
+        parallel_recycled.observations.len(),
         baseline.observations.len()
     );
     for ((se, so), (pe, po)) in baseline
         .observations
         .iter()
-        .zip(&parallel_recycled.outcome.observations)
+        .zip(&parallel_recycled.observations)
     {
         assert_eq!(se, pe);
         assert_eq!(json(so), json(po));

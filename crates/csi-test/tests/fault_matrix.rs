@@ -7,15 +7,12 @@
 //! exactly one taxonomy bucket, and every interaction channel of the
 //! catalogue actually fires somewhere.
 
-// These suites deliberately exercise the legacy entrypoints the Campaign
-// builder wraps, proving the wrappers and the builder agree.
-#![allow(deprecated)]
-
 use csi_core::fault::{Channel, FaultPlan};
 use csi_test::{
-    fault_catalogue, generate_inputs, run_cross_test, run_fault_matrix, run_fault_matrix_sharded,
-    CrossTestConfig, FaultMatrixConfig,
+    fault_catalogue, generate_inputs, small_fault_catalogue, Campaign, Experiment,
+    FaultMatrixReport,
 };
+use minihive::metastore::StorageFormat;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -23,12 +20,36 @@ fn json<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string(value).expect("serializable")
 }
 
+/// The standard matrix campaign (full catalogue, full experiment × format
+/// cross) at the given seed and worker count, through the builder.
+fn standard_matrix(seed: u64, shards: usize) -> FaultMatrixReport {
+    Campaign::new(&[])
+        .fault_matrix(seed)
+        .shards(shards)
+        .run()
+        .matrix
+        .expect("matrix mode")
+}
+
+/// The smoke matrix campaign (small catalogue, one experiment, one
+/// format) at the given seed and worker count, through the builder.
+fn smoke_matrix(seed: u64, shards: usize) -> FaultMatrixReport {
+    Campaign::new(&[])
+        .fault_matrix(seed)
+        .experiments(vec![Experiment::ALL[0]])
+        .formats(vec![StorageFormat::Orc])
+        .faults(small_fault_catalogue(seed))
+        .shards(shards)
+        .run()
+        .matrix
+        .expect("matrix mode")
+}
+
 #[test]
 fn sharded_matrix_is_identical_to_serial_at_any_worker_count() {
-    let config = FaultMatrixConfig::standard(42);
-    let serial = run_fault_matrix(&config);
+    let serial = standard_matrix(42, 1);
     for workers in [1, 2, 5] {
-        let sharded = run_fault_matrix_sharded(&config, workers);
+        let sharded = standard_matrix(42, workers);
         assert_eq!(
             json(&serial),
             json(&sharded),
@@ -40,7 +61,7 @@ fn sharded_matrix_is_identical_to_serial_at_any_worker_count() {
 
 #[test]
 fn every_fired_fault_is_classified_and_every_channel_fires() {
-    let report = run_fault_matrix(&FaultMatrixConfig::standard(42));
+    let report = standard_matrix(42, 1);
     let mut fired_channels = BTreeSet::new();
     for case in &report.cases {
         assert_eq!(
@@ -88,10 +109,9 @@ proptest! {
     /// byte-identical fault-matrix report.
     #[test]
     fn same_seed_replay_is_byte_identical(seed in any::<u64>()) {
-        let config = FaultMatrixConfig::smoke(seed);
-        let first = run_fault_matrix(&config);
-        let again = run_fault_matrix(&config);
-        let sharded = run_fault_matrix_sharded(&config, 3);
+        let first = smoke_matrix(seed, 1);
+        let again = smoke_matrix(seed, 1);
+        let sharded = smoke_matrix(seed, 3);
         prop_assert_eq!(json(&first), json(&again));
         prop_assert_eq!(json(&first), json(&sharded));
         prop_assert_eq!(first.render(), sharded.render());
@@ -103,14 +123,8 @@ proptest! {
     fn fault_free_plan_reproduces_the_seed_campaign(seed in any::<u64>()) {
         let inputs = generate_inputs();
         let inputs = &inputs[..12];
-        let baseline = run_cross_test(inputs, &CrossTestConfig::default());
-        let with_empty_plan = run_cross_test(
-            inputs,
-            &CrossTestConfig {
-                fault_plan: Some(FaultPlan::empty(seed)),
-                ..CrossTestConfig::default()
-            },
-        );
+        let baseline = Campaign::new(inputs).run();
+        let with_empty_plan = Campaign::new(inputs).faults(FaultPlan::empty(seed)).run();
         prop_assert_eq!(json(&baseline.report), json(&with_empty_plan.report));
         prop_assert_eq!(
             baseline.observations.len(),

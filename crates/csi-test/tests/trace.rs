@@ -6,13 +6,7 @@
 //! *complete* (every reported discrepancy carries a non-empty causal
 //! crossing sequence).
 
-// These suites deliberately exercise the legacy entrypoints the Campaign
-// builder wraps, proving the wrappers and the builder agree.
-#![allow(deprecated)]
-
-use csi_test::{
-    generate_inputs, run_cross_test, run_cross_test_parallel, CrossTestConfig, ParallelConfig,
-};
+use csi_test::{generate_inputs, Campaign};
 use proptest::prelude::*;
 
 fn json<T: serde::Serialize>(value: &T) -> String {
@@ -22,7 +16,7 @@ fn json<T: serde::Serialize>(value: &T) -> String {
 #[test]
 fn every_discrepancy_carries_a_nonempty_trace() {
     let inputs = generate_inputs();
-    let outcome = run_cross_test(&inputs, &CrossTestConfig::default());
+    let outcome = Campaign::new(&inputs).run();
     assert_eq!(outcome.report.distinct(), 15);
     for d in &outcome.report.discrepancies {
         assert!(
@@ -38,14 +32,8 @@ fn every_discrepancy_carries_a_nonempty_trace() {
 fn disabling_tracing_changes_nothing_but_the_trace_fields() {
     let inputs = generate_inputs();
     let inputs = &inputs[..40];
-    let traced = run_cross_test(inputs, &CrossTestConfig::default());
-    let untraced = run_cross_test(
-        inputs,
-        &CrossTestConfig {
-            trace_boundaries: false,
-            ..CrossTestConfig::default()
-        },
-    );
+    let traced = Campaign::new(inputs).run();
+    let untraced = Campaign::new(inputs).trace(false).run();
     // Scrub the trace fields from the traced report; everything else —
     // observations, failures, classification, ordering — must be
     // byte-identical, because a disabled context still drives the
@@ -79,27 +67,17 @@ proptest! {
     ) {
         let inputs = generate_inputs();
         let inputs = &inputs[start..start + 16];
-        let config = CrossTestConfig {
-            recycle_tables: true,
-            ..CrossTestConfig::default()
-        };
-        let serial = run_cross_test(inputs, &config);
-        let parallel = run_cross_test_parallel(
-            inputs,
-            &config,
-            &ParallelConfig {
-                workers,
-                chunk_size: 5,
-            },
-        );
-        prop_assert_eq!(
-            serial.observations.len(),
-            parallel.outcome.observations.len()
-        );
+        let serial = Campaign::new(inputs).recycle_tables(true).run();
+        let parallel = Campaign::new(inputs)
+            .recycle_tables(true)
+            .shards(workers)
+            .chunk_size(5)
+            .run();
+        prop_assert_eq!(serial.observations.len(), parallel.observations.len());
         for (i, ((se, so), (pe, po))) in serial
             .observations
             .iter()
-            .zip(&parallel.outcome.observations)
+            .zip(&parallel.observations)
             .enumerate()
         {
             prop_assert_eq!(se, pe);
@@ -112,6 +90,6 @@ proptest! {
             );
             prop_assert_eq!(so.trace.compact(), po.trace.compact());
         }
-        prop_assert_eq!(json(&serial.report), json(&parallel.outcome.report));
+        prop_assert_eq!(json(&serial.report), json(&parallel.report));
     }
 }
