@@ -9,7 +9,7 @@
 #   ./ci.sh reports       # report bins + BENCH_*.json trajectory schema check
 #   ./ci.sh golden        # golden campaign report drift check
 #   ./ci.sh explore       # coverage-guided explore smoke (small budget)
-#   ./ci.sh bench-smoke   # columnar serde smoke (speedup + byte-identity floors)
+#   ./ci.sh bench-smoke   # columnar serde + cluster-scale substrate smokes
 #   ./ci.sh all           # everything above, in order (the default)
 #
 # Everything runs offline against the vendored dependency stubs.
@@ -66,6 +66,8 @@ stage_explore() {
 stage_bench_smoke() {
   echo "==> columnar serde smoke (byte-identity + committed speedup floors at 256 rows)"
   cargo run -q --release -p csi-bench --bin serde_batch -- --smoke
+  echo "==> cluster-scale substrate smoke (interning/vacuum/slab invariants + sim event-rate floor)"
+  cargo run -q --release -p csi-bench --bin cluster_scale -- --smoke
 }
 
 stage_all() {

@@ -6,7 +6,9 @@
 //!
 //! - `BENCH_campaign.json` — the `campaign` and `fault_matrix` binaries;
 //! - `BENCH_explore.json` — the `explore` and `kfault_explore` binaries;
-//! - `BENCH_serde.json` — the `serde_batch` binary (columnar vs row serde).
+//! - `BENCH_serde.json` — the `serde_batch` binary (columnar vs row serde);
+//! - `BENCH_scale.json` — the `cluster_scale` binary (interned/sharded
+//!   substrates at production shape).
 //!
 //! Every line is a JSON object tagged with a `bin` key. `ci.sh reports`
 //! runs [`check_all`] (via the `trajectory_check` binary) and refuses any
@@ -41,6 +43,18 @@ pub const SCHEMAS: &[(&str, &[&str])] = &[
             "write_speedup_x",
             "read_speedup_x",
             "oracle_speedup_x",
+        ],
+    ),
+    (
+        "BENCH_scale.json",
+        &[
+            "bin",
+            "hdfs_files",
+            "kafka_partitions",
+            "yarn_apps",
+            "sim_events_per_sec",
+            "vacuum_identical",
+            "slab_recycled",
         ],
     ),
 ];

@@ -119,6 +119,9 @@ pub(crate) struct Deployment {
     /// This deployment's online detector (attached to `crossing` as a
     /// streaming sink), when the campaign runs with detection.
     pub(crate) detector: Option<OnlineDetector>,
+    /// The deployment's filesystem, shared with `spark` and `hive` — held
+    /// so recycling can vacuum the namenode back to canonical state.
+    pub(crate) fs: Arc<Mutex<MiniHdfs>>,
 }
 
 impl Deployment {
@@ -154,20 +157,31 @@ impl Deployment {
         for (k, v) in &config.spark_overrides {
             spark.config.set(k, v);
         }
-        let hive = HiveQl::new(metastore, fs, sink.handle("minihive"));
+        let hive = HiveQl::new(metastore, fs.clone(), sink.handle("minihive"));
         Deployment {
             sink,
             spark,
             hive,
             crossing,
             detector,
+            fs,
         }
     }
 
-    /// Drops `table` (best effort) and discards the diagnostics the drop
-    /// produced, so recycling never leaks into the next observation.
+    /// Drops `table` (best effort), discards the diagnostics the drop
+    /// produced, and vacuums the namenode so recycling never leaks into the
+    /// next observation.
+    ///
+    /// The vacuum is what keeps pooled deployments byte-identical with
+    /// fresh ones: it rebuilds the interner and inode arena as a pure
+    /// function of the surviving namespace, erasing any layout residue the
+    /// recycled experiment left behind. Without it, a pool worker's
+    /// interner would depend on which experiments it happened to serve —
+    /// harmless today (nothing observable derives from symbol values), but
+    /// the invariant is cheap to enforce and easy to lose silently.
     pub(crate) fn recycle(&self, table: &str) {
         let _ = self.spark.sql(&format!("DROP TABLE IF EXISTS {table}"));
+        self.fs.lock().vacuum();
         self.sink.drain();
     }
 }

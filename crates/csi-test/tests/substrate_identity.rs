@@ -1,0 +1,280 @@
+//! Observational identity of the interned/sharded substrates.
+//!
+//! The production-scale storage refactor (interned-name inode arena in
+//! minihdfs, flat sharded partition map and hashed group index in
+//! minikafka, slab-allocated containers in miniyarn) promised one thing:
+//! nothing observable changes. These tests pin that promise from three
+//! directions:
+//!
+//! - property tests drive random operation sequences against two
+//!   instances whose *internal layout histories* differ (one vacuums its
+//!   interner mid-stream, one doesn't) and against independent models of
+//!   the observable semantics — every result must match;
+//! - the compound fault campaign (`kfaults(2).jobs(3)`) must stay
+//!   byte-identical between the serial and sharded executors, the
+//!   end-to-end check that no substrate leaked hash-map iteration order
+//!   or interner state into a report.
+
+use minihdfs::{HdfsPath, MiniHdfs};
+use minikafka::{GroupCoordinator, MiniKafka, PartitionId};
+use proptest::prelude::*;
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("serializable")
+}
+
+// ---------------------------------------------------------------------------
+// minihdfs: layout history must be unobservable.
+// ---------------------------------------------------------------------------
+
+/// A random namespace operation over a small path alphabet (so sequences
+/// collide constantly: re-creates, deletes of parents, renames onto
+/// existing paths — every error arm gets exercised).
+#[derive(Debug, Clone)]
+enum FsOp {
+    Mkdirs(String),
+    Create(String, u8),
+    Append(String, u8),
+    Delete(String, bool),
+    Rename(String, String),
+    List(String),
+    Read(String),
+    Vacuumable,
+}
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    // Depth ≤ 3 over 4 names: tiny alphabet, maximal collision pressure.
+    proptest::collection::vec(
+        proptest::sample::select(vec!["a", "b", "dir", "part-0"]),
+        1..4,
+    )
+    .prop_map(|comps| format!("/{}", comps.join("/")))
+}
+
+fn fs_op_strategy() -> impl Strategy<Value = FsOp> {
+    prop_oneof![
+        path_strategy().prop_map(FsOp::Mkdirs),
+        (path_strategy(), any::<u8>()).prop_map(|(p, b)| FsOp::Create(p, b)),
+        (path_strategy(), any::<u8>()).prop_map(|(p, b)| FsOp::Append(p, b)),
+        (path_strategy(), any::<bool>()).prop_map(|(p, r)| FsOp::Delete(p, r)),
+        (path_strategy(), path_strategy()).prop_map(|(a, b)| FsOp::Rename(a, b)),
+        path_strategy().prop_map(FsOp::List),
+        path_strategy().prop_map(FsOp::Read),
+        proptest::sample::select(vec![FsOp::Vacuumable]),
+    ]
+}
+
+/// Applies one op and renders everything observable about its result.
+fn apply_fs(fs: &mut MiniHdfs, op: &FsOp) -> String {
+    let parse = |raw: &str| HdfsPath::parse(raw).expect("valid test path");
+    match op {
+        FsOp::Mkdirs(p) => format!("{:?}", fs.mkdirs(&parse(p))),
+        FsOp::Create(p, b) => format!("{:?}", fs.create(&parse(p), &[*b; 3])),
+        FsOp::Append(p, b) => format!("{:?}", fs.append(&parse(p), &[*b; 2])),
+        FsOp::Delete(p, recursive) => format!("{:?}", fs.delete(&parse(p), *recursive)),
+        FsOp::Rename(a, b) => format!("{:?}", fs.rename(&parse(a), &parse(b))),
+        FsOp::List(p) => format!("{:?}", fs.list_status(&parse(p))),
+        FsOp::Read(p) => format!("{:?}", fs.read(&parse(p))),
+        FsOp::Vacuumable => String::new(),
+    }
+}
+
+/// Recursively renders the full observable namespace.
+fn namespace_snapshot(fs: &MiniHdfs, path: &HdfsPath, out: &mut String) {
+    out.push_str(&format!("{:?}\n", fs.get_file_status(path)));
+    if let Ok(listing) = fs.list_status(path) {
+        for status in &listing {
+            namespace_snapshot(fs, &status.path, out);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two filesystems run the same op sequence; one vacuums (canonical
+    /// interner/arena rebuild) at every marker. Every per-op result and
+    /// the final recursive namespace snapshot must be identical — the
+    /// internal layout history is unobservable.
+    #[test]
+    fn hdfs_vacuum_history_is_unobservable(
+        ops in proptest::collection::vec(fs_op_strategy(), 1..40)
+    ) {
+        let mut plain = MiniHdfs::with_datanodes(3);
+        let mut vacuumed = MiniHdfs::with_datanodes(3);
+        for (i, op) in ops.iter().enumerate() {
+            if matches!(op, FsOp::Vacuumable) {
+                vacuumed.vacuum();
+                continue;
+            }
+            let a = apply_fs(&mut plain, op);
+            let b = apply_fs(&mut vacuumed, op);
+            prop_assert_eq!(a, b, "op {} diverged: {:?}", i, op);
+        }
+        vacuumed.vacuum();
+        let (mut sa, mut sb) = (String::new(), String::new());
+        namespace_snapshot(&plain, &HdfsPath::root(), &mut sa);
+        namespace_snapshot(&vacuumed, &HdfsPath::root(), &mut sb);
+        prop_assert_eq!(sa, sb, "final namespace diverged");
+        // The vacuumed interner never holds more names than the live
+        // namespace needs; the plain one may hold garbage.
+        prop_assert!(vacuumed.interned_names() <= plain.interned_names());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// minikafka: compaction and membership against independent models.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The borrowed-key compaction pass agrees with the obvious model:
+    /// keep the last occurrence of each key plus every keyless record.
+    #[test]
+    fn kafka_compaction_matches_last_write_wins_model(
+        records in proptest::collection::vec(
+            // `0..6` keys a record; `6` makes it keyless.
+            (0u8..7, any::<u8>()),
+            1..60,
+        )
+    ) {
+        let keyless = 6u8;
+        let mut k = MiniKafka::new();
+        k.create_topic("t", 1);
+        for &(key, val) in &records {
+            let key_bytes = [key];
+            k.produce(
+                "t",
+                PartitionId(0),
+                (key != keyless).then_some(key_bytes.as_slice()),
+                Some(&[val]),
+                1,
+            ).expect("produce");
+        }
+        k.compact("t", PartitionId(0)).expect("compact");
+
+        // Model: offsets whose record survives last-write-wins.
+        let mut survivors: Vec<(i64, Option<u8>, u8)> = Vec::new();
+        for (offset, &(key, val)) in records.iter().enumerate() {
+            if key == keyless {
+                survivors.push((offset as i64, None, val));
+            } else {
+                let last = records
+                    .iter()
+                    .rposition(|&(k2, _)| k2 == key)
+                    .expect("key occurs");
+                if last == offset {
+                    survivors.push((offset as i64, Some(key), val));
+                }
+            }
+        }
+        let fetched = k.fetch("t", PartitionId(0), 0, usize::MAX).expect("fetch");
+        let got: Vec<(i64, Option<u8>, u8)> = fetched
+            .records
+            .iter()
+            .map(|r| {
+                (
+                    r.offset,
+                    r.key.as_ref().map(|k| k[0]),
+                    r.value.as_ref().expect("value present")[0],
+                )
+            })
+            .collect();
+        prop_assert_eq!(got, survivors);
+    }
+
+    /// The hashed membership index agrees with the obvious model: members
+    /// form a sorted set, partitions distribute round-robin over it.
+    #[test]
+    fn group_membership_matches_sorted_round_robin_model(
+        events in proptest::collection::vec(
+            (
+                any::<bool>(),
+                proptest::sample::select(vec!["m0", "m1", "m2", "m3", "m4"]),
+            ),
+            1..40,
+        )
+    ) {
+        const PARTITIONS: u32 = 7;
+        let mut k = MiniKafka::new();
+        k.create_topic("t", PARTITIONS);
+        let mut gc = GroupCoordinator::new();
+        let mut model: Vec<&str> = Vec::new();
+        for &(join, member) in &events {
+            if join {
+                let got = gc.join(&k, "g", "t", member).expect("join");
+                if let Err(pos) = model.binary_search(&member) {
+                    model.insert(pos, member);
+                }
+                let slot = model.binary_search(&member).expect("just inserted");
+                let expected: Vec<PartitionId> = (0..PARTITIONS)
+                    .filter(|p| *p as usize % model.len() == slot)
+                    .map(PartitionId)
+                    .collect();
+                prop_assert_eq!(got.partitions, expected, "member {}", member);
+            } else {
+                let _ = gc.leave(&k, "g", member);
+                if let Ok(pos) = model.binary_search(&member) {
+                    model.remove(pos);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End to end: the compound campaign through both executors.
+// ---------------------------------------------------------------------------
+
+/// `kfaults(2).jobs(3)`: the compound fault-set × interleaving pass plus
+/// the cross campaign, serial vs sharded, must agree byte for byte. This
+/// is the check that the substrate refactor leaked no iteration order —
+/// the sharded executor recycles pooled deployments (vacuuming their
+/// namenode interners), while the serial one builds fresh stacks.
+#[test]
+fn compound_campaign_kfaults2_jobs3_serial_matches_sharded() {
+    // A catalogue slice keeps the doubled run affordable; the full-set
+    // equivalence is covered (without kfaults) by the determinism suite.
+    let inputs: Vec<_> = csi_test::generate_inputs().into_iter().step_by(7).collect();
+    let run = |shards: usize| {
+        let mut campaign = csi_test::Campaign::new(&inputs).kfaults(2).jobs(3);
+        if shards > 1 {
+            campaign = campaign.shards(shards).chunk_size(16);
+        }
+        campaign.run()
+    };
+    let serial = run(1);
+    let sharded = run(3);
+    assert_eq!(
+        json(&serial.report),
+        json(&sharded.report),
+        "discrepancy reports diverge"
+    );
+    assert_eq!(
+        serial.observations.len(),
+        sharded.observations.len(),
+        "observation counts diverge"
+    );
+    for (i, (s, p)) in serial
+        .observations
+        .iter()
+        .zip(&sharded.observations)
+        .enumerate()
+    {
+        assert_eq!(s.0, p.0, "experiment tag diverges at observation {i}");
+        assert_eq!(json(&s.1), json(&p.1), "observation {i} diverges");
+    }
+    let s_compound = serial.compound.expect("kfaults ran");
+    let p_compound = sharded.compound.expect("kfaults ran");
+    assert_eq!(
+        json(&s_compound),
+        json(&p_compound),
+        "compound stats diverge"
+    );
+    assert_eq!(
+        json(&serial.clusters),
+        json(&sharded.clusters),
+        "co-failure clusters diverge"
+    );
+}

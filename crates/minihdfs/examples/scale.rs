@@ -1,0 +1,44 @@
+//! Baseline timing harness: create a dirs×files namespace, then time
+//! listings of one directory. Run as `scale <dirs> <files_per_dir> <lists>`.
+
+use minihdfs::{HdfsPath, MiniHdfs};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dirs: usize = args.next().unwrap().parse().unwrap();
+    let files: usize = args.next().unwrap().parse().unwrap();
+    let lists: usize = args.next().unwrap().parse().unwrap();
+
+    let mut fs = MiniHdfs::with_datanodes(3);
+    let t = Instant::now();
+    for d in 0..dirs {
+        let dir = HdfsPath::parse(&format!("/warehouse/db{d}")).unwrap();
+        fs.mkdirs(&dir).unwrap();
+        for f in 0..files {
+            let p = HdfsPath::parse(&format!("/warehouse/db{d}/part-{f:05}.orc")).unwrap();
+            fs.create(&p, b"x").unwrap();
+        }
+    }
+    let create_us = t.elapsed().as_micros();
+
+    let probe = HdfsPath::parse("/warehouse/db0").unwrap();
+    let t = Instant::now();
+    let mut total = 0usize;
+    for _ in 0..lists {
+        total += fs.list_status(&probe).unwrap().len();
+    }
+    let list_us = t.elapsed().as_micros();
+
+    let t = Instant::now();
+    let from = HdfsPath::parse("/warehouse/db0").unwrap();
+    let to = HdfsPath::parse("/warehouse/db-renamed").unwrap();
+    fs.rename(&from, &to).unwrap();
+    let rename_us = t.elapsed().as_micros();
+
+    println!(
+        "files={} create_us={create_us} list_us_total={list_us} lists={lists} \
+         listed={total} rename_dir_us={rename_us}",
+        dirs * files
+    );
+}

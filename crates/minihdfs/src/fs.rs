@@ -1,6 +1,24 @@
 //! The minihdfs namenode and datanode fleet.
+//!
+//! The namespace is stored production-style: an interned-name tree (a
+//! [`NameTable`] u32 symbol table, a parent-pointer inode arena with a
+//! LIFO free list, per-directory child maps keyed by symbol) instead of
+//! the seed's flat `BTreeMap<Vec<String>, INode>`. Path resolution,
+//! create, rename, and delete are O(depth) with zero per-operation
+//! `Vec<String>` clones; directory quota checks read subtree aggregates
+//! maintained along parent chains instead of scanning the whole map;
+//! block lists are copy-on-write (`Arc`) so status/clone-heavy callers
+//! never duplicate them.
+//!
+//! Determinism invariant: nothing observable (statuses, listings, errors,
+//! traces) may depend on symbol values or arena slot numbers — only on
+//! resolved name strings and caller-supplied paths. [`MiniHdfs::vacuum`]
+//! relies on this to rebuild the interner and arena in canonical
+//! namespace order, making the internal layout a pure function of the
+//! live namespace regardless of operation history.
 
 use crate::error::HdfsError;
+use crate::name::{NameTable, Sym};
 use crate::path::HdfsPath;
 use crate::token::{DelegationToken, TokenCheck, TokenId, TokenRegistry};
 use bytes::Bytes;
@@ -8,6 +26,7 @@ use csi_core::boundary::{BoundaryCall, CrossingContext};
 use csi_core::fault::{Channel, FaultKind, FaultPoint, InjectionRegistry};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Identifier of a simulated datanode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -94,22 +113,44 @@ struct Quota {
     max_space: Option<u64>,
 }
 
+/// Arena inode. `Dir` carries subtree aggregates — the number of strict
+/// descendants and the file bytes strictly under it — kept current along
+/// parent chains on every insert/delete/append/rename so quota checks are
+/// O(depth) reads instead of namespace scans.
 #[derive(Debug, Clone)]
 enum INode {
     Dir {
+        children: BTreeMap<Sym, u32>,
         quota: Option<Quota>,
         mtime: u64,
+        subtree_nodes: u64,
+        subtree_bytes: u64,
     },
     File {
         data: Bytes,
         props: FileProperties,
         replication: u32,
-        blocks: Vec<BlockInfo>,
+        blocks: Arc<Vec<BlockInfo>>,
         mtime: u64,
-        owner: String,
+        owner: Sym,
         permissions: u16,
     },
+    /// Freed slot, linked into the LIFO free list (`next` = arena index,
+    /// [`NIL`] terminates the list).
+    Free { next: u32 },
 }
+
+#[derive(Debug, Clone)]
+struct Entry {
+    name: Sym,
+    parent: u32,
+    node: INode,
+}
+
+/// Arena index of the root directory.
+const ROOT: u32 = 0;
+/// Free-list terminator.
+const NIL: u32 = u32::MAX;
 
 /// The in-memory HDFS cluster: one namenode plus registered datanodes.
 ///
@@ -118,7 +159,9 @@ enum INode {
 /// token-expiry scenarios deterministic.
 #[derive(Debug)]
 pub struct MiniHdfs {
-    nodes: BTreeMap<Vec<String>, INode>,
+    names: NameTable,
+    arena: Vec<Entry>,
+    free_head: u32,
     datanodes: BTreeMap<DataNodeId, bool>, // true = live
     tokens: TokenRegistry,
     clock_ms: u64,
@@ -139,16 +182,22 @@ impl Default for MiniHdfs {
 impl MiniHdfs {
     /// Creates a cluster with no datanodes, in safe mode.
     pub fn new() -> MiniHdfs {
-        let mut nodes = BTreeMap::new();
-        nodes.insert(
-            Vec::new(),
-            INode::Dir {
-                quota: None,
-                mtime: 0,
-            },
-        );
+        let mut names = NameTable::new();
+        let root_name = names.intern("");
         MiniHdfs {
-            nodes,
+            names,
+            arena: vec![Entry {
+                name: root_name,
+                parent: ROOT,
+                node: INode::Dir {
+                    children: BTreeMap::new(),
+                    quota: None,
+                    mtime: 0,
+                    subtree_nodes: 0,
+                    subtree_bytes: 0,
+                },
+            }],
+            free_head: NIL,
             datanodes: BTreeMap::new(),
             tokens: TokenRegistry::default(),
             clock_ms: 0,
@@ -216,10 +265,14 @@ impl MiniHdfs {
         if let Some(live) = self.datanodes.get_mut(&id) {
             *live = false;
         }
-        for node in self.nodes.values_mut() {
-            if let INode::File { blocks, .. } = node {
-                for b in blocks {
-                    b.replicas.retain(|r| *r != id);
+        for entry in &mut self.arena {
+            if let INode::File { blocks, .. } = &mut entry.node {
+                // Copy-on-write: only clone a block list that actually
+                // holds a replica on the dead node.
+                if blocks.iter().any(|b| b.replicas.contains(&id)) {
+                    for b in Arc::make_mut(blocks) {
+                        b.replicas.retain(|r| *r != id);
+                    }
                 }
             }
         }
@@ -248,31 +301,181 @@ impl MiniHdfs {
         }
     }
 
-    fn key(path: &HdfsPath) -> Vec<String> {
-        path.without_authority().components().to_vec()
+    /// Resolves a path to its arena id: O(depth) symbol-table lookups, no
+    /// allocation. `None` if any component is missing or crosses a file.
+    fn resolve(&self, path: &HdfsPath) -> Option<u32> {
+        let mut id = ROOT;
+        for comp in path.components() {
+            let sym = self.names.lookup(comp)?;
+            match &self.arena[id as usize].node {
+                INode::Dir { children, .. } => id = *children.get(&sym)?,
+                _ => return None,
+            }
+        }
+        Some(id)
+    }
+
+    /// Ancestor arena ids of `id`, shallowest (root) first, excluding `id`.
+    fn ancestors_root_first(&self, id: u32) -> Vec<u32> {
+        let mut chain = Vec::new();
+        let mut cur = id;
+        while cur != ROOT {
+            cur = self.arena[cur as usize].parent;
+            chain.push(cur);
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Takes a slot from the free list, or grows the arena.
+    fn alloc(&mut self, entry: Entry) -> u32 {
+        if self.free_head != NIL {
+            let id = self.free_head;
+            match self.arena[id as usize].node {
+                INode::Free { next } => self.free_head = next,
+                _ => unreachable!("free list points at a live inode"),
+            }
+            self.arena[id as usize] = entry;
+            id
+        } else {
+            let id = u32::try_from(self.arena.len()).expect("inode arena overflow");
+            self.arena.push(entry);
+            id
+        }
+    }
+
+    /// Adds to the subtree aggregates of `id` and every ancestor.
+    fn add_aggregates(&mut self, mut id: u32, nodes: u64, bytes: u64) {
+        loop {
+            if let INode::Dir {
+                subtree_nodes,
+                subtree_bytes,
+                ..
+            } = &mut self.arena[id as usize].node
+            {
+                *subtree_nodes += nodes;
+                *subtree_bytes += bytes;
+            }
+            if id == ROOT {
+                break;
+            }
+            id = self.arena[id as usize].parent;
+        }
+    }
+
+    /// Subtracts from the subtree aggregates of `id` and every ancestor.
+    fn sub_aggregates(&mut self, mut id: u32, nodes: u64, bytes: u64) {
+        loop {
+            if let INode::Dir {
+                subtree_nodes,
+                subtree_bytes,
+                ..
+            } = &mut self.arena[id as usize].node
+            {
+                *subtree_nodes -= nodes;
+                *subtree_bytes -= bytes;
+            }
+            if id == ROOT {
+                break;
+            }
+            id = self.arena[id as usize].parent;
+        }
+    }
+
+    /// Size of the subtree rooted at `id`: (inodes including `id`, file
+    /// bytes). O(1) via the maintained aggregates.
+    fn subtree_weight(&self, id: u32) -> (u64, u64) {
+        match &self.arena[id as usize].node {
+            INode::Dir {
+                subtree_nodes,
+                subtree_bytes,
+                ..
+            } => (1 + subtree_nodes, *subtree_bytes),
+            INode::File { data, .. } => (1, data.len() as u64),
+            INode::Free { .. } => unreachable!("weight of freed inode"),
+        }
+    }
+
+    /// Links `child` under `parent` as `sym` and credits the aggregates.
+    fn attach(&mut self, parent: u32, sym: Sym, child: u32, nodes: u64, bytes: u64) {
+        match &mut self.arena[parent as usize].node {
+            INode::Dir { children, .. } => {
+                children.insert(sym, child);
+            }
+            _ => unreachable!("attach target is a directory"),
+        }
+        self.arena[child as usize].parent = parent;
+        self.arena[child as usize].name = sym;
+        self.add_aggregates(parent, nodes, bytes);
+    }
+
+    /// Unlinks `child` from its parent and debits the aggregates; returns
+    /// the subtree weight that was removed.
+    fn detach(&mut self, child: u32) -> (u64, u64) {
+        let parent = self.arena[child as usize].parent;
+        let sym = self.arena[child as usize].name;
+        let (nodes, bytes) = self.subtree_weight(child);
+        match &mut self.arena[parent as usize].node {
+            INode::Dir { children, .. } => {
+                children.remove(&sym);
+            }
+            _ => unreachable!("detach parent is a directory"),
+        }
+        self.sub_aggregates(parent, nodes, bytes);
+        (nodes, bytes)
+    }
+
+    /// Returns a detached subtree's slots to the free list.
+    fn free_subtree(&mut self, id: u32) {
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            if let INode::Dir { children, .. } = &self.arena[cur as usize].node {
+                stack.extend(children.values().copied());
+            }
+            self.arena[cur as usize].node = INode::Free {
+                next: self.free_head,
+            };
+            self.free_head = cur;
+        }
     }
 
     /// Creates a directory and any missing ancestors.
     pub fn mkdirs(&mut self, path: &HdfsPath) -> Result<(), HdfsError> {
         self.cross("mkdirs", path)?;
         self.check_mutable()?;
-        let comps = Self::key(path);
-        for depth in 1..=comps.len() {
-            let prefix = comps[..depth].to_vec();
-            match self.nodes.get(&prefix) {
-                Some(INode::Dir { .. }) => {}
-                Some(INode::File { .. }) => {
-                    return Err(HdfsError::NotADirectory(partial(&prefix)));
+        let comps = path.components();
+        // `chain[d]` is the arena id of the prefix of length `d`.
+        let mut chain = vec![ROOT];
+        for depth in 0..comps.len() {
+            let here = *chain.last().expect("chain starts at root");
+            let child = self.names.lookup(&comps[depth]).and_then(|sym| {
+                match &self.arena[here as usize].node {
+                    INode::Dir { children, .. } => children.get(&sym).copied(),
+                    _ => None,
                 }
+            });
+            match child {
+                Some(c) => match self.arena[c as usize].node {
+                    INode::Dir { .. } => chain.push(c),
+                    _ => return Err(HdfsError::NotADirectory(partial(&comps[..=depth]))),
+                },
                 None => {
-                    self.check_namespace_quota(&prefix)?;
-                    self.nodes.insert(
-                        prefix,
-                        INode::Dir {
+                    self.check_namespace_quota(&chain, comps)?;
+                    let now = self.clock_ms;
+                    let sym = self.names.intern(&comps[depth]);
+                    let id = self.alloc(Entry {
+                        name: sym,
+                        parent: here,
+                        node: INode::Dir {
+                            children: BTreeMap::new(),
                             quota: None,
-                            mtime: self.clock_ms,
+                            mtime: now,
+                            subtree_nodes: 0,
+                            subtree_bytes: 0,
                         },
-                    );
+                    });
+                    self.attach(here, sym, id, 1, 0);
+                    chain.push(id);
                 }
             }
         }
@@ -313,12 +516,11 @@ impl MiniHdfs {
         if path.is_root() {
             return Err(HdfsError::IsADirectory(path.clone()));
         }
-        let comps = Self::key(path);
-        if let Some(existing) = self.nodes.get(&comps) {
-            match existing {
-                INode::Dir { .. } => return Err(HdfsError::IsADirectory(path.clone())),
-                INode::File { .. } => return Err(HdfsError::AlreadyExists(path.clone())),
-            }
+        if let Some(existing) = self.resolve(path) {
+            return Err(match self.arena[existing as usize].node {
+                INode::Dir { .. } => HdfsError::IsADirectory(path.clone()),
+                _ => HdfsError::AlreadyExists(path.clone()),
+            });
         }
         if self.live_datanodes() == 0 {
             return Err(HdfsError::InsufficientReplication {
@@ -326,24 +528,37 @@ impl MiniHdfs {
                 live: 0,
             });
         }
-        if let Some(parent) = path.parent() {
-            self.mkdirs(&parent)?;
-        }
-        self.check_namespace_quota(&comps)?;
-        self.check_space_quota(&comps, data.len() as u64)?;
+        let parent_path = path.parent().expect("non-root path has a parent");
+        self.mkdirs(&parent_path)?;
+        let parent = self
+            .resolve(&parent_path)
+            .expect("mkdirs created the parent");
+        let mut chain = self.ancestors_root_first(parent);
+        chain.push(parent);
+        let comps = path.components();
+        self.check_namespace_quota(&chain, comps)?;
+        self.check_space_quota(&chain, comps, data.len() as u64)?;
         let blocks = self.allocate_blocks(data.len() as u64);
-        self.nodes.insert(
-            comps,
-            INode::File {
+        let now = self.clock_ms;
+        let sym = self
+            .names
+            .intern(path.name().expect("non-root path has a name"));
+        let owner_sym = self.names.intern(owner);
+        let bytes = data.len() as u64;
+        let id = self.alloc(Entry {
+            name: sym,
+            parent,
+            node: INode::File {
                 data: Bytes::copy_from_slice(data),
                 props,
                 replication: self.default_replication,
-                blocks,
-                mtime: self.clock_ms,
-                owner: owner.to_string(),
+                blocks: Arc::new(blocks),
+                mtime: now,
+                owner: owner_sym,
                 permissions,
             },
-        );
+        });
+        self.attach(parent, sym, id, 1, bytes);
         Ok(())
     }
 
@@ -384,33 +599,38 @@ impl MiniHdfs {
     /// Appends bytes to an existing file, extending its block layout.
     pub fn append(&mut self, path: &HdfsPath, data: &[u8]) -> Result<(), HdfsError> {
         self.check_mutable()?;
-        let comps = Self::key(path);
-        match self.nodes.get(&comps) {
+        let id = match self.resolve(path) {
             None => return Err(HdfsError::FileNotFound(path.clone())),
-            Some(INode::Dir { .. }) => return Err(HdfsError::IsADirectory(path.clone())),
-            Some(INode::File { .. }) => {}
+            Some(id) => id,
+        };
+        if matches!(self.arena[id as usize].node, INode::Dir { .. }) {
+            return Err(HdfsError::IsADirectory(path.clone()));
         }
-        self.check_space_quota(&comps, data.len() as u64)?;
+        let chain = self.ancestors_root_first(id);
+        self.check_space_quota(&chain, path.components(), data.len() as u64)?;
         let new_blocks = self.allocate_blocks(data.len() as u64);
         let now = self.clock_ms;
-        let Some(INode::File {
+        let parent = self.arena[id as usize].parent;
+        let INode::File {
             data: existing,
             blocks,
             mtime,
             ..
-        }) = self.nodes.get_mut(&comps)
+        } = &mut self.arena[id as usize].node
         else {
             unreachable!("checked above");
         };
         let mut combined = existing.to_vec();
         combined.extend_from_slice(data);
         *existing = Bytes::from(combined);
+        let blocks = Arc::make_mut(blocks);
         // Drop a trailing empty block left by an empty create.
         if blocks.len() == 1 && blocks[0].len == 0 && !data.is_empty() {
             blocks.clear();
         }
         blocks.extend(new_blocks);
         *mtime = now;
+        self.add_aggregates(parent, 0, data.len() as u64);
         Ok(())
     }
 
@@ -424,22 +644,25 @@ impl MiniHdfs {
             .map(|(id, _)| *id)
             .collect();
         let mut placed = 0;
-        for node in self.nodes.values_mut() {
+        for entry in &mut self.arena {
             if let INode::File {
                 blocks,
                 replication,
                 ..
-            } = node
+            } = &mut entry.node
             {
-                for b in blocks {
-                    let target = (*replication as usize).min(live.len());
-                    for candidate in &live {
-                        if b.replicas.len() >= target {
-                            break;
-                        }
-                        if !b.replicas.contains(candidate) {
-                            b.replicas.push(*candidate);
-                            placed += 1;
+                let target = (*replication as usize).min(live.len());
+                // Copy-on-write: leave healthy files' block lists shared.
+                if blocks.iter().any(|b| b.replicas.len() < target) {
+                    for b in Arc::make_mut(blocks) {
+                        for candidate in &live {
+                            if b.replicas.len() >= target {
+                                break;
+                            }
+                            if !b.replicas.contains(candidate) {
+                                b.replicas.push(*candidate);
+                                placed += 1;
+                            }
                         }
                     }
                 }
@@ -469,10 +692,13 @@ impl MiniHdfs {
     }
 
     fn read_inode(&self, path: &HdfsPath) -> Result<Bytes, HdfsError> {
-        match self.nodes.get(&Self::key(path)) {
+        match self.resolve(path) {
             None => Err(HdfsError::FileNotFound(path.clone())),
-            Some(INode::Dir { .. }) => Err(HdfsError::IsADirectory(path.clone())),
-            Some(INode::File { data, .. }) => Ok(data.clone()),
+            Some(id) => match &self.arena[id as usize].node {
+                INode::Dir { .. } => Err(HdfsError::IsADirectory(path.clone())),
+                INode::File { data, .. } => Ok(data.clone()),
+                INode::Free { .. } => unreachable!("resolved id is live"),
+            },
         }
     }
 
@@ -492,12 +718,11 @@ impl MiniHdfs {
         }
     }
 
-    /// Returns the status of a path.
-    pub fn get_file_status(&self, path: &HdfsPath) -> Result<FileStatus, HdfsError> {
-        match self.nodes.get(&Self::key(path)) {
-            None => Err(HdfsError::FileNotFound(path.clone())),
-            Some(INode::Dir { mtime, .. }) => Ok(FileStatus {
-                path: path.without_authority(),
+    /// Renders the status of a live inode, under the given absolute path.
+    fn status_of(&self, id: u32, path: HdfsPath) -> FileStatus {
+        match &self.arena[id as usize].node {
+            INode::Dir { mtime, .. } => FileStatus {
+                path,
                 is_dir: true,
                 len: 0,
                 replication: 0,
@@ -505,8 +730,8 @@ impl MiniHdfs {
                 owner: "hdfs".to_string(),
                 permissions: 0o755,
                 properties: FileProperties::default(),
-            }),
-            Some(INode::File {
+            },
+            INode::File {
                 data,
                 props,
                 replication,
@@ -514,8 +739,8 @@ impl MiniHdfs {
                 owner,
                 permissions,
                 ..
-            }) => Ok(FileStatus {
-                path: path.without_authority(),
+            } => FileStatus {
+                path,
                 is_dir: false,
                 // The documented sentinel: compressed files report -1.
                 len: if props.compressed {
@@ -525,74 +750,98 @@ impl MiniHdfs {
                 },
                 replication: *replication,
                 modification_time: *mtime,
-                owner: owner.clone(),
+                owner: self.names.resolve(*owner).to_string(),
                 permissions: *permissions,
                 properties: *props,
-            }),
+            },
+            INode::Free { .. } => unreachable!("status of freed inode"),
+        }
+    }
+
+    /// Returns the status of a path.
+    pub fn get_file_status(&self, path: &HdfsPath) -> Result<FileStatus, HdfsError> {
+        match self.resolve(path) {
+            None => Err(HdfsError::FileNotFound(path.clone())),
+            Some(id) => Ok(self.status_of(id, path.without_authority())),
         }
     }
 
     /// The physical stored length, regardless of compression — the custom
     /// API an informed upstream must use instead of [`FileStatus::len`].
     pub fn stored_length(&self, path: &HdfsPath) -> Result<u64, HdfsError> {
-        match self.nodes.get(&Self::key(path)) {
+        match self.resolve(path) {
             None => Err(HdfsError::FileNotFound(path.clone())),
-            Some(INode::Dir { .. }) => Err(HdfsError::IsADirectory(path.clone())),
-            Some(INode::File { data, .. }) => Ok(data.len() as u64),
+            Some(id) => match &self.arena[id as usize].node {
+                INode::Dir { .. } => Err(HdfsError::IsADirectory(path.clone())),
+                INode::File { data, .. } => Ok(data.len() as u64),
+                INode::Free { .. } => unreachable!("resolved id is live"),
+            },
         }
     }
 
     /// Lists the immediate children of a directory.
     pub fn list_status(&self, path: &HdfsPath) -> Result<Vec<FileStatus>, HdfsError> {
         self.cross("list_status", path)?;
-        let comps = Self::key(path);
-        match self.nodes.get(&comps) {
+        let id = match self.resolve(path) {
             None => return Err(HdfsError::FileNotFound(path.clone())),
-            Some(INode::File { .. }) => return Err(HdfsError::NotADirectory(path.clone())),
-            Some(INode::Dir { .. }) => {}
-        }
-        let mut out = Vec::new();
-        for key in self.nodes.keys() {
-            if key.len() == comps.len() + 1 && key[..comps.len()] == comps[..] {
-                out.push(self.get_file_status(&partial(key))?);
-            }
-        }
-        Ok(out)
+            Some(id) => id,
+        };
+        let children = match &self.arena[id as usize].node {
+            INode::File { .. } => return Err(HdfsError::NotADirectory(path.clone())),
+            INode::Dir { children, .. } => children,
+            INode::Free { .. } => unreachable!("resolved id is live"),
+        };
+        // Child maps iterate in intern order; listings are sorted by name,
+        // so symbol values stay unobservable.
+        let mut kids: Vec<(&str, u32)> = children
+            .iter()
+            .map(|(sym, child)| (self.names.resolve(*sym), *child))
+            .collect();
+        kids.sort_unstable_by_key(|(name, _)| *name);
+        let base = path.without_authority();
+        Ok(kids
+            .into_iter()
+            .map(|(name, child)| self.status_of(child, base.join(name)))
+            .collect())
     }
 
     /// Whether a path exists.
     pub fn exists(&self, path: &HdfsPath) -> bool {
-        self.nodes.contains_key(&Self::key(path))
+        self.resolve(path).is_some()
     }
 
-    /// Renames a file or directory (and its subtree).
+    /// Renames a file or directory (and its subtree): O(depth) pointer
+    /// surgery, no per-node rewrites.
+    ///
+    /// Renaming a path *into its own subtree* is rejected with
+    /// [`HdfsError::InvalidPath`] (the seed's flat-map prefix rewrite
+    /// silently corrupted the namespace on that input).
     pub fn rename(&mut self, from: &HdfsPath, to: &HdfsPath) -> Result<(), HdfsError> {
         self.check_mutable()?;
-        let from_key = Self::key(from);
-        let to_key = Self::key(to);
-        if !self.nodes.contains_key(&from_key) {
-            return Err(HdfsError::FileNotFound(from.clone()));
-        }
-        if self.nodes.contains_key(&to_key) {
+        let from_id = match self.resolve(from) {
+            None => return Err(HdfsError::FileNotFound(from.clone())),
+            Some(id) => id,
+        };
+        if self.resolve(to).is_some() {
             return Err(HdfsError::AlreadyExists(to.clone()));
+        }
+        let from_comps = from.components();
+        let to_comps = to.components();
+        if to_comps.len() > from_comps.len() && to_comps[..from_comps.len()] == from_comps[..] {
+            return Err(HdfsError::InvalidPath(format!(
+                "cannot rename {from} into its own subtree {to}"
+            )));
         }
         if let Some(parent) = to.parent() {
             self.mkdirs(&parent)?;
         }
-        let moved: Vec<(Vec<String>, INode)> = self
-            .nodes
-            .iter()
-            .filter(|(k, _)| k.len() >= from_key.len() && k[..from_key.len()] == from_key[..])
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect();
-        for (k, _) in &moved {
-            self.nodes.remove(k);
-        }
-        for (k, v) in moved {
-            let mut new_key = to_key.clone();
-            new_key.extend_from_slice(&k[from_key.len()..]);
-            self.nodes.insert(new_key, v);
-        }
+        let to_parent_path = to.parent().expect("root target already exists");
+        let to_parent = self
+            .resolve(&to_parent_path)
+            .expect("mkdirs created the target parent");
+        let (nodes, bytes) = self.detach(from_id);
+        let sym = self.names.intern(to.name().expect("non-root target"));
+        self.attach(to_parent, sym, from_id, nodes, bytes);
         Ok(())
     }
 
@@ -600,30 +849,37 @@ impl MiniHdfs {
     pub fn delete(&mut self, path: &HdfsPath, recursive: bool) -> Result<(), HdfsError> {
         self.cross("delete", path)?;
         self.check_mutable()?;
-        let comps = Self::key(path);
-        match self.nodes.get(&comps) {
+        let id = match self.resolve(path) {
             None => return Err(HdfsError::FileNotFound(path.clone())),
-            Some(INode::File { .. }) => {
-                self.nodes.remove(&comps);
+            Some(id) => id,
+        };
+        match &self.arena[id as usize].node {
+            INode::File { .. } => {
+                self.detach(id);
+                self.free_subtree(id);
                 return Ok(());
             }
-            Some(INode::Dir { .. }) => {}
+            INode::Dir { children, .. } => {
+                if !children.is_empty() && !recursive {
+                    return Err(HdfsError::DirectoryNotEmpty(path.clone()));
+                }
+            }
+            INode::Free { .. } => unreachable!("resolved id is live"),
         }
-        let children: Vec<Vec<String>> = self
-            .nodes
-            .keys()
-            .filter(|k| k.len() > comps.len() && k[..comps.len()] == comps[..])
-            .cloned()
-            .collect();
-        if !children.is_empty() && !recursive {
-            return Err(HdfsError::DirectoryNotEmpty(path.clone()));
+        if id == ROOT {
+            // Deleting `/` empties the namespace but keeps the root inode.
+            let kids: Vec<u32> = match &self.arena[ROOT as usize].node {
+                INode::Dir { children, .. } => children.values().copied().collect(),
+                _ => unreachable!("root is a directory"),
+            };
+            for k in kids {
+                self.detach(k);
+                self.free_subtree(k);
+            }
+            return Ok(());
         }
-        for k in children {
-            self.nodes.remove(&k);
-        }
-        if !comps.is_empty() {
-            self.nodes.remove(&comps);
-        }
+        self.detach(id);
+        self.free_subtree(id);
         Ok(())
     }
 
@@ -634,39 +890,41 @@ impl MiniHdfs {
         max_namespace: Option<u64>,
         max_space: Option<u64>,
     ) -> Result<(), HdfsError> {
-        match self.nodes.get_mut(&Self::key(dir)) {
-            None => Err(HdfsError::FileNotFound(dir.clone())),
-            Some(INode::File { .. }) => Err(HdfsError::NotADirectory(dir.clone())),
-            Some(INode::Dir { quota, .. }) => {
+        let id = match self.resolve(dir) {
+            None => return Err(HdfsError::FileNotFound(dir.clone())),
+            Some(id) => id,
+        };
+        match &mut self.arena[id as usize].node {
+            INode::File { .. } => Err(HdfsError::NotADirectory(dir.clone())),
+            INode::Dir { quota, .. } => {
                 *quota = Some(Quota {
                     max_namespace,
                     max_space,
                 });
                 Ok(())
             }
+            INode::Free { .. } => unreachable!("resolved id is live"),
         }
     }
 
-    fn check_namespace_quota(&self, new_key: &[String]) -> Result<(), HdfsError> {
-        for depth in 0..new_key.len() {
-            let prefix = &new_key[..depth];
-            if let Some(INode::Dir {
+    /// Checks every ancestor's namespace quota before adding one inode.
+    /// `chain[d]` must be the arena id of `comps[..d]`; aggregates make
+    /// each check O(1), the walk O(depth).
+    fn check_namespace_quota(&self, chain: &[u32], comps: &[String]) -> Result<(), HdfsError> {
+        for (depth, &anc) in chain.iter().enumerate() {
+            if let INode::Dir {
                 quota:
                     Some(Quota {
                         max_namespace: Some(max),
                         ..
                     }),
+                subtree_nodes,
                 ..
-            }) = self.nodes.get(prefix)
+            } = &self.arena[anc as usize].node
             {
-                let count = self
-                    .nodes
-                    .keys()
-                    .filter(|k| k.len() > prefix.len() && k[..prefix.len()] == prefix[..])
-                    .count() as u64;
-                if count + 1 > *max {
+                if *subtree_nodes + 1 > *max {
                     return Err(HdfsError::QuotaExceeded {
-                        dir: partial(prefix),
+                        dir: partial(&comps[..depth]),
                         detail: format!("namespace quota {max} reached"),
                     });
                 }
@@ -675,30 +933,27 @@ impl MiniHdfs {
         Ok(())
     }
 
-    fn check_space_quota(&self, new_key: &[String], add_bytes: u64) -> Result<(), HdfsError> {
-        for depth in 0..new_key.len() {
-            let prefix = &new_key[..depth];
-            if let Some(INode::Dir {
+    /// Checks every ancestor's space quota before adding `add_bytes`.
+    fn check_space_quota(
+        &self,
+        chain: &[u32],
+        comps: &[String],
+        add_bytes: u64,
+    ) -> Result<(), HdfsError> {
+        for (depth, &anc) in chain.iter().enumerate() {
+            if let INode::Dir {
                 quota:
                     Some(Quota {
                         max_space: Some(max),
                         ..
                     }),
+                subtree_bytes,
                 ..
-            }) = self.nodes.get(prefix)
+            } = &self.arena[anc as usize].node
             {
-                let used: u64 = self
-                    .nodes
-                    .iter()
-                    .filter(|(k, _)| k.len() > prefix.len() && k[..prefix.len()] == prefix[..])
-                    .map(|(_, v)| match v {
-                        INode::File { data, .. } => data.len() as u64,
-                        INode::Dir { .. } => 0,
-                    })
-                    .sum();
-                if used + add_bytes > *max {
+                if *subtree_bytes + add_bytes > *max {
                     return Err(HdfsError::QuotaExceeded {
-                        dir: partial(prefix),
+                        dir: partial(&comps[..depth]),
                         detail: format!("space quota {max} bytes would be exceeded"),
                     });
                 }
@@ -709,10 +964,13 @@ impl MiniHdfs {
 
     /// Block layout of a file.
     pub fn blocks(&self, path: &HdfsPath) -> Result<Vec<BlockInfo>, HdfsError> {
-        match self.nodes.get(&Self::key(path)) {
+        match self.resolve(path) {
             None => Err(HdfsError::FileNotFound(path.clone())),
-            Some(INode::Dir { .. }) => Err(HdfsError::IsADirectory(path.clone())),
-            Some(INode::File { blocks, .. }) => Ok(blocks.clone()),
+            Some(id) => match &self.arena[id as usize].node {
+                INode::Dir { .. } => Err(HdfsError::IsADirectory(path.clone())),
+                INode::File { blocks, .. } => Ok((**blocks).clone()),
+                INode::Free { .. } => unreachable!("resolved id is live"),
+            },
         }
     }
 
@@ -720,9 +978,9 @@ impl MiniHdfs {
     /// target (the replication factor, capped by live datanodes).
     pub fn under_replicated_blocks(&self) -> usize {
         let live = self.live_datanodes() as u32;
-        self.nodes
-            .values()
-            .filter_map(|n| match n {
+        self.arena
+            .iter()
+            .filter_map(|entry| match &entry.node {
                 INode::File {
                     blocks,
                     replication,
@@ -736,9 +994,133 @@ impl MiniHdfs {
                             .count(),
                     )
                 }
-                INode::Dir { .. } => None,
+                _ => None,
             })
             .sum()
+    }
+
+    /// Number of live inodes, excluding the root directory.
+    pub fn inode_count(&self) -> u64 {
+        match &self.arena[ROOT as usize].node {
+            INode::Dir { subtree_nodes, .. } => *subtree_nodes,
+            _ => unreachable!("root is a directory"),
+        }
+    }
+
+    /// Number of distinct name strings currently interned (grows
+    /// monotonically until [`MiniHdfs::vacuum`]).
+    pub fn interned_names(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Rebuilds the name table and inode arena from the live namespace in
+    /// canonical order (pre-order DFS, children name-sorted), dropping
+    /// freed slots and names only deleted inodes referenced.
+    ///
+    /// After a vacuum the internal layout is a pure function of the live
+    /// namespace — two instances holding the same files converge to
+    /// identical interner and arena state regardless of the operation
+    /// history that produced them. Deployment pools rely on this when
+    /// recycling an instance across experiments picked up in
+    /// work-stealing (hence nondeterministic) order. The datanode fleet,
+    /// delegation tokens, clock, and `next_block_id` are untouched:
+    /// vacuuming never changes any observable behavior.
+    pub fn vacuum(&mut self) {
+        let mut names = NameTable::new();
+        let root_name = names.intern("");
+        let mut arena: Vec<Entry> = Vec::with_capacity(1 + self.inode_count() as usize);
+        let root_node = match &self.arena[ROOT as usize].node {
+            INode::Dir {
+                quota,
+                mtime,
+                subtree_nodes,
+                subtree_bytes,
+                ..
+            } => INode::Dir {
+                children: BTreeMap::new(),
+                quota: quota.clone(),
+                mtime: *mtime,
+                subtree_nodes: *subtree_nodes,
+                subtree_bytes: *subtree_bytes,
+            },
+            _ => unreachable!("root is a directory"),
+        };
+        arena.push(Entry {
+            name: root_name,
+            parent: ROOT,
+            node: root_node,
+        });
+        // (old id, new parent id), popped in name order per directory.
+        let mut stack: Vec<(u32, u32)> = Vec::new();
+        self.push_children_sorted(ROOT, ROOT, &mut stack);
+        while let Some((old, new_parent)) = stack.pop() {
+            let entry = &self.arena[old as usize];
+            let sym = names.intern(self.names.resolve(entry.name));
+            let node = match &entry.node {
+                INode::Dir {
+                    quota,
+                    mtime,
+                    subtree_nodes,
+                    subtree_bytes,
+                    ..
+                } => INode::Dir {
+                    children: BTreeMap::new(),
+                    quota: quota.clone(),
+                    mtime: *mtime,
+                    subtree_nodes: *subtree_nodes,
+                    subtree_bytes: *subtree_bytes,
+                },
+                INode::File {
+                    data,
+                    props,
+                    replication,
+                    blocks,
+                    mtime,
+                    owner,
+                    permissions,
+                } => INode::File {
+                    data: data.clone(),
+                    props: *props,
+                    replication: *replication,
+                    blocks: blocks.clone(),
+                    mtime: *mtime,
+                    owner: names.intern(self.names.resolve(*owner)),
+                    permissions: *permissions,
+                },
+                INode::Free { .. } => unreachable!("free slot reachable from root"),
+            };
+            let new_id = u32::try_from(arena.len()).expect("inode arena overflow");
+            arena.push(Entry {
+                name: sym,
+                parent: new_parent,
+                node,
+            });
+            match &mut arena[new_parent as usize].node {
+                INode::Dir { children, .. } => {
+                    children.insert(sym, new_id);
+                }
+                _ => unreachable!("parent is a directory"),
+            }
+            self.push_children_sorted(old, new_id, &mut stack);
+        }
+        self.names = names;
+        self.arena = arena;
+        self.free_head = NIL;
+    }
+
+    /// Pushes `old`'s children onto the DFS stack in reverse name order
+    /// (so they pop name-sorted), tagged with their new parent id.
+    fn push_children_sorted(&self, old: u32, new_parent: u32, stack: &mut Vec<(u32, u32)>) {
+        if let INode::Dir { children, .. } = &self.arena[old as usize].node {
+            let mut kids: Vec<(&str, u32)> = children
+                .iter()
+                .map(|(sym, child)| (self.names.resolve(*sym), *child))
+                .collect();
+            kids.sort_unstable_by_key(|(name, _)| *name);
+            for (_, child) in kids.into_iter().rev() {
+                stack.push((child, new_parent));
+            }
+        }
     }
 
     /// Issues a delegation token for `owner`.
@@ -874,6 +1256,24 @@ mod tests {
     }
 
     #[test]
+    fn rename_into_own_subtree_is_rejected() {
+        let mut fs = MiniHdfs::with_datanodes(1);
+        fs.create(&p("/src/a/b"), b"1").unwrap();
+        assert!(matches!(
+            fs.rename(&p("/src"), &p("/src/inner")),
+            Err(HdfsError::InvalidPath(_))
+        ));
+        // The namespace is untouched by the refused rename.
+        assert_eq!(fs.read(&p("/src/a/b")).unwrap().as_ref(), b"1");
+        assert!(!fs.exists(&p("/src/inner")));
+        // Renaming onto itself is still the pre-existing AlreadyExists.
+        assert!(matches!(
+            fs.rename(&p("/src"), &p("/src")),
+            Err(HdfsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
     fn delete_requires_recursive_for_nonempty_dirs() {
         let mut fs = MiniHdfs::with_datanodes(1);
         fs.create(&p("/d/x"), b"1").unwrap();
@@ -910,6 +1310,23 @@ mod tests {
             Err(HdfsError::QuotaExceeded { .. })
         ));
         fs.create(&p("/q/b"), b"12345").unwrap();
+    }
+
+    #[test]
+    fn quota_accounting_survives_rename_and_delete() {
+        let mut fs = MiniHdfs::with_datanodes(1);
+        fs.mkdirs(&p("/q")).unwrap();
+        fs.set_quota(&p("/q"), None, Some(10)).unwrap();
+        fs.create(&p("/tmp/big"), b"123456789").unwrap();
+        // The seed never quota-checked rename itself; the moved bytes are
+        // only charged against subsequent writes.
+        fs.rename(&p("/tmp/big"), &p("/q/big")).unwrap();
+        assert!(matches!(
+            fs.create(&p("/q/more"), b"xx"),
+            Err(HdfsError::QuotaExceeded { .. })
+        ));
+        fs.delete(&p("/q/big"), false).unwrap();
+        fs.create(&p("/q/more"), b"xx").unwrap();
     }
 
     #[test]
@@ -1023,5 +1440,98 @@ mod tests {
         let mut fs = MiniHdfs::with_datanodes(1);
         fs.create(&p("hdfs://nn:9000/x/y"), b"1").unwrap();
         assert_eq!(fs.read(&p("/x/y")).unwrap().as_ref(), b"1");
+    }
+
+    /// Full observable snapshot of a subtree: statuses, listings, content.
+    fn snapshot(fs: &MiniHdfs, dir: &HdfsPath) -> Vec<(String, FileStatus, Option<Vec<u8>>)> {
+        let mut out = Vec::new();
+        let mut stack = vec![dir.clone()];
+        while let Some(d) = stack.pop() {
+            for st in fs.list_status(&d).unwrap() {
+                let content = if st.is_dir {
+                    stack.push(st.path.clone());
+                    None
+                } else {
+                    Some(fs.read(&st.path).unwrap().to_vec())
+                };
+                out.push((st.path.to_string(), st.clone(), content));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    #[test]
+    fn vacuum_preserves_namespace_and_compacts_interner() {
+        let mut fs = MiniHdfs::with_datanodes(3);
+        for i in 0..20 {
+            fs.create(&p(&format!("/warehouse/t{i}/part-{i}.orc")), b"rows")
+                .unwrap();
+        }
+        fs.mkdirs(&p("/q")).unwrap();
+        fs.set_quota(&p("/q"), Some(5), Some(100)).unwrap();
+        fs.create(&p("/q/kept"), b"abc").unwrap();
+        for i in 0..15 {
+            fs.delete(&p(&format!("/warehouse/t{i}")), true).unwrap();
+        }
+        let before = snapshot(&fs, &HdfsPath::root());
+        let names_before = fs.interned_names();
+        let inodes = fs.inode_count();
+        fs.vacuum();
+        assert_eq!(snapshot(&fs, &HdfsPath::root()), before);
+        assert_eq!(fs.inode_count(), inodes);
+        // Names referenced only by deleted inodes are gone.
+        assert!(fs.interned_names() < names_before);
+        // Quotas survive: /q (max 5 names, 1 used) still enforces.
+        fs.create(&p("/q/a"), b"1").unwrap();
+        fs.create(&p("/q/b"), b"2").unwrap();
+        fs.create(&p("/q/c"), b"3").unwrap();
+        fs.create(&p("/q/d"), b"4").unwrap();
+        assert!(matches!(
+            fs.create(&p("/q/e"), b"5"),
+            Err(HdfsError::QuotaExceeded { .. })
+        ));
+        // Vacuum is idempotent.
+        fs.vacuum();
+        let again = snapshot(&fs, &HdfsPath::root());
+        fs.vacuum();
+        assert_eq!(snapshot(&fs, &HdfsPath::root()), again);
+    }
+
+    #[test]
+    fn vacuum_state_is_history_independent() {
+        // Two different operation histories that converge to the same live
+        // namespace must converge to the same internal layout after vacuum.
+        let mut a = MiniHdfs::with_datanodes(1);
+        a.create(&p("/x/one"), b"1").unwrap();
+        a.create(&p("/y/two"), b"2").unwrap();
+        let mut b = MiniHdfs::with_datanodes(1);
+        b.create(&p("/zebra/tmp"), b"t").unwrap();
+        b.create(&p("/y/two"), b"2").unwrap();
+        b.delete(&p("/zebra"), true).unwrap();
+        b.create(&p("/x/one"), b"1").unwrap();
+        a.vacuum();
+        b.vacuum();
+        assert_eq!(a.interned_names(), b.interned_names());
+        assert_eq!(a.inode_count(), b.inode_count());
+        assert_eq!(
+            snapshot(&a, &HdfsPath::root()),
+            snapshot(&b, &HdfsPath::root())
+        );
+    }
+
+    #[test]
+    fn freed_inode_slots_are_reused() {
+        let mut fs = MiniHdfs::with_datanodes(1);
+        fs.create(&p("/a"), b"1").unwrap();
+        let count = fs.inode_count();
+        for _ in 0..100 {
+            fs.create(&p("/tmp/scratch"), b"x").unwrap();
+            fs.delete(&p("/tmp"), true).unwrap();
+        }
+        assert_eq!(fs.inode_count(), count);
+        // The arena recycles slots rather than growing per churn cycle:
+        // 1 live file + root + at most the churn pair.
+        assert!(fs.arena.len() <= 4);
     }
 }

@@ -21,6 +21,7 @@
 
 pub mod error;
 pub mod fs;
+pub mod name;
 pub mod path;
 pub mod token;
 

@@ -1,0 +1,16 @@
+//! Name interning for the namenode's namespace.
+//!
+//! A production namenode holds millions of inodes whose names repeat
+//! heavily (`part-00001.orc`, `warehouse`, owner strings). The seed's
+//! `BTreeMap<Vec<String>, INode>` namespace stored each occurrence as its
+//! own `String`, costing an allocation per component per operation. The
+//! namespace now interns every distinct name once through the shared
+//! substrate symbol table, [`csi_core::intern::NameTable`], and resolves
+//! paths on copyable u32 [`Sym`] handles with zero per-op string clones.
+//!
+//! Nothing observable may ever be derived from symbol *values* (only from
+//! the resolved strings), which is what lets [`crate::MiniHdfs::vacuum`]
+//! rebuild the table in canonical namespace order without changing any
+//! output.
+
+pub use csi_core::intern::{NameTable, Sym};

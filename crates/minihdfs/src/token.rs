@@ -34,10 +34,17 @@ impl DelegationToken {
 }
 
 /// Server-side token registry.
+///
+/// Tokens live in a hashed index keyed by raw id, so issue, renewal,
+/// cancellation, and verification are O(1) at any fleet size. The map is
+/// **lookup-only**: no code path iterates it (hash iteration order is
+/// nondeterministic), and anything order-sensitive — such as
+/// [`TokenRegistry::expired`] — sorts by `(expires_at, id)` before
+/// returning.
 #[derive(Debug, Default, Clone)]
 pub struct TokenRegistry {
     next_id: u64,
-    tokens: std::collections::BTreeMap<TokenId, DelegationToken>,
+    tokens: std::collections::HashMap<u64, DelegationToken>,
 }
 
 /// Outcome of a token verification.
@@ -71,7 +78,7 @@ impl TokenRegistry {
             expires_at: now + renew_interval_ms.min(max_lifetime_ms),
             max_lifetime_at: now + max_lifetime_ms,
         };
-        self.tokens.insert(token.id, token.clone());
+        self.tokens.insert(token.id.0, token.clone());
         token
     }
 
@@ -79,7 +86,7 @@ impl TokenRegistry {
     /// max lifetime. Returns the new expiry, or `None` if the token is
     /// unknown or already past its max lifetime.
     pub fn renew(&mut self, id: TokenId, now: u64, renew_interval_ms: u64) -> Option<u64> {
-        let token = self.tokens.get_mut(&id)?;
+        let token = self.tokens.get_mut(&id.0)?;
         if now >= token.max_lifetime_at {
             return None;
         }
@@ -89,12 +96,12 @@ impl TokenRegistry {
 
     /// Cancels a token.
     pub fn cancel(&mut self, id: TokenId) -> bool {
-        self.tokens.remove(&id).is_some()
+        self.tokens.remove(&id.0).is_some()
     }
 
     /// Verifies a token at `now`.
     pub fn check(&self, id: TokenId, now: u64) -> TokenCheck {
-        match self.tokens.get(&id) {
+        match self.tokens.get(&id.0) {
             None => TokenCheck::Unknown,
             Some(t) if t.is_expired(now) => TokenCheck::Expired {
                 expired_at: t.expires_at,
@@ -105,7 +112,31 @@ impl TokenRegistry {
 
     /// A snapshot of a token's current server-side state.
     pub fn get(&self, id: TokenId) -> Option<&DelegationToken> {
-        self.tokens.get(&id)
+        self.tokens.get(&id.0)
+    }
+
+    /// Number of live (issued, uncancelled) tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether no tokens are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// All tokens expired at `now`, in deterministic clock order: sorted
+    /// by `(expires_at, id)` so ties on the expiry instant break by issue
+    /// order, never by hash-map iteration order.
+    pub fn expired(&self, now: u64) -> Vec<DelegationToken> {
+        let mut out: Vec<DelegationToken> = self
+            .tokens
+            .values()
+            .filter(|t| t.is_expired(now))
+            .cloned()
+            .collect();
+        out.sort_by_key(|t| (t.expires_at, t.id.0));
+        out
     }
 }
 
@@ -165,5 +196,39 @@ mod tests {
         let mut reg = TokenRegistry::default();
         let t = reg.issue("x", 0, 1000, 300);
         assert_eq!(t.expires_at, 300);
+    }
+
+    #[test]
+    fn expiry_order_is_deterministic_clock_order() {
+        // Regression for the hashed-index refactor: tokens must still
+        // expire in clock order, with ties broken by issue order — never
+        // by hash-map iteration order.
+        let build = || {
+            let mut reg = TokenRegistry::default();
+            for (now, interval) in [(0, 300), (0, 100), (50, 50), (0, 100), (10, 500)] {
+                reg.issue("owner", now, interval, 10_000);
+            }
+            reg
+        };
+        let reg = build();
+        assert_eq!(reg.len(), 5);
+        let order: Vec<(u64, u64)> = reg
+            .expired(1_000)
+            .iter()
+            .map(|t| (t.expires_at, t.id.0))
+            .collect();
+        // expires_at: id1=300, id2=100, id3=100, id4=100, id5=510.
+        assert_eq!(
+            order,
+            vec![(100, 2), (100, 3), (100, 4), (300, 1), (510, 5)]
+        );
+        // Identical across independently built registries and clones.
+        assert_eq!(build().expired(1_000), reg.expired(1_000));
+        assert_eq!(reg.clone().expired(1_000), reg.expired(1_000));
+        // A mid-list clock only reveals the prefix, in the same order.
+        let partial: Vec<u64> = reg.expired(200).iter().map(|t| t.id.0).collect();
+        assert_eq!(partial, vec![2, 3, 4]);
+        // Unexpired registries report nothing.
+        assert!(reg.expired(0).is_empty());
     }
 }

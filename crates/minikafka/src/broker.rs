@@ -1,11 +1,20 @@
 //! The minikafka broker: topics, partitioned logs, compaction, transactions,
 //! and consumer-group offsets.
+//!
+//! Storage is production-shaped: topic names are interned to dense u32
+//! ids, partitions live in a flat sharded map keyed by packed
+//! `(topic, partition)` ids, and group offsets / transactions sit in
+//! hashed indexes. Every hash map is **lookup-only** — anything
+//! order-sensitive (like [`MiniKafka::topics`]) sorts by name before
+//! returning, so no observable output depends on hash iteration order or
+//! on the ids themselves.
 
 use crate::error::KafkaError;
 use bytes::Bytes;
 use csi_core::boundary::{BoundaryCall, CrossingContext};
 use csi_core::fault::{Channel, InjectionRegistry};
-use std::collections::BTreeMap;
+use csi_core::intern::{NameTable, Sym};
+use std::collections::HashMap;
 
 /// A record offset within a partition.
 pub type Offset = i64;
@@ -63,18 +72,76 @@ struct Partition {
     log_start: Offset,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Transaction {
-    topic: String,
+    topic: u32,
     staged: Vec<(PartitionId, Option<Bytes>, Option<Bytes>, u64)>,
+}
+
+#[derive(Debug)]
+struct TopicMeta {
+    name: String,
+    partitions: u32,
+}
+
+/// Number of shards in the flat partition map. A fixed power of two keeps
+/// the shard choice a pure function of the packed id.
+const SHARDS: usize = 16;
+
+/// Packs a dense topic id and partition index into one map key.
+fn pkey(topic: u32, partition: PartitionId) -> u64 {
+    (u64::from(topic) << 32) | u64::from(partition.0)
+}
+
+/// Flat sharded partition store: `(topic, partition)` packed ids hashed
+/// into a fixed shard array, replacing the seed's per-topic `Vec` behind a
+/// name-keyed `BTreeMap`. Lookups touch one shard; nothing iterates the
+/// shards, so layout never leaks into observable output.
+#[derive(Debug)]
+struct PartitionMap {
+    shards: Vec<HashMap<u64, Partition>>,
+}
+
+impl Default for PartitionMap {
+    fn default() -> PartitionMap {
+        PartitionMap {
+            shards: (0..SHARDS).map(|_| HashMap::new()).collect(),
+        }
+    }
+}
+
+impl PartitionMap {
+    fn shard_of(key: u64) -> usize {
+        ((key ^ (key >> 32)) as usize) % SHARDS
+    }
+
+    fn insert(&mut self, key: u64, partition: Partition) {
+        self.shards[Self::shard_of(key)].insert(key, partition);
+    }
+
+    fn get(&self, key: u64) -> Option<&Partition> {
+        self.shards[Self::shard_of(key)].get(&key)
+    }
+
+    fn get_mut(&mut self, key: u64) -> Option<&mut Partition> {
+        self.shards[Self::shard_of(key)].get_mut(&key)
+    }
 }
 
 /// The in-memory broker.
 #[derive(Debug, Default)]
 pub struct MiniKafka {
-    topics: BTreeMap<String, Vec<Partition>>,
-    group_offsets: BTreeMap<(String, String, u32), Offset>,
-    transactions: BTreeMap<u64, Transaction>,
+    /// Topic name → dense topic id. Lookup-only.
+    topic_ids: HashMap<String, u32>,
+    /// Topic metadata, indexed by dense topic id.
+    topic_meta: Vec<TopicMeta>,
+    /// All partitions of all topics, sharded by packed id.
+    partitions: PartitionMap,
+    /// Consumer-group name interner for the offset index.
+    group_names: NameTable,
+    /// `(group, topic, partition)` → committed offset. Lookup-only.
+    group_offsets: HashMap<(Sym, u32, u32), Offset>,
+    transactions: HashMap<u64, Transaction>,
     next_txn_id: u64,
     crossing: Option<CrossingContext>,
 }
@@ -110,23 +177,58 @@ impl MiniKafka {
 
     /// Creates a topic with `partitions` partitions. Idempotent.
     pub fn create_topic(&mut self, topic: &str, partitions: u32) {
-        self.topics
-            .entry(topic.to_string())
-            .or_insert_with(|| (0..partitions).map(|_| Partition::default()).collect());
+        if self.topic_ids.contains_key(topic) {
+            return;
+        }
+        let id = u32::try_from(self.topic_meta.len()).expect("topic id overflow");
+        self.topic_ids.insert(topic.to_string(), id);
+        self.topic_meta.push(TopicMeta {
+            name: topic.to_string(),
+            partitions,
+        });
+        for p in 0..partitions {
+            self.partitions
+                .insert(pkey(id, PartitionId(p)), Partition::default());
+        }
     }
 
     /// Topic names, sorted.
     pub fn topics(&self) -> Vec<&str> {
-        self.topics.keys().map(String::as_str).collect()
+        // Ids are creation-ordered; listings sort by name so the id
+        // assignment stays unobservable.
+        let mut names: Vec<&str> = self.topic_meta.iter().map(|t| t.name.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    fn topic_id(&self, topic: &str) -> Result<u32, KafkaError> {
+        self.topic_ids
+            .get(topic)
+            .copied()
+            .ok_or_else(|| KafkaError::UnknownTopic(topic.to_string()))
     }
 
     /// Number of partitions of a topic.
     pub fn partition_count(&self, topic: &str) -> Result<u32, KafkaError> {
+        Ok(self.topic_meta[self.topic_id(topic)? as usize].partitions)
+    }
+
+    fn partition_mut_by_id(
+        &mut self,
+        topic: u32,
+        partition: PartitionId,
+    ) -> Result<&mut Partition, KafkaError> {
+        let meta = &self.topic_meta[topic as usize];
+        if partition.0 >= meta.partitions {
+            return Err(KafkaError::UnknownPartition {
+                topic: meta.name.clone(),
+                partition: partition.0,
+            });
+        }
         Ok(self
-            .topics
-            .get(topic)
-            .ok_or_else(|| KafkaError::UnknownTopic(topic.to_string()))?
-            .len() as u32)
+            .partitions
+            .get_mut(pkey(topic, partition))
+            .expect("in-range partition exists"))
     }
 
     fn partition_mut(
@@ -134,29 +236,23 @@ impl MiniKafka {
         topic: &str,
         partition: PartitionId,
     ) -> Result<&mut Partition, KafkaError> {
-        let parts = self
-            .topics
-            .get_mut(topic)
-            .ok_or_else(|| KafkaError::UnknownTopic(topic.to_string()))?;
-        parts
-            .get_mut(partition.0 as usize)
-            .ok_or_else(|| KafkaError::UnknownPartition {
-                topic: topic.to_string(),
-                partition: partition.0,
-            })
+        let id = self.topic_id(topic)?;
+        self.partition_mut_by_id(id, partition)
     }
 
     fn partition(&self, topic: &str, partition: PartitionId) -> Result<&Partition, KafkaError> {
-        let parts = self
-            .topics
-            .get(topic)
-            .ok_or_else(|| KafkaError::UnknownTopic(topic.to_string()))?;
-        parts
-            .get(partition.0 as usize)
-            .ok_or_else(|| KafkaError::UnknownPartition {
-                topic: topic.to_string(),
+        let id = self.topic_id(topic)?;
+        let meta = &self.topic_meta[id as usize];
+        if partition.0 >= meta.partitions {
+            return Err(KafkaError::UnknownPartition {
+                topic: meta.name.clone(),
                 partition: partition.0,
-            })
+            });
+        }
+        Ok(self
+            .partitions
+            .get(pkey(id, partition))
+            .expect("in-range partition exists"))
     }
 
     /// Produces one record; returns its offset.
@@ -184,14 +280,12 @@ impl MiniKafka {
 
     /// Begins a transaction on a topic; returns the transaction handle.
     pub fn begin_transaction(&mut self, topic: &str) -> Result<u64, KafkaError> {
-        if !self.topics.contains_key(topic) {
-            return Err(KafkaError::UnknownTopic(topic.to_string()));
-        }
+        let id = self.topic_id(topic)?;
         self.next_txn_id += 1;
         self.transactions.insert(
             self.next_txn_id,
             Transaction {
-                topic: topic.to_string(),
+                topic: id,
                 staged: Vec::new(),
             },
         );
@@ -239,7 +333,7 @@ impl MiniKafka {
             .ok_or(KafkaError::NoOpenTransaction)?;
         let mut touched: Vec<PartitionId> = Vec::new();
         for (partition, key, value, timestamp) in t.staged {
-            let p = self.partition_mut(&t.topic, partition)?;
+            let p = self.partition_mut_by_id(t.topic, partition)?;
             let offset = p.next_offset;
             p.next_offset += 1;
             p.log.push(StoredRecord {
@@ -254,7 +348,7 @@ impl MiniKafka {
             }
         }
         for partition in touched {
-            let p = self.partition_mut(&t.topic, partition)?;
+            let p = self.partition_mut_by_id(t.topic, partition)?;
             let offset = p.next_offset;
             p.next_offset += 1;
             p.log.push(StoredRecord {
@@ -332,19 +426,34 @@ impl MiniKafka {
     /// removed.
     pub fn compact(&mut self, topic: &str, partition: PartitionId) -> Result<usize, KafkaError> {
         let p = self.partition_mut(topic, partition)?;
-        let mut latest_by_key: BTreeMap<Vec<u8>, Offset> = BTreeMap::new();
+        // Index latest offsets by *borrowed* key slices — the seed cloned
+        // every record key into a `BTreeMap<Vec<u8>, Offset>` here, one
+        // heap allocation per record per compaction pass.
+        let mut latest_by_key: HashMap<&[u8], Offset> = HashMap::new();
         for r in &p.log {
             if let (Some(k), StoredKind::Data { aborted: false }) = (&r.key, &r.kind) {
-                latest_by_key.insert(k.to_vec(), r.offset);
+                latest_by_key.insert(k.as_ref(), r.offset);
             }
         }
+        // The index borrows the log, so decide survivors before mutating.
+        let keep: Vec<bool> = p
+            .log
+            .iter()
+            .map(|r| match (&r.key, &r.kind) {
+                (Some(k), StoredKind::Data { aborted: false }) => {
+                    latest_by_key.get(k.as_ref()) == Some(&r.offset)
+                }
+                (_, StoredKind::TxnMarker) => false, // Markers are garbage-collected.
+                _ => true,
+            })
+            .collect();
+        drop(latest_by_key);
         let before = p.log.len();
-        p.log.retain(|r| match (&r.key, &r.kind) {
-            (Some(k), StoredKind::Data { aborted: false }) => {
-                latest_by_key.get(k.as_ref()) == Some(&r.offset)
-            }
-            (_, StoredKind::TxnMarker) => false, // Markers are garbage-collected.
-            _ => true,
+        let mut idx = 0;
+        p.log.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
         });
         if let Some(first) = p.log.first() {
             p.log_start = p.log_start.max(0).min(first.offset);
@@ -379,8 +488,9 @@ impl MiniKafka {
         offset: Offset,
     ) -> Result<(), KafkaError> {
         self.partition(topic, partition)?;
-        self.group_offsets
-            .insert((group.to_string(), topic.to_string(), partition.0), offset);
+        let gsym = self.group_names.intern(group);
+        let tid = self.topic_id(topic)?;
+        self.group_offsets.insert((gsym, tid, partition.0), offset);
         Ok(())
     }
 
@@ -391,9 +501,11 @@ impl MiniKafka {
         topic: &str,
         partition: PartitionId,
     ) -> Option<Offset> {
-        self.group_offsets
-            .get(&(group.to_string(), topic.to_string(), partition.0))
-            .copied()
+        // A group or topic this broker has never seen has no offsets; the
+        // read path never interns, so `&self` suffices.
+        let gsym = self.group_names.lookup(group)?;
+        let tid = self.topic_ids.get(topic).copied()?;
+        self.group_offsets.get(&(gsym, tid, partition.0)).copied()
     }
 }
 

@@ -8,7 +8,7 @@
 
 use crate::broker::{MiniKafka, PartitionId};
 use crate::error::KafkaError;
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 /// A member's view after joining: its generation and assigned partitions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,18 +20,27 @@ pub struct Membership {
 }
 
 /// One consumer group, bound to a topic.
+///
+/// Membership is double-indexed: `members` stays sorted (rebalance order
+/// is observable through assignments), while `member_slot` hashes each
+/// member name to its position so the membership test on every join and
+/// commit is O(1) instead of a `Vec` scan. The slot map is lookup-only —
+/// nothing iterates it.
 #[derive(Debug, Default)]
 pub struct ConsumerGroup {
     topic: String,
     members: Vec<String>,
+    member_slot: HashMap<String, usize>,
     generation: u64,
-    assignment: BTreeMap<String, Vec<PartitionId>>,
+    /// Assigned partitions, indexed by member slot (parallel to `members`).
+    assignment: Vec<Vec<PartitionId>>,
 }
 
 /// The group coordinator.
 #[derive(Debug, Default)]
 pub struct GroupCoordinator {
-    groups: BTreeMap<String, ConsumerGroup>,
+    /// Group name → group. Lookup-only; never iterated.
+    groups: HashMap<String, ConsumerGroup>,
 }
 
 impl GroupCoordinator {
@@ -53,14 +62,27 @@ impl GroupCoordinator {
         let partitions = broker.partition_count(topic)?;
         let g = self.groups.entry(group.to_string()).or_default();
         g.topic = topic.to_string();
-        if !g.members.iter().any(|m| m == member) {
-            g.members.push(member.to_string());
-            g.members.sort();
-        }
+        let slot = match g.member_slot.get(member) {
+            Some(&slot) => slot, // O(1) re-join, the common case.
+            None => {
+                // New member: splice into the sorted list and reindex the
+                // shifted tail (no full re-sort).
+                let slot = g
+                    .members
+                    .binary_search_by(|m| m.as_str().cmp(member))
+                    .expect_err("member not yet present");
+                g.members.insert(slot, member.to_string());
+                g.member_slot.insert(member.to_string(), slot);
+                for (i, m) in g.members.iter().enumerate().skip(slot + 1) {
+                    *g.member_slot.get_mut(m).expect("indexed member") = i;
+                }
+                slot
+            }
+        };
         Self::rebalance(g, partitions);
         Ok(Membership {
             generation: g.generation,
-            partitions: g.assignment.get(member).cloned().unwrap_or_default(),
+            partitions: g.assignment[slot].clone(),
         })
     }
 
@@ -75,7 +97,14 @@ impl GroupCoordinator {
             .groups
             .get_mut(group)
             .ok_or_else(|| KafkaError::UnknownGroup(group.to_string()))?;
-        g.members.retain(|m| m != member);
+        if let Some(slot) = g.member_slot.remove(member) {
+            g.members.remove(slot);
+            for (i, m) in g.members.iter().enumerate().skip(slot) {
+                *g.member_slot.get_mut(m).expect("indexed member") = i;
+            }
+        }
+        // A leave always rebalances, member or not — the seed's
+        // unconditional retain-and-rebalance did the same.
         let partitions = broker.partition_count(&g.topic)?;
         Self::rebalance(g, partitions);
         Ok(())
@@ -83,16 +112,14 @@ impl GroupCoordinator {
 
     fn rebalance(g: &mut ConsumerGroup, partitions: u32) {
         g.generation += 1;
-        g.assignment.clear();
+        g.assignment = vec![Vec::new(); g.members.len()];
         if g.members.is_empty() {
             return;
         }
+        // Round-robin over the sorted member list, exactly as the seed's
+        // name-keyed assignment map distributed them.
         for p in 0..partitions {
-            let member = &g.members[p as usize % g.members.len()];
-            g.assignment
-                .entry(member.clone())
-                .or_default()
-                .push(PartitionId(p));
+            g.assignment[p as usize % g.members.len()].push(PartitionId(p));
         }
     }
 
@@ -191,6 +218,41 @@ mod tests {
         gc.commit_fenced(&mut k, "g", a2.generation, PartitionId(0), 1)
             .unwrap();
         assert_eq!(k.committed_offset("g", "t", PartitionId(0)), Some(1));
+    }
+
+    #[test]
+    fn out_of_order_joins_assign_by_sorted_member_name() {
+        // Members join unsorted; assignments must still distribute
+        // round-robin over the *sorted* list, and the hashed slot index
+        // must survive the mid-list splices and removals.
+        let k = broker();
+        let mut gc = GroupCoordinator::new();
+        for m in ["delta", "alpha", "charlie", "bravo"] {
+            gc.join(&k, "g", "t", m).unwrap();
+        }
+        let views: Vec<(&str, Vec<u32>)> = ["alpha", "bravo", "charlie", "delta"]
+            .into_iter()
+            .map(|m| {
+                let v = gc.join(&k, "g", "t", m).unwrap();
+                (m, v.partitions.iter().map(|p| p.0).collect())
+            })
+            .collect();
+        // 4 partitions round-robin over 4 sorted members: one each.
+        assert_eq!(
+            views,
+            vec![
+                ("alpha", vec![0]),
+                ("bravo", vec![1]),
+                ("charlie", vec![2]),
+                ("delta", vec![3]),
+            ]
+        );
+        // Removing a middle member reindexes the tail correctly.
+        gc.leave(&k, "g", "bravo").unwrap();
+        let c = gc.join(&k, "g", "t", "charlie").unwrap();
+        assert_eq!(c.partitions, vec![PartitionId(1)]); // slot 1 of [alpha, charlie, delta]
+        let d = gc.join(&k, "g", "t", "delta").unwrap();
+        assert_eq!(d.partitions, vec![PartitionId(2)]);
     }
 
     #[test]

@@ -1,5 +1,14 @@
 //! The ResourceManager: applications, nodes, the allocation pipeline, and
 //! the pmem monitor.
+//!
+//! Storage is production-shaped: applications live in a dense `Vec` indexed
+//! by id, containers in a generation-checked [`Slab`] whose slots are only
+//! recycled through [`ResourceManager::evict_completed`], and the live
+//! containers of each application (plus the cluster-wide live set) are
+//! indexed in `BTreeSet`s so heartbeats, reports, and the pmem monitor no
+//! longer scan every container ever allocated. Iteration order everywhere
+//! observable is ascending container id — exactly the order the seed's
+//! `BTreeMap<ContainerId, Container>` produced.
 
 use crate::config::{self, default_yarn_config};
 use crate::error::YarnError;
@@ -8,19 +17,39 @@ use crate::scheduler::{scheduler_from_config, Scheduler, SchedulerKind};
 use csi_core::boundary::{BoundaryCall, CrossingContext};
 use csi_core::config::ConfigMap;
 use csi_core::fault::{Channel, InjectionRegistry};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Identifier of a registered application (application master).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ApplicationId(pub u64);
 
 /// Identifier of a container.
+///
+/// Encodes a slab slot and its generation: the low 32 bits are
+/// `slot + 1`, the high 32 bits the slot's generation. Generation-0 ids
+/// are therefore the plain sequence `1, 2, 3, …` — identical to the
+/// seed's monotonic counter — and only diverge once
+/// [`ResourceManager::evict_completed`] recycles slots, at which point the
+/// generation fences every stale id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ContainerId(pub u64);
 
 /// Identifier of a NodeManager.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
+
+fn encode_container(slot: u32, generation: u32) -> ContainerId {
+    ContainerId((u64::from(generation) << 32) | (u64::from(slot) + 1))
+}
+
+fn decode_container(id: ContainerId) -> Option<(u32, u32)> {
+    let low = id.0 & 0xFFFF_FFFF;
+    if low == 0 {
+        return None;
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    Some(((low - 1) as u32, (id.0 >> 32) as u32))
+}
 
 /// Deployment mode of the ResourceManager.
 ///
@@ -143,11 +172,106 @@ struct AppState {
     completed: Vec<(ContainerId, ContainerState)>,
     lifecycle: AppLifecycle,
     final_status: AmFinalStatus,
+    /// This app's containers in `Allocated | Running` state, ascending id —
+    /// the order the seed's full-map scans observed them in.
+    live: BTreeSet<ContainerId>,
+    /// This app's asks still waiting in the pipeline (O(1) `num_pending`).
+    pending_asks: usize,
 }
 
 struct PendingAsk {
     app: ApplicationId,
     resource: Resource,
+}
+
+#[derive(Debug)]
+struct SlabEntry<T> {
+    generation: u32,
+    val: Option<T>,
+}
+
+/// A slab allocator with generation-checked handles.
+///
+/// Slots are recycled LIFO; every removal bumps the slot's generation so a
+/// handle minted for the previous occupant no longer resolves. A slab that
+/// is never drained hands out slots `0, 1, 2, …` in order, which is what
+/// keeps generation-0 container ids sequential.
+#[derive(Debug)]
+struct Slab<T> {
+    entries: Vec<SlabEntry<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Slab<T> {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+}
+
+impl<T> Slab<T> {
+    /// The (slot, generation) the next [`Slab::insert`] will occupy.
+    fn next_slot(&self) -> (u32, u32) {
+        match self.free.last() {
+            Some(&slot) => (slot, self.entries[slot as usize].generation),
+            None => (u32::try_from(self.entries.len()).expect("slab overflow"), 0),
+        }
+    }
+
+    fn insert(&mut self, val: T) -> (u32, u32) {
+        match self.free.pop() {
+            Some(slot) => {
+                let e = &mut self.entries[slot as usize];
+                debug_assert!(e.val.is_none(), "free slot must be empty");
+                e.val = Some(val);
+                (slot, e.generation)
+            }
+            None => {
+                let slot = u32::try_from(self.entries.len()).expect("slab overflow");
+                self.entries.push(SlabEntry {
+                    generation: 0,
+                    val: Some(val),
+                });
+                (slot, 0)
+            }
+        }
+    }
+
+    fn get(&self, slot: u32, generation: u32) -> Option<&T> {
+        self.entries
+            .get(slot as usize)
+            .filter(|e| e.generation == generation)
+            .and_then(|e| e.val.as_ref())
+    }
+
+    fn get_mut(&mut self, slot: u32, generation: u32) -> Option<&mut T> {
+        self.entries
+            .get_mut(slot as usize)
+            .filter(|e| e.generation == generation)
+            .and_then(|e| e.val.as_mut())
+    }
+
+    fn remove(&mut self, slot: u32, generation: u32) -> Option<T> {
+        let e = self.entries.get_mut(slot as usize)?;
+        if e.generation != generation || e.val.is_none() {
+            return None;
+        }
+        let val = e.val.take();
+        e.generation = e.generation.wrapping_add(1);
+        self.free.push(slot);
+        val
+    }
+
+    /// Occupied slots, ascending — deterministic scan order.
+    fn iter(&self) -> impl Iterator<Item = (u32, u32, &T)> {
+        self.entries.iter().enumerate().filter_map(|(i, e)| {
+            e.val
+                .as_ref()
+                .map(|v| (u32::try_from(i).expect("slab overflow"), e.generation, v))
+        })
+    }
 }
 
 /// The miniyarn ResourceManager.
@@ -160,14 +284,16 @@ pub struct ResourceManager {
     scheduler: Box<dyn Scheduler + Send>,
     mode: RmMode,
     nodes: BTreeMap<NodeId, Node>,
-    apps: BTreeMap<ApplicationId, AppState>,
-    containers: BTreeMap<ContainerId, Container>,
+    /// Applications, indexed by `id - 1`. Never freed: YARN keeps finished
+    /// application reports queryable.
+    apps: Vec<AppState>,
+    containers: Slab<Container>,
+    /// Every container in `Allocated | Running` state, ascending id.
+    live: BTreeSet<ContainerId>,
     pending: VecDeque<PendingAsk>,
     clock_ms: u64,
     pipeline_free_at: u64,
     alloc_service_ms: u64,
-    next_app: u64,
-    next_container: u64,
     total_requested: u64,
     total_allocated: u64,
     crossing: Option<CrossingContext>,
@@ -182,14 +308,13 @@ impl ResourceManager {
             scheduler,
             mode,
             nodes: BTreeMap::new(),
-            apps: BTreeMap::new(),
-            containers: BTreeMap::new(),
+            apps: Vec::new(),
+            containers: Slab::default(),
+            live: BTreeSet::new(),
             pending: VecDeque::new(),
             clock_ms: 0,
             pipeline_free_at: 0,
             alloc_service_ms: 10,
-            next_app: 0,
-            next_container: 0,
             total_requested: 0,
             total_allocated: 0,
             crossing: None,
@@ -264,18 +389,31 @@ impl ResourceManager {
         self.process_pipeline();
     }
 
+    fn app_index(&self, app: ApplicationId) -> Result<usize, YarnError> {
+        let idx = app
+            .0
+            .checked_sub(1)
+            .ok_or(YarnError::UnknownApplication(app.0))?;
+        if idx >= self.apps.len() as u64 {
+            return Err(YarnError::UnknownApplication(app.0));
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        Ok(idx as usize)
+    }
+
+    fn container_mut(&mut self, id: ContainerId) -> Result<&mut Container, YarnError> {
+        decode_container(id)
+            .and_then(|(slot, generation)| self.containers.get_mut(slot, generation))
+            .ok_or(YarnError::UnknownContainer(id.0))
+    }
+
     /// Registers an application master.
     pub fn register_application(&mut self, name: &str) -> ApplicationId {
-        self.next_app += 1;
-        let id = ApplicationId(self.next_app);
-        self.apps.insert(
-            id,
-            AppState {
-                name: name.to_string(),
-                ..AppState::default()
-            },
-        );
-        id
+        self.apps.push(AppState {
+            name: name.to_string(),
+            ..AppState::default()
+        });
+        ApplicationId(self.apps.len() as u64)
     }
 
     /// Adds one container ask. The ask is normalized by the deployed
@@ -289,14 +427,13 @@ impl ResourceManager {
         ask: Resource,
     ) -> Result<Resource, YarnError> {
         self.cross("add_container_request", &format!("app-{}", app.0))?;
-        if !self.apps.contains_key(&app) {
-            return Err(YarnError::UnknownApplication(app.0));
-        }
+        let idx = self.app_index(app)?;
         let normalized = self.scheduler.normalize(ask, &self.config)?;
         self.pending.push_back(PendingAsk {
             app,
             resource: normalized,
         });
+        self.apps[idx].pending_asks += 1;
         self.total_requested += 1;
         Ok(normalized)
     }
@@ -314,6 +451,11 @@ impl ResourceManager {
                 true
             }
         });
+        if removed > 0 {
+            if let Ok(idx) = self.app_index(app) {
+                self.apps[idx].pending_asks -= removed;
+            }
+        }
         removed
     }
 
@@ -322,16 +464,18 @@ impl ResourceManager {
     pub fn allocate(&mut self, app: ApplicationId) -> Result<AllocateResponse, YarnError> {
         self.cross("allocate", &format!("app-{}", app.0))?;
         self.process_pipeline();
-        let num_pending = self.pending.iter().filter(|a| a.app == app).count();
-        let state = self
-            .apps
-            .get_mut(&app)
-            .ok_or(YarnError::UnknownApplication(app.0))?;
+        let idx = self.app_index(app)?;
+        let state = &mut self.apps[idx];
+        let num_pending = state.pending_asks;
         let ready = std::mem::take(&mut state.ready);
         let completed = std::mem::take(&mut state.completed);
         let allocated = ready
             .iter()
-            .filter_map(|id| self.containers.get(id).cloned())
+            .filter_map(|id| {
+                decode_container(*id)
+                    .and_then(|(slot, generation)| self.containers.get(slot, generation))
+                    .cloned()
+            })
             .collect();
         Ok(AllocateResponse {
             allocated,
@@ -367,8 +511,8 @@ impl ResourceManager {
                 Some(node) => {
                     let ask = self.pending.pop_front().expect("checked non-empty");
                     self.pipeline_free_at = done_at;
-                    self.next_container += 1;
-                    let id = ContainerId(self.next_container);
+                    let (slot, generation) = self.containers.next_slot();
+                    let id = encode_container(slot, generation);
                     let container = Container {
                         id,
                         app: ask.app,
@@ -378,10 +522,15 @@ impl ResourceManager {
                         pmem_used_mb: 0,
                     };
                     self.nodes.get_mut(&node).expect("node exists").used += ask.resource;
-                    self.containers.insert(id, container);
+                    let inserted = self.containers.insert(container);
+                    debug_assert_eq!(inserted, (slot, generation));
+                    self.live.insert(id);
                     self.total_allocated += 1;
-                    if let Some(app) = self.apps.get_mut(&ask.app) {
+                    if let Ok(idx) = self.app_index(ask.app) {
+                        let app = &mut self.apps[idx];
                         app.ready.push(id);
+                        app.live.insert(id);
+                        app.pending_asks -= 1;
                     }
                 }
                 None => {
@@ -402,22 +551,18 @@ impl ResourceManager {
 
     /// Marks an allocated container as started (NMClient `startContainer`).
     pub fn start_container(&mut self, id: ContainerId) -> Result<(), YarnError> {
-        match self.containers.get_mut(&id) {
-            Some(c) if c.state == ContainerState::Allocated => {
-                c.state = ContainerState::Running;
-                Ok(())
-            }
-            Some(_) => Err(YarnError::UnknownContainer(id.0)),
-            None => Err(YarnError::UnknownContainer(id.0)),
+        let c = self.container_mut(id)?;
+        if c.state == ContainerState::Allocated {
+            c.state = ContainerState::Running;
+            Ok(())
+        } else {
+            Err(YarnError::UnknownContainer(id.0))
         }
     }
 
     /// Releases a container back to the cluster.
     pub fn release_container(&mut self, id: ContainerId) -> Result<(), YarnError> {
-        let c = self
-            .containers
-            .get_mut(&id)
-            .ok_or(YarnError::UnknownContainer(id.0))?;
+        let c = self.container_mut(id)?;
         if matches!(
             c.state,
             ContainerState::Completed | ContainerState::Killed { .. }
@@ -426,10 +571,13 @@ impl ResourceManager {
         }
         c.state = ContainerState::Completed;
         let (node, res, app) = (c.node, c.resource, c.app);
+        self.live.remove(&id);
         if let Some(n) = self.nodes.get_mut(&node) {
             n.used -= res;
         }
-        if let Some(a) = self.apps.get_mut(&app) {
+        if let Ok(idx) = self.app_index(app) {
+            let a = &mut self.apps[idx];
+            a.live.remove(&id);
             a.completed.push((id, ContainerState::Completed));
         }
         Ok(())
@@ -438,11 +586,7 @@ impl ResourceManager {
     /// Reports the physical memory a container's process tree uses (the
     /// NodeManager's pmem sampling).
     pub fn report_container_pmem(&mut self, id: ContainerId, mb: u64) -> Result<(), YarnError> {
-        let c = self
-            .containers
-            .get_mut(&id)
-            .ok_or(YarnError::UnknownContainer(id.0))?;
-        c.pmem_used_mb = mb;
+        self.container_mut(id)?.pmem_used_mb = mb;
         Ok(())
     }
 
@@ -458,17 +602,21 @@ impl ResourceManager {
             return Vec::new();
         }
         let mut killed = Vec::new();
+        // The live index replaces the seed's scan over every container ever
+        // allocated; `BTreeSet` iteration preserves the ascending-id victim
+        // order the scan produced.
         let victims: Vec<ContainerId> = self
-            .containers
-            .values()
-            .filter(|c| {
-                matches!(c.state, ContainerState::Running | ContainerState::Allocated)
-                    && c.pmem_used_mb > c.resource.memory_mb
+            .live
+            .iter()
+            .copied()
+            .filter(|id| {
+                decode_container(*id)
+                    .and_then(|(slot, generation)| self.containers.get(slot, generation))
+                    .is_some_and(|c| c.pmem_used_mb > c.resource.memory_mb)
             })
-            .map(|c| c.id)
             .collect();
         for id in victims {
-            let c = self.containers.get_mut(&id).expect("victim exists");
+            let c = self.container_mut(id).expect("victim exists");
             let reason = format!(
                 "Container {} is running beyond physical memory limits. \
                  Current usage: {} MB of {} MB physical memory used. Killing container.",
@@ -478,10 +626,13 @@ impl ResourceManager {
                 reason: reason.clone(),
             };
             let (node, res, app) = (c.node, c.resource, c.app);
+            self.live.remove(&id);
             if let Some(n) = self.nodes.get_mut(&node) {
                 n.used -= res;
             }
-            if let Some(a) = self.apps.get_mut(&app) {
+            if let Ok(idx) = self.app_index(app) {
+                let a = &mut self.apps[idx];
+                a.live.remove(&id);
                 a.completed.push((id, ContainerState::Killed { reason }));
             }
             killed.push(id);
@@ -496,23 +647,15 @@ impl ResourceManager {
         app: ApplicationId,
         final_status: AmFinalStatus,
     ) -> Result<(), YarnError> {
-        if !self.apps.contains_key(&app) {
-            return Err(YarnError::UnknownApplication(app.0));
-        }
+        let idx = self.app_index(app)?;
         self.pending.retain(|a| a.app != app);
-        let held: Vec<ContainerId> = self
-            .containers
-            .values()
-            .filter(|c| {
-                c.app == app
-                    && matches!(c.state, ContainerState::Allocated | ContainerState::Running)
-            })
-            .map(|c| c.id)
-            .collect();
+        self.apps[idx].pending_asks = 0;
+        // Ascending-id release order, as the seed's container scan yielded.
+        let held: Vec<ContainerId> = self.apps[idx].live.iter().copied().collect();
         for id in held {
             self.release_container(id)?;
         }
-        let state = self.apps.get_mut(&app).expect("checked above");
+        let state = &mut self.apps[idx];
         state.lifecycle = AppLifecycle::Finished;
         state.final_status = final_status;
         Ok(())
@@ -521,21 +664,11 @@ impl ResourceManager {
     /// The application report monitoring consumers read
     /// (`getApplicationReport`).
     pub fn application_report(&self, app: ApplicationId) -> Result<ApplicationReport, YarnError> {
-        let state = self
-            .apps
-            .get(&app)
-            .ok_or(YarnError::UnknownApplication(app.0))?;
+        let state = &self.apps[self.app_index(app)?];
         Ok(ApplicationReport {
             state: state.lifecycle,
             final_status: state.final_status,
-            live_containers: self
-                .containers
-                .values()
-                .filter(|c| {
-                    c.app == app
-                        && matches!(c.state, ContainerState::Allocated | ContainerState::Running)
-                })
-                .count(),
+            live_containers: state.live.len(),
         })
     }
 
@@ -560,18 +693,40 @@ impl ResourceManager {
             num_node_managers: self.nodes.len(),
             total,
             available: total.saturating_sub(&used),
-            containers_active: self
-                .containers
-                .values()
-                .filter(|c| matches!(c.state, ContainerState::Allocated | ContainerState::Running))
-                .count(),
+            containers_active: self.live.len(),
             containers_pending: self.pending.len(),
         })
     }
 
     /// Looks up a container.
     pub fn container(&self, id: ContainerId) -> Option<&Container> {
-        self.containers.get(&id)
+        decode_container(id).and_then(|(slot, generation)| self.containers.get(slot, generation))
+    }
+
+    /// Evicts every `Completed`/`Killed` container record, freeing its slab
+    /// slot for reuse. The freed slot's generation bumps, so stale ids
+    /// minted for evicted containers no longer resolve. Returns the number
+    /// of records evicted.
+    ///
+    /// Long-running clusters call this between job waves; without it the
+    /// container table grows without bound (and ids never deviate from the
+    /// seed's sequence).
+    pub fn evict_completed(&mut self) -> usize {
+        let dead: Vec<(u32, u32)> = self
+            .containers
+            .iter()
+            .filter(|(_, _, c)| {
+                matches!(
+                    c.state,
+                    ContainerState::Completed | ContainerState::Killed { .. }
+                )
+            })
+            .map(|(slot, generation, _)| (slot, generation))
+            .collect();
+        for &(slot, generation) in &dead {
+            self.containers.remove(slot, generation);
+        }
+        dead.len()
     }
 
     /// Total asks ever submitted (the "4000+ requested" counter of Figure 1).
@@ -665,7 +820,9 @@ mod tests {
         assert_eq!(rm.remove_container_requests(app, 3), 3);
         assert_eq!(rm.pending_count(), 2);
         rm.advance_clock(1000);
-        assert_eq!(rm.allocate(app).unwrap().allocated.len(), 2);
+        let r = rm.allocate(app).unwrap();
+        assert_eq!(r.allocated.len(), 2);
+        assert_eq!(r.num_pending, 0);
     }
 
     #[test]
@@ -803,6 +960,7 @@ mod tests {
         rm.unregister_application(app, AmFinalStatus::Succeeded)
             .unwrap();
         assert_eq!(rm.pending_count(), 0);
+        assert_eq!(rm.allocate(app).unwrap().num_pending, 0);
         assert!(rm.application_report(ApplicationId(999)).is_err());
     }
 
@@ -820,5 +978,69 @@ mod tests {
         // Base service would have allocated 3 containers; degraded service
         // (30ms each at backlog 2000) allocates exactly 1.
         assert_eq!(rm.total_allocated(), 1);
+    }
+
+    #[test]
+    fn container_ids_stay_sequential_without_eviction() {
+        // Release/kill alone must never recycle ids — the seed's counter
+        // semantics hold until an explicit evict.
+        let mut rm = rm();
+        let app = rm.register_application("a");
+        for _ in 0..3 {
+            rm.add_container_request(app, Resource::new(1024, 1))
+                .unwrap();
+        }
+        rm.advance_clock(100);
+        let ids: Vec<u64> = rm
+            .allocate(app)
+            .unwrap()
+            .allocated
+            .iter()
+            .map(|c| c.id.0)
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        rm.release_container(ContainerId(2)).unwrap();
+        rm.add_container_request(app, Resource::new(1024, 1))
+            .unwrap();
+        rm.advance_clock(100);
+        let r = rm.allocate(app).unwrap();
+        assert_eq!(r.allocated[0].id, ContainerId(4));
+    }
+
+    #[test]
+    fn evict_recycles_slots_and_fences_stale_ids() {
+        let mut rm = rm();
+        let app = rm.register_application("a");
+        for _ in 0..2 {
+            rm.add_container_request(app, Resource::new(1024, 1))
+                .unwrap();
+        }
+        rm.advance_clock(100);
+        let ids: Vec<ContainerId> = rm
+            .allocate(app)
+            .unwrap()
+            .allocated
+            .iter()
+            .map(|c| c.id)
+            .collect();
+        rm.release_container(ids[0]).unwrap();
+        assert_eq!(rm.evict_completed(), 1);
+        // The evicted record is gone; the live one is untouched.
+        assert!(rm.container(ids[0]).is_none());
+        assert!(rm.container(ids[1]).is_some());
+        assert!(matches!(
+            rm.release_container(ids[0]),
+            Err(YarnError::UnknownContainer(1))
+        ));
+        // The next allocation reuses slot 0 under generation 1.
+        rm.add_container_request(app, Resource::new(1024, 1))
+            .unwrap();
+        rm.advance_clock(100);
+        let c = &rm.allocate(app).unwrap().allocated[0];
+        assert_eq!(c.id.0, (1 << 32) | 1);
+        // The stale generation-0 id still does not resolve.
+        assert!(rm.container(ids[0]).is_none());
+        let m = rm.get_cluster_metrics().unwrap();
+        assert_eq!(m.containers_active, 2);
     }
 }
