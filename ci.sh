@@ -10,6 +10,7 @@
 #   ./ci.sh golden        # golden campaign report drift check
 #   ./ci.sh explore       # coverage-guided explore smoke (small budget)
 #   ./ci.sh bench-smoke   # columnar serde + cluster-scale substrate smokes
+#   ./ci.sh serve         # csi-serve daemon tests + multi-tenant load smoke
 #   ./ci.sh all           # everything above, in order (the default)
 #
 # Everything runs offline against the vendored dependency stubs.
@@ -70,6 +71,13 @@ stage_bench_smoke() {
   cargo run -q --release -p csi-bench --bin cluster_scale -- --smoke
 }
 
+stage_serve() {
+  echo "==> csi-serve daemon (protocol, scheduler, tenant, end-to-end determinism)"
+  cargo test -q -p csi-serve
+  echo "==> multi-tenant load smoke (daemon on an ephemeral port, concurrent tenants, byte-identity)"
+  cargo run -q --release -p csi-bench --bin load_serve -- --smoke
+}
+
 stage_all() {
   stage_lint
   stage_build
@@ -79,6 +87,7 @@ stage_all() {
   stage_golden
   stage_explore
   stage_bench_smoke
+  stage_serve
 }
 
 stage="${1:-all}"
@@ -86,11 +95,11 @@ case "$stage" in
   bench-smoke)
     stage_bench_smoke
     ;;
-  lint | build | test | determinism | reports | golden | explore | all)
+  lint | build | test | determinism | reports | golden | explore | serve | all)
     "stage_${stage}"
     ;;
   *)
-    echo "usage: $0 [lint|build|test|determinism|reports|golden|explore|bench-smoke|all]" >&2
+    echo "usage: $0 [lint|build|test|determinism|reports|golden|explore|bench-smoke|serve|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,272 @@
+//! Multi-tenant load benchmark for the `csi-serve` daemon: 1024 tenants
+//! across 64 concurrent connections submit campaigns over real TCP, the
+//! daemon runs them on a warm deployment pool with per-tenant fair
+//! scheduling, and every wire report is byte-compared against an
+//! in-process batch run of the same spec — the determinism contract of
+//! the campaign-as-a-service API, checked at full load.
+//!
+//! Prints a JSON summary (submit→report latency percentiles, campaign
+//! and detection throughput, admission rejections, pool reuse) and
+//! appends it to the `BENCH_serve.json` trajectory at the repo root.
+//!
+//! Usage: `load_serve`, or `load_serve --smoke` for the CI gate (8
+//! tenants over 2 connections, same invariants).
+
+use csi_bench::trajectory;
+use csi_serve::{CsiServer, Frame, ServeClient, ServeConfig};
+use csi_test::inject::small_fault_catalogue;
+use csi_test::plan::Experiment;
+use csi_test::{Campaign, CampaignSpec, InputSelection};
+use minihive::metastore::StorageFormat;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// The load shape: how many clients hit the daemon, with what.
+struct Shape {
+    /// Concurrent client connections.
+    connections: usize,
+    /// Tenants (one campaign each) per connection.
+    tenants_per_connection: usize,
+}
+
+const FULL: Shape = Shape {
+    connections: 64,
+    tenants_per_connection: 16, // 1024 tenants.
+};
+
+const SMOKE: Shape = Shape {
+    connections: 2,
+    tenants_per_connection: 4, // 8 tenants.
+};
+
+/// Distinct campaign shapes cycled across tenants. Kept small so the
+/// byte-identity check batch-runs each unique spec exactly once.
+const SPEC_SHAPES: usize = 8;
+
+/// The spec for global tenant index `i`: every 8th tenant runs a
+/// detection-heavy fault matrix (the streaming-detections path); the
+/// rest run cross-test campaigns over varied prefixes, worker counts,
+/// and detection settings (the pooled-deployment path).
+fn tenant_spec(i: usize) -> CampaignSpec {
+    let shape = i % SPEC_SHAPES;
+    if shape == 0 {
+        return CampaignSpec {
+            inputs: InputSelection::Inline(Vec::new()),
+            matrix_seed: Some(5),
+            faults: Some(small_fault_catalogue(5)),
+            experiments: vec![Experiment::ALL[0]],
+            formats: vec![StorageFormat::Orc],
+            detect: true,
+            ..CampaignSpec::default()
+        };
+    }
+    CampaignSpec {
+        inputs: InputSelection::CataloguePrefix(1 + shape % 4),
+        formats: vec![StorageFormat::Orc, StorageFormat::Parquet],
+        shards: 1 + shape % 2,
+        chunk_size: 2,
+        detect: shape % 4 == 1,
+        seed: 42 + shape as u64,
+        ..CampaignSpec::default()
+    }
+}
+
+/// What one connection thread brings home.
+struct ConnectionResult {
+    /// Submit→report wall latency per finished campaign, milliseconds.
+    latencies_ms: Vec<f64>,
+    /// `(spec shape, wire report)` per finished campaign.
+    reports: Vec<(usize, String)>,
+    /// Detection frames received.
+    detections: usize,
+    /// Admission rejections received.
+    rejected: usize,
+}
+
+/// One connection: submit every tenant's campaign up front (the full
+/// backlog lands on admission control at once), then drain frames until
+/// each campaign has its terminal frame.
+fn drive_connection(addr: std::net::SocketAddr, conn: usize, tenants: usize) -> ConnectionResult {
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let mut submitted_at: BTreeMap<String, (usize, Instant)> = BTreeMap::new();
+    for j in 0..tenants {
+        let i = conn * tenants + j;
+        let tenant = format!("t{conn:03}-{j:03}");
+        client.submit(&tenant, &tenant_spec(i)).expect("submit");
+        submitted_at.insert(tenant, (i % SPEC_SHAPES, Instant::now()));
+    }
+    let mut result = ConnectionResult {
+        latencies_ms: Vec::new(),
+        reports: Vec::new(),
+        detections: 0,
+        rejected: 0,
+    };
+    let mut terminals = 0;
+    while terminals < tenants {
+        match client.read_frame().expect("frame") {
+            Frame::Accepted { .. } => {}
+            Frame::Detection { .. } => result.detections += 1,
+            Frame::Rejected { tenant, reason } => {
+                eprintln!("rejected {tenant}: {reason}");
+                result.rejected += 1;
+                terminals += 1;
+            }
+            Frame::Report {
+                tenant,
+                report_json,
+                ..
+            } => {
+                let (shape, submitted) = submitted_at[&tenant];
+                result
+                    .latencies_ms
+                    .push(submitted.elapsed().as_secs_f64() * 1e3);
+                result.reports.push((shape, report_json));
+                terminals += 1;
+            }
+        }
+    }
+    result
+}
+
+/// The JSON document this binary prints and appends to `BENCH_serve.json`.
+#[derive(Serialize)]
+struct Summary {
+    /// Tenants submitted (one campaign each).
+    tenants: usize,
+    /// Concurrent client connections.
+    connections: usize,
+    /// Daemon worker threads.
+    workers: usize,
+    /// Deployments pre-warmed into the pool.
+    warm: usize,
+    /// Campaigns finished with a report.
+    completed: usize,
+    /// Campaigns refused by admission control.
+    rejected: usize,
+    /// Detection frames streamed mid-campaign.
+    detections: usize,
+    /// Finished campaigns per wall-clock second.
+    campaigns_per_sec: f64,
+    /// Streamed detections per wall-clock second.
+    detections_per_sec: f64,
+    /// Submit→report latency percentiles, milliseconds.
+    p50_ms: f64,
+    /// 99th percentile submit→report latency, milliseconds.
+    p99_ms: f64,
+    /// Worst-case submit→report latency, milliseconds.
+    max_ms: f64,
+    /// Whether every wire report was byte-identical to the in-process
+    /// batch run of the same spec.
+    byte_identical: bool,
+    /// Deployments built by the daemon's pool.
+    pool_created: u64,
+    /// Deployments served warm off the shelves.
+    pool_reused: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn main() {
+    let smoke = std::env::args().nth(1).as_deref() == Some("--smoke");
+    let shape = if smoke { &SMOKE } else { &FULL };
+    let tenants = shape.connections * shape.tenants_per_connection;
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 16);
+    let config = ServeConfig {
+        workers,
+        warm: workers,
+        // The whole offered load fits the queue: this run measures the
+        // service under backlog, not the refusal path (which
+        // `csi-serve`'s own tests pin down).
+        max_queue: tenants.max(64),
+        per_tenant_queue: 8,
+    };
+    let mut server = CsiServer::start(&config).expect("server starts");
+    let addr = server.addr();
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..shape.connections)
+        .map(|conn| {
+            let tenants_per_connection = shape.tenants_per_connection;
+            std::thread::spawn(move || drive_connection(addr, conn, tenants_per_connection))
+        })
+        .collect();
+    let results: Vec<ConnectionResult> = handles
+        .into_iter()
+        .map(|h| h.join().expect("connection thread"))
+        .collect();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Byte-identity: batch-run each unique spec shape once in-process
+    // and compare every wire report against its shape's report.
+    let mut batch: BTreeMap<usize, String> = BTreeMap::new();
+    for shape_idx in 0..SPEC_SHAPES.min(tenants) {
+        let outcome = Campaign::from_spec(tenant_spec(shape_idx))
+            .expect("valid spec")
+            .run();
+        batch.insert(
+            shape_idx,
+            serde_json::to_string(&outcome.report).expect("reports serialize"),
+        );
+    }
+    let byte_identical = results
+        .iter()
+        .flat_map(|r| r.reports.iter())
+        .all(|(shape_idx, wire)| batch.get(shape_idx) == Some(wire));
+
+    let mut latencies: Vec<f64> = results
+        .iter()
+        .flat_map(|r| r.latencies_ms.iter().copied())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let completed: usize = results.iter().map(|r| r.reports.len()).sum();
+    let rejected: usize = results.iter().map(|r| r.rejected).sum();
+    let detections: usize = results.iter().map(|r| r.detections).sum();
+    let stats = server.pool_stats();
+
+    let summary = Summary {
+        tenants,
+        connections: shape.connections,
+        workers,
+        warm: config.warm,
+        completed,
+        rejected,
+        detections,
+        campaigns_per_sec: completed as f64 / elapsed,
+        detections_per_sec: detections as f64 / elapsed,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        max_ms: latencies.last().copied().unwrap_or(0.0),
+        byte_identical,
+        pool_created: stats.created,
+        pool_reused: stats.reused,
+    };
+    println!(
+        "BENCH_serve {}",
+        serde_json::to_string(&summary).expect("serializable")
+    );
+    trajectory::append("BENCH_serve.json", "load_serve", &summary).expect("trajectory append");
+    server.shutdown();
+
+    assert_eq!(summary.completed, tenants, "campaigns went missing");
+    assert_eq!(summary.rejected, 0, "admission refused in-budget load");
+    assert!(
+        summary.byte_identical,
+        "served reports diverged from batch runs"
+    );
+    assert!(summary.detections > 0, "no detections streamed under load");
+    assert!(
+        summary.pool_reused > 0,
+        "warm pool never reused a deployment"
+    );
+}

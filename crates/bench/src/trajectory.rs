@@ -8,7 +8,9 @@
 //! - `BENCH_explore.json` — the `explore` and `kfault_explore` binaries;
 //! - `BENCH_serde.json` — the `serde_batch` binary (columnar vs row serde);
 //! - `BENCH_scale.json` — the `cluster_scale` binary (interned/sharded
-//!   substrates at production shape).
+//!   substrates at production shape);
+//! - `BENCH_serve.json` — the `load_serve` binary (the `csi-serve`
+//!   daemon under 1k+ concurrent tenants).
 //!
 //! Every line is a JSON object tagged with a `bin` key. `ci.sh reports`
 //! runs [`check_all`] (via the `trajectory_check` binary) and refuses any
@@ -55,6 +57,20 @@ pub const SCHEMAS: &[(&str, &[&str])] = &[
             "sim_events_per_sec",
             "vacuum_identical",
             "slab_recycled",
+        ],
+    ),
+    (
+        "BENCH_serve.json",
+        &[
+            "bin",
+            "tenants",
+            "connections",
+            "workers",
+            "campaigns_per_sec",
+            "detections_per_sec",
+            "p99_ms",
+            "byte_identical",
+            "rejected",
         ],
     ),
 ];

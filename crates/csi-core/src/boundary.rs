@@ -363,6 +363,15 @@ impl CrossingContext {
         self.registry.arm_set(set);
     }
 
+    /// Removes every armed fault from the underlying registry (counters
+    /// and the fired log are cleared separately by
+    /// [`reset`](CrossingContext::reset)). Deployment pools call this
+    /// when a deployment is returned, so a recycled stack can never
+    /// replay the previous campaign's fault plan.
+    pub fn disarm_all(&self) {
+        self.registry.disarm_all();
+    }
+
     /// The faults that fired since the last [`reset`](CrossingContext::reset).
     pub fn fired(&self) -> Vec<InjectedFault> {
         self.registry.fired()

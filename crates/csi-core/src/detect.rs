@@ -171,6 +171,41 @@ impl BaselineSet {
     }
 }
 
+/// A streaming observer of detections, invoked the moment each
+/// [`Detection`] is recorded — before the observation finishes and long
+/// before the campaign report exists.
+///
+/// This is the push half of detection-as-a-service: `csi-serve` hands
+/// every tenant's campaign a tap that writes detection frames to the
+/// tenant's connection, so detections stream out incrementally while the
+/// campaign is still running. Taps observe only; they cannot alter the
+/// detection set, so a tapped campaign stays byte-identical to an
+/// untapped one.
+///
+/// Taps may be invoked while detector (and boundary) locks are held:
+/// like [`CrossingSink`]s, they must never call back into a crossing
+/// context or detector.
+#[derive(Clone)]
+pub struct DetectionTap(Arc<dyn Fn(&Detection) + Send + Sync>);
+
+impl DetectionTap {
+    /// Wraps a callback as a tap.
+    pub fn new(f: impl Fn(&Detection) + Send + Sync + 'static) -> DetectionTap {
+        DetectionTap(Arc::new(f))
+    }
+
+    /// Invokes the tap with one detection.
+    pub fn emit(&self, detection: &Detection) {
+        (self.0)(detection)
+    }
+}
+
+impl fmt::Debug for DetectionTap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("DetectionTap")
+    }
+}
+
 /// Detector configuration plus frozen baselines — everything needed to
 /// build one worker's [`OnlineDetector`]. Cheap to clone; the baselines
 /// are shared.
@@ -180,6 +215,8 @@ pub struct DetectorSpec {
     pub config: DetectorConfig,
     /// Frozen per-scenario baselines.
     pub baselines: Arc<BaselineSet>,
+    /// Streaming observer of detections, if any.
+    pub tap: Option<DetectionTap>,
 }
 
 impl DetectorSpec {
@@ -189,12 +226,19 @@ impl DetectorSpec {
         DetectorSpec {
             config,
             baselines: Arc::new(BaselineSet::default()),
+            tap: None,
         }
     }
 
     /// Replaces the baselines.
     pub fn with_baselines(mut self, baselines: Arc<BaselineSet>) -> DetectorSpec {
         self.baselines = baselines;
+        self
+    }
+
+    /// Attaches a streaming detection tap.
+    pub fn with_tap(mut self, tap: DetectionTap) -> DetectorSpec {
+        self.tap = Some(tap);
         self
     }
 
@@ -244,7 +288,11 @@ pub struct OnlineDetector {
 impl OnlineDetector {
     /// A detector with the given thresholds and frozen baselines.
     pub fn new(config: DetectorConfig, baselines: Arc<BaselineSet>) -> OnlineDetector {
-        OnlineDetector::from_spec(DetectorSpec { config, baselines })
+        OnlineDetector::from_spec(DetectorSpec {
+            config,
+            baselines,
+            tap: None,
+        })
     }
 
     /// A detector built from a spec.
@@ -315,7 +363,7 @@ impl OnlineDetector {
                             fired_ids.join(", ")
                         ),
                     };
-                    s.detections.push(detection);
+                    s.emit(detection);
                 }
                 Some(e) if matches!(e.kind, ErrorKind::Crash | ErrorKind::AssertionFailure) => {
                     // Crash bucket: the failure is loud; nothing slipped
@@ -346,7 +394,7 @@ impl OnlineDetector {
                                 expected.join(", ")
                             ),
                         };
-                        s.detections.push(detection);
+                        s.emit(detection);
                     }
                 }
             }
@@ -383,7 +431,7 @@ impl OnlineDetector {
                         profile.ops.len()
                     ),
                 };
-                s.detections.push(detection);
+                s.emit(detection);
             }
         }
 
@@ -424,7 +472,7 @@ impl OnlineDetector {
                         channels.len()
                     ),
                 };
-                s.detections.push(detection);
+                s.emit(detection);
             }
         }
 
@@ -433,6 +481,16 @@ impl OnlineDetector {
 }
 
 impl DetectorState {
+    /// Records one detection, streaming it through the tap (if any)
+    /// first. Every detection site funnels through here, so a tap sees
+    /// exactly the detections the final report carries, in order.
+    fn emit(&mut self, detection: Detection) {
+        if let Some(tap) = &self.spec.tap {
+            tap.emit(&detection);
+        }
+        self.detections.push(detection);
+    }
+
     /// seq/at_ms of the first faulted crossing — the anchor for the
     /// error-handling detections.
     fn fired_anchor(&self) -> (u64, u64) {
@@ -477,7 +535,7 @@ impl DetectorState {
                             self.spec.config.storm_threshold
                         ),
                     };
-                    self.detections.push(detection);
+                    self.emit(detection);
                 }
             }
         }

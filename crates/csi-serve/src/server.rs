@@ -1,0 +1,333 @@
+//! The `csi-serve` daemon: campaigns as a service over TCP.
+//!
+//! [`CsiServer::start`] binds a [`TcpListener`] and spins up the three
+//! thread groups of the daemon:
+//!
+//! - an **acceptor** that takes connections and hands each to a
+//!   detached reader thread;
+//! - **readers** that parse newline-delimited [`CampaignRequest`]s,
+//!   police tenant names and specs, journal the submission in the
+//!   [`TenantRegistry`], and push admitted jobs into the
+//!   [`FairScheduler`] — answering [`Frame::Accepted`] or
+//!   [`Frame::Rejected`] immediately, per line;
+//! - **workers** that pull jobs fairly across tenants and run each as a
+//!   [`Campaign`] drawing warm deployments from a shared
+//!   [`DeploymentPool`], streaming every online detection back as a
+//!   [`Frame::Detection`] the moment the detector records it, then
+//!   finishing with one [`Frame::Report`].
+//!
+//! Backpressure is admission-time and explicit: when the global queue or
+//! a tenant's slice of it is full, the request is refused with the
+//! observed depths rather than buffered without bound. Campaign output
+//! is byte-identical to an in-process run of the same spec — pooling
+//! changes wall time only, taps only observe, and per-campaign state
+//! lives in the campaign's own deployment, not in the daemon.
+
+use crate::protocol::{valid_tenant_name, CampaignRequest, Frame, RejectReason};
+use crate::sched::{Admission, FairScheduler};
+use crate::tenant::TenantRegistry;
+use csi_core::detect::DetectionTap;
+use csi_test::exec::CrossTestConfig;
+use csi_test::{Campaign, CampaignSpec, DeploymentPool, PoolStats};
+use parking_lot::Mutex;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tuning knobs of one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Campaign worker threads (the concurrency of the service).
+    pub workers: usize,
+    /// Deployments pre-built into the pool before the listener opens.
+    pub warm: usize,
+    /// Global admission cap: queued campaigns across all tenants.
+    pub max_queue: usize,
+    /// Per-tenant admission cap: queued campaigns for any one tenant.
+    pub per_tenant_queue: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            warm: 2,
+            max_queue: 64,
+            per_tenant_queue: 8,
+        }
+    }
+}
+
+/// One admitted campaign, queued for a worker.
+struct Job {
+    tenant: String,
+    /// Journal sequence of this submission in the tenant's namespace.
+    seq: u64,
+    spec: CampaignSpec,
+    /// The submitting connection's write half, shared with its reader.
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+/// A running `csi-serve` daemon. Dropping it shuts it down gracefully:
+/// admission closes, queued campaigns drain, workers join.
+pub struct CsiServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    scheduler: Arc<FairScheduler<Job>>,
+    pool: Arc<DeploymentPool>,
+    registry: Arc<TenantRegistry>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Writes one frame as one line, best-effort: a vanished client is the
+/// client's problem, not the campaign's.
+fn send(writer: &Mutex<TcpStream>, frame: &Frame) {
+    let line = serde_json::to_string(frame).expect("frames serialize");
+    let mut stream = writer.lock();
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+}
+
+impl CsiServer {
+    /// Binds an ephemeral port on localhost, warms the deployment pool,
+    /// and starts the acceptor and worker threads.
+    pub fn start(config: &ServeConfig) -> io::Result<CsiServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let pool = Arc::new(DeploymentPool::new());
+        // Default campaigns trace boundaries, so warm the shelf that
+        // default and detection campaigns both draw from.
+        pool.warm(&CrossTestConfig::default(), config.warm);
+        let registry = Arc::new(TenantRegistry::new());
+        let scheduler = Arc::new(FairScheduler::new(
+            config.max_queue,
+            config.per_tenant_queue,
+        ));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let scheduler = scheduler.clone();
+                let pool = pool.clone();
+                let registry = registry.clone();
+                std::thread::spawn(move || {
+                    while let Some((_, job)) = scheduler.next() {
+                        run_job(&pool, &registry, job);
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let scheduler = scheduler.clone();
+            let registry = registry.clone();
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let scheduler = scheduler.clone();
+                    let registry = registry.clone();
+                    // Readers are detached: they end when their client
+                    // hangs up, and hold no state the daemon must join.
+                    std::thread::spawn(move || serve_connection(stream, &scheduler, &registry));
+                }
+            })
+        };
+
+        Ok(CsiServer {
+            addr,
+            shutdown,
+            scheduler,
+            pool,
+            registry,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Campaigns queued (admitted, not yet started) right now.
+    pub fn queue_depth(&self) -> usize {
+        self.scheduler.depth()
+    }
+
+    /// Construction/reuse counters of the shared deployment pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// The per-tenant control-plane registry.
+    pub fn registry(&self) -> &TenantRegistry {
+        &self.registry
+    }
+
+    /// Graceful shutdown: closes admission, unblocks the acceptor,
+    /// drains queued campaigns, and joins every daemon thread.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.scheduler.close();
+        // Wake the acceptor out of `incoming()` with one self-connect.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for CsiServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The reader loop of one connection: one request per line, one
+/// admission verdict per request, demultiplexed by tenant on the way
+/// back out.
+fn serve_connection(stream: TcpStream, scheduler: &FairScheduler<Job>, registry: &TenantRegistry) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    for line in BufReader::new(stream).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request: CampaignRequest = match serde_json::from_str(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                send(
+                    &writer,
+                    &Frame::Rejected {
+                        tenant: String::new(),
+                        reason: RejectReason::Malformed(e.to_string()),
+                    },
+                );
+                continue;
+            }
+        };
+        let verdict = admit(request, scheduler, registry, &writer);
+        send(&writer, &verdict);
+    }
+}
+
+/// Runs a request through the admission pipeline — tenant-name policy,
+/// spec validation, namespace registration, scheduler caps — returning
+/// the frame to answer with.
+fn admit(
+    request: CampaignRequest,
+    scheduler: &FairScheduler<Job>,
+    registry: &TenantRegistry,
+    writer: &Arc<Mutex<TcpStream>>,
+) -> Frame {
+    let tenant = request.tenant;
+    let reject = |reason| Frame::Rejected {
+        tenant: tenant.clone(),
+        reason,
+    };
+    if !valid_tenant_name(&tenant) {
+        return reject(RejectReason::BadTenantName(tenant.clone()));
+    }
+    if let Err(e) = request.spec.validate() {
+        return reject(RejectReason::InvalidSpec(e));
+    }
+    let spec_json = serde_json::to_string(&request.spec).expect("specs serialize");
+    let seq = match registry.register(&tenant, &spec_json) {
+        Ok(seq) => seq,
+        Err(e) => return reject(RejectReason::Internal(e)),
+    };
+    let job = Job {
+        tenant: tenant.clone(),
+        seq,
+        spec: request.spec,
+        writer: writer.clone(),
+    };
+    match scheduler.submit(&tenant, job) {
+        Ok(queue_depth) => Frame::Accepted {
+            tenant,
+            queue_depth,
+        },
+        Err(Admission::QueueFull { depth, limit }) => {
+            reject(RejectReason::QueueFull { depth, limit })
+        }
+        Err(Admission::TenantBacklog { depth, limit }) => {
+            reject(RejectReason::TenantBacklog { depth, limit })
+        }
+        Err(Admission::Closed) => reject(RejectReason::ShuttingDown),
+    }
+}
+
+/// Runs one admitted campaign on a worker thread: detections stream out
+/// through the tap as they happen, the report closes the request, and
+/// the registry records what was answered.
+fn run_job(pool: &Arc<DeploymentPool>, registry: &TenantRegistry, job: Job) {
+    let started = Instant::now();
+    let streamed = Arc::new(AtomicUsize::new(0));
+    let tap = {
+        let writer = job.writer.clone();
+        let tenant = job.tenant.clone();
+        let streamed = streamed.clone();
+        DetectionTap::new(move |detection| {
+            streamed.fetch_add(1, Ordering::SeqCst);
+            send(
+                &writer,
+                &Frame::Detection {
+                    tenant: tenant.clone(),
+                    detection: detection.clone(),
+                },
+            );
+        })
+    };
+    let campaign = Campaign::from_spec(job.spec)
+        .expect("spec validated at admission")
+        .pool(pool.clone())
+        .detection_tap(tap);
+    match catch_unwind(AssertUnwindSafe(move || campaign.run())) {
+        Ok(outcome) => {
+            let report_json = serde_json::to_string(&outcome.report).expect("reports serialize");
+            let _ = registry.record_report(&job.tenant, job.seq, &report_json);
+            send(
+                &job.writer,
+                &Frame::Report {
+                    tenant: job.tenant,
+                    campaign_micros: u64::try_from(started.elapsed().as_micros())
+                        .unwrap_or(u64::MAX),
+                    detections: streamed.load(Ordering::SeqCst),
+                    report_json,
+                    render: outcome.render(),
+                },
+            );
+        }
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "campaign panicked".to_string());
+            send(
+                &job.writer,
+                &Frame::Rejected {
+                    tenant: job.tenant,
+                    reason: RejectReason::Internal(message),
+                },
+            );
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! End-to-end tests of the `csi-serve` daemon over real TCP: concurrent
+//! multi-tenant campaigns byte-identical to batch runs, streamed
+//! detections arriving before the report, typed wire rejections, and
+//! per-tenant control-plane state.
+
+use csi_serve::{
+    run_specs, CsiServer, Frame, RejectReason, ServeClient, ServeConfig, TenantOutcome,
+};
+use csi_test::inject::small_fault_catalogue;
+use csi_test::plan::Experiment;
+use csi_test::{Campaign, CampaignSpec, InputSelection, SpecError};
+use minihive::metastore::StorageFormat;
+
+/// The server-side determinism contract: the report a tenant receives
+/// over the wire, byte-for-byte.
+fn batch_report_json(spec: &CampaignSpec) -> String {
+    let outcome = Campaign::from_spec(spec.clone()).expect("valid spec").run();
+    serde_json::to_string(&outcome.report).expect("reports serialize")
+}
+
+/// A small campaign spec, varied per tenant index.
+fn tenant_spec(i: usize) -> CampaignSpec {
+    CampaignSpec {
+        inputs: InputSelection::CataloguePrefix(1 + i % 3),
+        formats: vec![StorageFormat::Orc, StorageFormat::Parquet],
+        shards: 1 + i % 2,
+        chunk_size: 2,
+        detect: i.is_multiple_of(2),
+        seed: 42 + i as u64,
+        ..CampaignSpec::default()
+    }
+}
+
+#[test]
+fn concurrent_tenants_get_byte_identical_reports() {
+    let mut server = CsiServer::start(&ServeConfig {
+        workers: 4,
+        warm: 2,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // Eight tenants across two concurrent connections, four each.
+    let requests: Vec<(String, CampaignSpec)> = (0..8)
+        .map(|i| (format!("tenant-{i}"), tenant_spec(i)))
+        .collect();
+    let (left, right) = requests.split_at(4);
+    let handles: Vec<_> = [left.to_vec(), right.to_vec()]
+        .into_iter()
+        .map(|batch| std::thread::spawn(move || run_specs(addr, &batch).expect("outcomes")))
+        .collect();
+    let outcomes: Vec<TenantOutcome> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+
+    assert_eq!(outcomes.len(), 8);
+    for outcome in &outcomes {
+        assert_eq!(outcome.rejected, None, "tenant {}", outcome.tenant);
+        let i: usize = outcome.tenant["tenant-".len()..].parse().expect("index");
+        let wire = outcome.report_json.as_ref().expect("report arrived");
+        assert_eq!(
+            *wire,
+            batch_report_json(&tenant_spec(i)),
+            "wire report for {} differs from the batch run",
+            outcome.tenant
+        );
+        assert!(outcome.render.as_ref().is_some_and(|r| !r.is_empty()));
+    }
+
+    // Every tenant got its own control-plane namespace.
+    let mut tenants = server.registry().tenants();
+    tenants.sort();
+    assert_eq!(
+        tenants,
+        (0..8).map(|i| format!("tenant-{i}")).collect::<Vec<_>>()
+    );
+    // Warm deployments were actually reused across campaigns.
+    assert!(
+        server.pool_stats().reused > 0,
+        "no deployment reuse across 8 campaigns: {:?}",
+        server.pool_stats()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn detections_stream_before_the_final_report() {
+    let mut server = CsiServer::start(&ServeConfig::default()).expect("server starts");
+    // A matrix campaign over a small armed catalogue reliably detects.
+    let spec = CampaignSpec {
+        inputs: InputSelection::Inline(Vec::new()),
+        matrix_seed: Some(5),
+        faults: Some(small_fault_catalogue(5)),
+        experiments: vec![Experiment::ALL[0]],
+        formats: vec![StorageFormat::Orc],
+        detect: true,
+        ..CampaignSpec::default()
+    };
+
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+    client.submit("streamer", &spec).expect("submit");
+    let mut detections_before_report = 0;
+    let report = loop {
+        match client.read_frame().expect("frame") {
+            Frame::Accepted { tenant, .. } => assert_eq!(tenant, "streamer"),
+            Frame::Detection { detection, .. } => {
+                detections_before_report += 1;
+                assert!(!detection.scenario.is_empty());
+            }
+            Frame::Report { detections, .. } => break detections,
+            Frame::Rejected { reason, .. } => panic!("rejected: {reason}"),
+        }
+    };
+    assert!(
+        detections_before_report > 0,
+        "no detection frames arrived before the report"
+    );
+    assert_eq!(
+        detections_before_report, report,
+        "report's detection count disagrees with the streamed frames"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn invalid_requests_are_rejected_with_typed_reasons() {
+    let mut server = CsiServer::start(&ServeConfig::default()).expect("server starts");
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+
+    // An invalid spec carries the same typed error as Campaign::from_spec.
+    let bad_spec = CampaignSpec {
+        shards: csi_test::MAX_SHARDS + 1,
+        ..CampaignSpec::default()
+    };
+    client.submit("tenant-a", &bad_spec).expect("submit");
+    let frame = client.read_frame().expect("frame");
+    assert_eq!(
+        frame,
+        Frame::Rejected {
+            tenant: "tenant-a".into(),
+            reason: RejectReason::InvalidSpec(SpecError::BadShards {
+                shards: csi_test::MAX_SHARDS + 1,
+                max: csi_test::MAX_SHARDS,
+            }),
+        }
+    );
+
+    // A bad tenant name never reaches the scheduler.
+    client
+        .submit("Tenant A", &CampaignSpec::default())
+        .expect("submit");
+    match client.read_frame().expect("frame") {
+        Frame::Rejected {
+            reason: RejectReason::BadTenantName(name),
+            ..
+        } => assert_eq!(name, "Tenant A"),
+        other => panic!("expected BadTenantName, got {other:?}"),
+    }
+
+    // A line that is not a request at all is answered, not dropped.
+    use std::io::Write as _;
+    let mut raw = std::net::TcpStream::connect(server.addr()).expect("connect");
+    raw.write_all(b"not json\n").expect("write");
+    use std::io::{BufRead as _, BufReader};
+    let mut line = String::new();
+    BufReader::new(raw.try_clone().expect("clone"))
+        .read_line(&mut line)
+        .expect("read");
+    let frame: Frame = serde_json::from_str(&line).expect("frame parses");
+    match frame {
+        Frame::Rejected {
+            tenant,
+            reason: RejectReason::Malformed(_),
+        } => assert_eq!(tenant, ""),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn backlogged_tenants_hit_admission_control() {
+    // One worker, tiny per-tenant slice: occupy the worker with a slow
+    // campaign, then flood one tenant past its cap.
+    let mut server = CsiServer::start(&ServeConfig {
+        workers: 1,
+        warm: 0,
+        max_queue: 16,
+        per_tenant_queue: 2,
+    })
+    .expect("server starts");
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+
+    let slow = CampaignSpec {
+        inputs: InputSelection::CataloguePrefix(128),
+        detect: true,
+        ..CampaignSpec::default()
+    };
+    client.submit("blocker", &slow).expect("submit");
+    match client.read_frame().expect("frame") {
+        Frame::Accepted { tenant, .. } => assert_eq!(tenant, "blocker"),
+        other => panic!("expected Accepted, got {other:?}"),
+    }
+    // Give the single worker a moment to pick the blocker up.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    let quick = CampaignSpec {
+        inputs: InputSelection::CataloguePrefix(1),
+        ..CampaignSpec::default()
+    };
+    let mut accepted = 0;
+    let mut backlogged = 0;
+    let mut terminals = 0;
+    for _ in 0..6 {
+        client.submit("flood", &quick).expect("submit");
+        // The admission verdict for `flood` can interleave with frames
+        // from campaigns already running; demux by tenant.
+        loop {
+            let frame = client.read_frame().expect("frame");
+            if frame.is_terminal() {
+                terminals += 1;
+            }
+            match frame {
+                Frame::Accepted { tenant, .. } if tenant == "flood" => {
+                    accepted += 1;
+                    break;
+                }
+                Frame::Rejected {
+                    tenant,
+                    reason: RejectReason::TenantBacklog { limit, .. },
+                } if tenant == "flood" => {
+                    assert_eq!(limit, 2);
+                    backlogged += 1;
+                    terminals -= 1; // admission verdicts are not campaign ends
+                    break;
+                }
+                Frame::Detection { .. } | Frame::Report { .. } => {}
+                other => panic!("unexpected frame during flood: {other:?}"),
+            }
+        }
+    }
+    assert_eq!(
+        accepted, 2,
+        "exactly the per-tenant slice should be admitted while the worker is busy"
+    );
+    assert_eq!(backlogged, 4);
+
+    // Everything admitted still completes once the worker frees up:
+    // one report for the blocker plus one per admitted flood campaign.
+    while terminals < 1 + accepted {
+        if let Frame::Report { .. } = client.read_frame().expect("frame") {
+            terminals += 1;
+        }
+    }
+    server.shutdown();
+}

@@ -1,0 +1,45 @@
+//! Property: for any valid spec, the report a tenant receives from the
+//! daemon is byte-identical to a batch [`Campaign`] run of the same
+//! spec — the served path adds transport, scheduling, pooling, and
+//! tapping, none of which may perturb a single byte of output.
+
+use csi_serve::{run_specs, CsiServer, ServeConfig};
+use csi_test::{Campaign, CampaignSpec, InputSelection};
+use minihive::metastore::StorageFormat;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn served_report_is_byte_identical_to_batch(
+        prefix in 1usize..5,
+        shards in 1usize..4,
+        seed in any::<u64>(),
+        detect in any::<bool>(),
+    ) {
+        let spec = CampaignSpec {
+            inputs: InputSelection::CataloguePrefix(prefix),
+            formats: vec![StorageFormat::Orc, StorageFormat::Avro],
+            shards,
+            chunk_size: 2,
+            seed,
+            detect,
+            ..CampaignSpec::default()
+        };
+        let mut server = CsiServer::start(&ServeConfig::default()).expect("server starts");
+        let outcomes = run_specs(
+            server.addr(),
+            &[("prop-tenant".to_string(), spec.clone())],
+        )
+        .expect("outcomes");
+        server.shutdown();
+        prop_assert_eq!(outcomes.len(), 1);
+        prop_assert_eq!(&outcomes[0].rejected, &None);
+        let wire = outcomes[0].report_json.clone().expect("report arrived");
+
+        let batch = Campaign::from_spec(spec).expect("valid spec").run();
+        let local = serde_json::to_string(&batch.report).expect("reports serialize");
+        prop_assert_eq!(wire, local);
+    }
+}

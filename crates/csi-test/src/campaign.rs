@@ -15,6 +15,18 @@
 //! assert!(outcome.report.detector_enabled);
 //! ```
 //!
+//! The builder itself is a thin mutation layer over a serializable
+//! [`CampaignSpec`]: [`Campaign::spec`] extracts the spec,
+//! [`Campaign::from_spec`] rebuilds the campaign (validating with typed
+//! [`SpecError`]s instead of panicking), and the round trip is lossless —
+//! running a serialized-and-revived spec is byte-identical to running the
+//! builder it came from. The wire surface of the `csi-serve` daemon is
+//! exactly this spec. Two attachments stay *outside* the spec because
+//! they describe the runtime, not the campaign: a [`DetectionTap`]
+//! ([`Campaign::detection_tap`]) for streaming detections out mid-run,
+//! and a shared [`DeploymentPool`] ([`Campaign::pool`]) that amortizes
+//! deployment construction across campaigns.
+//!
 //! With `.detect(true)`, a cross-test campaign first replays the same
 //! (experiment × plan × format × input) space fault-free to learn the
 //! per-scenario baseline crossing profiles, freezes them, and then runs
@@ -33,34 +45,25 @@ use crate::generator::TestInput;
 use crate::inject::{self, FaultMatrixConfig, FaultMatrixReport};
 use crate::multi::{self, CompoundConfig};
 use crate::plan::Experiment;
+use crate::pool::DeploymentPool;
 use crate::shard::{self, CampaignMetrics, ParallelConfig};
 use crate::shrink::ShrunkReproducer;
-use csi_core::detect::{DetectorConfig, DetectorSpec};
+use crate::spec::{CampaignSpec, InputSelection, SpecError};
+use csi_core::detect::{DetectionTap, DetectorConfig, DetectorSpec};
 use csi_core::fault::FaultPlan;
 use csi_core::oracle::Observation;
 use csi_core::report::{ClusterRow, CompoundStats, DiscrepancyReport, ExplorationStats, Render};
 use minihive::metastore::StorageFormat;
 use std::sync::Arc;
 
-/// Builder for a cross-testing or fault-matrix campaign.
+/// Builder for a cross-testing or fault-matrix campaign: a serializable
+/// [`CampaignSpec`] plus the runtime-only attachments (detection tap,
+/// deployment pool) that never travel over the wire.
 #[derive(Debug, Clone)]
 pub struct Campaign {
-    inputs: Vec<TestInput>,
-    experiments: Vec<Experiment>,
-    formats: Vec<StorageFormat>,
-    spark_overrides: Vec<(String, String)>,
-    recycle_tables: bool,
-    shards: usize,
-    chunk_size: usize,
-    faults: Option<FaultPlan>,
-    matrix_seed: Option<u64>,
-    trace: bool,
-    detect: bool,
-    detector_config: DetectorConfig,
-    seed: u64,
-    explore_budget: Option<usize>,
-    kfaults: usize,
-    jobs: usize,
+    spec: CampaignSpec,
+    tap: Option<DetectionTap>,
+    pool: Option<Arc<DeploymentPool>>,
 }
 
 /// The result of [`Campaign::run`].
@@ -114,59 +117,69 @@ impl Campaign {
     /// serial execution, tracing on, and no faults or detection.
     pub fn new(inputs: &[TestInput]) -> Campaign {
         Campaign {
-            inputs: inputs.to_vec(),
-            experiments: Experiment::ALL.to_vec(),
-            formats: StorageFormat::ALL.to_vec(),
-            spark_overrides: Vec::new(),
-            recycle_tables: false,
-            shards: 1,
-            chunk_size: 64,
-            faults: None,
-            matrix_seed: None,
-            trace: true,
-            detect: false,
-            detector_config: DetectorConfig::default(),
-            seed: 42,
-            explore_budget: None,
-            kfaults: 0,
-            jobs: 2,
+            spec: CampaignSpec {
+                inputs: InputSelection::Inline(inputs.to_vec()),
+                ..CampaignSpec::default()
+            },
+            tap: None,
+            pool: None,
         }
+    }
+
+    /// Rebuilds a campaign from a (typically deserialized) spec,
+    /// rejecting invalid specs with a typed [`SpecError`] instead of
+    /// panicking — the validation gate every wire request passes through.
+    pub fn from_spec(spec: CampaignSpec) -> Result<Campaign, SpecError> {
+        spec.validate()?;
+        Ok(Campaign {
+            spec,
+            tap: None,
+            pool: None,
+        })
+    }
+
+    /// The campaign's serializable spec. `Campaign::from_spec(c.spec().clone())`
+    /// round-trips losslessly: the revived campaign runs byte-identically.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
     }
 
     /// Restricts the experiments.
     pub fn experiments(mut self, experiments: Vec<Experiment>) -> Campaign {
-        self.experiments = experiments;
+        self.spec.experiments = experiments;
         self
     }
 
     /// Restricts the storage formats.
     pub fn formats(mut self, formats: Vec<StorageFormat>) -> Campaign {
-        self.formats = formats;
+        self.spec.formats = formats;
         self
     }
 
     /// Applies Spark configuration overrides to every deployment.
     pub fn spark_overrides(mut self, overrides: Vec<(String, String)>) -> Campaign {
-        self.spark_overrides = overrides;
+        self.spec.spark_overrides = overrides;
         self
     }
 
     /// Drops each table right after its observation is recorded.
     pub fn recycle_tables(mut self, recycle: bool) -> Campaign {
-        self.recycle_tables = recycle;
+        self.spec.recycle_tables = recycle;
         self
     }
 
     /// Runs the campaign on `n` workers; `0` or `1` runs serially
-    /// (`0` in matrix mode still means serial).
+    /// (`0` in matrix mode still means serial). Clamped to
+    /// [`MAX_SHARDS`](crate::spec::MAX_SHARDS) — only specs revived from
+    /// the wire can carry an out-of-range value.
     pub fn shards(mut self, n: usize) -> Campaign {
-        self.shards = n;
+        self.spec.shards = n.min(crate::spec::MAX_SHARDS);
         self
     }
 
     /// Maximum inputs per shard (sharded cross-test campaigns only).
     pub fn chunk_size(mut self, chunk_size: usize) -> Campaign {
-        self.chunk_size = chunk_size.max(1);
+        self.spec.chunk_size = chunk_size.max(1);
         self
     }
 
@@ -174,7 +187,7 @@ impl Campaign {
     /// the cell catalogue in matrix mode (replacing the seed-derived
     /// standard catalogue).
     pub fn faults(mut self, plan: FaultPlan) -> Campaign {
-        self.faults = Some(plan);
+        self.spec.faults = Some(plan);
         self
     }
 
@@ -184,27 +197,27 @@ impl Campaign {
     /// and [`inject::fault_catalogue`]`(seed)` unless [`Campaign::faults`]
     /// supplied a catalogue.
     pub fn fault_matrix(mut self, seed: u64) -> Campaign {
-        self.matrix_seed = Some(seed);
+        self.spec.matrix_seed = Some(seed);
         self
     }
 
     /// Records an interaction trace per observation (on by default;
     /// forced on when detection is enabled).
     pub fn trace(mut self, trace: bool) -> Campaign {
-        self.trace = trace;
+        self.spec.trace = trace;
         self
     }
 
     /// Runs the online CSI failure detector over every observation (or
     /// matrix cell).
     pub fn detect(mut self, detect: bool) -> Campaign {
-        self.detect = detect;
+        self.spec.detect = detect;
         self
     }
 
     /// Overrides the detector thresholds.
     pub fn detector_config(mut self, config: DetectorConfig) -> Campaign {
-        self.detector_config = config;
+        self.spec.detector_config = config;
         self
     }
 
@@ -212,7 +225,7 @@ impl Campaign {
     /// consumes it; the standard and matrix modes are seedless (matrix
     /// mode has its own seed via [`Campaign::fault_matrix`]).
     pub fn seed(mut self, seed: u64) -> Campaign {
-        self.seed = seed;
+        self.spec.seed = seed;
         self
     }
 
@@ -221,11 +234,12 @@ impl Campaign {
     /// to a corpus, corpus entries are swept, mutated, and fault-overlaid
     /// ahead of fresh grid draws, and every reported discrepancy is shrunk
     /// to a 1-row/1-column reproducer. A budget of `0` degrades exactly to
-    /// the standard exhaustive catalogue. Explore mode forces the online
-    /// detector off and ignores [`Campaign::faults`] (it schedules its own
-    /// overlay from [`inject::fault_catalogue`]).
+    /// the standard exhaustive catalogue (the spec records it as "no
+    /// explore pass", which is the same campaign). Explore mode forces the
+    /// online detector off and ignores [`Campaign::faults`] (it schedules
+    /// its own overlay from [`inject::fault_catalogue`]).
     pub fn explore(mut self, budget: usize) -> Campaign {
-        self.explore_budget = Some(budget);
+        self.spec.explore_budget = (budget > 0).then_some(budget);
         self
     }
 
@@ -235,16 +249,41 @@ impl Campaign {
     /// searched coverage-guided, with the resulting discrepancies clustered
     /// by causal-trace prefix and ddmin-shrunk ([`crate::multi`]). The
     /// default (`0`) disables the pass and leaves every existing mode
-    /// byte-identical.
+    /// byte-identical. Clamped to
+    /// [`MAX_KFAULTS`](crate::spec::MAX_KFAULTS).
     pub fn kfaults(mut self, k: usize) -> Campaign {
-        self.kfaults = k;
+        self.spec.kfaults = k.min(crate::spec::MAX_KFAULTS);
         self
     }
 
     /// Number of jobs sharing each compound trial's deployment (default 2;
-    /// only the compound pass consumes it).
+    /// only the compound pass consumes it). Clamped to at least 1.
     pub fn jobs(mut self, n: usize) -> Campaign {
-        self.jobs = n;
+        self.spec.jobs = n.max(1);
+        self
+    }
+
+    /// Attaches a streaming detection observer: every [`Detection`] the
+    /// campaign's online detectors emit is handed to `tap` the moment it
+    /// is recorded, long before the final report exists. Taps only
+    /// observe — a tapped campaign's outcome is byte-identical to an
+    /// untapped one. Only modes that build detectors (cross-test and
+    /// matrix with `.detect(true)`) ever invoke it.
+    ///
+    /// [`Detection`]: csi_core::detect::Detection
+    pub fn detection_tap(mut self, tap: DetectionTap) -> Campaign {
+        self.tap = Some(tap);
+        self
+    }
+
+    /// Draws this campaign's deployments from a shared warm
+    /// [`DeploymentPool`] instead of building them fresh, returning them
+    /// (reset) when done. Pooling changes wall time only: pooled output
+    /// is byte-identical to unpooled. Only the standard cross-test path
+    /// consumes the pool; matrix, explore, and compound modes build
+    /// hermetic per-cell state by design.
+    pub fn pool(mut self, pool: Arc<DeploymentPool>) -> Campaign {
+        self.pool = Some(pool);
         self
     }
 
@@ -259,45 +298,56 @@ impl Campaign {
     pub fn run_bulk(self, rows: usize) -> crate::bulk::BulkReport {
         crate::bulk::run_bulk(&crate::bulk::BulkConfig {
             rows,
-            seed: self.seed,
-            formats: self.formats,
+            seed: self.spec.seed,
+            formats: self.spec.formats,
         })
     }
 
-    /// Executes the campaign.
+    /// Executes the campaign, panicking on an invalid spec. Specs built
+    /// through the builder methods are always valid; prefer
+    /// [`Campaign::try_run`] for campaigns revived from untrusted specs.
     pub fn run(self) -> CampaignOutcome {
-        let compound = (self.kfaults > 0).then(|| {
-            let mut config = CompoundConfig::new(self.seed, self.kfaults);
-            config.jobs = self.jobs;
-            config.shards = self.shards;
-            if let Some(budget) = self.explore_budget {
-                if budget > 0 {
-                    config.budget = budget;
-                }
+        self.try_run()
+            .unwrap_or_else(|e| panic!("invalid campaign spec: {e}"))
+    }
+
+    /// Executes the campaign, returning a typed [`SpecError`] instead of
+    /// panicking when the spec is invalid.
+    pub fn try_run(self) -> Result<CampaignOutcome, SpecError> {
+        self.spec.validate()?;
+        let compound = (self.spec.kfaults > 0).then(|| {
+            let mut config = CompoundConfig::new(self.spec.seed, self.spec.kfaults);
+            config.jobs = self.spec.jobs;
+            config.shards = self.spec.shards;
+            if let Some(budget) = self.spec.explore_budget {
+                config.budget = budget;
             }
             config
         });
-        let mut outcome = match self.explore_budget {
-            Some(0) | None if self.matrix_seed.is_some() => self.run_matrix(),
-            Some(budget) if budget > 0 => self.run_explore(budget),
-            _ => self.run_cross(),
+        // A validated spec never carries `Some(0)` (the builder records
+        // `.explore(0)` as `None`), so `Some` always means explore mode.
+        let mut outcome = match self.spec.explore_budget {
+            Some(budget) => self.run_explore(budget),
+            None if self.spec.matrix_seed.is_some() => self.run_matrix(),
+            None => self.run_cross(),
         };
         if let Some(config) = compound {
             let result = multi::run_compound(&config);
             outcome.compound = Some(result.stats);
             outcome.clusters = result.clusters;
         }
-        outcome
+        Ok(outcome)
     }
 
     fn run_explore(self, budget: usize) -> CampaignOutcome {
+        let inputs = self.spec.inputs.resolve();
         let result = explore::run_explore(
-            &self.inputs,
-            &self.experiments,
-            &self.formats,
-            self.seed,
+            &inputs,
+            &self.spec.experiments,
+            &self.spec.formats,
+            self.spec.seed,
             budget,
-            self.shards,
+            self.spec.shards,
         );
         CampaignOutcome {
             report: result.report,
@@ -312,16 +362,20 @@ impl Campaign {
     }
 
     fn run_matrix(self) -> CampaignOutcome {
-        let seed = self.matrix_seed.expect("matrix mode");
+        let seed = self.spec.matrix_seed.expect("matrix mode");
         let config = FaultMatrixConfig {
             seed,
-            experiments: self.experiments,
-            formats: self.formats,
-            faults: self.faults.unwrap_or_else(|| inject::fault_catalogue(seed)),
-            detect: self.detect.then_some(self.detector_config),
+            experiments: self.spec.experiments,
+            formats: self.spec.formats,
+            faults: self
+                .spec
+                .faults
+                .unwrap_or_else(|| inject::fault_catalogue(seed)),
+            detect: self.spec.detect.then_some(self.spec.detector_config),
+            tap: self.tap,
         };
-        let matrix = if self.shards > 1 {
-            inject::run_fault_matrix_sharded_impl(&config, self.shards)
+        let matrix = if self.spec.shards > 1 {
+            inject::run_fault_matrix_sharded_impl(&config, self.spec.shards)
         } else {
             inject::run_fault_matrix_impl(&config)
         };
@@ -345,18 +399,20 @@ impl Campaign {
     }
 
     fn run_cross(self) -> CampaignOutcome {
+        let inputs = self.spec.inputs.resolve();
         let mut config = CrossTestConfig {
-            experiments: self.experiments,
-            formats: self.formats,
-            spark_overrides: self.spark_overrides,
-            recycle_tables: self.recycle_tables,
-            fault_plan: self.faults,
+            experiments: self.spec.experiments,
+            formats: self.spec.formats,
+            spark_overrides: self.spec.spark_overrides,
+            recycle_tables: self.spec.recycle_tables,
+            fault_plan: self.spec.faults,
             // The baseline learner and the agreement scorer both read
             // observation traces, so detection forces tracing on.
-            trace_boundaries: self.trace || self.detect,
+            trace_boundaries: self.spec.trace || self.spec.detect,
             detector: None,
+            pool: self.pool,
         };
-        if self.detect {
+        if self.spec.detect {
             // Fault-free calibration replay over the identical scenario
             // space: learn what "normal" looks like per scenario, then
             // freeze. Runs in the same mode (serial/sharded) as the real
@@ -369,18 +425,19 @@ impl Campaign {
                 ..config.clone()
             };
             let (calibration, _) = run_mode(
-                &self.inputs,
+                &inputs,
                 &calibration_config,
-                self.shards,
-                self.chunk_size,
+                self.spec.shards,
+                self.spec.chunk_size,
             );
             let baselines = exec::learn_baselines(&calibration.observations);
             config.detector = Some(DetectorSpec {
-                config: self.detector_config,
+                config: self.spec.detector_config,
                 baselines: Arc::new(baselines),
+                tap: self.tap,
             });
         }
-        let (outcome, metrics) = run_mode(&self.inputs, &config, self.shards, self.chunk_size);
+        let (outcome, metrics) = run_mode(&inputs, &config, self.spec.shards, self.spec.chunk_size);
         CampaignOutcome {
             report: outcome.report,
             observations: outcome.observations,
@@ -420,6 +477,7 @@ mod tests {
     use super::*;
     use crate::generator::Validity;
     use csi_core::value::{DataType, Value};
+    use parking_lot::Mutex;
 
     fn byte_input() -> Vec<TestInput> {
         vec![TestInput {
@@ -446,6 +504,82 @@ mod tests {
     }
 
     #[test]
+    fn spec_round_trip_is_lossless_and_byte_identical() {
+        let inputs = byte_input();
+        let original = Campaign::new(&inputs).shards(2).chunk_size(1);
+        let spec = original.spec().clone();
+        let json = serde_json::to_string(&spec).expect("spec serializes");
+        let revived: CampaignSpec = serde_json::from_str(&json).expect("spec deserializes");
+        assert_eq!(revived, spec);
+        let a = original.run();
+        let b = Campaign::from_spec(revived).expect("valid spec").run();
+        assert_eq!(
+            serde_json::to_string(&a.report).unwrap(),
+            serde_json::to_string(&b.report).unwrap()
+        );
+    }
+
+    #[test]
+    fn from_spec_rejects_invalid_specs_with_typed_errors() {
+        let spec = CampaignSpec {
+            explore_budget: Some(0),
+            ..CampaignSpec::default()
+        };
+        assert_eq!(
+            Campaign::from_spec(spec).expect_err("invalid"),
+            SpecError::ZeroExploreBudget
+        );
+        // The builder's `.explore(0)` documents degrade-to-grid instead.
+        let campaign = Campaign::new(&byte_input()).explore(0);
+        assert_eq!(campaign.spec().explore_budget, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid campaign spec")]
+    fn run_panics_on_an_invalid_revived_spec() {
+        let mut campaign = Campaign::new(&[]);
+        campaign.spec.jobs = 0;
+        let _ = campaign.run();
+    }
+
+    #[test]
+    fn detection_tap_streams_every_detection_before_the_report() {
+        let plan = inject::small_fault_catalogue(5);
+        let streamed = Arc::new(Mutex::new(Vec::new()));
+        let sink = streamed.clone();
+        let tap = DetectionTap::new(move |d| sink.lock().push(d.clone()));
+        let outcome = Campaign::new(&[])
+            .fault_matrix(5)
+            .faults(plan)
+            .experiments(vec![Experiment::ALL[0]])
+            .formats(vec![StorageFormat::Orc])
+            .detect(true)
+            .detection_tap(tap)
+            .run();
+        let matrix = outcome.matrix.expect("matrix mode");
+        let reported: Vec<_> = matrix
+            .cases
+            .iter()
+            .flat_map(|c| c.detections.iter().cloned())
+            .collect();
+        assert!(!reported.is_empty(), "smoke matrix detects nothing");
+        assert_eq!(*streamed.lock(), reported);
+
+        // And a tapped campaign stays byte-identical to an untapped one.
+        let untapped = Campaign::new(&[])
+            .fault_matrix(5)
+            .faults(inject::small_fault_catalogue(5))
+            .experiments(vec![Experiment::ALL[0]])
+            .formats(vec![StorageFormat::Orc])
+            .detect(true)
+            .run();
+        assert_eq!(
+            serde_json::to_string(&untapped.matrix.unwrap()).unwrap(),
+            serde_json::to_string(&matrix).unwrap()
+        );
+    }
+
+    #[test]
     fn sharded_campaign_reports_metrics_and_identical_output() {
         let inputs = byte_input();
         let serial = Campaign::new(&inputs).run();
@@ -456,6 +590,21 @@ mod tests {
         );
         let metrics = sharded.metrics.expect("sharded campaigns carry metrics");
         assert_eq!(metrics.observations, sharded.observations.len());
+    }
+
+    #[test]
+    fn pooled_campaign_is_byte_identical_across_reuse() {
+        let inputs = byte_input();
+        let fresh = Campaign::new(&inputs).detect(true).run();
+        let pool = Arc::new(DeploymentPool::new());
+        for _ in 0..2 {
+            let pooled = Campaign::new(&inputs).detect(true).pool(pool.clone()).run();
+            assert_eq!(
+                serde_json::to_string(&pooled.report).unwrap(),
+                serde_json::to_string(&fresh.report).unwrap()
+            );
+        }
+        assert!(pool.stats().reused > 0, "second run never hit the shelves");
     }
 
     #[test]

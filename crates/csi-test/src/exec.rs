@@ -11,6 +11,7 @@
 use crate::classify;
 use crate::generator::{TestInput, Validity};
 use crate::plan::{Experiment, Interface, TestPlan};
+use crate::pool::DeploymentPool;
 use csi_core::boundary::CrossingContext;
 use csi_core::detect::{BaselineSet, DetectorSpec, OnlineDetector};
 use csi_core::diag::DiagSink;
@@ -56,6 +57,11 @@ pub struct CrossTestConfig {
     /// [`OnlineDetector`] from it, so sharding never shares mutable
     /// detector state. `None` disables detection.
     pub detector: Option<DetectorSpec>,
+    /// Acquire deployments from this warm pool instead of building them
+    /// fresh. Pooled deployments are reset to construction-identical on
+    /// release, so the run is byte-identical either way; `None` (the
+    /// one-shot default) builds and drops per run.
+    pub pool: Option<Arc<DeploymentPool>>,
 }
 
 impl Default for CrossTestConfig {
@@ -68,6 +74,7 @@ impl Default for CrossTestConfig {
             fault_plan: None,
             trace_boundaries: true,
             detector: None,
+            pool: None,
         }
     }
 }
@@ -122,6 +129,9 @@ pub(crate) struct Deployment {
     /// The deployment's filesystem, shared with `spark` and `hive` — held
     /// so recycling can vacuum the namenode back to canonical state.
     pub(crate) fs: Arc<Mutex<MiniHdfs>>,
+    /// The deployment's metastore, shared with both engines — held so the
+    /// pool can reset it wholesale when the deployment is released.
+    pub(crate) metastore: Arc<Mutex<Metastore>>,
 }
 
 impl Deployment {
@@ -157,7 +167,7 @@ impl Deployment {
         for (k, v) in &config.spark_overrides {
             spark.config.set(k, v);
         }
-        let hive = HiveQl::new(metastore, fs.clone(), sink.handle("minihive"));
+        let hive = HiveQl::new(metastore.clone(), fs.clone(), sink.handle("minihive"));
         Deployment {
             sink,
             spark,
@@ -165,6 +175,7 @@ impl Deployment {
             crossing,
             detector,
             fs,
+            metastore,
         }
     }
 
@@ -523,35 +534,27 @@ pub(crate) fn check_observation(input: &TestInput, obs: &Observation) -> Option<
     }
 }
 
-/// Runs the full cross-test and classifies the failures.
-///
-/// # Examples
-///
-/// ```
-/// use csi_core::value::{DataType, Value};
-/// use csi_test::generator::{TestInput, Validity};
-/// use csi_test::Campaign;
-///
-/// let inputs = vec![TestInput {
-///     id: 0,
-///     column_type: DataType::Byte,
-///     value: Value::Byte(5),
-///     validity: Validity::Valid,
-///     label: "a tinyint".into(),
-///     expected_back: None,
-/// }];
-/// let outcome = Campaign::new(&inputs).run();
-/// // One BYTE input already reveals SPARK-39075 and HIVE-26533.
-/// assert!(outcome.report.distinct() >= 2);
-/// ```
-#[deprecated(note = "use csi_test::Campaign")]
-pub fn run_cross_test(inputs: &[TestInput], config: &CrossTestConfig) -> CrossTestOutcome {
-    run_cross_test_impl(inputs, config)
+/// Obtains a deployment for `config`: from its warm pool when one is
+/// attached, built fresh otherwise. Every deployment the executors use
+/// goes through here so pooled and unpooled campaigns share one code
+/// path.
+pub(crate) fn acquire_deployment(config: &CrossTestConfig) -> Deployment {
+    match &config.pool {
+        Some(pool) => pool.acquire(config),
+        None => Deployment::new(config),
+    }
 }
 
-/// The real serial executor behind both the deprecated [`run_cross_test`]
-/// wrapper and the [`crate::Campaign`] builder — inverted so the builder
-/// never calls through a deprecated item.
+/// Returns a deployment obtained from [`acquire_deployment`]: back to the
+/// pool (reset to fresh) when one is attached, dropped otherwise.
+pub(crate) fn release_deployment(config: &CrossTestConfig, deployment: Deployment) {
+    if let Some(pool) = &config.pool {
+        pool.release(config, deployment);
+    }
+}
+
+/// The serial executor behind the [`crate::Campaign`] builder — the
+/// builder is the only public entry point.
 pub(crate) fn run_cross_test_impl(
     inputs: &[TestInput],
     config: &CrossTestConfig,
@@ -559,7 +562,7 @@ pub(crate) fn run_cross_test_impl(
     let mut observations: Vec<(Experiment, Observation)> = Vec::new();
     let mut failures: Vec<OracleFailure> = Vec::new();
     for &experiment in &config.experiments {
-        let deployment = Deployment::new(config);
+        let deployment = acquire_deployment(config);
         let mut exp_observations: Vec<Observation> = Vec::new();
         for plan in experiment.plans() {
             for &format in &config.formats {
@@ -581,6 +584,7 @@ pub(crate) fn run_cross_test_impl(
         }
         failures.extend(check_differential(&exp_observations));
         observations.extend(exp_observations.into_iter().map(|o| (experiment, o)));
+        release_deployment(config, deployment);
     }
     let report = classify::classify(inputs, &observations, failures, config.detector.is_some());
     CrossTestOutcome {
@@ -697,18 +701,29 @@ mod tests {
     }
 
     #[test]
-    // The deprecated wrapper is the unit under test here; allows stay
-    // scoped to exactly this test.
-    #[allow(deprecated)]
-    fn deprecated_wrapper_delegates_to_the_impl() {
+    fn pooled_run_is_byte_identical_to_fresh() {
         let inputs = one_input(DataType::Byte, Value::Byte(5), Validity::Valid);
-        let config = CrossTestConfig::default();
-        let wrapper = run_cross_test(&inputs, &config);
-        let direct = run_cross_test_impl(&inputs, &config);
-        assert_eq!(
-            serde_json::to_string(&wrapper.report).unwrap(),
-            serde_json::to_string(&direct.report).unwrap()
-        );
+        let fresh = run_cross_test_impl(&inputs, &CrossTestConfig::default());
+        let pool = Arc::new(DeploymentPool::new());
+        let pooled_config = CrossTestConfig {
+            pool: Some(pool.clone()),
+            ..CrossTestConfig::default()
+        };
+        // Two back-to-back runs: the second consumes deployments the first
+        // released, so reuse (not just construction) is what's pinned.
+        for round in 0..2 {
+            let pooled = run_cross_test_impl(&inputs, &pooled_config);
+            assert_eq!(
+                serde_json::to_string(&pooled.report).unwrap(),
+                serde_json::to_string(&fresh.report).unwrap(),
+                "pooled round {round} diverged from the fresh run"
+            );
+        }
+        // The serial loop releases each experiment's deployment before
+        // acquiring the next, so one build serves all six acquires.
+        let stats = pool.stats();
+        assert_eq!(stats.created, 1);
+        assert_eq!(stats.reused, 5);
     }
 
     #[test]

@@ -12,9 +12,10 @@
 
 use csi_core::column::ValueColumn;
 use csi_core::value::{parse_date, parse_timestamp, DataType, Decimal, StructField, Value};
+use serde::{Deserialize, Serialize};
 
 /// Whether an input is expected to be representable in its column type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Validity {
     /// Representable: checked by the write–read and differential oracles.
     Valid,
@@ -24,7 +25,7 @@ pub enum Validity {
 }
 
 /// One generated input: a column type and a value to store in it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TestInput {
     /// Stable id (index into the generated catalogue).
     pub id: usize,

@@ -14,8 +14,8 @@
 //! swallowed, mistranslated, propagated-with-context, or crash.
 //!
 //! Cells are hermetic (each builds its own deployment, broker, or RM and
-//! its own injection registry), so the sharded runner
-//! [`run_fault_matrix_sharded`] trivially reproduces the serial report
+//! its own injection registry), so the sharded runner behind
+//! [`crate::Campaign::shards`] trivially reproduces the serial report
 //! byte-for-byte at any worker count.
 
 use crate::exec::{self, run_one, CrossTestConfig, Deployment};
@@ -23,7 +23,8 @@ use crate::generator::{TestInput, Validity};
 use crate::plan::{Experiment, TestPlan};
 use csi_core::boundary::{CrossingContext, InteractionTrace};
 use csi_core::detect::{
-    flags_error_handling, BaselineSet, Detection, DetectorAgreement, DetectorConfig, OnlineDetector,
+    flags_error_handling, BaselineSet, Detection, DetectionTap, DetectorAgreement, DetectorConfig,
+    DetectorSpec,
 };
 use csi_core::fault::{
     classify_fault_outcome, Channel, FaultKind, FaultOutcome, FaultPlan, FaultSpec, InjectedFault,
@@ -240,6 +241,12 @@ pub struct FaultMatrixConfig {
     /// [`OnlineDetector`] built on that frozen baseline. `None` disables
     /// detection (and keeps the legacy report output byte-identical).
     pub detect: Option<DetectorConfig>,
+    /// Streaming observer invoked on every detection the instant a cell's
+    /// detector emits it, before the report exists — how `csi-serve`
+    /// forwards matrix detections to tenants incrementally. Taps only
+    /// observe, so a tapped matrix stays byte-identical to an untapped
+    /// one. Ignored unless `detect` is set.
+    pub tap: Option<DetectionTap>,
 }
 
 impl FaultMatrixConfig {
@@ -252,6 +259,7 @@ impl FaultMatrixConfig {
             formats: StorageFormat::ALL.to_vec(),
             faults: fault_catalogue(seed),
             detect: None,
+            tap: None,
         }
     }
 
@@ -264,6 +272,7 @@ impl FaultMatrixConfig {
             formats: vec![StorageFormat::Orc],
             faults: small_fault_catalogue(seed),
             detect: None,
+            tap: None,
         }
     }
 
@@ -509,30 +518,44 @@ fn finish(
     }
 }
 
+/// The detection half of a [`FaultMatrixConfig`], borrowed per cell:
+/// thresholds plus the optional streaming tap.
+#[derive(Clone, Copy)]
+struct CellDetect<'a> {
+    config: &'a DetectorConfig,
+    tap: Option<&'a DetectionTap>,
+}
+
 /// Runs one hermetic cell body, optionally under the online detector.
 ///
 /// With detection on, the cell self-calibrates: the body first runs
 /// against a fresh, unarmed context to learn the scenario's baseline
 /// crossing profile, then runs again against an armed context with a
-/// fresh [`OnlineDetector`] (frozen on that baseline) attached as the
-/// streaming sink. Both runs build their own substrate state inside
-/// `body`, so calibration can never leak into detection — the property
-/// that keeps sharded matrices byte-identical to serial ones.
+/// fresh [`csi_core::detect::OnlineDetector`] (frozen on that baseline)
+/// attached as the streaming sink. Both runs build their own substrate
+/// state inside `body`, so calibration can never leak into detection —
+/// the property that keeps sharded matrices byte-identical to serial
+/// ones.
 fn run_cell_body<F>(
     fault: &FaultSpec,
     scenario: String,
-    detect: Option<&DetectorConfig>,
+    detect: Option<CellDetect<'_>>,
     body: F,
 ) -> FaultCase
 where
     F: Fn(&CrossingContext) -> (Option<InteractionError>, String),
 {
-    let detector = detect.map(|config| {
+    let detector = detect.map(|d| {
         let calibration = CrossingContext::new();
         let _ = body(&calibration);
         let mut baselines = BaselineSet::default();
         baselines.learn(&scenario, &calibration.trace());
-        OnlineDetector::new(*config, Arc::new(baselines))
+        DetectorSpec {
+            config: *d.config,
+            baselines: Arc::new(baselines),
+            tap: d.tap.cloned(),
+        }
+        .build()
     });
     let ctx = CrossingContext::new();
     ctx.arm(fault.clone());
@@ -561,7 +584,7 @@ fn run_probe_cell(
     experiment: Experiment,
     plan: TestPlan,
     format: StorageFormat,
-    detect: Option<&DetectorConfig>,
+    detect: Option<CellDetect<'_>>,
 ) -> FaultCase {
     let scenario = format!("{}:{}:{}", experiment.short(), plan, format.name());
     run_cell_body(fault, scenario, detect, |ctx| {
@@ -599,7 +622,7 @@ fn seeded_broker(ctx: &CrossingContext) -> MiniKafka {
     broker
 }
 
-fn run_kafka_direct_cell(fault: &FaultSpec, detect: Option<&DetectorConfig>) -> FaultCase {
+fn run_kafka_direct_cell(fault: &FaultSpec, detect: Option<CellDetect<'_>>) -> FaultCase {
     run_cell_body(fault, "kafka:direct".to_string(), detect, |ctx| {
         let mut broker = seeded_broker(ctx);
         let result = (|| {
@@ -616,7 +639,7 @@ fn run_kafka_direct_cell(fault: &FaultSpec, detect: Option<&DetectorConfig>) -> 
     })
 }
 
-fn run_kafka_connector_cell(fault: &FaultSpec, detect: Option<&DetectorConfig>) -> FaultCase {
+fn run_kafka_connector_cell(fault: &FaultSpec, detect: Option<CellDetect<'_>>) -> FaultCase {
     run_cell_body(fault, "kafka:spark-connector".to_string(), detect, |ctx| {
         let broker = seeded_broker(ctx);
         let result = plan_range(&broker, KAFKA_TOPIC, P0, 0, ctx).and_then(|range| {
@@ -638,7 +661,7 @@ fn run_kafka_connector_cell(fault: &FaultSpec, detect: Option<&DetectorConfig>) 
     })
 }
 
-fn run_yarn_driver_cell(fault: &FaultSpec, detect: Option<&DetectorConfig>) -> FaultCase {
+fn run_yarn_driver_cell(fault: &FaultSpec, detect: Option<CellDetect<'_>>) -> FaultCase {
     run_cell_body(fault, "yarn:flink-driver".to_string(), detect, |ctx| {
         // A small job in the no-storm regime on its own parameters: any
         // storm observed below is the injected fault's doing.
@@ -664,7 +687,7 @@ fn run_yarn_driver_cell(fault: &FaultSpec, detect: Option<&DetectorConfig>) -> F
     })
 }
 
-fn run_yarn_metrics_cell(fault: &FaultSpec, detect: Option<&DetectorConfig>) -> FaultCase {
+fn run_yarn_metrics_cell(fault: &FaultSpec, detect: Option<CellDetect<'_>>) -> FaultCase {
     run_cell_body(fault, "yarn:spark-connector".to_string(), detect, |ctx| {
         let mut rm = ResourceManager::with_nodes(4, Resource::new(8192, 8));
         rm.set_crossing(ctx.clone());
@@ -685,7 +708,7 @@ fn run_yarn_metrics_cell(fault: &FaultSpec, detect: Option<&DetectorConfig>) -> 
 fn run_hbase_cell(
     fault: &FaultSpec,
     policy: RetryPolicy,
-    detect: Option<&DetectorConfig>,
+    detect: Option<CellDetect<'_>>,
 ) -> FaultCase {
     let policy_name = match policy {
         RetryPolicy::TrustCache => "trust-cache",
@@ -710,7 +733,10 @@ fn run_hbase_cell(
 }
 
 fn run_cell(config: &FaultMatrixConfig, cell: &Cell) -> FaultCase {
-    let detect = config.detect.as_ref();
+    let detect = config.detect.as_ref().map(|c| CellDetect {
+        config: c,
+        tap: config.tap.as_ref(),
+    });
     match cell {
         Cell::Probe {
             fault,
@@ -767,34 +793,22 @@ fn build_report(config: &FaultMatrixConfig, cases: Vec<FaultCase>) -> FaultMatri
     }
 }
 
-/// Runs the fault matrix serially, in canonical cell order.
-#[deprecated(note = "use csi_test::Campaign::fault_matrix")]
-pub fn run_fault_matrix(config: &FaultMatrixConfig) -> FaultMatrixReport {
-    run_fault_matrix_impl(config)
-}
-
-/// The real serial matrix runner behind both the deprecated
-/// [`run_fault_matrix`] wrapper and the [`crate::Campaign`] builder.
+/// The serial matrix runner behind [`crate::Campaign::fault_matrix`] —
+/// cells run in canonical order.
 pub(crate) fn run_fault_matrix_impl(config: &FaultMatrixConfig) -> FaultMatrixReport {
     let cells = enumerate_cells(config);
     let cases = cells.iter().map(|c| run_cell(config, c)).collect();
     build_report(config, cases)
 }
 
-/// Runs the fault matrix on `workers` threads.
+/// The sharded matrix runner behind [`crate::Campaign::fault_matrix`]
+/// with [`crate::Campaign::shards`]: the matrix on `workers` threads.
 ///
 /// Cells are claimed from a bump counter and their results stored by cell
-/// index, then merged in canonical order — the same slot scheme as
-/// [`crate::shard::run_cross_test_parallel`]. Because every cell is
-/// hermetic, the report is byte-identical to [`run_fault_matrix`] at any
-/// worker count.
-#[deprecated(note = "use csi_test::Campaign::fault_matrix with Campaign::shards")]
-pub fn run_fault_matrix_sharded(config: &FaultMatrixConfig, workers: usize) -> FaultMatrixReport {
-    run_fault_matrix_sharded_impl(config, workers)
-}
-
-/// The real sharded matrix runner behind both the deprecated
-/// [`run_fault_matrix_sharded`] wrapper and the [`crate::Campaign`] builder.
+/// index, then merged in canonical order — the same slot scheme as the
+/// sharded cross-test executor. Because every cell is hermetic, the
+/// report is byte-identical to [`run_fault_matrix_impl`] at any worker
+/// count.
 pub(crate) fn run_fault_matrix_sharded_impl(
     config: &FaultMatrixConfig,
     workers: usize,
@@ -954,16 +968,11 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_matrix_wrappers_delegate_to_the_impls() {
-        // The deprecated entrypoints are the unit under test here, so the
-        // allow is scoped to this test alone.
-        #![allow(deprecated)]
+    fn sharded_matrix_is_byte_identical_to_serial() {
         let config = FaultMatrixConfig::smoke(11);
         let json = |r: &FaultMatrixReport| serde_json::to_string(r).unwrap();
-        let serial = json(&run_fault_matrix(&config));
-        assert_eq!(serial, json(&run_fault_matrix_impl(&config)));
-        let sharded = json(&run_fault_matrix_sharded(&config, 3));
-        assert_eq!(sharded, json(&run_fault_matrix_sharded_impl(&config, 3)));
+        let serial = json(&run_fault_matrix_impl(&config));
+        let sharded = json(&run_fault_matrix_sharded_impl(&config, 3));
         assert_eq!(serial, sharded);
     }
 

@@ -21,8 +21,10 @@ pub mod generator;
 pub mod inject;
 pub mod multi;
 pub mod plan;
+pub mod pool;
 pub mod shard;
 pub mod shrink;
+pub mod spec;
 pub mod tolerate;
 
 pub use bulk::{run_bulk, BulkConfig, BulkReport};
@@ -35,6 +37,8 @@ pub use inject::{
 };
 pub use multi::{CompoundConfig, CompoundResult, InterleaveSchedule};
 pub use plan::{Experiment, Interface, TestPlan};
+pub use pool::{DeploymentPool, PoolStats};
 pub use shard::{CampaignMetrics, ParallelConfig, ParallelOutcome, WorkerStats};
 pub use shrink::{reproducer_triggers, Reproducer, ShrunkReproducer};
+pub use spec::{CampaignSpec, InputSelection, SpecError, MAX_KFAULTS, MAX_SHARDS};
 pub use tolerate::{redundant_read, redundant_read_traced, ReadPath, RedundantRead};

@@ -1,9 +1,10 @@
 //! Test plans: the interface matrix of Figure 6.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A data-plane interface of the deployment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Interface {
     /// Spark's SQL interface.
     SparkSql,
@@ -25,7 +26,7 @@ impl fmt::Display for Interface {
 }
 
 /// One write-interface/read-interface pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TestPlan {
     /// The interface that creates the table and writes the value.
     pub write: Interface,
@@ -41,7 +42,7 @@ impl fmt::Display for TestPlan {
 
 /// The three experiments of the artifact (`spark_e2e`,
 /// `spark_hive_oneway`, `hive_spark_oneway`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Experiment {
     /// Spark to Spark: SparkSQL/DataFrame × SparkSQL/DataFrame.
     SparkToSpark,

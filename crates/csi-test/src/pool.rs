@@ -1,0 +1,261 @@
+//! A warm pool of [`Deployment`]s shared across campaigns.
+//!
+//! Building a deployment (metastore + namenode + two engine frontends)
+//! is the fixed cost of every campaign. A long-running host — the
+//! `csi-serve` daemon above all — runs thousands of campaigns against
+//! identical deployment *shapes*, so the pool keeps finished stacks warm
+//! on per-shape shelves and hands them back out instead of rebuilding.
+//!
+//! The invariant that makes pooling safe is the same one `vacuum`
+//! enforces for recycled tables, taken to its limit: **a released
+//! deployment is reset until it is construction-identical to a fresh
+//! one**. [`Metastore::reset`](minihive::metastore::Metastore::reset) and
+//! [`MiniHdfs::reset`](minihdfs::MiniHdfs::reset) rebuild both stores
+//! from scratch (erasing residue like `next_part` / `next_block_id`
+//! cursors that `vacuum` deliberately preserves), the crossing context is
+//! disarmed and its counters, clock and trace cleared, and the diag sink
+//! drained. Pooled campaigns are therefore byte-identical to unpooled
+//! ones — pinned by `exec::tests::pooled_run_is_byte_identical_to_fresh`.
+//!
+//! Shelves are keyed by the parts of a [`CrossTestConfig`] that are baked
+//! in at construction time (Spark overrides, boundary tracing); per-run
+//! attachments — fault plans, detectors — are armed on acquire and torn
+//! down on release, so one shelf serves faulty and fault-free campaigns
+//! alike.
+
+use crate::exec::{CrossTestConfig, Deployment};
+use csi_core::detect::DetectorSpec;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing how well a pool is amortizing deployment
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Deployments built from scratch (shelf misses).
+    pub created: u64,
+    /// Deployments handed back out from a shelf (hits).
+    pub reused: u64,
+    /// Deployments currently sitting on shelves.
+    pub shelved: usize,
+}
+
+/// A thread-safe pool of reset-to-fresh [`Deployment`]s, keyed by
+/// deployment shape.
+pub struct DeploymentPool {
+    shelves: Mutex<BTreeMap<String, Vec<Deployment>>>,
+    created: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl fmt::Debug for DeploymentPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("DeploymentPool")
+            .field("created", &stats.created)
+            .field("reused", &stats.reused)
+            .field("shelved", &stats.shelved)
+            .finish()
+    }
+}
+
+impl Default for DeploymentPool {
+    fn default() -> DeploymentPool {
+        DeploymentPool::new()
+    }
+}
+
+/// The shelf key: exactly the configuration a deployment bakes in at
+/// construction time. Everything else (faults, detectors) is armed per
+/// acquire.
+fn shelf_key(config: &CrossTestConfig) -> String {
+    let mut key = String::from(if config.trace_boundaries {
+        "trace"
+    } else {
+        "notrace"
+    });
+    for (k, v) in &config.spark_overrides {
+        key.push('|');
+        key.push_str(k);
+        key.push('=');
+        key.push_str(v);
+    }
+    key
+}
+
+/// `config` with every per-run attachment stripped: what a pooled
+/// deployment is *built* from, so a shelf miss constructs exactly the
+/// stack a fresh unpooled run would.
+fn construction_config(config: &CrossTestConfig) -> CrossTestConfig {
+    CrossTestConfig {
+        fault_plan: None,
+        detector: None,
+        pool: None,
+        ..config.clone()
+    }
+}
+
+impl DeploymentPool {
+    /// An empty pool.
+    pub fn new() -> DeploymentPool {
+        DeploymentPool {
+            shelves: Mutex::new(BTreeMap::new()),
+            created: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+        }
+    }
+
+    /// Pre-builds `n` deployments of `config`'s shape so the first `n`
+    /// acquires are shelf hits. The daemon calls this at startup to hide
+    /// construction cost from the first wave of tenants.
+    pub fn warm(&self, config: &CrossTestConfig, n: usize) {
+        let key = shelf_key(config);
+        let clean = construction_config(config);
+        let fresh: Vec<Deployment> = (0..n)
+            .map(|_| {
+                self.created.fetch_add(1, Ordering::Relaxed);
+                Deployment::new(&clean)
+            })
+            .collect();
+        self.shelves.lock().entry(key).or_default().extend(fresh);
+    }
+
+    /// Hit/miss/occupancy counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            created: self.created.load(Ordering::Relaxed),
+            reused: self.reused.load(Ordering::Relaxed),
+            shelved: self.shelves.lock().values().map(Vec::len).sum(),
+        }
+    }
+
+    /// Takes a deployment of `config`'s shape off its shelf (or builds
+    /// one), then arms `config`'s per-run attachments on it: the fault
+    /// plan, and a freshly built detector wired in as the crossing sink.
+    pub(crate) fn acquire(&self, config: &CrossTestConfig) -> Deployment {
+        let shelved = self
+            .shelves
+            .lock()
+            .get_mut(&shelf_key(config))
+            .and_then(Vec::pop);
+        let mut deployment = match shelved {
+            Some(d) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                d
+            }
+            None => {
+                self.created.fetch_add(1, Ordering::Relaxed);
+                Deployment::new(&construction_config(config))
+            }
+        };
+        if let Some(plan) = &config.fault_plan {
+            deployment.crossing.arm_plan(plan);
+        }
+        deployment.detector = config.detector.as_ref().map(DetectorSpec::build);
+        if let Some(d) = &deployment.detector {
+            deployment.crossing.set_sink(d.sink());
+        }
+        deployment
+    }
+
+    /// Resets `deployment` to construction-identical-to-fresh and shelves
+    /// it for the next acquire of the same shape.
+    pub(crate) fn release(&self, config: &CrossTestConfig, mut deployment: Deployment) {
+        deployment.crossing.clear_sink();
+        deployment.detector = None;
+        deployment.crossing.disarm_all();
+        deployment.crossing.reset();
+        deployment.metastore.lock().reset();
+        deployment.fs.lock().reset();
+        deployment.sink.drain();
+        self.shelves
+            .lock()
+            .entry(shelf_key(config))
+            .or_default()
+            .push(deployment);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shelves_are_keyed_by_deployment_shape() {
+        let pool = DeploymentPool::new();
+        let plain = CrossTestConfig::default();
+        let tuned = CrossTestConfig {
+            spark_overrides: CrossTestConfig::custom_resolving_overrides(),
+            ..CrossTestConfig::default()
+        };
+        assert_ne!(shelf_key(&plain), shelf_key(&tuned));
+
+        let d = pool.acquire(&plain);
+        pool.release(&plain, d);
+        // A different shape misses the shelf...
+        let d = pool.acquire(&tuned);
+        pool.release(&tuned, d);
+        // ...while the same shape hits it.
+        let d = pool.acquire(&plain);
+        pool.release(&plain, d);
+        let stats = pool.stats();
+        assert_eq!((stats.created, stats.reused), (2, 1));
+        assert_eq!(stats.shelved, 2);
+    }
+
+    #[test]
+    fn warm_prebuilds_shelf_hits() {
+        let pool = DeploymentPool::new();
+        let config = CrossTestConfig::default();
+        pool.warm(&config, 2);
+        assert_eq!(pool.stats().shelved, 2);
+        let a = pool.acquire(&config);
+        let b = pool.acquire(&config);
+        assert_eq!(pool.stats().reused, 2);
+        pool.release(&config, a);
+        pool.release(&config, b);
+        assert_eq!(pool.stats().shelved, 2);
+    }
+
+    #[test]
+    fn per_run_attachments_are_armed_on_acquire_and_stripped_on_release() {
+        use csi_core::boundary::BoundaryCall;
+        use csi_core::fault::{Channel, FaultKind, FaultPlan, FaultSpec, Trigger};
+
+        fn probe_call() -> BoundaryCall {
+            BoundaryCall::new(Channel::Metastore, "get_table")
+        }
+
+        let pool = DeploymentPool::new();
+        let plan = FaultPlan {
+            seed: 7,
+            faults: vec![FaultSpec {
+                id: "probe".into(),
+                channel: Channel::Metastore,
+                op: "get_table".into(),
+                kind: FaultKind::Unavailable,
+                trigger: Trigger::Always,
+            }],
+        };
+        let config = CrossTestConfig {
+            fault_plan: Some(plan),
+            ..CrossTestConfig::default()
+        };
+        let d = pool.acquire(&config);
+        assert!(
+            d.crossing.intercept(probe_call()).is_some(),
+            "armed fault did not fire"
+        );
+        pool.release(&config, d);
+
+        let fault_free = CrossTestConfig::default();
+        let d = pool.acquire(&fault_free);
+        assert!(
+            d.crossing.intercept(probe_call()).is_none(),
+            "armed faults leaked the shelf"
+        );
+        pool.release(&fault_free, d);
+    }
+}

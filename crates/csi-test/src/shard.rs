@@ -16,7 +16,7 @@
 //!   plan, format, input-id) order and only then runs the write–read,
 //!   error-handling, and differential oracles, so failures are produced in
 //!   exactly the serial order and the resulting [`DiscrepancyReport`] is
-//!   byte-identical to [`crate::exec::run_cross_test`]'s.
+//!   byte-identical to the serial executor's.
 //! - **Campaign metrics** — observations/sec, per-phase wall time, and
 //!   per-worker utilization are surfaced in [`CampaignMetrics`] for the
 //!   `campaign` bench binary.
@@ -24,7 +24,10 @@
 //! [`DiscrepancyReport`]: csi_core::report::DiscrepancyReport
 
 use crate::classify;
-use crate::exec::{check_observation, run_one, CrossTestConfig, CrossTestOutcome, Deployment};
+use crate::exec::{
+    acquire_deployment, check_observation, release_deployment, run_one, CrossTestConfig,
+    CrossTestOutcome, Deployment,
+};
 use crate::generator::TestInput;
 use crate::plan::{Experiment, TestPlan};
 use csi_core::oracle::{check_differential, Observation, OracleFailure};
@@ -90,7 +93,7 @@ pub struct CampaignMetrics {
     pub per_worker: Vec<WorkerStats>,
 }
 
-/// The result of [`run_cross_test_parallel`]: the same outcome the serial
+/// The result of a sharded campaign: the same outcome the serial
 /// executor produces, plus campaign metrics.
 #[derive(Debug, Clone)]
 pub struct ParallelOutcome {
@@ -139,49 +142,16 @@ fn build_shards(inputs_len: usize, config: &CrossTestConfig, chunk_size: usize) 
 }
 
 /// Runs the full cross-test on a worker pool and merges the shard results
-/// back into canonical order.
+/// back into canonical order — the sharded executor behind
+/// [`crate::Campaign::shards`].
 ///
 /// The returned [`CrossTestOutcome`] — observations, failure ordering, and
 /// the classified [`DiscrepancyReport`] — is identical to what
-/// [`crate::exec::run_cross_test`] produces for the same `inputs` and
+/// [`crate::exec::run_cross_test_impl`] produces for the same `inputs` and
 /// `config`; only the wall time differs. See the module docs for how the
 /// merge guarantees this.
 ///
 /// [`DiscrepancyReport`]: csi_core::report::DiscrepancyReport
-///
-/// # Examples
-///
-/// ```
-/// use csi_test::Campaign;
-/// use csi_test::generator::{TestInput, Validity};
-/// use csi_core::value::{DataType, Value};
-///
-/// let inputs = vec![TestInput {
-///     id: 0,
-///     column_type: DataType::Byte,
-///     value: Value::Byte(5),
-///     validity: Validity::Valid,
-///     label: "a tinyint".into(),
-///     expected_back: None,
-/// }];
-/// let out = Campaign::new(&inputs).shards(2).chunk_size(1).run();
-/// assert!(out.report.distinct() >= 2);
-/// assert_eq!(
-///     out.metrics.expect("sharded campaigns carry metrics").observations,
-///     out.observations.len()
-/// );
-/// ```
-#[deprecated(note = "use csi_test::Campaign with Campaign::shards")]
-pub fn run_cross_test_parallel(
-    inputs: &[TestInput],
-    config: &CrossTestConfig,
-    parallel: &ParallelConfig,
-) -> ParallelOutcome {
-    run_cross_test_parallel_impl(inputs, config, parallel)
-}
-
-/// The real sharded executor behind both the deprecated
-/// [`run_cross_test_parallel`] wrapper and the [`crate::Campaign`] builder.
 pub(crate) fn run_cross_test_parallel_impl(
     inputs: &[TestInput],
     config: &CrossTestConfig,
@@ -219,11 +189,13 @@ pub(crate) fn run_cross_test_parallel_impl(
                     let mut busy_micros = 0u64;
                     let mut my_shards = 0usize;
                     let mut my_observations = 0usize;
-                    // Deployment pool: one lazily-created stack per
+                    // Deployment set: one lazily-acquired stack per
                     // experiment, so observations come from a deployment
                     // that only ever served that experiment (as in the
-                    // serial executor).
-                    let mut pool: Vec<Option<Deployment>> =
+                    // serial executor). With a warm pool on `config`,
+                    // acquisition hits the pool's shelves instead of
+                    // building; every stack goes back on release below.
+                    let mut deployments: Vec<Option<Deployment>> =
                         config.experiments.iter().map(|_| None).collect();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -232,8 +204,8 @@ pub(crate) fn run_cross_test_parallel_impl(
                         }
                         let shard = &shards[i];
                         let shard_started = Instant::now();
-                        let deployment = pool[shard.experiment_idx]
-                            .get_or_insert_with(|| Deployment::new(config));
+                        let deployment = deployments[shard.experiment_idx]
+                            .get_or_insert_with(|| acquire_deployment(config));
                         let mut batch = Vec::with_capacity(shard.hi - shard.lo);
                         for input in &inputs[shard.lo..shard.hi] {
                             batch.push(run_one(
@@ -249,6 +221,11 @@ pub(crate) fn run_cross_test_parallel_impl(
                         my_observations += batch.len();
                         *slots[i].lock() = Some(batch);
                         busy_micros += shard_started.elapsed().as_micros() as u64;
+                    }
+                    // Hand every acquired stack back to the warm pool (a
+                    // no-op without one).
+                    for deployment in deployments.into_iter().flatten() {
+                        release_deployment(config, deployment);
                     }
                     let lifetime_micros = worker_started.elapsed().as_micros().max(1) as u64;
                     stats.lock().push(WorkerStats {
@@ -320,9 +297,8 @@ pub(crate) fn run_cross_test_parallel_impl(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the legacy entrypoints remain the unit under test here
     use super::*;
-    use crate::exec::run_cross_test;
+    use crate::exec::run_cross_test_impl;
     use crate::generator::Validity;
     use csi_core::value::{DataType, Value};
 
@@ -367,9 +343,9 @@ mod tests {
     fn parallel_matches_serial_on_small_catalogue() {
         let inputs = small_inputs();
         let config = CrossTestConfig::default();
-        let serial = run_cross_test(&inputs, &config);
+        let serial = run_cross_test_impl(&inputs, &config);
         for workers in [1, 3] {
-            let out = run_cross_test_parallel(
+            let out = run_cross_test_parallel_impl(
                 &inputs,
                 &config,
                 &ParallelConfig {
@@ -389,8 +365,8 @@ mod tests {
     #[test]
     fn recycling_does_not_change_the_report() {
         let inputs = small_inputs();
-        let plain = run_cross_test(&inputs, &CrossTestConfig::default());
-        let recycled = run_cross_test_parallel(
+        let plain = run_cross_test_impl(&inputs, &CrossTestConfig::default());
+        let recycled = run_cross_test_parallel_impl(
             &inputs,
             &CrossTestConfig {
                 recycle_tables: true,
@@ -408,7 +384,7 @@ mod tests {
     #[test]
     fn metrics_are_serializable_to_json() {
         let inputs = small_inputs();
-        let out = run_cross_test_parallel(
+        let out = run_cross_test_parallel_impl(
             &inputs,
             &CrossTestConfig::default(),
             &ParallelConfig {

@@ -1,0 +1,307 @@
+//! The serializable campaign surface: [`CampaignSpec`].
+//!
+//! A spec is the *entire* description of a campaign — inputs, modes,
+//! seeds, thresholds — as plain serde-serializable data. One spec type is
+//! shared by every way a campaign can be launched:
+//!
+//! - in-process, through the [`Campaign`](crate::Campaign) builder (whose
+//!   methods are thin mutations of an inner spec);
+//! - over the wire, as the request body of the `csi-serve` daemon;
+//! - from bench binaries, which serialize the exact spec they measured.
+//!
+//! [`Campaign::from_spec`](crate::Campaign::from_spec) /
+//! [`Campaign::spec`](crate::Campaign::spec) round-trip losslessly, and
+//! [`CampaignSpec::validate`] replaces the builder-era panics with typed
+//! [`SpecError`]s — a wire request with a bad shard count or `k > 3` is
+//! rejected with a reason, not a worker crash.
+
+use crate::generator::{self, TestInput};
+use crate::plan::Experiment;
+use csi_core::detect::DetectorConfig;
+use csi_core::fault::FaultPlan;
+use minihive::metastore::StorageFormat;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Upper bound on [`CampaignSpec::shards`]: beyond this a "campaign" is a
+/// fork bomb, not a worker pool.
+pub const MAX_SHARDS: usize = 256;
+
+/// Upper bound on [`CampaignSpec::kfaults`], matching the `k ≤ 3`
+/// enumeration limit of [`csi_core::fault::fault_combinations`].
+pub const MAX_KFAULTS: usize = 3;
+
+/// Which test inputs a campaign runs over.
+///
+/// The standard 422-input catalogue is referenced *by name* rather than
+/// shipped inline, so a wire-serialized spec for a full campaign is a few
+/// hundred bytes, and both ends provably run the identical catalogue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InputSelection {
+    /// The full generated catalogue ([`generator::generate_inputs`]).
+    Catalogue,
+    /// The first `n` inputs of the generated catalogue (clamped to its
+    /// length) — the cheap slice used by smokes and property tests.
+    CataloguePrefix(usize),
+    /// Explicit inputs carried by the spec itself.
+    Inline(Vec<TestInput>),
+}
+
+impl InputSelection {
+    /// Materializes the selection into concrete inputs.
+    pub fn resolve(&self) -> Vec<TestInput> {
+        match self {
+            InputSelection::Catalogue => generator::generate_inputs(),
+            InputSelection::CataloguePrefix(n) => {
+                let mut inputs = generator::generate_inputs();
+                inputs.truncate(*n);
+                inputs
+            }
+            InputSelection::Inline(inputs) => inputs.clone(),
+        }
+    }
+}
+
+/// A typed reason a [`CampaignSpec`] cannot run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpecError {
+    /// `shards` exceeds [`MAX_SHARDS`].
+    BadShards {
+        /// The requested worker count.
+        shards: usize,
+        /// The maximum accepted.
+        max: usize,
+    },
+    /// `chunk_size` is zero — no shard could hold an input.
+    BadChunkSize,
+    /// `kfaults` exceeds [`MAX_KFAULTS`].
+    BadKFaults {
+        /// The requested combination arity.
+        kfaults: usize,
+        /// The maximum accepted.
+        max: usize,
+    },
+    /// An explore budget of zero observations was requested explicitly.
+    /// (The builder's `.explore(0)` maps to "no explore pass" instead,
+    /// preserving its documented degrade-to-the-standard-grid behavior.)
+    ZeroExploreBudget,
+    /// `jobs` is zero — a compound pass needs at least one job.
+    NoJobs,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::BadShards { shards, max } => {
+                write!(f, "shard count {shards} exceeds the maximum of {max}")
+            }
+            SpecError::BadChunkSize => write!(f, "chunk size must be at least 1"),
+            SpecError::BadKFaults { kfaults, max } => {
+                write!(
+                    f,
+                    "fault-combination arity {kfaults} exceeds the maximum of {max}"
+                )
+            }
+            SpecError::ZeroExploreBudget => {
+                write!(f, "explore budget must be at least 1 observation")
+            }
+            SpecError::NoJobs => write!(f, "compound campaigns need at least one job"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The complete, serializable description of one campaign.
+///
+/// Field semantics are exactly those of the corresponding
+/// [`Campaign`](crate::Campaign) builder methods; the builder is now a
+/// thin mutation layer over this struct. Runtime-only attachments (the
+/// detection tap, a shared deployment pool) deliberately live on the
+/// builder, not here: a spec describes *what* to run, never *where its
+/// output goes*, so serializing and re-running a spec is always
+/// byte-deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Inputs to run.
+    pub inputs: InputSelection,
+    /// Experiments to run.
+    pub experiments: Vec<Experiment>,
+    /// Storage formats to exercise.
+    pub formats: Vec<StorageFormat>,
+    /// Spark configuration overrides applied to every deployment.
+    pub spark_overrides: Vec<(String, String)>,
+    /// Drop each table right after its observation is recorded.
+    pub recycle_tables: bool,
+    /// Worker count; `0` or `1` runs serially.
+    pub shards: usize,
+    /// Maximum inputs per shard (sharded cross-test campaigns only).
+    pub chunk_size: usize,
+    /// Fault plan to arm (cross-test mode) or cell catalogue (matrix
+    /// mode).
+    pub faults: Option<FaultPlan>,
+    /// `Some(seed)` switches the campaign to fault-matrix mode.
+    pub matrix_seed: Option<u64>,
+    /// Record an interaction trace per observation.
+    pub trace: bool,
+    /// Run the online CSI failure detector.
+    pub detect: bool,
+    /// Detector thresholds.
+    pub detector_config: DetectorConfig,
+    /// Exploration/mutation seed.
+    pub seed: u64,
+    /// `Some(budget)` switches the campaign to coverage-guided explore
+    /// mode. `Some(0)` is rejected by [`validate`](CampaignSpec::validate).
+    pub explore_budget: Option<usize>,
+    /// Arity of the compound fault-set pass; `0` disables it.
+    pub kfaults: usize,
+    /// Jobs sharing each compound trial's deployment.
+    pub jobs: usize,
+}
+
+impl Default for CampaignSpec {
+    /// The default campaign over the full catalogue: every experiment and
+    /// format, serial, tracing on, no faults, no detection — identical to
+    /// `Campaign::new(&generate_inputs())`.
+    fn default() -> CampaignSpec {
+        CampaignSpec {
+            inputs: InputSelection::Catalogue,
+            experiments: Experiment::ALL.to_vec(),
+            formats: StorageFormat::ALL.to_vec(),
+            spark_overrides: Vec::new(),
+            recycle_tables: false,
+            shards: 1,
+            chunk_size: 64,
+            faults: None,
+            matrix_seed: None,
+            trace: true,
+            detect: false,
+            detector_config: DetectorConfig::default(),
+            seed: 42,
+            explore_budget: None,
+            kfaults: 0,
+            jobs: 2,
+        }
+    }
+}
+
+impl CampaignSpec {
+    /// Checks every typed-rejection rule, returning the first violation.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.shards > MAX_SHARDS {
+            return Err(SpecError::BadShards {
+                shards: self.shards,
+                max: MAX_SHARDS,
+            });
+        }
+        if self.chunk_size == 0 {
+            return Err(SpecError::BadChunkSize);
+        }
+        if self.kfaults > MAX_KFAULTS {
+            return Err(SpecError::BadKFaults {
+                kfaults: self.kfaults,
+                max: MAX_KFAULTS,
+            });
+        }
+        if self.explore_budget == Some(0) {
+            return Err(SpecError::ZeroExploreBudget);
+        }
+        if self.jobs == 0 {
+            return Err(SpecError::NoJobs);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_validates_and_round_trips_through_json() {
+        let spec = CampaignSpec::default();
+        spec.validate().expect("default spec is valid");
+        let json = serde_json::to_string(&spec).expect("spec serializes");
+        let back: CampaignSpec = serde_json::from_str(&json).expect("spec deserializes");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn inline_inputs_round_trip() {
+        let inputs = InputSelection::CataloguePrefix(3).resolve();
+        assert_eq!(inputs.len(), 3);
+        let spec = CampaignSpec {
+            inputs: InputSelection::Inline(inputs.clone()),
+            ..CampaignSpec::default()
+        };
+        let json = serde_json::to_string(&spec).expect("spec serializes");
+        let back: CampaignSpec = serde_json::from_str(&json).expect("spec deserializes");
+        assert_eq!(back, spec);
+        assert_eq!(back.inputs.resolve(), inputs);
+    }
+
+    #[test]
+    fn prefix_selection_is_clamped_to_the_catalogue() {
+        // The catalogue carries NaN float inputs, so compare identity by
+        // label rather than by (NaN-poisoned) `PartialEq` on values.
+        let all = InputSelection::Catalogue.resolve();
+        let clamped = InputSelection::CataloguePrefix(usize::MAX).resolve();
+        assert_eq!(clamped.len(), all.len());
+        let labels = |v: &[TestInput]| v.iter().map(|i| i.label.clone()).collect::<Vec<_>>();
+        assert_eq!(labels(&clamped), labels(&all));
+    }
+
+    #[test]
+    fn every_rejection_rule_fires_with_its_typed_error() {
+        let base = CampaignSpec::default();
+        let cases: Vec<(CampaignSpec, SpecError)> = vec![
+            (
+                CampaignSpec {
+                    shards: MAX_SHARDS + 1,
+                    ..base.clone()
+                },
+                SpecError::BadShards {
+                    shards: MAX_SHARDS + 1,
+                    max: MAX_SHARDS,
+                },
+            ),
+            (
+                CampaignSpec {
+                    chunk_size: 0,
+                    ..base.clone()
+                },
+                SpecError::BadChunkSize,
+            ),
+            (
+                CampaignSpec {
+                    kfaults: 4,
+                    ..base.clone()
+                },
+                SpecError::BadKFaults {
+                    kfaults: 4,
+                    max: MAX_KFAULTS,
+                },
+            ),
+            (
+                CampaignSpec {
+                    explore_budget: Some(0),
+                    ..base.clone()
+                },
+                SpecError::ZeroExploreBudget,
+            ),
+            (
+                CampaignSpec {
+                    jobs: 0,
+                    ..base.clone()
+                },
+                SpecError::NoJobs,
+            ),
+        ];
+        for (spec, expected) in cases {
+            assert_eq!(spec.validate().expect_err("invalid spec"), expected);
+            // Errors render a human-readable reason for Rejected frames.
+            assert!(!expected.to_string().is_empty());
+        }
+        base.validate().expect("base spec is valid");
+    }
+}

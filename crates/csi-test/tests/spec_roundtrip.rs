@@ -1,0 +1,93 @@
+//! The wire-format contract of [`CampaignSpec`]: a spec that travels
+//! through JSON and back runs byte-identically to the in-process builder
+//! campaign it was extracted from.
+//!
+//! This is the property the `csi-serve` daemon leans on — a tenant's
+//! serialized request must produce exactly the report the same campaign
+//! would produce in-process — pinned here at the csi-test layer so a
+//! violation is attributed to spec extraction, not to the server.
+
+use csi_test::{Campaign, CampaignOutcome, CampaignSpec, InputSelection, SpecError};
+use minihive::metastore::StorageFormat;
+use proptest::prelude::*;
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("serializable")
+}
+
+/// Full-outcome fingerprint: report plus every observation.
+fn fingerprint(outcome: &CampaignOutcome) -> String {
+    let mut s = json(&outcome.report);
+    for (experiment, obs) in &outcome.observations {
+        s.push_str(experiment.short());
+        s.push_str(&json(obs));
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// serialize → deserialize → validate → run ≡ the builder campaign,
+    /// across input prefixes, worker counts, seeds, and detection.
+    #[test]
+    fn revived_spec_runs_byte_identically(
+        prefix in 1usize..5,
+        shards in 1usize..4,
+        seed in any::<u64>(),
+        detect in any::<bool>(),
+    ) {
+        let spec = CampaignSpec {
+            inputs: InputSelection::CataloguePrefix(prefix),
+            formats: vec![StorageFormat::Orc, StorageFormat::Parquet],
+            shards,
+            chunk_size: 2,
+            seed,
+            detect,
+            ..CampaignSpec::default()
+        };
+        let wire = json(&spec);
+        let revived: CampaignSpec = serde_json::from_str(&wire).expect("wire spec parses");
+        prop_assert_eq!(&revived, &spec);
+        let from_wire = Campaign::from_spec(revived).expect("valid spec").run();
+        let in_process = Campaign::from_spec(spec).expect("valid spec").run();
+        prop_assert_eq!(fingerprint(&from_wire), fingerprint(&in_process));
+    }
+}
+
+#[test]
+fn builder_spec_extraction_round_trips_through_the_wire() {
+    let inputs = csi_test::generate_inputs();
+    let campaign = Campaign::new(&inputs[..3])
+        .shards(2)
+        .chunk_size(1)
+        .detect(true);
+    let spec = campaign.spec().clone();
+    let revived: CampaignSpec =
+        serde_json::from_str(&json(&spec)).expect("builder spec survives the wire");
+    assert_eq!(revived, spec);
+    let a = campaign.run();
+    let b = Campaign::from_spec(revived).expect("valid spec").run();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn wire_rejections_carry_typed_reasons() {
+    // A daemon receiving these specs must answer with a reason, not die.
+    let bad = CampaignSpec {
+        shards: csi_test::MAX_SHARDS + 1,
+        ..CampaignSpec::default()
+    };
+    let err = Campaign::from_spec(bad).expect_err("invalid spec");
+    assert_eq!(
+        err,
+        SpecError::BadShards {
+            shards: csi_test::MAX_SHARDS + 1,
+            max: csi_test::MAX_SHARDS,
+        }
+    );
+    // The error itself serializes, so it can ride a Rejected frame.
+    let wire = json(&err);
+    let back: SpecError = serde_json::from_str(&wire).expect("error round-trips");
+    assert_eq!(back, err);
+}

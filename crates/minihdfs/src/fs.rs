@@ -1013,6 +1013,24 @@ impl MiniHdfs {
         self.names.len()
     }
 
+    /// Restores the namenode to the state of a freshly constructed
+    /// cluster with the same datanode fleet size: empty namespace, clock
+    /// at zero, safe mode off (datanodes re-registered), block-id and
+    /// token counters rewound, quotas gone — while keeping the attached
+    /// crossing context.
+    ///
+    /// This is stronger than [`vacuum`](MiniHdfs::vacuum): where vacuum
+    /// canonicalizes the *live* namespace, `reset` erases all of it. A
+    /// deployment pool recycling a namenode across campaigns uses this so
+    /// a pooled instance is indistinguishable — byte for byte, including
+    /// block ids appearing in diagnostics — from one built by
+    /// [`MiniHdfs::with_datanodes`].
+    pub fn reset(&mut self) {
+        let crossing = self.crossing.take();
+        *self = MiniHdfs::with_datanodes(self.datanodes.len() as u32);
+        self.crossing = crossing;
+    }
+
     /// Rebuilds the name table and inode arena from the live namespace in
     /// canonical order (pre-order DFS, children name-sorted), dropping
     /// freed slots and names only deleted inodes referenced.

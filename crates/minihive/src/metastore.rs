@@ -12,6 +12,7 @@ use csi_core::boundary::{BoundaryCall, CrossingContext};
 use csi_core::fault::{Channel, InjectionRegistry};
 use minihdfs::{HdfsPath, MiniHdfs};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -23,7 +24,7 @@ pub type SharedFs = Arc<Mutex<MiniHdfs>>;
 /// The serializer is fixed **when the table is created** and cannot be
 /// changed afterwards — the property behind the "exposing internal
 /// configurations of the downstream" problem class of Section 8.2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum StorageFormat {
     /// ORC (the default).
     Orc,
@@ -157,6 +158,21 @@ impl Metastore {
     /// The warehouse root directory.
     pub fn warehouse_root(&self) -> &HdfsPath {
         &self.warehouse_root
+    }
+
+    /// Restores the metastore to its just-constructed state — only the
+    /// `default` database, no tables, and the part counter back at zero —
+    /// while keeping the attached crossing context.
+    ///
+    /// This is the metastore half of deployment recycling: `next_part`
+    /// numbers leak into warehouse file paths (and from there into
+    /// engine error messages), so a pooled deployment that skipped this
+    /// reset would produce observably different diagnostics than a fresh
+    /// one.
+    pub fn reset(&mut self) {
+        let crossing = self.crossing.take();
+        *self = Metastore::new();
+        self.crossing = crossing;
     }
 
     /// Creates a database. Idempotent.
