@@ -9,13 +9,22 @@
 #   ./ci.sh reports       # report bins + BENCH_*.json trajectory schema check
 #   ./ci.sh golden        # golden campaign report drift check
 #   ./ci.sh explore       # coverage-guided explore smoke (small budget)
+#   ./ci.sh corpus        # corpus synthesis/inference tests + corpus-seeded explore smoke, run twice
 #   ./ci.sh bench-smoke   # columnar serde + cluster-scale substrate smokes
 #   ./ci.sh serve         # csi-serve daemon tests + multi-tenant load smoke
 #   ./ci.sh all           # everything above, in order (the default)
 #
+# The usage string, `all`, and the dispatch below are all derived from the
+# single STAGES list, so a new stage cannot be invocable yet silently
+# missing from `all` (the drift `bench-smoke` once had).
+#
 # Everything runs offline against the vendored dependency stubs.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# The one stage list. A stage named `foo-bar` is implemented by a
+# function `stage_foo_bar`.
+STAGES=(lint build test determinism reports golden explore corpus bench-smoke serve)
 
 stage_lint() {
   echo "==> fmt (check only)"
@@ -64,6 +73,21 @@ stage_explore() {
   cargo run -q --release -p csi-bench --bin kfault_explore -- 42 96 4
 }
 
+stage_corpus() {
+  echo "==> corpus synthesis + schema-inference round-trip tests"
+  cargo test -q -p csi-test corpus
+  echo "==> corpus-seeded explore smoke, run twice with byte-compared summaries (flakiness guard)"
+  local first second
+  first="$(cargo run -q --release -p csi-bench --bin corpus_explore -- 42 160 4)"
+  second="$(cargo run -q --release -p csi-bench --bin corpus_explore -- 42 160 4)"
+  if [ "$first" != "$second" ]; then
+    echo "corpus explore smoke is not byte-deterministic across back-to-back runs:" >&2
+    diff <(printf '%s\n' "$first") <(printf '%s\n' "$second") >&2 || true
+    exit 1
+  fi
+  echo "    two runs byte-identical"
+}
+
 stage_bench_smoke() {
   echo "==> columnar serde smoke (byte-identity + committed speedup floors at 256 rows)"
   cargo run -q --release -p csi-bench --bin serde_batch -- --smoke
@@ -79,29 +103,31 @@ stage_serve() {
 }
 
 stage_all() {
-  stage_lint
-  stage_build
-  stage_test
-  stage_determinism
-  stage_reports
-  stage_golden
-  stage_explore
-  stage_bench_smoke
-  stage_serve
+  local s
+  for s in "${STAGES[@]}"; do
+    "stage_${s//-/_}"
+  done
+}
+
+usage() {
+  local IFS='|'
+  echo "usage: $0 [${STAGES[*]}|all]" >&2
 }
 
 stage="${1:-all}"
-case "$stage" in
-  bench-smoke)
-    stage_bench_smoke
-    ;;
-  lint | build | test | determinism | reports | golden | explore | serve | all)
-    "stage_${stage}"
-    ;;
-  *)
-    echo "usage: $0 [lint|build|test|determinism|reports|golden|explore|bench-smoke|serve|all]" >&2
+if [ "$stage" = "all" ]; then
+  stage_all
+else
+  known=0
+  for s in "${STAGES[@]}"; do
+    [ "$stage" = "$s" ] && known=1
+  done
+  if [ "$known" = 1 ]; then
+    "stage_${stage//-/_}"
+  else
+    usage
     exit 2
-    ;;
-esac
+  fi
+fi
 
 echo "CI OK (${stage})"

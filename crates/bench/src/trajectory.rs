@@ -10,7 +10,9 @@
 //! - `BENCH_scale.json` — the `cluster_scale` binary (interned/sharded
 //!   substrates at production shape);
 //! - `BENCH_serve.json` — the `load_serve` binary (the `csi-serve`
-//!   daemon under 1k+ concurrent tenants).
+//!   daemon under 1k+ concurrent tenants);
+//! - `BENCH_corpus.json` — the `corpus_explore` binary (corpus-seeded vs
+//!   catalogue-only exploration coverage).
 //!
 //! Every line is a JSON object tagged with a `bin` key. `ci.sh reports`
 //! runs [`check_all`] (via the `trajectory_check` binary) and refuses any
@@ -71,6 +73,21 @@ pub const SCHEMAS: &[(&str, &[&str])] = &[
             "p99_ms",
             "byte_identical",
             "rejected",
+        ],
+    ),
+    (
+        "BENCH_corpus.json",
+        &[
+            "bin",
+            "seed",
+            "budget",
+            "corpus_inputs",
+            "signatures_catalogue",
+            "signatures_corpus",
+            "corpus_only_signatures",
+            "novel_from_corpus",
+            "unattributed",
+            "reports_identical",
         ],
     ),
 ];

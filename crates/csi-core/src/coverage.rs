@@ -151,6 +151,14 @@ impl CoverageMap {
     pub fn distinct(&self) -> usize {
         self.first_seen.len()
     }
+
+    /// The hex fingerprints of every signature seen, in canonical
+    /// (lexicographic) order. Exploration reports expose this so two runs
+    /// can be compared by *which* signatures they reached, not just how
+    /// many — the corpus-vs-catalogue set difference is computed on it.
+    pub fn fingerprints(&self) -> Vec<String> {
+        self.first_seen.keys().cloned().collect()
+    }
 }
 
 #[cfg(test)]

@@ -225,7 +225,8 @@ pub struct CorpusRow {
     pub input_id: usize,
     /// The input's human-readable label.
     pub label: String,
-    /// `"grid"` for catalogue inputs, `"mutation"` for corpus mutants.
+    /// `"grid"` for catalogue inputs, `"corpus"` for synthesized corpus
+    /// seeds, `"mutation"` for corpus mutants.
     pub origin: String,
     /// Execution count at which the input entered the corpus.
     pub executed: usize,
@@ -239,6 +240,7 @@ pub struct DiscoveryRow {
     /// Observations executed when the class first had evidence.
     pub executed: usize,
     /// `"grid"` when the evidencing input came from the seed catalogue,
+    /// `"corpus"` when a synthesized corpus seed produced it,
     /// `"mutation"` when a corpus mutant produced it.
     pub origin: String,
 }
@@ -333,6 +335,12 @@ pub struct ExplorationStats {
     /// Signatures first produced by a mutated input — coverage the
     /// exhaustive seed grid cannot reach.
     pub novel_from_mutation: usize,
+    /// Signatures first produced by a synthesized corpus seed — coverage
+    /// the hand-built catalogue alone never reaches.
+    pub novel_from_corpus: usize,
+    /// Hex fingerprints of every signature seen, in canonical order, so
+    /// two runs can be diffed by *which* coverage they reached.
+    pub signatures_seen: Vec<String>,
     /// The corpus, in admission order.
     pub corpus: Vec<CorpusRow>,
     /// First discovery per discrepancy class, in catalogue order.
@@ -535,9 +543,11 @@ impl fmt::Display for Render<'_> {
                         )?;
                         writeln!(
                             f,
-                            "  coverage: {} signatures ({} novel from mutation), corpus {} entries",
+                            "  coverage: {} signatures ({} novel from mutation, {} novel from \
+                             corpus), corpus {} entries",
                             s.signatures,
                             s.novel_from_mutation,
+                            s.novel_from_corpus,
                             s.corpus.len()
                         )?;
                         for d in &s.discoveries {
@@ -757,6 +767,8 @@ mod tests {
             faulted: 30,
             signatures: 37,
             novel_from_mutation: 4,
+            novel_from_corpus: 2,
+            signatures_seen: vec!["00deadbeef001234".into()],
             corpus: vec![CorpusRow {
                 input_id: 3,
                 label: "a tinyint".into(),
@@ -787,7 +799,9 @@ mod tests {
             "{text}"
         );
         assert!(
-            text.contains("37 signatures (4 novel from mutation), corpus 1 entries"),
+            text.contains(
+                "37 signatures (4 novel from mutation, 2 novel from corpus), corpus 1 entries"
+            ),
             "{text}"
         );
         assert!(

@@ -86,6 +86,63 @@ fn concurrent_tenants_get_byte_identical_reports() {
 }
 
 #[test]
+fn corpus_specs_run_over_the_wire_byte_identically_to_batch() {
+    // A tenant references a corpus *shape* over the wire — both ends
+    // synthesize the identical inputs, so the daemon's report matches a
+    // local batch run byte-for-byte, corpus coverage included.
+    let mut server = CsiServer::start(&ServeConfig::default()).expect("server starts");
+    let spec = CampaignSpec {
+        inputs: InputSelection::Corpus {
+            shape: csi_test::CorpusShape {
+                columns: 6,
+                rows: 12,
+                ..csi_test::CorpusShape::default()
+            },
+            seed: 9,
+        },
+        explore_budget: Some(48),
+        formats: vec![StorageFormat::Orc],
+        ..CampaignSpec::default()
+    };
+    let outcomes =
+        run_specs(server.addr(), &[("corpus-tenant".into(), spec.clone())]).expect("outcomes");
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(outcomes[0].rejected, None);
+    let wire = outcomes[0].report_json.as_ref().expect("report arrived");
+    assert_eq!(*wire, batch_report_json(&spec));
+    // The render the tenant got names the corpus contribution.
+    assert!(
+        outcomes[0]
+            .render
+            .as_ref()
+            .is_some_and(|r| r.contains("novel from corpus")),
+        "wire render lost the corpus coverage line"
+    );
+
+    // A shape the synthesizer rejects is a typed wire rejection.
+    let bad = CampaignSpec {
+        inputs: InputSelection::Corpus {
+            shape: csi_test::CorpusShape {
+                rows: 0,
+                ..csi_test::CorpusShape::default()
+            },
+            seed: 1,
+        },
+        ..CampaignSpec::default()
+    };
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+    client.submit("corpus-bad", &bad).expect("submit");
+    match client.read_frame().expect("frame") {
+        Frame::Rejected {
+            reason: RejectReason::InvalidSpec(SpecError::BadCorpusShape { reason }),
+            ..
+        } => assert!(reason.contains("rows"), "{reason}"),
+        other => panic!("expected BadCorpusShape rejection, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
 fn detections_stream_before_the_final_report() {
     let mut server = CsiServer::start(&ServeConfig::default()).expect("server starts");
     // A matrix campaign over a small armed catalogue reliably detects.

@@ -39,6 +39,7 @@
 //! [`OnlineDetector`]: csi_core::detect::OnlineDetector
 
 use crate::classify;
+use crate::corpus::CorpusShape;
 use crate::exec::{self, CrossTestConfig, CrossTestOutcome};
 use crate::explore;
 use crate::generator::TestInput;
@@ -243,6 +244,22 @@ impl Campaign {
         self
     }
 
+    /// Replaces the campaign's inputs with the full catalogue *plus* a
+    /// synthesized real-shaped corpus region
+    /// ([`InputSelection::Corpus`]): `shape` and `seed` fully determine
+    /// the synthesized inputs, which explore mode schedules first and
+    /// attributes as the `corpus` origin in coverage and discovery rows.
+    /// Panics on a shape that cannot synthesize; wire requests go through
+    /// [`Campaign::from_spec`], which rejects the same shapes with a typed
+    /// [`SpecError::BadCorpusShape`].
+    pub fn corpus(mut self, shape: CorpusShape, seed: u64) -> Campaign {
+        shape
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid corpus shape: {e}"));
+        self.spec.inputs = InputSelection::Corpus { shape, seed };
+        self
+    }
+
     /// Adds a compound pass after the campaign's main mode: k-fault
     /// combinations (arity ≤ `k`, from [`csi_core::fault::fault_combinations`])
     /// crossed with seeded cross-job interleavings on a shared deployment,
@@ -348,6 +365,7 @@ impl Campaign {
             self.spec.seed,
             budget,
             self.spec.shards,
+            self.spec.inputs.corpus_floor(),
         );
         CampaignOutcome {
             report: result.report,

@@ -74,12 +74,30 @@ struct Explorer {
     seed_count: usize,
     /// Inputs with ids at or above this are mutants.
     first_mutant_id: usize,
+    /// Seed inputs with ids in `corpus_floor..first_mutant_id` are
+    /// synthesized corpus seeds (`InputSelection::Corpus` appends them
+    /// above the catalogue); with no corpus region this equals
+    /// `first_mutant_id` and nothing qualifies.
+    corpus_floor: usize,
+    /// Seed-grid visiting order: corpus-region indices first, so a small
+    /// budget reaches realistic inputs in round one. Identity when there
+    /// is no corpus region.
+    order: Vec<usize>,
     next_id: usize,
     shards: usize,
     /// Cells already scheduled: (input id, combo, fault id).
     scheduled: BTreeSet<(usize, usize, Option<String>)>,
     pending: VecDeque<Trial>,
+    /// Fine-grained coverage (including `decl:` declared-type tags): the
+    /// signature set reports expose and the corpus-vs-catalogue diff is
+    /// computed on.
     map: CoverageMap,
+    /// Coarse coverage (no `decl:` tags): the scheduling signal. Corpus
+    /// admission keys off this map so splitting DECIMAL(10,2) from
+    /// DECIMAL(38,10) in *reported* coverage does not flood the pending
+    /// queue with sweeps — a catalogue-only exploration schedules exactly
+    /// as it did before declared types were tracked.
+    sched_map: CoverageMap,
     corpus_ids: BTreeSet<usize>,
     corpus: Vec<CorpusRow>,
     // Grid cursor state: pass-major, input-minor, combo rotated per pass.
@@ -92,6 +110,7 @@ struct Explorer {
     mutated: usize,
     faulted: usize,
     novel_from_mutation: usize,
+    novel_from_corpus: usize,
     exp_obs: Vec<Vec<Observation>>,
     obs_failures: Vec<OracleFailure>,
     summaries: BTreeMap<usize, classify::InputSummary>,
@@ -119,6 +138,7 @@ impl Explorer {
         formats: &[StorageFormat],
         seed: u64,
         shards: usize,
+        corpus_floor: Option<usize>,
     ) -> Explorer {
         let mut combos = Vec::new();
         for &exp in experiments {
@@ -129,6 +149,11 @@ impl Explorer {
             }
         }
         let first_mutant_id = inputs.iter().map(|i| i.id + 1).max().unwrap_or(0);
+        let corpus_floor = corpus_floor.unwrap_or(first_mutant_id);
+        let mut order: Vec<usize> = (0..inputs.len())
+            .filter(|&i| inputs[i].id >= corpus_floor)
+            .collect();
+        order.extend((0..inputs.len()).filter(|&i| inputs[i].id < corpus_floor));
         let seed_rot = if combos.is_empty() {
             0
         } else {
@@ -148,11 +173,14 @@ impl Explorer {
             pool: inputs.to_vec(),
             seed_count: inputs.len(),
             first_mutant_id,
+            corpus_floor,
+            order,
             next_id: first_mutant_id,
             shards,
             scheduled: BTreeSet::new(),
             pending: VecDeque::new(),
             map: CoverageMap::new(),
+            sched_map: CoverageMap::new(),
             corpus_ids: BTreeSet::new(),
             corpus: Vec::new(),
             pass: 0,
@@ -163,6 +191,7 @@ impl Explorer {
             mutated: 0,
             faulted: 0,
             novel_from_mutation: 0,
+            novel_from_corpus: 0,
             exp_obs: vec![Vec::new(); experiments.len()],
             obs_failures: Vec::new(),
             summaries: BTreeMap::new(),
@@ -180,13 +209,37 @@ impl Explorer {
         )
     }
 
+    /// The fine-grained variant of a signature: the coarse signature plus
+    /// the input's declared SQL type, width and precision included —
+    /// reported coverage distinguishes DECIMAL(24,6) from DECIMAL(10,2)
+    /// traffic, which is what lets corpus-only declarations register as
+    /// novel signatures in the corpus-vs-catalogue diff.
+    fn fine(&self, sig: &CoverageSignature, input: &TestInput) -> CoverageSignature {
+        let mut fine = sig.clone();
+        fine.tag(format!("decl:{}", input.column_type.sql_name()));
+        fine
+    }
+
+    /// The `"grid"` / `"corpus"` / `"mutation"` origin of an input id.
+    fn origin(&self, id: usize) -> &'static str {
+        if id >= self.first_mutant_id {
+            "mutation"
+        } else if id >= self.corpus_floor {
+            "corpus"
+        } else {
+            "grid"
+        }
+    }
+
     /// The next unexecuted cell of the seed grid, rotating the combo per
-    /// pass so early passes spread inputs across plans and formats.
+    /// pass so early passes spread inputs across plans and formats. The
+    /// [`Explorer::order`] vector puts the corpus region ahead of the
+    /// catalogue within each pass.
     fn next_grid(&mut self) -> Option<Trial> {
         let c = self.combos.len();
         while self.pass < c {
             while self.cursor < self.seed_count {
-                let i = self.cursor;
+                let i = self.order[self.cursor];
                 self.cursor += 1;
                 let combo = (i + self.pass + self.seed_rot) % c;
                 let key = (self.pool[i].id, combo, None);
@@ -297,6 +350,7 @@ impl Explorer {
         self.executed += 1;
         let input = self.pool[trial.input_idx].clone();
         let is_mutant = input.id >= self.first_mutant_id;
+        let origin = self.origin(input.id);
         let mut sig = CoverageSignature::from_trace(&obs.trace);
         sig.tag(format!("ty:{}", type_tag(&input.column_type)));
         sig.tag(match input.validity {
@@ -319,8 +373,13 @@ impl Explorer {
             sig.tag(format!("fault:{}:{bucket}", fault.channel));
             // Fault observations feed coverage only; they stay out of the
             // classified report, whose oracles assume a fault-free stack.
-            if self.map.observe(&sig, self.executed) && is_mutant {
-                self.novel_from_mutation += 1;
+            self.sched_map.observe(&sig, self.executed);
+            if self.map.observe(&self.fine(&sig, &input), self.executed) {
+                match origin {
+                    "mutation" => self.novel_from_mutation += 1,
+                    "corpus" => self.novel_from_corpus += 1,
+                    _ => {}
+                }
             }
             return;
         }
@@ -350,21 +409,25 @@ impl Explorer {
                 sig.tag(format!("d:{id}"));
             }
         }
-        let novel = self.map.observe(&sig, self.executed);
-        if novel {
-            if is_mutant {
-                self.novel_from_mutation += 1;
+        if self.map.observe(&self.fine(&sig, &input), self.executed) {
+            match origin {
+                "mutation" => self.novel_from_mutation += 1,
+                "corpus" => self.novel_from_corpus += 1,
+                _ => {}
             }
-            if !self.corpus_ids.contains(&input.id) {
-                self.corpus_ids.insert(input.id);
-                self.corpus.push(CorpusRow {
-                    input_id: input.id,
-                    label: input.label.clone(),
-                    origin: if is_mutant { "mutation" } else { "grid" }.into(),
-                    executed: self.executed,
-                });
-                self.expand_corpus_entry(trial.input_idx, trial.combo, is_mutant);
-            }
+        }
+        // Admission keys off coarse novelty, so declared-type granularity
+        // never changes what gets scheduled.
+        let novel = self.sched_map.observe(&sig, self.executed);
+        if novel && !self.corpus_ids.contains(&input.id) {
+            self.corpus_ids.insert(input.id);
+            self.corpus.push(CorpusRow {
+                input_id: input.id,
+                label: input.label.clone(),
+                origin: origin.into(),
+                executed: self.executed,
+            });
+            self.expand_corpus_entry(trial.input_idx, trial.combo, is_mutant);
         }
         let exp_idx = self
             .experiments
@@ -441,11 +504,7 @@ impl Explorer {
                 };
                 let summary = self.summaries.get(&f.input_id).unwrap_or(&empty);
                 if classify::match_ids(input, summary, f).contains(&id) {
-                    let origin = if f.input_id >= self.first_mutant_id {
-                        "mutation"
-                    } else {
-                        "grid"
-                    };
+                    let origin = self.origin(f.input_id);
                     self.discovered.insert(
                         id,
                         DiscoveryRow {
@@ -464,6 +523,11 @@ impl Explorer {
 /// Runs a coverage-guided exploration of `budget` observations over the
 /// given experiments and formats, then shrinks every reported discrepancy
 /// to a 1-row/1-column reproducer.
+///
+/// `corpus_floor` is the id of the first synthesized corpus seed when the
+/// input pool carries a corpus region
+/// ([`InputSelection::corpus_floor`](crate::InputSelection::corpus_floor));
+/// `None` treats every seed input as catalogue.
 pub(crate) fn run_explore(
     inputs: &[TestInput],
     experiments: &[Experiment],
@@ -471,8 +535,9 @@ pub(crate) fn run_explore(
     seed: u64,
     budget: usize,
     shards: usize,
+    corpus_floor: Option<usize>,
 ) -> ExploreResult {
-    let mut ex = Explorer::new(inputs, experiments, formats, seed, shards);
+    let mut ex = Explorer::new(inputs, experiments, formats, seed, shards, corpus_floor);
     while ex.executed < budget {
         let batch = ex.schedule_round(ROUND.min(budget - ex.executed));
         if batch.is_empty() {
@@ -504,6 +569,8 @@ pub(crate) fn run_explore(
         faulted: ex.faulted,
         signatures: ex.map.distinct(),
         novel_from_mutation: ex.novel_from_mutation,
+        novel_from_corpus: ex.novel_from_corpus,
+        signatures_seen: ex.map.fingerprints(),
         corpus: ex.corpus,
         discoveries,
         shrinks,
@@ -530,6 +597,7 @@ mod tests {
             StorageFormat::ALL.as_ref(),
             7,
             1,
+            None,
         );
         let cells = ex.seed_count * ex.combos.len();
         let mut seen = BTreeSet::new();
@@ -550,6 +618,7 @@ mod tests {
                 42,
                 40,
                 1,
+                None,
             )
         };
         let a = run();
@@ -575,6 +644,7 @@ mod tests {
             1,
             120,
             1,
+            None,
         );
         assert!(!result.stats.corpus.is_empty());
         assert!(result.stats.mutated > 0, "no mutants executed");
@@ -583,5 +653,43 @@ mod tests {
             result.stats.fresh + result.stats.mutated + result.stats.faulted,
             result.stats.executed
         );
+        assert_eq!(result.stats.signatures_seen.len(), result.stats.signatures);
+    }
+
+    #[test]
+    fn corpus_region_is_scheduled_first_and_attributed_as_corpus() {
+        // Three catalogue inputs plus a small corpus region above them.
+        let mut inputs: Vec<TestInput> = generate_inputs().into_iter().take(3).collect();
+        let floor = inputs.len();
+        inputs.extend(crate::corpus::synthesize_inputs(
+            &crate::corpus::CorpusShape {
+                columns: 4,
+                ..Default::default()
+            },
+            5,
+            floor,
+        ));
+        let result = run_explore(
+            &inputs,
+            &[Experiment::ALL[0]],
+            &[StorageFormat::Orc],
+            3,
+            24,
+            1,
+            Some(floor),
+        );
+        assert!(
+            result.stats.novel_from_corpus >= 1,
+            "no corpus-novel signature within the budget: {:?}",
+            result.stats
+        );
+        assert!(
+            result.stats.corpus.iter().any(|r| r.origin == "corpus"),
+            "no corpus-origin admission: {:?}",
+            result.stats.corpus
+        );
+        // Corpus-first scheduling: the very first admissions are corpus
+        // inputs, not catalogue ones.
+        assert_eq!(result.stats.corpus[0].origin, "corpus");
     }
 }

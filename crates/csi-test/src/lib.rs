@@ -15,6 +15,7 @@ pub mod bulk;
 pub mod campaign;
 pub mod classify;
 pub mod contracts;
+pub mod corpus;
 pub mod exec;
 pub mod explore;
 pub mod generator;
@@ -30,6 +31,7 @@ pub mod tolerate;
 pub use bulk::{run_bulk, BulkConfig, BulkReport};
 pub use campaign::{Campaign, CampaignOutcome};
 pub use classify::active_ids;
+pub use corpus::{infer, synthesize, synthesize_inputs, CorpusShape, CorpusTable, InferredTable};
 pub use exec::{CrossTestConfig, CrossTestOutcome};
 pub use generator::{generate_inputs, mutate_input, TestInput, Validity};
 pub use inject::{

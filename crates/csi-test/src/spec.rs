@@ -15,6 +15,7 @@
 //! [`SpecError`]s — a wire request with a bad shard count or `k > 3` is
 //! rejected with a reason, not a worker crash.
 
+use crate::corpus::{self, CorpusShape};
 use crate::generator::{self, TestInput};
 use crate::plan::Experiment;
 use csi_core::detect::DetectorConfig;
@@ -45,6 +46,18 @@ pub enum InputSelection {
     CataloguePrefix(usize),
     /// Explicit inputs carried by the spec itself.
     Inline(Vec<TestInput>),
+    /// The full catalogue *plus* a synthesized real-shaped corpus
+    /// ([`corpus::synthesize_inputs`]): the shape and seed travel on the
+    /// wire, both ends synthesize the identical inputs. Corpus inputs get
+    /// ids directly above the catalogue, and explore mode schedules and
+    /// tags them as a distinct `corpus` origin.
+    Corpus {
+        /// Shape of the synthesized table.
+        shape: CorpusShape,
+        /// Synthesis seed (independent of the campaign seed, so the same
+        /// corpus can ride different exploration schedules).
+        seed: u64,
+    },
 }
 
 impl InputSelection {
@@ -58,6 +71,24 @@ impl InputSelection {
                 inputs
             }
             InputSelection::Inline(inputs) => inputs.clone(),
+            InputSelection::Corpus { shape, seed } => {
+                let mut inputs = generator::generate_inputs();
+                let first_id = inputs.len();
+                inputs.extend(corpus::synthesize_inputs(shape, *seed, first_id));
+                inputs
+            }
+        }
+    }
+
+    /// The id of the first corpus-synthesized input, when this selection
+    /// carries a corpus region ([`InputSelection::Corpus`] appends it
+    /// directly above the catalogue). Explore mode uses this floor to
+    /// schedule the corpus region first and attribute discoveries to the
+    /// `corpus` origin.
+    pub fn corpus_floor(&self) -> Option<usize> {
+        match self {
+            InputSelection::Corpus { .. } => Some(generator::generate_inputs().len()),
+            _ => None,
         }
     }
 }
@@ -87,6 +118,12 @@ pub enum SpecError {
     ZeroExploreBudget,
     /// `jobs` is zero — a compound pass needs at least one job.
     NoJobs,
+    /// The corpus shape of an [`InputSelection::Corpus`] cannot
+    /// synthesize a table (see [`CorpusShape::validate`]).
+    BadCorpusShape {
+        /// The human-readable reason the shape was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -106,6 +143,9 @@ impl fmt::Display for SpecError {
                 write!(f, "explore budget must be at least 1 observation")
             }
             SpecError::NoJobs => write!(f, "compound campaigns need at least one job"),
+            SpecError::BadCorpusShape { reason } => {
+                write!(f, "corpus shape cannot synthesize: {reason}")
+            }
         }
     }
 }
@@ -209,6 +249,11 @@ impl CampaignSpec {
         if self.jobs == 0 {
             return Err(SpecError::NoJobs);
         }
+        if let InputSelection::Corpus { shape, .. } = &self.inputs {
+            if let Err(reason) = shape.validate() {
+                return Err(SpecError::BadCorpusShape { reason });
+            }
+        }
         Ok(())
     }
 }
@@ -249,6 +294,40 @@ mod tests {
         assert_eq!(clamped.len(), all.len());
         let labels = |v: &[TestInput]| v.iter().map(|i| i.label.clone()).collect::<Vec<_>>();
         assert_eq!(labels(&clamped), labels(&all));
+    }
+
+    #[test]
+    fn corpus_selection_appends_the_synthesized_region_above_the_catalogue() {
+        let shape = CorpusShape::default();
+        let selection = InputSelection::Corpus {
+            shape: shape.clone(),
+            seed: 7,
+        };
+        let catalogue = InputSelection::Catalogue.resolve();
+        let inputs = selection.resolve();
+        let floor = selection
+            .corpus_floor()
+            .expect("corpus selections carry a floor");
+        assert_eq!(floor, catalogue.len());
+        assert!(inputs.len() > catalogue.len(), "corpus region is non-empty");
+        // The catalogue prefix is untouched; corpus ids continue from it.
+        assert_eq!(inputs[floor - 1].id, floor - 1);
+        assert_eq!(inputs[floor].id, floor);
+        assert!(inputs[floor].label.starts_with("corpus "));
+        assert_eq!(InputSelection::Catalogue.corpus_floor(), None);
+
+        // The spec travels by (shape, seed), and both ends resolve the
+        // identical inputs.
+        let spec = CampaignSpec {
+            inputs: selection,
+            ..CampaignSpec::default()
+        };
+        spec.validate().expect("corpus spec is valid");
+        let json = serde_json::to_string(&spec).expect("spec serializes");
+        let back: CampaignSpec = serde_json::from_str(&json).expect("spec deserializes");
+        assert_eq!(back, spec);
+        let labels = |v: &[TestInput]| v.iter().map(|i| i.label.clone()).collect::<Vec<_>>();
+        assert_eq!(labels(&back.inputs.resolve()), labels(&inputs));
     }
 
     #[test]
@@ -295,6 +374,21 @@ mod tests {
                     ..base.clone()
                 },
                 SpecError::NoJobs,
+            ),
+            (
+                CampaignSpec {
+                    inputs: InputSelection::Corpus {
+                        shape: CorpusShape {
+                            rows: 0,
+                            ..CorpusShape::default()
+                        },
+                        seed: 1,
+                    },
+                    ..base.clone()
+                },
+                SpecError::BadCorpusShape {
+                    reason: format!("corpus rows 0 outside 1..={}", corpus::MAX_ROWS),
+                },
             ),
         ];
         for (spec, expected) in cases {

@@ -72,6 +72,39 @@ fn builder_spec_extraction_round_trips_through_the_wire() {
 }
 
 #[test]
+fn corpus_specs_round_trip_and_bad_shapes_reject_typed() {
+    // The corpus selection travels by (shape, seed) — a few hundred
+    // bytes — and revives to the identical selection.
+    let spec = CampaignSpec {
+        inputs: InputSelection::Corpus {
+            shape: csi_test::CorpusShape::wide(),
+            seed: 11,
+        },
+        ..CampaignSpec::default()
+    };
+    let revived: CampaignSpec =
+        serde_json::from_str(&json(&spec)).expect("corpus spec survives the wire");
+    assert_eq!(revived, spec);
+    assert_eq!(revived.inputs.resolve().len(), spec.inputs.resolve().len());
+
+    // An unsynthesizable shape is a typed rejection, not a worker panic.
+    let bad = CampaignSpec {
+        inputs: InputSelection::Corpus {
+            shape: csi_test::CorpusShape {
+                decimal_precisions: vec![(40, 2)],
+                ..csi_test::CorpusShape::default()
+            },
+            seed: 1,
+        },
+        ..CampaignSpec::default()
+    };
+    let err = Campaign::from_spec(bad).expect_err("invalid corpus shape");
+    assert!(matches!(err, SpecError::BadCorpusShape { .. }), "{err:?}");
+    let back: SpecError = serde_json::from_str(&json(&err)).expect("error round-trips");
+    assert_eq!(back, err);
+}
+
+#[test]
 fn wire_rejections_carry_typed_reasons() {
     // A daemon receiving these specs must answer with a reason, not die.
     let bad = CampaignSpec {
